@@ -1,0 +1,264 @@
+// Package bench is the D-Watch benchmark harness: one testing.B per
+// paper figure (there are no numbered tables in the paper — every
+// evaluation result is a figure), plus the design-choice ablations of
+// DESIGN.md. Each benchmark regenerates its figure's data and reports
+// the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Use cmd/dwatch-bench for the full
+// human-readable tables.
+package bench
+
+import (
+	"testing"
+
+	"dwatch/internal/experiments"
+)
+
+// benchOpts keeps per-iteration cost moderate; the figures' shapes are
+// stable at these sizes.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 42, Reps: 3, MaxLocations: 8}
+}
+
+func BenchmarkFig3PhaseOffsets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3PhaseOffsets(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MaxDeg-r.MinDeg, "spread-deg")
+	}
+}
+
+func BenchmarkFig4MusicSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4MusicBlocking(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: relative change of an unblocked peak when one path
+		// is blocked (should be ≈0 for a reliable detector; MUSIC's is
+		// large — that is the figure's point).
+		var worst float64
+		for i := range r.PathAnglesDeg {
+			if i == r.BlockedIndex || r.BaselinePeaks[i] == 0 {
+				continue
+			}
+			if d := abs(r.OneBlockedPeaks[i] - 1); d > worst {
+				worst = d
+			}
+		}
+		b.ReportMetric(worst, "false-change")
+	}
+}
+
+func BenchmarkFig9Calibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9Calibration(experiments.Options{Seed: 42, Reps: 2, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(r.Tags) - 1
+		b.ReportMetric(r.DWatch[last], "dwatch-rad")
+		b.ReportMetric(r.Phaser[last], "phaser-rad")
+	}
+}
+
+func BenchmarkFig10AoAError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10AoAError(experiments.Options{Seed: 42, Reps: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MedianDWatch, "dwatch-deg")
+		b.ReportMetric(r.MedianNone, "none-deg")
+	}
+}
+
+func BenchmarkFig12PMusicSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12PMusicBlocking(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(1-r.OneBlockedPeaks[r.BlockedIndex], "blocked-drop")
+	}
+}
+
+func BenchmarkFig13DetectionRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13DetectionRate(experiments.Options{Seed: 42, Reps: 2, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(r.DistancesM) - 1
+		b.ReportMetric(100*r.PMusicOne[last], "pmusic-%")
+		b.ReportMetric(100*r.MusicOne[last], "music-%")
+	}
+}
+
+func BenchmarkFig14Localization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14Localization(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range r.Envs {
+			if e.Summary.N > 0 {
+				b.ReportMetric(100*e.Summary.Median, e.Name+"-median-cm")
+			}
+		}
+	}
+}
+
+func BenchmarkFig15Antennas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15Antennas(experiments.Options{Seed: 42, Reps: 2, MaxLocations: 6, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Library row: error with min vs max antennas.
+		b.ReportMetric(100*r.MeanErr[0][0], "lib-4ant-cm")
+		b.ReportMetric(100*r.MeanErr[0][len(r.Antennas)-1], "lib-8ant-cm")
+	}
+}
+
+func BenchmarkFig16Reflectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16Reflectors(experiments.Options{Seed: 42, Reps: 2, MaxLocations: 6, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Coverage[0], "cov0-%")
+		b.ReportMetric(100*r.Coverage[len(r.Reflectors)-1], "covN-%")
+	}
+}
+
+func BenchmarkFig17Tags(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig17Tags(experiments.Options{Seed: 42, Reps: 2, MaxLocations: 6, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Coverage[0], "cov-few-%")
+		b.ReportMetric(100*r.Coverage[len(r.Tags)-1], "cov-many-%")
+	}
+}
+
+func BenchmarkFig18Height(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig18Height(experiments.Options{Seed: 42, Reps: 2, MaxLocations: 6, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MeanErr[0], "err-0cm")
+		b.ReportMetric(100*r.MeanErr[len(r.HeightDiffCm)-1], "err-high")
+	}
+}
+
+func BenchmarkFig19MultiTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig19MultiTarget(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Cases[0].Found), "wide-found")
+		b.ReportMetric(r.Cases[0].MaxErrCm, "wide-maxerr-cm")
+	}
+}
+
+func BenchmarkFig21FistTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig21FistTracking(experiments.Options{Seed: 42, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Glyphs[0].MedianCm, "median-cm")
+	}
+}
+
+func BenchmarkLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Latency(experiments.Options{Seed: 42, Reps: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Processing.Microseconds())/1000, "proc-ms")
+		b.ReportMetric(float64(r.EndToEnd.Microseconds())/1000, "e2e-ms")
+	}
+}
+
+func BenchmarkAblationSmoothing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSmoothing(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ResolvedWith)/float64(r.Trials), "with")
+		b.ReportMetric(float64(r.ResolvedWithout)/float64(r.Trials), "without")
+	}
+}
+
+func BenchmarkAblationNormalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationNormalization(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RatioErrWith, "with")
+		b.ReportMetric(r.RatioErrWithout, "without")
+	}
+}
+
+func BenchmarkAblationOptimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationOptimizer(experiments.Options{Seed: 42, Reps: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Hybrid, "hybrid-rad")
+		b.ReportMetric(r.GDOnly, "gd-rad")
+	}
+}
+
+func BenchmarkAblationGridSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationGridSize(experiments.Options{Seed: 42, Reps: 2, MaxLocations: 6, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MedianCm[0], "fine-cm")
+		b.ReportMetric(r.MedianCm[len(r.CellCm)-1], "coarse-cm")
+	}
+}
+
+func BenchmarkAblationOutlierRejection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationOutlierRejection(experiments.Options{Seed: 42, Reps: 2, MaxLocations: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.LikelihoodMedianCm, "likelihood-cm")
+		b.ReportMetric(r.NaiveMedianCm, "naive-cm")
+	}
+}
+
+func BenchmarkAblationSecondOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSecondOrder(experiments.Options{Seed: 42, Reps: 2, MaxLocations: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.CoverageFirst[0], "hall-1st-cov%")
+		b.ReportMetric(100*r.CoverageBoth[0], "hall-2nd-cov%")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,166 @@
+// Command dwatch-bench regenerates every figure of the D-Watch paper's
+// evaluation as text tables: Figs. 3, 4, 9, 10, 12-19, 21/22, the
+// Section 8 latency budget, and the design-choice ablations.
+//
+// Usage:
+//
+//	dwatch-bench [-fig all|3|4|9|10|12|13|14|15|16|17|18|19|21|latency|ablations]
+//	             [-reps N] [-locations N] [-seed N] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dwatch/internal/experiments"
+)
+
+type printer interface{ Print(io.Writer) }
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (all, 3, 4, 9, 10, 12, 13, 14, 15, 16, 17, 18, 19, 21, latency, doppler, ablations)")
+	reps := flag.Int("reps", 0, "trials per measurement point (0 = default)")
+	locations := flag.Int("locations", 0, "max test locations per room (0 = default)")
+	seed := flag.Int64("seed", 0, "simulation seed (0 = default)")
+	fast := flag.Bool("fast", false, "endpoint-only sweeps for a quick look")
+	csvDir := flag.String("csv", "", "also write each figure's series as <dir>/fig<id>.csv")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Reps: *reps, MaxLocations: *locations, Fast: *fast}
+
+	type entry struct {
+		name string
+		run  func(experiments.Options) (printer, error)
+	}
+	all := []entry{
+		{"3", wrap(experiments.Fig3PhaseOffsets)},
+		{"4", wrap(experiments.Fig4MusicBlocking)},
+		{"9", wrap(experiments.Fig9Calibration)},
+		{"10", wrap(experiments.Fig10AoAError)},
+		{"12", wrap(experiments.Fig12PMusicBlocking)},
+		{"13", wrap(experiments.Fig13DetectionRate)},
+		{"14", wrap(experiments.Fig14Localization)},
+		{"15", wrap(experiments.Fig15Antennas)},
+		{"16", wrap(experiments.Fig16Reflectors)},
+		{"17", wrap(experiments.Fig17Tags)},
+		{"18", wrap(experiments.Fig18Height)},
+		{"19", wrap(experiments.Fig19MultiTarget)},
+		{"21", wrap(experiments.Fig21FistTracking)},
+		{"latency", wrap(experiments.Latency)},
+		{"doppler", wrap(experiments.ExtensionDoppler)},
+		{"ablations", runAblations},
+	}
+
+	want := strings.Split(*fig, ",")
+	matched := false
+	for _, e := range all {
+		if !selected(want, e.name) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		p, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		p.Print(os.Stdout)
+		if *csvDir != "" {
+			if cw, ok := p.(experiments.CSVWriter); ok {
+				path := filepath.Join(*csvDir, "fig"+e.name+".csv")
+				file, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := cw.WriteCSV(file); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				file.Close()
+				fmt.Printf("[csv: %s]\n", path)
+			}
+		}
+		fmt.Printf("[fig %s took %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func selected(want []string, name string) bool {
+	for _, w := range want {
+		if w == "all" || w == name {
+			return true
+		}
+	}
+	return false
+}
+
+// wrap adapts a typed experiment function to the printer interface.
+func wrap[T printer](f func(experiments.Options) (T, error)) func(experiments.Options) (printer, error) {
+	return func(o experiments.Options) (printer, error) {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// multiPrinter prints a sequence of results.
+type multiPrinter []printer
+
+func (m multiPrinter) Print(w io.Writer) {
+	for _, p := range m {
+		p.Print(w)
+	}
+}
+
+func runAblations(opts experiments.Options) (printer, error) {
+	var out multiPrinter
+	r1, err := experiments.AblationSmoothing(opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r1)
+	r2, err := experiments.AblationNormalization(opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r2)
+	r3, err := experiments.AblationOptimizer(opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r3)
+	r4, err := experiments.AblationGridSize(opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r4)
+	r5, err := experiments.AblationOutlierRejection(opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r5)
+	r6, err := experiments.AblationSecondOrder(opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r6)
+	return out, nil
+}

@@ -1,0 +1,95 @@
+// Command dwatch-calib demonstrates the wireless phase calibration of
+// Section 4.1 against a simulated reader: it draws random RF-chain
+// offsets, acquires uncalibrated snapshots of a few anchor tags with
+// known positions, solves Eq. 11 with the GA+GD hybrid, and reports the
+// estimation error against ground truth, alongside the Phaser-style
+// baseline.
+//
+// Usage:
+//
+//	dwatch-calib [-tags N] [-antennas N] [-seed N] [-multipath]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dwatch/internal/calib"
+	"dwatch/internal/channel"
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/geom"
+	"dwatch/internal/rf"
+)
+
+func main() {
+	nTags := flag.Int("tags", 6, "number of calibration anchor tags")
+	antennas := flag.Int("antennas", 8, "array elements")
+	seed := flag.Int64("seed", 1, "random seed")
+	multipath := flag.Bool("multipath", true, "include a reflector (harder)")
+	flag.Parse()
+
+	arr, err := rf.NewArray(geom.Pt(0, 0, 1.25), geom.Pt2(1, 0), *antennas)
+	if err != nil {
+		fatal(err)
+	}
+	var refl []channel.Reflector
+	if *multipath {
+		refl = append(refl, channel.Reflector{
+			Wall: geom.NewWall(-6, 9, 6, 9, 0, 2.5), Coeff: 0.5,
+		})
+	}
+	env := channel.NewEnv(refl)
+	rng := rand.New(rand.NewSource(*seed))
+	truth := calib.RandomOffsets(arr.Elements, rng)
+
+	fmt.Printf("true RF-chain offsets (deg):")
+	for _, o := range truth {
+		fmt.Printf(" %+.1f", rf.Deg(o))
+	}
+	fmt.Println()
+
+	var obs []calib.TagObs
+	var snaps []*cmatrix.Matrix
+	var plane [][]complex128
+	for i := 0; i < *nTags; i++ {
+		pos := geom.Pt(-2+4*rng.Float64(), 2+6*rng.Float64(), 1.25)
+		x, _, err := env.Synthesize(pos, arr, nil, channel.SynthOpts{
+			Snapshots: 12, NoiseStd: 0.002, PhaseOffsets: truth, Rng: rng,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		o, err := calib.NewTagObs(x, arr.SteeringAt(pos))
+		if err != nil {
+			fatal(err)
+		}
+		obs = append(obs, o)
+		snaps = append(snaps, x)
+		plane = append(plane, arr.Steering(arr.AngleTo(pos)))
+		fmt.Printf("anchor tag %d at (%.2f, %.2f), LoS %.1f°\n", i+1, pos.X, pos.Y, rf.Deg(arr.AngleTo(pos)))
+	}
+
+	est, err := calib.Calibrate(arr, obs, calib.Options{Rng: rng})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("estimated offsets (deg):    ")
+	for _, o := range est {
+		fmt.Printf(" %+.1f", rf.Deg(o))
+	}
+	fmt.Println()
+	fmt.Printf("d-watch error: %.4f rad (paper: < 0.05 with ≥ 4 tags)\n", calib.MeanAbsError(est, truth))
+
+	ph, err := calib.Phaser(arr, snaps, plane)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("phaser  error: %.4f rad\n", calib.MeanAbsError(ph, truth))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwatch-calib:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command dwatch-replay re-runs localization over a recorded LLRP
+// session (written by dwatchd -record): the offline workflow for tuning
+// detection thresholds against captured traffic without the readers.
+//
+// Usage:
+//
+//	dwatch-replay -in session.dwrl [-env hall] [-drop-floor 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dwatch/internal/dwatch"
+	"dwatch/internal/llrp"
+	"dwatch/internal/loc"
+	"dwatch/internal/pmusic"
+	"dwatch/internal/rf"
+	"dwatch/internal/sim"
+)
+
+func main() {
+	in := flag.String("in", "", "record file written by dwatchd -record")
+	env := flag.String("env", "hall", "environment preset (array geometry)")
+	dropFloor := flag.Float64("drop-floor", 0, "override the per-path drop floor (0 = default)")
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	cfg, err := preset(*env)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := sim.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	arrays := map[string]*rf.Array{}
+	readers := map[string]bool{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+		readers[r.ID] = true
+	}
+	fuser := dwatch.NewFuser(arrays, dwatch.Config{DropFloor: *dropFloor})
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	rounds := map[string]int{}
+	online := map[uint32]map[string]map[string]*pmusic.Spectrum{}
+	fixes, misses := 0, 0
+
+	err = llrp.Replay(f, false, func(rec llrp.RecordedMessage) error {
+		if rec.Message.Type != llrp.MsgROAccessReport {
+			return nil
+		}
+		rep, err := llrp.UnmarshalROAccessReport(rec.Message.Payload)
+		if err != nil {
+			return err
+		}
+		if !readers[rep.ReaderID] {
+			return nil
+		}
+		arr := arrays[rep.ReaderID]
+		spectra := map[string]*pmusic.Spectrum{}
+		for _, tr := range rep.Reports {
+			x, err := dwatch.RawSnapshotsToMatrix(tr.Snapshot)
+			if err != nil {
+				continue
+			}
+			sp, err := pmusic.Compute(x, arr, pmusic.Options{})
+			if err != nil {
+				continue
+			}
+			spectra[string(tr.EPC)] = sp
+		}
+		round := rounds[rep.ReaderID]
+		rounds[rep.ReaderID] = round + 1
+		if round < 2 {
+			for epc, sp := range spectra {
+				fuser.AddBaseline(rep.ReaderID, []byte(epc), sp)
+			}
+			if round == 1 {
+				fuser.FinishBaseline()
+			}
+			return nil
+		}
+		bySeq := online[rep.Seq]
+		if bySeq == nil {
+			bySeq = map[string]map[string]*pmusic.Spectrum{}
+			online[rep.Seq] = bySeq
+		}
+		bySeq[rep.ReaderID] = spectra
+		if len(bySeq) < len(sc.Readers) {
+			return nil
+		}
+		delete(online, rep.Seq)
+		var views []*loc.View
+		for _, rd := range sc.Readers {
+			if on := bySeq[rd.ID]; on != nil {
+				if v := fuser.BuildView(rd.ID, on); v != nil {
+					views = append(views, v)
+				}
+			}
+		}
+		if len(views) < 2 {
+			misses++
+			return nil
+		}
+		res, lerr := loc.Localize(views, sc.Grid, loc.Options{})
+		if lerr != nil {
+			misses++
+			fmt.Printf("seq %d: no fix (%v)\n", rep.Seq, lerr)
+			return nil
+		}
+		fixes++
+		fmt.Printf("seq %d: fix (%.2f, %.2f) confidence %.2f\n", rep.Seq, res.Pos.X, res.Pos.Y, res.Confidence)
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replay complete: %d fixes, %d misses\n", fixes, misses)
+}
+
+func preset(name string) (sim.Config, error) {
+	switch name {
+	case "library":
+		return sim.LibraryConfig(), nil
+	case "laboratory", "lab":
+		return sim.LaboratoryConfig(), nil
+	case "hall":
+		return sim.HallConfig(), nil
+	case "table":
+		return sim.TableConfig(), nil
+	default:
+		return sim.Config{}, fmt.Errorf("unknown environment %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwatch-replay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,443 @@
+// Command dwatchd is the D-Watch localization server: it listens for
+// LLRP connections from RFID readers, consumes their RO_ACCESS_REPORTs
+// (per-antenna I/Q snapshots per tag), maintains per-reader baseline
+// AoA spectra, and prints localization fixes whenever enough readers
+// have reported fresh evidence — the deployment of Section 5, where all
+// backscatter packets are forwarded to a central server over Ethernet.
+//
+// With -simulate, dwatchd also spawns in-process simulated readers that
+// connect over real TCP and stream reports from the chosen environment
+// while a target walks through it, demonstrating the full network path.
+//
+// Usage:
+//
+//	dwatchd [-listen :5084] [-env hall] [-simulate] [-rounds N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"dwatch/internal/calib"
+	"dwatch/internal/channel"
+	"dwatch/internal/dwatch"
+	"dwatch/internal/geom"
+	"dwatch/internal/llrp"
+	"dwatch/internal/loc"
+	"dwatch/internal/pmusic"
+	"dwatch/internal/reader"
+	"dwatch/internal/rf"
+	"dwatch/internal/sim"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5084", "LLRP listen address")
+	env := flag.String("env", "hall", "environment preset (geometry shared with the readers)")
+	simulate := flag.Bool("simulate", false, "spawn simulated readers and a walking target")
+	rounds := flag.Int("rounds", 5, "simulated acquisition rounds")
+	statePath := flag.String("state", "", "baseline state file: loaded at start when present, saved after baseline confirmation")
+	recordPath := flag.String("record", "", "append every inbound RO_ACCESS_REPORT to this record file (replay with dwatch-replay)")
+	flag.Parse()
+
+	cfg, err := preset(*env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := sim.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := newServer(sc)
+	srv.statePath = *statePath
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		srv.recorder = llrp.NewRecordWriter(f)
+		defer srv.recorder.Close()
+		log.Printf("recording reports to %s", *recordPath)
+	}
+	if *statePath != "" {
+		if f, err := os.Open(*statePath); err == nil {
+			err := srv.loadState(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("load state %s: %v", *statePath, err)
+			}
+			log.Printf("baseline state restored from %s", *statePath)
+		}
+	}
+	addr, err := srv.llrp.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dwatchd listening on %s (env %s, %d readers expected)", addr, sc.Name, len(sc.Readers))
+
+	done := make(chan error, 1)
+	go func() { done <- srv.llrp.Serve() }()
+
+	if *simulate {
+		go func() {
+			if err := runSimulatedReaders(sc, addr.String(), *rounds); err != nil {
+				log.Printf("simulated readers: %v", err)
+			}
+			// Give the server a moment to drain, then stop.
+			time.Sleep(300 * time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.llrp.Shutdown(ctx)
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.llrp.Shutdown(ctx)
+		<-done
+	case err := <-done:
+		if err != nil && err != llrp.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}
+	srv.summary()
+}
+
+func preset(name string) (sim.Config, error) {
+	switch name {
+	case "library":
+		return sim.LibraryConfig(), nil
+	case "laboratory", "lab":
+		return sim.LaboratoryConfig(), nil
+	case "hall":
+		return sim.HallConfig(), nil
+	case "table":
+		return sim.TableConfig(), nil
+	default:
+		return sim.Config{}, fmt.Errorf("unknown environment %q", name)
+	}
+}
+
+// server is the localization state machine fed by LLRP reports: the
+// first two reports per reader are baseline rounds (the Fuser's
+// stability confirmation), everything after is online evidence.
+type server struct {
+	llrp *llrp.Server
+	sc   *sim.Scenario
+
+	mu        sync.Mutex
+	statePath string
+	recorder  *llrp.RecordWriter
+	fuser     *dwatch.Fuser
+	// rounds counts reports per reader; the first two feed the baseline.
+	rounds map[string]int
+	// online[seq][reader][epc] groups online spectra by acquisition
+	// sequence so evidence from different rounds never mixes.
+	online map[uint32]map[string]map[string]*pmusic.Spectrum
+	fixes  int
+}
+
+func newServer(sc *sim.Scenario) *server {
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	s := &server{
+		sc:     sc,
+		fuser:  dwatch.NewFuser(arrays, dwatch.Config{}),
+		rounds: map[string]int{},
+		online: map[uint32]map[string]map[string]*pmusic.Spectrum{},
+	}
+	s.llrp = &llrp.Server{Handler: llrp.HandlerFunc(s.handle)}
+	return s
+}
+
+func (s *server) handle(conn *llrp.Conn, msg llrp.Message) error {
+	switch msg.Type {
+	case llrp.MsgKeepalive:
+		return conn.SendWithID(llrp.MsgKeepaliveAck, msg.ID, nil)
+	case llrp.MsgGetReaderCapabilitiesResponse:
+		caps, err := llrp.UnmarshalReaderCapabilities(msg.Payload)
+		if err != nil {
+			return err
+		}
+		rd := s.arrayFor(caps.ReaderID)
+		if rd == nil {
+			log.Printf("capabilities from unknown reader %q", caps.ReaderID)
+			return nil
+		}
+		if int(caps.Antennas) != rd.Array.Elements {
+			log.Printf("reader %q reports %d antennas, deployment expects %d — reports will be rejected",
+				caps.ReaderID, caps.Antennas, rd.Array.Elements)
+			return nil
+		}
+		log.Printf("reader %q online: %s, %d antennas", caps.ReaderID, caps.Model, caps.Antennas)
+		// Control plane: install and start the acquisition spec — the
+		// paper's cadence (0.1 s period, 10 snapshots per tag).
+		spec := llrp.ROSpec{ID: 1, PeriodMs: 100, SnapshotsPerTag: 10}
+		if _, err := conn.Send(llrp.MsgStartROSpec, spec.Marshal()); err != nil {
+			return err
+		}
+		return nil
+	case llrp.MsgROAccessReport:
+		rep, err := llrp.UnmarshalROAccessReport(msg.Payload)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.recorder != nil {
+			if err := s.recorder.Record(time.Now(), msg); err != nil {
+				log.Printf("record: %v", err)
+			}
+		}
+		s.mu.Unlock()
+		s.ingest(rep)
+	}
+	return nil
+}
+
+// arrayFor maps a reader ID to its array geometry (shared deployment
+// knowledge: the server knows where its readers are mounted).
+func (s *server) arrayFor(id string) *reader.Reader {
+	for _, r := range s.sc.Readers {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *server) ingest(rep *llrp.ROAccessReport) {
+	rd := s.arrayFor(rep.ReaderID)
+	if rd == nil {
+		log.Printf("report from unknown reader %q", rep.ReaderID)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	round := s.rounds[rep.ReaderID]
+	s.rounds[rep.ReaderID] = round + 1
+
+	spectra := map[string]*pmusic.Spectrum{}
+	for _, tr := range rep.Reports {
+		x, err := dwatch.RawSnapshotsToMatrix(tr.Snapshot)
+		if err != nil {
+			continue
+		}
+		sp, err := pmusic.Compute(x, rd.Array, pmusic.Options{})
+		if err != nil {
+			continue
+		}
+		spectra[string(tr.EPC)] = sp
+	}
+
+	if round < 2 {
+		// Baseline rounds.
+		for epc, sp := range spectra {
+			s.fuser.AddBaseline(rep.ReaderID, []byte(epc), sp)
+		}
+		if round == 1 {
+			s.fuser.FinishBaseline()
+			log.Printf("baseline confirmed for %s (%d tags)", rep.ReaderID, len(spectra))
+			s.maybeSaveState()
+		}
+		return
+	}
+	bySeq := s.online[rep.Seq]
+	if bySeq == nil {
+		bySeq = map[string]map[string]*pmusic.Spectrum{}
+		s.online[rep.Seq] = bySeq
+	}
+	bySeq[rep.ReaderID] = spectra
+	if len(bySeq) == len(s.sc.Readers) {
+		s.tryLocalize(rep.Seq, bySeq)
+		delete(s.online, rep.Seq)
+	}
+}
+
+// tryLocalize builds drop views for one complete acquisition sequence
+// and runs the likelihood localizer. Called with s.mu held.
+func (s *server) tryLocalize(seq uint32, bySeq map[string]map[string]*pmusic.Spectrum) {
+	var views []*loc.View
+	for _, rd := range s.sc.Readers {
+		if on := bySeq[rd.ID]; on != nil {
+			if v := s.fuser.BuildView(rd.ID, on); v != nil {
+				views = append(views, v)
+			}
+		}
+	}
+	if len(views) < 2 {
+		log.Printf("seq %d: no fix (evidence from %d readers)", seq, len(views))
+		return
+	}
+	res, err := loc.Localize(views, s.sc.Grid, loc.Options{})
+	if err != nil {
+		log.Printf("seq %d: no fix: %v", seq, err)
+		return
+	}
+	s.fixes++
+	log.Printf("seq %d: fix #%d (%.2f, %.2f) confidence %.2f", seq, s.fixes, res.Pos.X, res.Pos.Y, res.Confidence)
+}
+
+// loadState restores a saved baseline. Called before serving.
+func (s *server) loadState(r *os.File) error {
+	sys := dwatch.New(s.sc, dwatch.Config{})
+	if err := sys.LoadState(r); err != nil {
+		return err
+	}
+	s.fuser = sys.Fuser()
+	// Mark all readers past the baseline phase.
+	for _, rd := range s.sc.Readers {
+		s.rounds[rd.ID] = 2
+	}
+	return nil
+}
+
+// maybeSaveState persists the baseline once every reader confirmed.
+// Called with s.mu held.
+func (s *server) maybeSaveState() {
+	if s.statePath == "" {
+		return
+	}
+	for _, rd := range s.sc.Readers {
+		if s.rounds[rd.ID] < 2 {
+			return
+		}
+	}
+	sys := dwatch.New(s.sc, dwatch.Config{})
+	sys.SetFuser(s.fuser)
+	f, err := os.Create(s.statePath)
+	if err != nil {
+		log.Printf("save state: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := sys.SaveState(f); err != nil {
+		log.Printf("save state: %v", err)
+		return
+	}
+	log.Printf("baseline state saved to %s", s.statePath)
+}
+
+func (s *server) summary() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log.Printf("done: %d fixes emitted", s.fixes)
+}
+
+// runSimulatedReaders connects one LLRP client per scenario reader and
+// streams reports: first a no-target baseline round, then rounds with a
+// target walking across the room.
+func runSimulatedReaders(sc *sim.Scenario, addr string, rounds int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	conns := make([]*llrp.Conn, len(sc.Readers))
+	for i, rd := range sc.Readers {
+		c, err := llrp.Dial(ctx, addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		conns[i] = c
+		// Announce capabilities (real LLRP does this via the
+		// GET_READER_CAPABILITIES exchange; our readers volunteer it).
+		caps := llrp.ReaderCapabilities{
+			ReaderID: rd.ID,
+			Antennas: uint16(rd.Array.Elements),
+			Model:    "speedway-r420-sim",
+		}
+		if _, err := c.Send(llrp.MsgGetReaderCapabilitiesResponse, caps.Marshal()); err != nil {
+			return err
+		}
+	}
+	// Each reader waits for its StartROSpec before transmitting, as the
+	// protocol demands; the spec's snapshot count drives acquisition.
+	snapshotsPerTag := 10
+	for i := range conns {
+		msg, err := conns[i].Recv()
+		if err != nil {
+			return err
+		}
+		if msg.Type != llrp.MsgStartROSpec {
+			return fmt.Errorf("reader %d: expected StartROSpec, got type %d", i, msg.Type)
+		}
+		spec, err := llrp.UnmarshalROSpec(msg.Payload)
+		if err != nil {
+			return err
+		}
+		if int(spec.SnapshotsPerTag) > 0 {
+			snapshotsPerTag = int(spec.SnapshotsPerTag)
+		}
+	}
+
+	seq := uint32(0)
+	send := func(targets []channel.Target) error {
+		seq++
+		for i, rd := range sc.Readers {
+			snaps, err := rd.Acquire(sc.Env, sc.Tags, targets, reader.AcquireOptions{Snapshots: snapshotsPerTag})
+			if err != nil {
+				return err
+			}
+			rep := &llrp.ROAccessReport{ReaderID: rd.ID, Seq: seq}
+			for _, sn := range snaps {
+				// The readers stream *calibrated* samples: a production
+				// deployment runs the Section 4.1 calibration once at
+				// power-on; here the simulated reader knows its own
+				// offsets (wired ground truth) for brevity.
+				x, err := calib.Apply(sn.Data, rd.Offsets)
+				if err != nil {
+					return err
+				}
+				snapshot := make([][]complex128, x.Rows)
+				for r := 0; r < x.Rows; r++ {
+					snapshot[r] = append([]complex128(nil), x.Data[r*x.Cols:(r+1)*x.Cols]...)
+				}
+				rep.Reports = append(rep.Reports, llrp.TagReport{
+					EPC:          sn.Tag.EPC,
+					AntennaID:    1,
+					PeakRSSIcdBm: sn.RSSIcdBm,
+					Snapshot:     snapshot,
+				})
+			}
+			payload, err := rep.Marshal()
+			if err != nil {
+				return err
+			}
+			if _, err := conns[i].Send(llrp.MsgROAccessReport, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Two baseline rounds (no target): the server's stability filter
+	// needs a confirmation round.
+	if err := send(nil); err != nil {
+		return err
+	}
+	if err := send(nil); err != nil {
+		return err
+	}
+	// Target walks across the middle of the room.
+	for k := 0; k < rounds; k++ {
+		f := float64(k+1) / float64(rounds+1)
+		pos := geom.Pt(sc.Cfg.Width*(0.25+0.5*f), sc.Cfg.Depth/2, 1.25)
+		log.Printf("simulated target at (%.2f, %.2f)", pos.X, pos.Y)
+		if err := send([]channel.Target{channel.HumanTarget(pos)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

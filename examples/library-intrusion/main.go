@@ -1,0 +1,84 @@
+// Library intrusion detection: the motivating application of the
+// paper's introduction. An intruder moving through a rich-multipath
+// library is detected and tracked without carrying any device — the
+// paths they block betray them. Tracking uses the constant-velocity
+// Kalman filter: its innovation gate rejects wrong-mode fixes (blocked
+// reflection legs pointing at shelves, Fig. 1(c)) and its covariance
+// widens through the deadzones of Section 8 so the track re-acquires
+// cleanly afterwards.
+//
+// Run with:
+//
+//	go run ./examples/library-intrusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/dwatch"
+	"dwatch/internal/geom"
+	"dwatch/internal/loc"
+	"dwatch/internal/sim"
+	"dwatch/internal/trace"
+)
+
+func main() {
+	scenario, err := sim.Build(sim.LibraryConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	system := dwatch.New(scenario, dwatch.Config{})
+	if err := system.Calibrate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := system.CollectBaseline(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("library armed: baseline collected, watching for intruders")
+
+	// The intruder sneaks along an aisle between the shelves at walking
+	// speed (1 m/s); D-Watch snapshots every 0.3 s.
+	route := geom.Polyline{
+		geom.Pt(2.0, 3.0, 1.25),
+		geom.Pt(5.0, 3.0, 1.25),
+		geom.Pt(5.0, 5.0, 1.25),
+		geom.Pt(3.0, 5.0, 1.25),
+	}
+	steps, err := trace.Sample(route, 1.0, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tracker := &loc.KalmanTracker{Interval: 0.3}
+	detected := 0
+	var sumErr float64
+	tracked := 0
+	for i, pos := range steps {
+		fix, err := system.LocateRobust([]channel.Target{channel.HumanTarget(pos)}, 2)
+		var est geom.Point
+		var accepted bool
+		if err != nil {
+			est, _ = tracker.Update(geom.Point{}, false) // deadzone: coast
+		} else {
+			est, accepted = tracker.Update(fix.Pos, true)
+			if accepted {
+				detected++
+			}
+		}
+		if _, perr := tracker.Position(); perr != nil {
+			fmt.Printf("t=%4.1fs intruder at (%.1f, %.1f): not yet detected\n", 0.3*float64(i), pos.X, pos.Y)
+			continue
+		}
+		e := est.Dist2D(pos)
+		sumErr += e
+		tracked++
+		fmt.Printf("t=%4.1fs intruder at (%.1f, %.1f) tracked at (%.1f, %.1f)  err %.0f cm  ±%.1f m\n",
+			0.3*float64(i), pos.X, pos.Y, est.X, est.Y, 100*e, tracker.PositionStd())
+	}
+	if tracked > 0 {
+		fmt.Printf("\naccepted fixes: %d/%d snapshots; mean tracking error %.0f cm\n",
+			detected, len(steps), 100*sumErr/float64(tracked))
+	}
+}

@@ -1,0 +1,84 @@
+// Multi-target localization (Section 6.7): three water bottles on a
+// 2 m × 2 m table are localized simultaneously — the well-known hard
+// case for passive localization, feasible here because sparsely placed
+// targets block disjoint subsets of paths and appear as separate
+// likelihood modes. The example sweeps the separation down to the
+// paper's 20 cm merge point.
+//
+// Run with:
+//
+//	go run ./examples/multitarget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/dwatch"
+	"dwatch/internal/geom"
+	"dwatch/internal/sim"
+)
+
+func main() {
+	scenario, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	system := dwatch.New(scenario, dwatch.Config{})
+	if err := system.Calibrate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := system.CollectBaseline(); err != nil {
+		log.Fatal(err)
+	}
+
+	const tableZ = 0.75
+	for _, sep := range []float64{1.3, 0.5, 0.2} {
+		positions := bottleRow(sep, tableZ)
+		var targets []channel.Target
+		for _, p := range positions {
+			targets = append(targets, channel.BottleTarget(p, tableZ))
+		}
+		minSep := sep / 2
+		if minSep < 0.1 {
+			minSep = 0.1
+		}
+		fixes, err := system.LocateMulti(targets, 3, minSep)
+		if err != nil {
+			fmt.Printf("separation %3.0f cm: %v\n", sep*100, err)
+			continue
+		}
+		fmt.Printf("separation %3.0f cm: %d of 3 bottles resolved\n", sep*100, len(fixes))
+		for _, f := range fixes {
+			best := positions[0]
+			for _, p := range positions {
+				if f.Pos.Dist2D(p) < f.Pos.Dist2D(best) {
+					best = p
+				}
+			}
+			fmt.Printf("  fix (%.2f, %.2f) — nearest bottle (%.2f, %.2f), error %.0f cm\n",
+				f.Pos.X, f.Pos.Y, best.X, best.Y, 100*f.Pos.Dist2D(best))
+		}
+		if len(fixes) < 3 {
+			fmt.Println("  (targets merged — the paper observes the same below ~20 cm)")
+		}
+	}
+}
+
+// bottleRow places three bottles sep metres apart, centred on the
+// table; the widest case spreads diagonally to stay on the table.
+func bottleRow(sep, z float64) []geom.Point {
+	if sep > 0.6 {
+		return []geom.Point{
+			geom.Pt(0.35, 0.45, z),
+			geom.Pt(1.0, 1.1, z),
+			geom.Pt(1.65, 1.55, z),
+		}
+	}
+	return []geom.Point{
+		geom.Pt(1.0-sep, 1.0, z),
+		geom.Pt(1.0, 1.0, z),
+		geom.Pt(1.0+sep, 1.0, z),
+	}
+}

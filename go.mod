@@ -1,0 +1,3 @@
+module dwatch
+
+go 1.22

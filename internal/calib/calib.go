@@ -1,0 +1,242 @@
+// Package calib implements D-Watch's wireless phase calibration
+// (Section 4.1) and the baselines it is compared against.
+//
+// A reader's RF front ends impose an unknown per-port phase offset
+// Γ = diag{1, e^{jβ₂}, …, e^{jβ_M}} on the antenna samples (Fig. 3 of
+// the paper measures −85.9°…176° across 16 ports). Uncorrected, these
+// offsets destroy AoA estimation. D-Watch removes them without cables or
+// downtime: for a few tags with *known* LoS angles, the steering vector
+// Γ·a(θ_LoS) must be orthogonal to the noise subspace of the
+// uncalibrated correlation matrix, so the offsets are found by
+// minimizing Σₖ ‖a(θ_LoS⁽ᵏ⁾)ᴴ·Γᴴ·U_N⁽ᵏ⁾‖² (Eq. 11) with a hybrid
+// GA + gradient-descent optimizer.
+//
+// Calibration deliberately uses the raw (un-smoothed) correlation
+// matrix: spatial smoothing mixes subarrays with different offset
+// patterns and would destroy the Γ structure. The paper places
+// calibration tags with a dominant LoS (footnote 1), which keeps the
+// rank-one composite channel close to the LoS steering vector.
+package calib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/music"
+	"dwatch/internal/optimize"
+	"dwatch/internal/rf"
+)
+
+// ErrBadInput is returned for malformed calibration inputs.
+var ErrBadInput = errors.New("calib: bad input")
+
+// TagObs is the measurement for one calibration tag: the steering
+// vector its known location implies, and the noise subspace of the raw
+// correlation matrix of its uncalibrated snapshots. Steer is usually
+// the exact near-field vector rf.Array.SteeringAt(tagPos) — tag
+// positions are known during calibration (paper footnote 2) — but the
+// plane-wave arr.Steering(θ_LoS) works for distant tags.
+type TagObs struct {
+	Steer []complex128    // length-M steering vector at the tag's LoS
+	Noise *cmatrix.Matrix // M×Q noise-subspace columns
+}
+
+// NoiseSubspace computes the noise subspace of the *un-smoothed*
+// correlation matrix of an N×M snapshot matrix. sources forces the
+// signal-subspace dimension; 0 estimates it from the eigenvalue
+// spectrum.
+func NoiseSubspace(x *cmatrix.Matrix, sources int) (*cmatrix.Matrix, error) {
+	r, err := music.Correlation(x)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := cmatrix.EigenHermitian(r)
+	if err != nil {
+		return nil, err
+	}
+	m := r.Rows
+	p := sources
+	if p <= 0 {
+		p = music.EstimateSources(eig.Values, music.DefaultSourceThreshold)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p >= m {
+		p = m - 1
+	}
+	q := m - p
+	noise := cmatrix.New(m, q)
+	for j := 0; j < q; j++ {
+		col := eig.Vectors.Col(p + j)
+		for i := 0; i < m; i++ {
+			noise.Set(i, j, col[i])
+		}
+	}
+	return noise, nil
+}
+
+// NewTagObs builds a TagObs from uncalibrated snapshots of a tag whose
+// known position implies the given steering vector.
+func NewTagObs(x *cmatrix.Matrix, steer []complex128) (TagObs, error) {
+	n, err := NoiseSubspace(x, 0)
+	if err != nil {
+		return TagObs{}, err
+	}
+	return TagObs{Steer: steer, Noise: n}, nil
+}
+
+// Objective returns the Eq. 11 objective over the offset vector
+// x = [β₂, …, β_M] (the reference antenna's offset is fixed at zero).
+// The value is normalized by the number of tags.
+func Objective(arr *rf.Array, obs []TagObs) optimize.Objective {
+	m := arr.Elements
+	return func(x []float64) float64 {
+		// Corrected steering: Γ·a(θ). a(θ)ᴴ·Γᴴ·U_N = (Γ·a)ᴴ·U_N.
+		g := make([]complex128, m)
+		g[0] = 1
+		for i := 1; i < m; i++ {
+			g[i] = cmplx.Exp(complex(0, x[i-1]))
+		}
+		var sum float64
+		v := make([]complex128, m)
+		for k := range obs {
+			for i := 0; i < m; i++ {
+				v[i] = g[i] * obs[k].Steer[i]
+			}
+			sum += music.ProjectionOntoNoise(v, obs[k].Noise)
+		}
+		return sum / float64(len(obs))
+	}
+}
+
+// Options configures Calibrate.
+type Options struct {
+	Rng    *rand.Rand // required
+	Hybrid optimize.HybridOptions
+}
+
+// Calibrate solves Eq. 11 and returns the estimated per-antenna offsets
+// β (length M, β[0] = 0).
+func Calibrate(arr *rf.Array, obs []TagObs, opts Options) ([]float64, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("%w: no calibration tags", ErrBadInput)
+	}
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("%w: Rng must be set", ErrBadInput)
+	}
+	for i, o := range obs {
+		if o.Noise == nil || o.Noise.Rows != arr.Elements {
+			return nil, fmt.Errorf("%w: tag %d noise subspace shape", ErrBadInput, i)
+		}
+		if len(o.Steer) != arr.Elements {
+			return nil, fmt.Errorf("%w: tag %d steering length %d", ErrBadInput, i, len(o.Steer))
+		}
+	}
+	h := opts.Hybrid
+	if h.GA.Rng == nil {
+		h.GA.Rng = opts.Rng
+	}
+	if h.GA.Lo == 0 && h.GA.Hi == 0 {
+		h.GA.Lo, h.GA.Hi = -math.Pi, math.Pi
+	}
+	f := Objective(arr, obs)
+	x, _, err := optimize.Hybrid(f, arr.Elements-1, h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, arr.Elements)
+	for i := 1; i < arr.Elements; i++ {
+		out[i] = rf.WrapPhase(x[i-1])
+	}
+	return out, nil
+}
+
+// Apply returns a copy of the snapshot matrix with the estimated
+// offsets removed: x[m] → x[m]·e^{−jβₘ}.
+func Apply(x *cmatrix.Matrix, offsets []float64) (*cmatrix.Matrix, error) {
+	if x.Cols != len(offsets) {
+		return nil, fmt.Errorf("%w: %d offsets for %d columns", ErrBadInput, len(offsets), x.Cols)
+	}
+	out := x.Clone()
+	for m := 0; m < x.Cols; m++ {
+		c := cmplx.Exp(complex(0, -offsets[m]))
+		for n := 0; n < x.Rows; n++ {
+			out.Data[n*x.Cols+m] *= c
+		}
+	}
+	return out, nil
+}
+
+// MeanAbsError returns the mean absolute wrapped phase error between an
+// estimate and the ground-truth offsets, skipping the reference antenna.
+// This is the metric of Fig. 9.
+func MeanAbsError(est, truth []float64) float64 {
+	if len(est) != len(truth) || len(est) < 2 {
+		return math.NaN()
+	}
+	var s float64
+	for i := 1; i < len(est); i++ {
+		s += math.Abs(rf.PhaseDiff(est[i], truth[i]))
+	}
+	return s / float64(len(est)-1)
+}
+
+// Phaser estimates offsets with the coarser Phaser-style method the
+// paper compares against: for each tag, the principal eigenvector of
+// the raw correlation matrix is the composite channel; dividing it by
+// the expected LoS steering phase leaves the offsets plus multipath
+// contamination. Estimates are combined circularly across tags. The
+// baseline is coarse (Fig. 9) for two reasons reproduced here: multipath
+// leaks into the principal eigenvector, and Phaser assumes far-field
+// plane waves, so callers should pass arr.Steering(θ_LoS) — the
+// near-field curvature across the aperture then lands in the offset
+// estimates as error.
+func Phaser(arr *rf.Array, snaps []*cmatrix.Matrix, steers [][]complex128) ([]float64, error) {
+	if len(snaps) == 0 || len(snaps) != len(steers) {
+		return nil, fmt.Errorf("%w: %d snapshot sets, %d steering vectors", ErrBadInput, len(snaps), len(steers))
+	}
+	m := arr.Elements
+	acc := make([]complex128, m)
+	for k, x := range snaps {
+		r, err := music.Correlation(x)
+		if err != nil {
+			return nil, err
+		}
+		eig, err := cmatrix.EigenHermitian(r)
+		if err != nil {
+			return nil, err
+		}
+		u := eig.Vectors.Col(0)
+		a := steers[k]
+		// Offset estimate per element, phase-referenced to element 0.
+		ref := u[0] / a[0]
+		for i := 0; i < m; i++ {
+			if cmplx.Abs(u[i]) == 0 {
+				continue
+			}
+			est := (u[i] / a[i]) / ref
+			acc[i] += est / complex(cmplx.Abs(est), 0)
+		}
+	}
+	out := make([]float64, m)
+	for i := 1; i < m; i++ {
+		out[i] = cmplx.Phase(acc[i])
+	}
+	return out, nil
+}
+
+// RandomOffsets draws per-port offsets uniformly from (−π, π], matching
+// the empirical spread of Fig. 3. The reference port offset is zero by
+// convention.
+func RandomOffsets(m int, rng *rand.Rand) []float64 {
+	out := make([]float64, m)
+	for i := 1; i < m; i++ {
+		out[i] = rng.Float64()*2*math.Pi - math.Pi
+	}
+	return out
+}

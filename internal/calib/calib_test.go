@@ -1,0 +1,276 @@
+package calib
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/geom"
+	"dwatch/internal/music"
+	"dwatch/internal/optimize"
+	"dwatch/internal/rf"
+)
+
+func testArray(t testing.TB) *rf.Array {
+	t.Helper()
+	a, err := rf.NewArray(geom.Pt(0, 0, 1.25), geom.Pt2(1, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// calibScenario synthesizes uncalibrated snapshots for nTags calibration
+// tags at LoS-dominant positions. It returns the D-Watch observations
+// (exact near-field steering — tag positions are known during
+// calibration), the raw snapshots with the *plane-wave* steering vectors
+// a Phaser-style far-field method would assume, and the true offsets.
+func calibScenario(t testing.TB, arr *rf.Array, env *channel.Env, nTags int, seed int64) ([]TagObs, []*cmatrix.Matrix, [][]complex128, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	truth := RandomOffsets(arr.Elements, rng)
+	var obs []TagObs
+	var snaps []*cmatrix.Matrix
+	var planeSteers [][]complex128
+	for k := 0; k < nTags; k++ {
+		// Tags spread 2-8 m out in front of the array with clear LoS.
+		pos := geom.Pt(-2+4*rng.Float64(), 2+6*rng.Float64(), 1.25)
+		x, _, err := env.Synthesize(pos, arr, nil, channel.SynthOpts{
+			Snapshots:    12,
+			NoiseStd:     0.002,
+			PhaseOffsets: truth,
+			Rng:          rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := NewTagObs(x, arr.SteeringAt(pos))
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, o)
+		snaps = append(snaps, x)
+		planeSteers = append(planeSteers, arr.Steering(arr.AngleTo(pos)))
+	}
+	return obs, snaps, planeSteers, truth
+}
+
+func TestNoiseSubspaceOrthogonality(t *testing.T) {
+	arr := testArray(t)
+	env := channel.NewEnv(nil)
+	rng := rand.New(rand.NewSource(1))
+	pos := geom.Pt(1, 5, 1.25)
+	x, _, err := env.Synthesize(pos, arr, nil, channel.SynthOpts{Snapshots: 12, NoiseStd: 0.001, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := NoiseSubspace(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noise.Rows != 8 || noise.Cols < 1 {
+		t.Fatalf("noise subspace %dx%d", noise.Rows, noise.Cols)
+	}
+	// The exact steering vector of the single LoS path must be nearly
+	// orthogonal to the noise subspace.
+	at := music.ProjectionOntoNoise(arr.SteeringAt(pos), noise)
+	off := music.ProjectionOntoNoise(arr.Steering(arr.AngleTo(pos)+0.5), noise)
+	if at > off/50 {
+		t.Errorf("LoS projection %v not ≪ off-angle %v", at, off)
+	}
+}
+
+func TestObjectiveMinimumNearTruth(t *testing.T) {
+	arr := testArray(t)
+	env := channel.NewEnv(nil)
+	obs, _, _, truth := calibScenario(t, arr, env, 5, 2)
+	f := Objective(arr, obs)
+	x := truth[1:]
+	atTruth := f(x)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		pert := make([]float64, len(x))
+		for i := range pert {
+			pert[i] = x[i] + (rng.Float64()-0.5)*2
+		}
+		if f(pert) < atTruth {
+			t.Fatalf("objective lower at random perturbation (trial %d)", trial)
+		}
+	}
+}
+
+func TestCalibrateCleanLoS(t *testing.T) {
+	// Fig. 9: with ≥4 tags the method reaches <0.05 rad error. Clear-LoS
+	// environment, exact near-field steering.
+	arr := testArray(t)
+	env := channel.NewEnv(nil)
+	obs, _, _, truth := calibScenario(t, arr, env, 6, 4)
+	est, err := Calibrate(arr, obs, Options{Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MeanAbsError(est, truth); e > 0.05 {
+		t.Errorf("calibration error = %.4f rad, want < 0.05", e)
+	}
+}
+
+func TestCalibrateWithMultipath(t *testing.T) {
+	// A reflector adds coherent multipath; accuracy degrades but must
+	// stay well below the Phaser baseline's typical error.
+	arr := testArray(t)
+	wall := geom.NewWall(-8, 9, 8, 9, 0, 2.5)
+	env := channel.NewEnv([]channel.Reflector{{Wall: wall, Coeff: 0.5}})
+	obs, snaps, steers, truth := calibScenario(t, arr, env, 8, 6)
+
+	est, err := Calibrate(arr, obs, Options{Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dwErr := MeanAbsError(est, truth)
+
+	ph, err := Phaser(arr, snaps, steers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phErr := MeanAbsError(ph, truth)
+
+	if dwErr > 0.25 {
+		t.Errorf("multipath calibration error = %.4f rad, want < 0.25", dwErr)
+	}
+	if dwErr >= phErr {
+		t.Errorf("D-Watch (%.4f) not better than Phaser (%.4f)", dwErr, phErr)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	arr := testArray(t)
+	rng := rand.New(rand.NewSource(8))
+	if _, err := Calibrate(arr, nil, Options{Rng: rng}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no tags: %v", err)
+	}
+	obs := []TagObs{{Steer: make([]complex128, 8), Noise: cmatrix.New(8, 7)}}
+	if _, err := Calibrate(arr, obs, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil rng: %v", err)
+	}
+	bad := []TagObs{{Steer: make([]complex128, 3), Noise: cmatrix.New(8, 7)}}
+	if _, err := Calibrate(arr, bad, Options{Rng: rng}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad steer: %v", err)
+	}
+	badNoise := []TagObs{{Steer: make([]complex128, 8), Noise: cmatrix.New(3, 2)}}
+	if _, err := Calibrate(arr, badNoise, Options{Rng: rng}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad noise: %v", err)
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	arr := testArray(t)
+	env := channel.NewEnv(nil)
+	pos := geom.Pt(1, 4, 1.25)
+	truth := []float64{0, 0.5, -1.2, 2.0, -0.3, 1.1, 0.7, -2.2}
+	mk := func(offs []float64, seed int64) *cmatrix.Matrix {
+		x, _, err := env.Synthesize(pos, arr, nil, channel.SynthOpts{
+			Snapshots: 3, NoiseStd: 0, PhaseOffsets: offs, Rng: rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	dirty := mk(truth, 9)
+	clean := mk(nil, 9)
+	fixed, err := Apply(dirty, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Data {
+		if d := fixed.Data[i] - clean.Data[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("Apply round trip mismatch at %d: %v vs %v", i, fixed.Data[i], clean.Data[i])
+		}
+	}
+	if _, err := Apply(dirty, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	if got := MeanAbsError([]float64{0, 0.1, -0.1}, []float64{0, 0, 0}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MeanAbsError = %v", got)
+	}
+	// Wrapping: estimates near ±π are close.
+	if got := MeanAbsError([]float64{0, math.Pi - 0.01}, []float64{0, -math.Pi + 0.01}); math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("wrapped error = %v, want 0.02", got)
+	}
+	if !math.IsNaN(MeanAbsError([]float64{0}, []float64{0, 1})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestRandomOffsetsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	offs := RandomOffsets(16, rng)
+	if offs[0] != 0 {
+		t.Error("reference offset must be 0")
+	}
+	for i, o := range offs[1:] {
+		if o < -math.Pi || o > math.Pi {
+			t.Errorf("offset %d = %v out of range", i+1, o)
+		}
+	}
+}
+
+func TestPhaserValidation(t *testing.T) {
+	arr := testArray(t)
+	if _, err := Phaser(arr, nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Phaser(arr, []*cmatrix.Matrix{cmatrix.New(2, 8)}, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("mismatch: %v", err)
+	}
+}
+
+func TestCalibrateMoreTagsMoreAccurate(t *testing.T) {
+	// The Fig. 9 trend: error decreases (or at least does not blow up)
+	// as tags increase. Compare 2 tags vs 8 tags in multipath.
+	arr := testArray(t)
+	wall := geom.NewWall(-8, 9, 8, 9, 0, 2.5)
+	env := channel.NewEnv([]channel.Reflector{{Wall: wall, Coeff: 0.5}})
+
+	errAt := func(n int, seed int64) float64 {
+		obs, _, _, truth := calibScenario(t, arr, env, n, seed)
+		est, err := Calibrate(arr, obs, Options{Rng: rand.New(rand.NewSource(seed + 100))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MeanAbsError(est, truth)
+	}
+	// Average 3 trials each to dampen randomness.
+	var e2, e8 float64
+	for s := int64(0); s < 3; s++ {
+		e2 += errAt(2, 20+s)
+		e8 += errAt(8, 30+s)
+	}
+	if e8 >= e2 {
+		t.Errorf("8-tag error (%.4f) not below 2-tag error (%.4f)", e8/3, e2/3)
+	}
+}
+
+func TestCalibrateOptimizerOptionsRespected(t *testing.T) {
+	// A deliberately tiny GA budget must still run (sanity of option
+	// plumbing), even if accuracy is poor.
+	arr := testArray(t)
+	env := channel.NewEnv(nil)
+	obs, _, _, _ := calibScenario(t, arr, env, 3, 11)
+	_, err := Calibrate(arr, obs, Options{
+		Rng: rand.New(rand.NewSource(12)),
+		Hybrid: optimize.HybridOptions{
+			GA: optimize.GAOptions{Population: 8, Generations: 3, Lo: -math.Pi, Hi: math.Pi},
+			GD: optimize.GDOptions{MaxIter: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

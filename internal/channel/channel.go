@@ -1,0 +1,470 @@
+// Package channel simulates the RF propagation environment D-Watch
+// operates in. It replaces the paper's physical testbed (library /
+// laboratory / hall) with an image-method geometric multipath model:
+//
+//   - each tag's backscatter reaches an antenna array over the direct
+//     path plus one first-order specular reflection per visible
+//     reflector (book shelves, metal cabinets, laptop lids),
+//   - paths are summed coherently per antenna element using exact
+//     (spherical-wave) element distances, so near-field effects the real
+//     arrays suffered are present,
+//   - a device-free target is a vertical attenuating cylinder: any path
+//     segment passing through it loses power, reproducing the
+//     "blocked path ⇒ AoA peak drop" effect the system is built on.
+//
+// The synthesized per-antenna snapshots are exactly what a calibrated or
+// uncalibrated reader front end would deliver, so the MUSIC/P-MUSIC and
+// calibration code paths above run unchanged against this substrate.
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/geom"
+	"dwatch/internal/rf"
+)
+
+// Reflector is a planar specular reflector (vertical facet) with an
+// amplitude reflection coefficient in [0, 1].
+type Reflector struct {
+	Wall  geom.Wall
+	Coeff float64 // amplitude reflection coefficient
+}
+
+// Target is a device-free target modelled as a vertical attenuating
+// cylinder spanning [ZMin, ZMax].
+type Target struct {
+	Pos        geom.Point // centre (z component ignored; use ZMin/ZMax)
+	Radius     float64    // metres
+	ZMin, ZMax float64    // vertical extent
+	AttenDB    float64    // power attenuation when a path crosses the axis
+}
+
+// HumanTarget returns the default standing-person target used in the
+// room experiments: the paper quotes a body width of 32-40 cm, i.e. a
+// radius around 0.18 m.
+func HumanTarget(pos geom.Point) Target {
+	return Target{Pos: pos, Radius: 0.18, ZMin: 0, ZMax: 1.8, AttenDB: 18}
+}
+
+// BottleTarget returns the water-bottle target of the table-area
+// experiments (bottom diameter 7.8 cm, height 22 cm), placed on a table
+// of the given surface height.
+func BottleTarget(pos geom.Point, tableZ float64) Target {
+	return Target{Pos: pos, Radius: 0.039, ZMin: tableZ, ZMax: tableZ + 0.22, AttenDB: 12}
+}
+
+// FistTarget returns the fist target for the virtual-touch experiments.
+func FistTarget(pos geom.Point) Target {
+	return Target{Pos: pos, Radius: 0.05, ZMin: pos.Z - 0.06, ZMax: pos.Z + 0.06, AttenDB: 10}
+}
+
+// Path is one propagation path from a tag to an array.
+type Path struct {
+	Via    int          // reflector index, or -1 for the direct path
+	Points []geom.Point // tag [, reflection point], array centre
+	Length float64      // total geometric length, tag to array centre
+	AoA    float64      // arrival angle at the array, radians in [0, π]
+	Gain   float64      // amplitude gain, excluding blocking
+}
+
+// Env is a simulated propagation environment.
+type Env struct {
+	Reflectors []Reflector
+	// RefGain is the direct-path amplitude at 1 m forward and 1 m
+	// return distance; all path gains scale from it.
+	RefGain float64
+	// MinGain drops paths weaker than MinGain·RefGain·1e-3 to keep the
+	// dominant-path count realistic (the paper: P ≤ 5 indoors).
+	MinGain float64
+	// SecondOrder enables two-bounce specular paths (image-of-image
+	// method). They are weak (two reflection coefficients and a longer
+	// run) but thicken the multipath the way real rooms do.
+	SecondOrder bool
+}
+
+// NewEnv returns an environment with the given reflectors and default
+// gain constants.
+func NewEnv(reflectors []Reflector) *Env {
+	return &Env{Reflectors: reflectors, RefGain: 1.0, MinGain: 1e-6}
+}
+
+// ErrNoPaths is returned when no propagation path connects a tag to an
+// array (should not happen with a direct path unless fully blocked).
+var ErrNoPaths = errors.New("channel: no propagation paths")
+
+// PathsTo enumerates the direct path and all first-order specular
+// reflection paths from a tag at tagPos to the array. The forward
+// (reader→tag) excitation distance feeds the link budget: backscatter
+// power decays with both legs.
+func (e *Env) PathsTo(tagPos geom.Point, arr *rf.Array) []Path {
+	center := arr.Center()
+	fwd := center.Dist(tagPos) // excitation leg, reader TX ≈ array centre
+	if fwd < 0.05 {
+		fwd = 0.05
+	}
+	var paths []Path
+	// Direct path.
+	d := tagPos.Dist(center)
+	if d < 0.05 {
+		d = 0.05
+	}
+	paths = append(paths, Path{
+		Via:    -1,
+		Points: []geom.Point{tagPos, center},
+		Length: d,
+		AoA:    arr.AngleTo(tagPos),
+		Gain:   e.RefGain / (fwd * d),
+	})
+	for i, r := range e.Reflectors {
+		hit, ok := r.Wall.ReflectionPoint(tagPos, center)
+		if !ok {
+			continue
+		}
+		l := tagPos.Dist(hit) + hit.Dist(center)
+		g := e.RefGain * r.Coeff / (fwd * l)
+		if g < e.MinGain {
+			continue
+		}
+		paths = append(paths, Path{
+			Via:    i,
+			Points: []geom.Point{tagPos, hit, center},
+			Length: l,
+			AoA:    arr.AngleTo(hit),
+			Gain:   g,
+		})
+	}
+	if e.SecondOrder {
+		paths = append(paths, e.secondOrderPaths(tagPos, arr, fwd)...)
+	}
+	return paths
+}
+
+// secondOrderPaths enumerates tag → wall_i → wall_j → array double
+// bounces (i ≠ j) with the image-of-image method: mirror the tag in
+// wall i, find the specular point on wall j for (image_i(tag) → array),
+// then the point on wall i for (tag → hit_j's incoming ray). Via is
+// encoded as 1000 + i*100 + j so callers can distinguish bounce orders.
+func (e *Env) secondOrderPaths(tagPos geom.Point, arr *rf.Array, fwd float64) []Path {
+	center := arr.Center()
+	var out []Path
+	for i, ri := range e.Reflectors {
+		imgTag := ri.Wall.Mirror(tagPos)
+		for j, rj := range e.Reflectors {
+			if i == j {
+				continue
+			}
+			// Specular point on wall j for the image source.
+			hitJ, ok := rj.Wall.ReflectionPoint(imgTag, center)
+			if !ok {
+				continue
+			}
+			// Specular point on wall i for tag → hitJ.
+			hitI, ok := ri.Wall.ReflectionPoint(tagPos, hitJ)
+			if !ok {
+				continue
+			}
+			l := tagPos.Dist(hitI) + hitI.Dist(hitJ) + hitJ.Dist(center)
+			g := e.RefGain * ri.Coeff * rj.Coeff / (fwd * l)
+			if g < e.MinGain {
+				continue
+			}
+			out = append(out, Path{
+				Via:    1000 + i*100 + j,
+				Points: []geom.Point{tagPos, hitI, hitJ, center},
+				Length: l,
+				AoA:    arr.AngleTo(hitJ),
+				Gain:   g,
+			})
+		}
+	}
+	return out
+}
+
+// segBlockFactor returns the amplitude factor (≤1) a single segment
+// suffers from one target. The attenuation tapers from the full AttenDB
+// at the cylinder axis to 0 dB at the cylinder surface, a smooth
+// knife-edge-style profile.
+func segBlockFactor(s geom.Segment, t Target) float64 {
+	// Vertical overlap: find the closest approach in 2-D, then the path
+	// height there; the target only obstructs if the path passes through
+	// its height band (with a small soft margin).
+	a2 := geom.Pt2(s.A.X, s.A.Y)
+	b2 := geom.Pt2(s.B.X, s.B.Y)
+	tp := geom.Pt2(t.Pos.X, t.Pos.Y)
+	seg2 := geom.Seg(a2, b2)
+	u := seg2.ClosestParam(tp)
+	dist := tp.Dist(seg2.At(u))
+	if dist >= t.Radius {
+		return 1
+	}
+	z := s.A.Z + (s.B.Z-s.A.Z)*u
+	const zMargin = 0.05
+	if z < t.ZMin-zMargin || z > t.ZMax+zMargin {
+		return 1
+	}
+	w := dist / t.Radius
+	attenDB := t.AttenDB * (1 - w*w)
+	return rf.AmplitudeFromDB(-attenDB)
+}
+
+// BlockFactor returns the total amplitude factor a path suffers from all
+// targets, multiplying the factor of every segment (a target can
+// obstruct the tag→reflector leg, the reflector→array leg, or the
+// direct leg).
+func BlockFactor(p Path, targets []Target) float64 {
+	f := 1.0
+	for i := 1; i < len(p.Points); i++ {
+		seg := geom.Seg(p.Points[i-1], p.Points[i])
+		for _, t := range targets {
+			f *= segBlockFactor(seg, t)
+		}
+	}
+	return f
+}
+
+// ForwardBlockFactor returns the amplitude factor applied to the
+// reader→tag excitation leg (the whole tag backscatter dims if the
+// carrier is blocked on the way out).
+func ForwardBlockFactor(tagPos geom.Point, arr *rf.Array, targets []Target) float64 {
+	seg := geom.Seg(arr.Center(), tagPos)
+	f := 1.0
+	for _, t := range targets {
+		f *= segBlockFactor(seg, t)
+	}
+	return f
+}
+
+// SynthOpts controls snapshot synthesis.
+type SynthOpts struct {
+	Snapshots    int        // number of packets/snapshots N (paper: ~10)
+	NoiseStd     float64    // complex noise std per element per snapshot
+	PhaseOffsets []float64  // per-element front-end offsets Γ (radians); nil = ideal
+	Rng          *rand.Rand // randomness source; must be non-nil
+	// HopChannels makes each snapshot use a random FHSS channel from
+	// the list (carrier frequencies in Hz), as Gen2 readers are required
+	// to do in most regulatory regions. Per-hop carrier changes re-roll
+	// the relative phases of the multipath sum: snapshots decorrelate in
+	// frequency, which partially decoheres multipath even before spatial
+	// smoothing. nil = fixed carrier (the array's own Lambda).
+	HopChannels []float64
+}
+
+// DefaultNoiseStd is the default per-element noise standard deviation,
+// giving ≈25-30 dB SNR for a tag a few metres out — in line with a COTS
+// backscatter link.
+const DefaultNoiseStd = 0.004
+
+// Validate checks the options.
+func (o *SynthOpts) Validate(m int) error {
+	if o.Snapshots <= 0 {
+		return fmt.Errorf("channel: snapshots must be positive, got %d", o.Snapshots)
+	}
+	if o.NoiseStd < 0 {
+		return fmt.Errorf("channel: negative noise std %v", o.NoiseStd)
+	}
+	if o.PhaseOffsets != nil && len(o.PhaseOffsets) != m {
+		return fmt.Errorf("channel: %d phase offsets for %d elements", len(o.PhaseOffsets), m)
+	}
+	if o.Rng == nil {
+		return errors.New("channel: SynthOpts.Rng must be set")
+	}
+	return nil
+}
+
+// Synthesize produces the N×M complex snapshot matrix a reader observes
+// for one tag: rows are snapshots, columns antenna elements. All paths
+// of the tag share the per-snapshot source term (coherent multipath),
+// which is why spatial smoothing is required downstream. The returned
+// paths include their blocking factors applied for the given targets.
+func (e *Env) Synthesize(tagPos geom.Point, arr *rf.Array, targets []Target, opts SynthOpts) (*cmatrix.Matrix, []Path, error) {
+	if err := opts.Validate(arr.Elements); err != nil {
+		return nil, nil, err
+	}
+	paths := e.PathsTo(tagPos, arr)
+	if len(paths) == 0 {
+		return nil, nil, ErrNoPaths
+	}
+	fwdBlock := ForwardBlockFactor(tagPos, arr, targets)
+
+	m := arr.Elements
+	x := cmatrix.New(opts.Snapshots, m)
+	h := make([]complex128, m)
+	// channelAt fills h for one carrier wavelength: per-element complex
+	// channel h[m] = Σ_p g_p·block_p·e^{-j2π·len_{p,m}/λ} with exact
+	// per-element lengths (spherical wavefront).
+	channelAt := func(lambda float64) {
+		for i := range h {
+			h[i] = 0
+		}
+		for _, p := range paths {
+			blk := BlockFactor(p, targets) * fwdBlock
+			amp := p.Gain * blk
+			last := p.Points[len(p.Points)-2] // emission point toward array
+			base := p.Length - last.Dist(p.Points[len(p.Points)-1])
+			for mi := 0; mi < m; mi++ {
+				l := base + last.Dist(arr.ElementPos(mi))
+				ph := -2 * math.Pi * l / lambda
+				h[mi] += complex(amp, 0) * cmplx.Exp(complex(0, ph))
+			}
+		}
+		if opts.PhaseOffsets != nil {
+			for mi := 0; mi < m; mi++ {
+				h[mi] *= cmplx.Exp(complex(0, opts.PhaseOffsets[mi]))
+			}
+		}
+	}
+	if opts.HopChannels == nil {
+		channelAt(arr.Lambda)
+	}
+	for n := 0; n < opts.Snapshots; n++ {
+		if opts.HopChannels != nil {
+			freq := opts.HopChannels[opts.Rng.Intn(len(opts.HopChannels))]
+			channelAt(rf.Wavelength(freq))
+		}
+		// Per-packet source term: unit amplitude, random modulation phase.
+		s := cmplx.Exp(complex(0, opts.Rng.Float64()*2*math.Pi))
+		for mi := 0; mi < m; mi++ {
+			noise := complex(opts.Rng.NormFloat64(), opts.Rng.NormFloat64()) *
+				complex(opts.NoiseStd/math.Sqrt2, 0)
+			x.Set(n, mi, h[mi]*s+noise)
+		}
+	}
+	return x, paths, nil
+}
+
+// ChinaBandChannels returns the 16 FHSS channel centre frequencies of
+// the paper's regulatory band (920.5-924.5 MHz, 250 kHz spacing) that
+// Gen2 readers hop across.
+func ChinaBandChannels() []float64 {
+	out := make([]float64, 16)
+	for i := range out {
+		out[i] = 920.625e6 + float64(i)*250e3
+	}
+	return out
+}
+
+// DominantPaths returns the paths sorted by gain descending, truncated
+// to at most k entries.
+func DominantPaths(paths []Path, k int) []Path {
+	out := make([]Path, len(paths))
+	copy(out, paths)
+	// Insertion sort by gain descending (path counts are tiny).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Gain > out[j-1].Gain; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MovingTarget is a target with a velocity, for time-resolved synthesis
+// (Doppler processing, Section 8 of the paper: "Doppler shift can be
+// applied to estimate the target's walking speed").
+type MovingTarget struct {
+	Target
+	Vel geom.Point // m/s in the x-y plane
+	// ScatterCoeff is the target's scattering amplitude coefficient: a
+	// human body both blocks paths through it AND weakly re-scatters
+	// the tag's backscatter toward the array, creating a time-varying
+	// path whose Doppler shift encodes the target's speed. 0 disables
+	// scattering (the blocking-only model of the main pipeline).
+	ScatterCoeff float64
+}
+
+// At returns the target displaced by t seconds of motion.
+func (m MovingTarget) At(t float64) Target {
+	out := m.Target
+	out.Pos = m.Pos.Add(m.Vel.Scale(t))
+	return out
+}
+
+// SynthesizeMoving produces N×M snapshots with moving targets: per
+// snapshot, targets advance by opts-interval seconds, the blocking
+// factors are re-evaluated, and each target with a nonzero ScatterCoeff
+// contributes a tag→target→array scatter path whose length (and hence
+// phase) changes snapshot to snapshot — the Doppler signature.
+// interval is the snapshot spacing in seconds.
+func (e *Env) SynthesizeMoving(tagPos geom.Point, arr *rf.Array, targets []MovingTarget, interval float64, opts SynthOpts) (*cmatrix.Matrix, error) {
+	if err := opts.Validate(arr.Elements); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, errors.New("channel: snapshot interval must be positive")
+	}
+	paths := e.PathsTo(tagPos, arr)
+	if len(paths) == 0 {
+		return nil, ErrNoPaths
+	}
+	m := arr.Elements
+	x := cmatrix.New(opts.Snapshots, m)
+	h := make([]complex128, m)
+	for n := 0; n < opts.Snapshots; n++ {
+		t := float64(n) * interval
+		now := make([]Target, len(targets))
+		for i, mt := range targets {
+			now[i] = mt.At(t)
+		}
+		fwdBlock := ForwardBlockFactor(tagPos, arr, now)
+		for i := range h {
+			h[i] = 0
+		}
+		// Static paths with time-varying blocking.
+		for _, p := range paths {
+			blk := BlockFactor(p, now) * fwdBlock
+			amp := p.Gain * blk
+			last := p.Points[len(p.Points)-2]
+			base := p.Length - last.Dist(p.Points[len(p.Points)-1])
+			for mi := 0; mi < m; mi++ {
+				l := base + last.Dist(arr.ElementPos(mi))
+				h[mi] += complex(amp, 0) * cmplx.Exp(complex(0, -2*math.Pi*l/arr.Lambda))
+			}
+		}
+		// Scatter paths: tag → target(t) → array.
+		for i, mt := range targets {
+			if mt.ScatterCoeff <= 0 {
+				continue
+			}
+			pos := now[i].Pos
+			d1 := tagPos.Dist(pos)
+			if d1 < 0.05 {
+				d1 = 0.05
+			}
+			fwd := arr.Center().Dist(tagPos)
+			if fwd < 0.05 {
+				fwd = 0.05
+			}
+			for mi := 0; mi < m; mi++ {
+				d2 := pos.Dist(arr.ElementPos(mi))
+				if d2 < 0.05 {
+					d2 = 0.05
+				}
+				amp := e.RefGain * mt.ScatterCoeff / (fwd * d1 * d2)
+				l := d1 + d2
+				h[mi] += complex(amp, 0) * cmplx.Exp(complex(0, -2*math.Pi*l/arr.Lambda))
+			}
+		}
+		if opts.PhaseOffsets != nil {
+			for mi := 0; mi < m; mi++ {
+				h[mi] *= cmplx.Exp(complex(0, opts.PhaseOffsets[mi]))
+			}
+		}
+		// One carrier-coherent burst: the tag's modulation phase is
+		// stable across the burst (unlike the per-packet random phase of
+		// Synthesize), which is what makes Doppler phase slopes readable.
+		for mi := 0; mi < m; mi++ {
+			noise := complex(opts.Rng.NormFloat64(), opts.Rng.NormFloat64()) *
+				complex(opts.NoiseStd/math.Sqrt2, 0)
+			x.Set(n, mi, h[mi]+noise)
+		}
+	}
+	return x, nil
+}

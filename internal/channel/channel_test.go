@@ -1,0 +1,523 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/geom"
+	"dwatch/internal/music"
+	"dwatch/internal/rf"
+)
+
+func testArray(t *testing.T) *rf.Array {
+	t.Helper()
+	a, err := rf.NewArray(geom.Pt(0, 0, 1.25), geom.Pt2(1, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestPathsToDirectOnly(t *testing.T) {
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 4, 1.25)
+	paths := e.PathsTo(tag, arr)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1 (direct only)", len(paths))
+	}
+	p := paths[0]
+	if p.Via != -1 {
+		t.Errorf("Via = %d", p.Via)
+	}
+	wantLen := arr.Center().Dist(tag)
+	if math.Abs(p.Length-wantLen) > 1e-12 {
+		t.Errorf("Length = %v, want %v", p.Length, wantLen)
+	}
+	wantAoA := arr.AngleTo(tag)
+	if math.Abs(p.AoA-wantAoA) > 1e-12 {
+		t.Errorf("AoA = %v, want %v", p.AoA, wantAoA)
+	}
+	if p.Gain <= 0 {
+		t.Errorf("Gain = %v", p.Gain)
+	}
+}
+
+func TestPathsToWithReflector(t *testing.T) {
+	// Reflector wall parallel to the x axis at y=6; tag and array both at
+	// y<6 so a bounce exists.
+	w := geom.NewWall(-5, 6, 5, 6, 0, 2.5)
+	e := NewEnv([]Reflector{{Wall: w, Coeff: 0.7}})
+	arr := testArray(t)
+	tag := geom.Pt(1, 3, 1.25)
+	paths := e.PathsTo(tag, arr)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	refl := paths[1]
+	if refl.Via != 0 {
+		t.Errorf("Via = %d", refl.Via)
+	}
+	if refl.Length <= paths[0].Length {
+		t.Error("reflected path must be longer than direct")
+	}
+	if refl.Gain >= paths[0].Gain {
+		t.Error("reflected path must be weaker than direct")
+	}
+	// The reflected AoA differs from the direct AoA.
+	if math.Abs(refl.AoA-paths[0].AoA) < 1e-3 {
+		t.Error("reflected AoA should differ from direct AoA")
+	}
+}
+
+func TestReflectorBehindArrayIgnored(t *testing.T) {
+	// Wall between tag and array: endpoints straddle, no specular path.
+	w := geom.NewWall(-5, 2, 5, 2, 0, 2.5)
+	e := NewEnv([]Reflector{{Wall: w, Coeff: 0.7}})
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 4, 1.25)
+	paths := e.PathsTo(tag, arr)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+}
+
+func TestBlockFactorDirectHit(t *testing.T) {
+	p := Path{
+		Via:    -1,
+		Points: []geom.Point{geom.Pt(0, 4, 1.25), geom.Pt(0, 0, 1.25)},
+		Length: 4,
+	}
+	tgt := HumanTarget(geom.Pt2(0, 2))
+	f := BlockFactor(p, []Target{tgt})
+	if f >= rf.AmplitudeFromDB(-tgt.AttenDB)+1e-9 {
+		t.Errorf("axis hit factor = %v, want full attenuation %v", f, rf.AmplitudeFromDB(-tgt.AttenDB))
+	}
+}
+
+func TestBlockFactorMiss(t *testing.T) {
+	p := Path{
+		Via:    -1,
+		Points: []geom.Point{geom.Pt(0, 4, 1.25), geom.Pt(0, 0, 1.25)},
+		Length: 4,
+	}
+	tgt := HumanTarget(geom.Pt2(1, 2)) // 1 m to the side, radius 0.18
+	if f := BlockFactor(p, []Target{tgt}); f != 1 {
+		t.Errorf("miss factor = %v, want 1", f)
+	}
+}
+
+func TestBlockFactorHeightBand(t *testing.T) {
+	// Bottle on a 0.75 m table; a path at 2 m height passes over it.
+	p := Path{
+		Points: []geom.Point{geom.Pt(0, 4, 2.0), geom.Pt(0, 0, 2.0)},
+	}
+	tgt := BottleTarget(geom.Pt2(0, 2), 0.75)
+	if f := BlockFactor(p, []Target{tgt}); f != 1 {
+		t.Errorf("path above bottle: factor = %v, want 1", f)
+	}
+	// Same path at table height is blocked.
+	p2 := Path{
+		Points: []geom.Point{geom.Pt(0, 4, 0.85), geom.Pt(0, 0, 0.85)},
+	}
+	if f := BlockFactor(p2, []Target{tgt}); f >= 1 {
+		t.Errorf("path through bottle: factor = %v, want <1", f)
+	}
+}
+
+func TestBlockFactorTapers(t *testing.T) {
+	p := Path{
+		Points: []geom.Point{geom.Pt(0, 4, 1.25), geom.Pt(0, 0, 1.25)},
+	}
+	// Grazing target attenuates less than a centre hit.
+	centre := BlockFactor(p, []Target{HumanTarget(geom.Pt2(0, 2))})
+	graze := BlockFactor(p, []Target{HumanTarget(geom.Pt2(0.15, 2))})
+	if !(centre < graze && graze < 1) {
+		t.Errorf("taper violated: centre=%v graze=%v", centre, graze)
+	}
+}
+
+func TestForwardBlockFactor(t *testing.T) {
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 6, 1.25)
+	mid := arr.Center().Lerp(tag, 0.5)
+	f := ForwardBlockFactor(tag, arr, []Target{HumanTarget(geom.Pt2(mid.X, mid.Y))})
+	if f >= 1 {
+		t.Errorf("forward factor = %v, want <1", f)
+	}
+	if f2 := ForwardBlockFactor(tag, arr, nil); f2 != 1 {
+		t.Errorf("no targets: %v", f2)
+	}
+}
+
+func TestSynthesizeShapeAndEnergy(t *testing.T) {
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(0.7, 4, 1.25)
+	opts := SynthOpts{Snapshots: 10, NoiseStd: 0, Rng: rand.New(rand.NewSource(1))}
+	x, paths, err := e.Synthesize(tag, arr, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 10 || x.Cols != 8 {
+		t.Fatalf("shape %dx%d", x.Rows, x.Cols)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	// Noiseless: every element magnitude equals the channel magnitude and
+	// is constant across snapshots.
+	mag0 := cmplx.Abs(x.At(0, 0))
+	if mag0 <= 0 {
+		t.Fatal("zero signal")
+	}
+	for n := 0; n < x.Rows; n++ {
+		for m := 0; m < x.Cols; m++ {
+			if math.Abs(cmplx.Abs(x.At(n, m))-mag0) > 1e-9*mag0 {
+				t.Fatalf("magnitude varies at (%d,%d): %v vs %v", n, m, cmplx.Abs(x.At(n, m)), mag0)
+			}
+		}
+	}
+}
+
+func TestSynthesizePhaseMatchesGeometry(t *testing.T) {
+	// Noiseless single path: inter-element phase difference must match
+	// the exact geometric path-length difference.
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(2, 30, 1.25) // far enough to be near-plane-wave
+	opts := SynthOpts{Snapshots: 1, NoiseStd: 0, Rng: rand.New(rand.NewSource(2))}
+	x, _, err := e.Synthesize(tag, arr, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 1; m < arr.Elements; m++ {
+		got := cmplx.Phase(x.At(0, m) / x.At(0, m-1))
+		dl := tag.Dist(arr.ElementPos(m)) - tag.Dist(arr.ElementPos(m-1))
+		want := rf.WrapPhase(-2 * math.Pi * dl / arr.Lambda)
+		if math.Abs(rf.PhaseDiff(got, want)) > 1e-9 {
+			t.Fatalf("element %d phase = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestSynthesizePhaseOffsetsApplied(t *testing.T) {
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(0.7, 4, 1.25)
+	rngA := rand.New(rand.NewSource(3))
+	rngB := rand.New(rand.NewSource(3))
+	clean, _, err := e.Synthesize(tag, arr, nil, SynthOpts{Snapshots: 1, NoiseStd: 0, Rng: rngA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := make([]float64, arr.Elements)
+	for i := range offs {
+		offs[i] = float64(i) * 0.3
+	}
+	dirty, _, err := e.Synthesize(tag, arr, nil, SynthOpts{Snapshots: 1, NoiseStd: 0, PhaseOffsets: offs, Rng: rngB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < arr.Elements; m++ {
+		got := cmplx.Phase(dirty.At(0, m) / clean.At(0, m))
+		if math.Abs(rf.PhaseDiff(got, offs[m])) > 1e-9 {
+			t.Fatalf("offset at %d = %v, want %v", m, got, offs[m])
+		}
+	}
+}
+
+func TestSynthesizeBlockingReducesPower(t *testing.T) {
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 5, 1.25)
+	mk := func(targets []Target) float64 {
+		x, _, err := e.Synthesize(tag, arr, targets, SynthOpts{Snapshots: 5, NoiseStd: 0, Rng: rand.New(rand.NewSource(4))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p float64
+		for i := range x.Data {
+			p += real(x.Data[i])*real(x.Data[i]) + imag(x.Data[i])*imag(x.Data[i])
+		}
+		return p
+	}
+	mid := arr.Center().Lerp(tag, 0.5)
+	free := mk(nil)
+	blocked := mk([]Target{HumanTarget(geom.Pt2(mid.X, mid.Y))})
+	if blocked >= free/4 {
+		t.Errorf("blocking barely reduced power: free=%v blocked=%v", free, blocked)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 4, 1.25)
+	if _, _, err := e.Synthesize(tag, arr, nil, SynthOpts{Snapshots: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("zero snapshots must error")
+	}
+	if _, _, err := e.Synthesize(tag, arr, nil, SynthOpts{Snapshots: 1}); err == nil {
+		t.Error("nil rng must error")
+	}
+	if _, _, err := e.Synthesize(tag, arr, nil, SynthOpts{Snapshots: 1, NoiseStd: -1, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("negative noise must error")
+	}
+	if _, _, err := e.Synthesize(tag, arr, nil, SynthOpts{Snapshots: 1, PhaseOffsets: []float64{1}, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("wrong offsets length must error")
+	}
+}
+
+func TestDominantPaths(t *testing.T) {
+	paths := []Path{{Gain: 0.1}, {Gain: 0.5}, {Gain: 0.3}}
+	top := DominantPaths(paths, 2)
+	if len(top) != 2 || top[0].Gain != 0.5 || top[1].Gain != 0.3 {
+		t.Errorf("DominantPaths = %+v", top)
+	}
+	all := DominantPaths(paths, 10)
+	if len(all) != 3 {
+		t.Errorf("k > len: %d", len(all))
+	}
+	// Input must not be reordered.
+	if paths[0].Gain != 0.1 {
+		t.Error("DominantPaths mutated input")
+	}
+}
+
+func TestTargetConstructors(t *testing.T) {
+	h := HumanTarget(geom.Pt2(1, 2))
+	if h.Radius < 0.15 || h.Radius > 0.21 {
+		t.Errorf("human radius = %v", h.Radius)
+	}
+	b := BottleTarget(geom.Pt2(0, 0), 0.75)
+	if b.ZMin != 0.75 || math.Abs(b.ZMax-0.97) > 1e-9 {
+		t.Errorf("bottle z band = [%v, %v]", b.ZMin, b.ZMax)
+	}
+	f := FistTarget(geom.Pt(0, 0, 0.9))
+	if f.ZMin >= f.ZMax {
+		t.Errorf("fist z band = [%v, %v]", f.ZMin, f.ZMax)
+	}
+}
+
+func TestMovingTargetAt(t *testing.T) {
+	mt := MovingTarget{
+		Target: HumanTarget(geom.Pt2(1, 2)),
+		Vel:    geom.Pt(0.5, -1, 0),
+	}
+	got := mt.At(2)
+	want := geom.Pt2(2, 0)
+	if !got.Pos.ApproxEq(geom.Pt(want.X, want.Y, mt.Pos.Z), 1e-12) {
+		t.Errorf("At(2) = %v, want %v", got.Pos, want)
+	}
+	// Radius and attenuation carried over.
+	if got.Radius != mt.Radius || got.AttenDB != mt.AttenDB {
+		t.Errorf("target attributes lost: %+v", got)
+	}
+	// t=0 is the original position.
+	if !mt.At(0).Pos.ApproxEq(mt.Pos, 1e-12) {
+		t.Error("At(0) moved")
+	}
+}
+
+func TestSynthesizeMovingScatterPresence(t *testing.T) {
+	// With a scattering target, the snapshots differ from the
+	// scatter-free case; without ScatterCoeff and away from all paths,
+	// they match exactly.
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(3, 6, 1.25)
+	clear := geom.Pt2(5.5, 1.0) // far from the tag-array line
+	mk := func(coeff float64, seed int64) *cmatrix.Matrix {
+		mt := MovingTarget{Target: HumanTarget(clear), Vel: geom.Pt(1, 0, 0), ScatterCoeff: coeff}
+		x, err := e.SynthesizeMoving(tag, arr, []MovingTarget{mt}, 0.01, SynthOpts{
+			Snapshots: 4, NoiseStd: 0, Rng: rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	none := mk(0, 1)
+	scat := mk(0.3, 1)
+	var diff float64
+	for i := range none.Data {
+		d := scat.Data[i] - none.Data[i]
+		diff += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if diff == 0 {
+		t.Error("scatter coefficient had no effect")
+	}
+	// And the scatter contribution varies across snapshots (motion).
+	d0 := scat.At(0, 0) - none.At(0, 0)
+	d3 := scat.At(3, 0) - none.At(3, 0)
+	if cmplx.Abs(d0-d3) < 1e-12 {
+		t.Error("scatter path static despite target motion")
+	}
+}
+
+func TestSynthesizeMovingBlockingTimeVaries(t *testing.T) {
+	// A mover crossing the direct path mid-burst changes per-snapshot
+	// magnitudes.
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 6, 1.25)
+	mid := arr.Center().Lerp(tag, 0.5)
+	// Start left of the path, cross it during the burst.
+	start := geom.Pt(mid.X-0.5, mid.Y, 1.25)
+	mt := MovingTarget{Target: HumanTarget(start), Vel: geom.Pt(1, 0, 0)}
+	x, err := e.SynthesizeMoving(tag, arr, []MovingTarget{mt}, 0.1, SynthOpts{
+		Snapshots: 11, NoiseStd: 0, Rng: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cmplx.Abs(x.At(0, 0))
+	var min float64 = first
+	for n := 0; n < x.Rows; n++ {
+		if v := cmplx.Abs(x.At(n, 0)); v < min {
+			min = v
+		}
+	}
+	if min > 0.5*first {
+		t.Errorf("crossing mover never attenuated the path: first=%v min=%v", first, min)
+	}
+}
+
+func TestSecondOrderPaths(t *testing.T) {
+	// A corridor of two parallel walls gives double bounces.
+	e := NewEnv([]Reflector{
+		{Wall: geom.NewWall(-2, 0, -2, 10, 0, 3), Coeff: 0.8},
+		{Wall: geom.NewWall(2, 0, 2, 10, 0, 3), Coeff: 0.8},
+	})
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 6, 1.25)
+	first := e.PathsTo(tag, arr)
+	e.SecondOrder = true
+	second := e.PathsTo(tag, arr)
+	if len(second) <= len(first) {
+		t.Fatalf("second order added no paths: %d vs %d", len(second), len(first))
+	}
+	for _, p := range second[len(first):] {
+		if p.Via < 1000 {
+			t.Errorf("second-order Via = %d", p.Via)
+		}
+		if len(p.Points) != 4 {
+			t.Errorf("second-order path has %d points", len(p.Points))
+		}
+		// Double bounce must be longer and weaker than the direct path.
+		if p.Length <= first[0].Length {
+			t.Errorf("double bounce length %v ≤ direct %v", p.Length, first[0].Length)
+		}
+		if p.Gain >= first[0].Gain {
+			t.Errorf("double bounce gain %v ≥ direct %v", p.Gain, first[0].Gain)
+		}
+		// The two bounce points must lie on their walls (x = ±2).
+		for _, hit := range p.Points[1:3] {
+			if math.Abs(math.Abs(hit.X)-2) > 1e-9 {
+				t.Errorf("bounce point %v not on a wall", hit)
+			}
+		}
+		// Specular consistency: total length equals the image-of-image
+		// distance.
+	}
+}
+
+func TestSecondOrderRespectsMinGain(t *testing.T) {
+	e := NewEnv([]Reflector{
+		{Wall: geom.NewWall(-2, 0, -2, 10, 0, 3), Coeff: 0.8},
+		{Wall: geom.NewWall(2, 0, 2, 10, 0, 3), Coeff: 0.8},
+	})
+	e.SecondOrder = true
+	e.MinGain = 1 // absurdly high: all bounces filtered
+	arr := testArray(t)
+	paths := e.PathsTo(geom.Pt(0.5, 6, 1.25), arr)
+	for _, p := range paths {
+		if p.Via >= 0 {
+			t.Errorf("path via=%d survived MinGain filter", p.Via)
+		}
+	}
+}
+
+func TestChinaBandChannels(t *testing.T) {
+	ch := ChinaBandChannels()
+	if len(ch) != 16 {
+		t.Fatalf("channels = %d", len(ch))
+	}
+	if ch[0] < 920.5e6 || ch[15] > 924.5e6 {
+		t.Errorf("band edges: %v … %v", ch[0], ch[15])
+	}
+	for i := 1; i < len(ch); i++ {
+		if d := ch[i] - ch[i-1]; math.Abs(d-250e3) > 1 {
+			t.Fatalf("spacing %v at %d", d, i)
+		}
+	}
+}
+
+// Frequency hopping decorrelates coherent multipath across snapshots:
+// with a fixed carrier, the two-path correlation matrix is rank-1
+// (coherent); hopping across the band must raise the second eigenvalue.
+func TestHoppingDecorrelatesMultipath(t *testing.T) {
+	w := geom.NewWall(-10, 9, 10, 9, 0, 3)
+	e := NewEnv([]Reflector{{Wall: w, Coeff: 0.8}})
+	arr := testArray(t)
+	tag := geom.Pt(0.5, 5, 1.25)
+	eigRatio := func(hop []float64, seed int64) float64 {
+		x, _, err := e.Synthesize(tag, arr, nil, SynthOpts{
+			Snapshots: 30, NoiseStd: 0, Rng: rand.New(rand.NewSource(seed)), HopChannels: hop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := cmatrix.New(arr.Elements, arr.Elements)
+		row := make([]complex128, arr.Elements)
+		for n := 0; n < x.Rows; n++ {
+			copy(row, x.Data[n*x.Cols:(n+1)*x.Cols])
+			if err := r.OuterAdd(row, 1.0/float64(x.Rows)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eig, err := cmatrix.EigenHermitian(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eig.Values[1] / eig.Values[0]
+	}
+	fixed := eigRatio(nil, 1)
+	hopped := eigRatio(ChinaBandChannels(), 1)
+	if fixed > 1e-9 {
+		t.Errorf("fixed-carrier multipath should be fully coherent: ratio %v", fixed)
+	}
+	if hopped < 10*fixed+1e-6 {
+		t.Errorf("hopping did not decorrelate: fixed=%v hopped=%v", fixed, hopped)
+	}
+}
+
+// Hopping must not move the AoA: the fractional bandwidth is 0.4%, so
+// steering is essentially unchanged and MUSIC still points at the tag.
+func TestHoppingPreservesAoA(t *testing.T) {
+	e := NewEnv(nil)
+	arr := testArray(t)
+	tag := geom.Pt(2, 7, 1.25)
+	x, _, err := e.Synthesize(tag, arr, nil, SynthOpts{
+		Snapshots: 12, NoiseStd: 0.002, Rng: rand.New(rand.NewSource(2)),
+		HopChannels: ChinaBandChannels(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := music.Compute(x, arr, music.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := music.FindPeaks(res.Angles, res.Spectrum, 0.1)
+	if len(peaks) == 0 {
+		t.Fatal("no peak under hopping")
+	}
+	want := arr.AngleTo(tag)
+	if math.Abs(peaks[0].Angle-want) > rf.Rad(3) {
+		t.Errorf("hopped AoA %.1f°, want %.1f°", rf.Deg(peaks[0].Angle), rf.Deg(want))
+	}
+}

@@ -1,0 +1,197 @@
+package doppler
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/geom"
+	"dwatch/internal/rf"
+)
+
+func dopplerArray(t testing.TB) *rf.Array {
+	t.Helper()
+	a, err := rf.NewArray(geom.Pt(0, 0, 1.25), geom.Pt2(1, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBeamformIsolatesDirection(t *testing.T) {
+	arr := dopplerArray(t)
+	theta := rf.Rad(70)
+	st := arr.Steering(theta)
+	x := cmatrix.New(4, 8)
+	for n := 0; n < 4; n++ {
+		for m := 0; m < 8; m++ {
+			x.Set(n, m, st[m]*complex(2, 0))
+		}
+	}
+	y, err := Beamform(x, arr, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y {
+		if math.Abs(cmplx.Abs(v)-2) > 1e-9 {
+			t.Fatalf("aligned beamform magnitude = %v, want 2", cmplx.Abs(v))
+		}
+	}
+	// Away from the source, the output is much smaller.
+	off, err := Beamform(x, arr, theta+0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(off[0]) > 0.8 {
+		t.Errorf("off-direction beamform = %v", cmplx.Abs(off[0]))
+	}
+}
+
+func TestBeamformValidation(t *testing.T) {
+	arr := dopplerArray(t)
+	if _, err := Beamform(cmatrix.New(3, 4), arr, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("wrong cols: %v", err)
+	}
+	if _, err := Beamform(cmatrix.New(0, 8), arr, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no rows: %v", err)
+	}
+}
+
+func TestSpectrumFindsTone(t *testing.T) {
+	const fs, f0 = 100.0, 12.0
+	y := make([]complex128, 64)
+	for i := range y {
+		// DC offset + rotating tone: the DC must be removed.
+		y[i] = 5 + cmplx.Exp(complex(0, 2*math.Pi*f0*float64(i)/fs))
+	}
+	freqs, power, err := Spectrum(y, fs, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range power {
+		if power[i] > power[best] {
+			best = i
+		}
+	}
+	if math.Abs(freqs[best]-f0) > fs/64 {
+		t.Errorf("tone found at %.2f Hz, want %.2f", freqs[best], f0)
+	}
+}
+
+func TestSpectrumValidation(t *testing.T) {
+	if _, _, err := Spectrum(make([]complex128, 2), 10, 64); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short: %v", err)
+	}
+	if _, _, err := Spectrum(make([]complex128, 16), 0, 64); !errors.Is(err, ErrBadInput) {
+		t.Errorf("fs=0: %v", err)
+	}
+	if _, _, err := Spectrum(make([]complex128, 16), 10, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bins=1: %v", err)
+	}
+}
+
+// End-to-end: a walking scatterer's Doppler shift matches the bistatic
+// ground truth, scales with speed, and the derived speed bound is below
+// the true speed. The walker moves along the bistatic bisector (maximal
+// range rate) well clear of the direct tag-array path, so the scatter
+// tone is not contaminated by blocking amplitude modulation.
+func TestEstimateShiftMovingTarget(t *testing.T) {
+	arr := dopplerArray(t)
+	env := channel.NewEnv(nil)
+	tagPos := geom.Pt(3, 6, 1.25)
+	start := geom.Pt(2.0, 1.5, 1.25)
+	const interval = 0.01 // 10 ms coherent burst spacing
+
+	var prevAbs float64
+	for _, speed := range []float64{0.5, 1.0, 1.5} {
+		u1 := start.Sub(tagPos).Unit()
+		u2 := start.Sub(arr.Center()).Unit()
+		vel := u1.Add(u2).Unit().Scale(-speed)
+		mt := channel.MovingTarget{
+			Target:       channel.HumanTarget(start),
+			Vel:          vel,
+			ScatterCoeff: 0.25,
+		}
+		rng := rand.New(rand.NewSource(3))
+		x, err := env.SynthesizeMoving(tagPos, arr, []channel.MovingTarget{mt}, interval, channel.SynthOpts{
+			Snapshots: 32, NoiseStd: 1e-4, Rng: rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := EstimateShift(x, arr, arr.AngleTo(start), interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFd := -BistaticRate(tagPos, start, vel, arr.Center()) / arr.Lambda
+		if math.Abs(est.ShiftHz-wantFd) > 0.3+0.1*wantFd {
+			t.Errorf("v=%.1f: doppler = %.2f Hz, want %.2f", speed, est.ShiftHz, wantFd)
+		}
+		if est.SpeedLBMps > speed+0.1 {
+			t.Errorf("v=%.1f: speed bound %.2f exceeds true speed", speed, est.SpeedLBMps)
+		}
+		if math.Abs(est.ShiftHz) <= prevAbs {
+			t.Errorf("v=%.1f: shift %.2f did not grow from %.2f", speed, math.Abs(est.ShiftHz), prevAbs)
+		}
+		prevAbs = math.Abs(est.ShiftHz)
+	}
+}
+
+// A static scene has no dominant nonzero Doppler line: after DC
+// removal, the residual spectrum is noise-flat and weak.
+func TestEstimateShiftStaticScene(t *testing.T) {
+	arr := dopplerArray(t)
+	env := channel.NewEnv(nil)
+	tagPos := geom.Pt(3, 6, 1.25)
+	rng := rand.New(rand.NewSource(4))
+	x, err := env.SynthesizeMoving(tagPos, arr, nil, 0.01, channel.SynthOpts{
+		Snapshots: 64, NoiseStd: 1e-4, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateShift(x, arr, arr.AngleTo(tagPos), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the moving case: static spectral peak power must
+	// be orders of magnitude below a scatterer's Doppler line.
+	mt := channel.MovingTarget{Target: channel.HumanTarget(geom.Pt(2.0, 1.5, 1.25)), Vel: geom.Pt(1, 0, 0), ScatterCoeff: 0.25}
+	xm, err := env.SynthesizeMoving(tagPos, arr, []channel.MovingTarget{mt}, 0.01, channel.SynthOpts{
+		Snapshots: 64, NoiseStd: 1e-4, Rng: rand.New(rand.NewSource(5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estM, err := EstimateShift(xm, arr, arr.AngleTo(geom.Pt(2.0, 1.5, 1.25)), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Power > estM.Power/10 {
+		t.Errorf("static peak power %v not ≪ moving %v", est.Power, estM.Power)
+	}
+}
+
+func TestEstimateShiftValidation(t *testing.T) {
+	arr := dopplerArray(t)
+	if _, err := EstimateShift(cmatrix.New(8, 8), arr, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("interval=0: %v", err)
+	}
+}
+
+func TestSynthesizeMovingValidation(t *testing.T) {
+	arr := dopplerArray(t)
+	env := channel.NewEnv(nil)
+	rng := rand.New(rand.NewSource(6))
+	if _, err := env.SynthesizeMoving(geom.Pt(1, 3, 1.25), arr, nil, 0, channel.SynthOpts{Snapshots: 4, Rng: rng}); err == nil {
+		t.Error("zero interval must error")
+	}
+	if _, err := env.SynthesizeMoving(geom.Pt(1, 3, 1.25), arr, nil, 0.01, channel.SynthOpts{Snapshots: 0, Rng: rng}); err == nil {
+		t.Error("zero snapshots must error")
+	}
+}

@@ -1,0 +1,111 @@
+package dwatch
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/geom"
+	"dwatch/internal/sim"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	// System A: calibrate + baseline, save, localize.
+	a := buildSystem(t, sim.HallConfig(), Config{})
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	target := geom.Pt(4.0, 3.0, 1.25)
+	tgt := []channel.Target{channel.HumanTarget(target)}
+	ra, errA := a.LocateRobust(tgt, 3)
+
+	// System B: fresh scenario (same seed), restore state, localize —
+	// no Calibrate/CollectBaseline calls.
+	scB, err := sim.Build(sim.HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(scB, Config{})
+	if err := b.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	rb, errB := b.LocateRobust(tgt, 3)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("coverage mismatch after restore: %v vs %v", errA, errB)
+	}
+	if errA == nil {
+		if d := ra.Pos.Dist2D(rb.Pos); d > 0.3 {
+			t.Errorf("restored fix %.2f m from original", d)
+		}
+	}
+}
+
+func TestSaveStateRequiresPipeline(t *testing.T) {
+	sc, err := sim.Build(sim.HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sc, Config{})
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("uncalibrated save: %v", err)
+	}
+	if err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveState(&buf); !errors.Is(err, ErrNoBaseline) {
+		t.Errorf("no-baseline save: %v", err)
+	}
+}
+
+func TestLoadStateValidation(t *testing.T) {
+	sc, err := sim.Build(sim.HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sc, Config{})
+	cases := []string{
+		`not json`,
+		`{"version": 99}`,
+		`{"version": 1, "offsets": {"ghost-reader": [0,0,0,0,0,0,0,0]}}`,
+		`{"version": 1, "offsets": {"reader-1": [0,0]}}`,
+		`{"version": 1, "baseline": {"reader-1": {"zz": {"grid_size": 361, "power": [], "beam": []}}}}`,
+		`{"version": 1, "baseline": {"ghost": {}}}`,
+	}
+	for _, c := range cases {
+		if err := s.LoadState(strings.NewReader(c)); !errors.Is(err, ErrBadState) {
+			t.Errorf("case %q: err = %v, want ErrBadState", c, err)
+		}
+	}
+}
+
+func TestLoadStatePeakIndexValidation(t *testing.T) {
+	sc, err := sim.Build(sim.HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sc, Config{})
+	blob := `{"version":1,
+		"baseline":{"reader-1":{"0102":{"grid_size":361,
+			"power":` + zeros(361) + `,"beam":` + zeros(361) + `}}},
+		"monitored":{"reader-1":{"0102":[{"index":9999,"angle":1,"amplitude":1}]}}}`
+	if err := s.LoadState(strings.NewReader(blob)); !errors.Is(err, ErrBadState) {
+		t.Errorf("bad peak index: %v", err)
+	}
+}
+
+func zeros(n int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('0')
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,59 @@
+// Package epcgen2 implements the parts of the EPCglobal Class-1
+// Generation-2 (ISO 18000-6C) air protocol that D-Watch's readers and
+// tags exercise: the CRC-5 and CRC-16 checks, bit-level command frames
+// (Query / QueryRep / QueryAdjust / ACK), and a slotted-ALOHA inventory
+// simulator with the standard Q-algorithm. The paper's Impinj readers
+// are "compatible with EPC Gen2 standard" (Section 5); this package is
+// the substrate that decides, per inventory round, which tags are read
+// and therefore which backscatter snapshots the localization pipeline
+// receives.
+package epcgen2
+
+// CRC5 computes the EPC Gen2 CRC-5 over the given bits (MSB-first bit
+// slice). Polynomial x⁵+x³+1 (0b101001), preset 0b01001, as specified
+// in Gen2 Annex F for the Query command.
+func CRC5(bits []byte) byte {
+	reg := byte(0b01001)
+	for _, b := range bits {
+		top := (reg >> 4) & 1
+		reg = (reg << 1) & 0x1F
+		if top^(b&1) == 1 {
+			reg ^= 0b01001 // x³+1 taps (x⁵ is the implicit shift-out)
+		}
+	}
+	return reg & 0x1F
+}
+
+// CRC16 computes the EPC Gen2 CRC-16 (CCITT: polynomial 0x1021, preset
+// 0xFFFF, final complement) over the given bytes, as used to protect
+// PC+EPC backscatter replies.
+func CRC16(data []byte) uint16 {
+	reg := uint16(0xFFFF)
+	for _, b := range data {
+		reg ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if reg&0x8000 != 0 {
+				reg = reg<<1 ^ 0x1021
+			} else {
+				reg <<= 1
+			}
+		}
+	}
+	return ^reg
+}
+
+// CheckCRC16 verifies data whose last two bytes are the transmitted
+// CRC-16 (big-endian).
+func CheckCRC16(frame []byte) bool {
+	if len(frame) < 2 {
+		return false
+	}
+	want := uint16(frame[len(frame)-2])<<8 | uint16(frame[len(frame)-1])
+	return CRC16(frame[:len(frame)-2]) == want
+}
+
+// AppendCRC16 appends the big-endian CRC-16 of data.
+func AppendCRC16(data []byte) []byte {
+	c := CRC16(data)
+	return append(data, byte(c>>8), byte(c))
+}

@@ -1,0 +1,237 @@
+package epcgen2
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Air-interface line codings of the tag→reader link (Gen2 §6.3.1.3):
+// FM0 baseband and Miller-modulated subcarrier. The Query command's M
+// field selects the coding (M=0 → FM0, M=1/2/3 → Miller with 2/4/8
+// subcarrier cycles per symbol); slower codings trade data rate for
+// noise immunity — the paper's readers run in dense-reader Miller modes.
+//
+// Symbols are represented at half-bit resolution: each data bit becomes
+// 2 (FM0) or 2·m (Miller) half-bit levels of ±1. Encoders prepend the
+// standard preamble; decoders verify and strip it.
+
+// ErrBadEncoding is returned when a waveform fails to decode.
+var ErrBadEncoding = errors.New("epcgen2: bad line coding")
+
+// MillerM is the Miller subcarrier factor: cycles per symbol.
+type MillerM int
+
+// Supported Miller factors.
+const (
+	Miller2 MillerM = 2
+	Miller4 MillerM = 4
+	Miller8 MillerM = 8
+)
+
+// MFromQuery maps a Query command's 2-bit M field to the tag coding.
+// M=0 selects FM0 (no Miller factor).
+func MFromQuery(m uint8) (MillerM, bool) {
+	switch m {
+	case 1:
+		return Miller2, true
+	case 2:
+		return Miller4, true
+	case 3:
+		return Miller8, true
+	default:
+		return 0, false
+	}
+}
+
+// fm0Preamble is the 6-symbol FM0 preamble (TRext=0), at half-bit
+// resolution, per Gen2 Fig. 6.11: bits 1 0 1 0 v 1 where v is a
+// coding violation.
+var fm0Preamble = []int8{
+	+1, +1, // 1: no mid-bit flip (levels chosen canonical)
+	-1, +1, // 0: mid-bit flip
+	-1, -1, // 1
+	+1, -1, // 0
+	+1, +1, // v: violation (no boundary inversion where one is required)
+	-1, -1, // 1
+}
+
+// EncodeFM0 renders data bits (0/1 per byte) as an FM0 waveform at
+// half-bit resolution, preamble included. FM0 inverts phase at every
+// bit boundary; a data-0 adds a mid-bit inversion.
+func EncodeFM0(bits []byte) []int8 {
+	out := make([]int8, 0, len(fm0Preamble)+2*len(bits)+2)
+	out = append(out, fm0Preamble...)
+	level := out[len(out)-1]
+	for _, b := range bits {
+		level = -level // boundary inversion
+		first := level
+		second := level
+		if b&1 == 0 {
+			second = -level // mid-bit inversion for 0
+			level = second
+		}
+		out = append(out, first, second)
+	}
+	// Dummy data-1 end-of-signaling bit.
+	level = -level
+	out = append(out, level, level)
+	return out
+}
+
+// DecodeFM0 recovers data bits from an FM0 waveform produced by
+// EncodeFM0 (preamble and trailing dummy bit verified and stripped).
+func DecodeFM0(wave []int8) ([]byte, error) {
+	if len(wave) < len(fm0Preamble)+2 || len(wave)%2 != 0 {
+		return nil, fmt.Errorf("%w: FM0 length %d", ErrBadEncoding, len(wave))
+	}
+	// The whole waveform may be globally inverted (backscatter phase);
+	// normalize by the first preamble half-bit.
+	inv := int8(1)
+	if wave[0] == -1 {
+		inv = -1
+	}
+	for i, want := range fm0Preamble {
+		if wave[i]*inv != want {
+			return nil, fmt.Errorf("%w: FM0 preamble mismatch at %d", ErrBadEncoding, i)
+		}
+	}
+	body := wave[len(fm0Preamble):]
+	nBits := len(body)/2 - 1 // last bit is the dummy terminator
+	out := make([]byte, 0, nBits)
+	prev := wave[len(wave)-len(body)-1] * inv
+	for i := 0; i < nBits+1; i++ {
+		first := body[2*i] * inv
+		second := body[2*i+1] * inv
+		if first != -prev {
+			return nil, fmt.Errorf("%w: missing FM0 boundary inversion at bit %d", ErrBadEncoding, i)
+		}
+		var bit byte
+		if second == first {
+			bit = 1
+		} else {
+			bit = 0
+		}
+		if i < nBits {
+			out = append(out, bit)
+		} else if bit != 1 {
+			return nil, fmt.Errorf("%w: FM0 terminator is not a data-1", ErrBadEncoding)
+		}
+		prev = second
+	}
+	return out, nil
+}
+
+// EncodeMiller renders data bits as Miller-M baseband-times-subcarrier,
+// at half-subcarrier-cycle resolution: each bit spans 2·m levels.
+// Miller baseband inverts phase between two data-0s in sequence and at
+// the midpoint of a data-1; the subcarrier then toggles m times per
+// bit. A 4-bit 0101 pilot precedes the data (TRext=0 per Gen2).
+func EncodeMiller(bits []byte, m MillerM) ([]int8, error) {
+	if m != Miller2 && m != Miller4 && m != Miller8 {
+		return nil, fmt.Errorf("%w: Miller factor %d", ErrBadEncoding, m)
+	}
+	pilot := []byte{0, 1, 0, 1}
+	all := append(append([]byte(nil), pilot...), bits...)
+	out := make([]int8, 0, 2*int(m)*len(all))
+	phase := int8(1)
+	prev := byte(1) // so a leading 0 does not invert
+	for i, b := range all {
+		b &= 1
+		if i > 0 && b == 0 && prev == 0 {
+			phase = -phase // inversion between consecutive 0s
+		}
+		half := int(m) // half-bit = m half-subcarrier cycles
+		for k := 0; k < half; k++ {
+			out = append(out, phase*subcarrier(k))
+		}
+		if b == 1 {
+			phase = -phase // mid-bit inversion for 1
+		}
+		for k := 0; k < half; k++ {
+			out = append(out, phase*subcarrier(k))
+		}
+		prev = b
+	}
+	return out, nil
+}
+
+// subcarrier returns the k-th half-cycle level of the square subcarrier.
+func subcarrier(k int) int8 {
+	if k%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// DecodeMiller recovers data bits from a Miller-M waveform produced by
+// EncodeMiller (pilot verified and stripped).
+func DecodeMiller(wave []int8, m MillerM) ([]byte, error) {
+	if m != Miller2 && m != Miller4 && m != Miller8 {
+		return nil, fmt.Errorf("%w: Miller factor %d", ErrBadEncoding, m)
+	}
+	span := 2 * int(m)
+	if len(wave) == 0 || len(wave)%span != 0 {
+		return nil, fmt.Errorf("%w: Miller length %d", ErrBadEncoding, len(wave))
+	}
+	nSymbols := len(wave) / span
+	if nSymbols < 4 {
+		return nil, fmt.Errorf("%w: Miller waveform shorter than its pilot", ErrBadEncoding)
+	}
+	// Demodulate: correlate each half-bit against the subcarrier to get
+	// its baseband phase, then decode Miller transitions.
+	halves := make([]int8, 0, 2*nSymbols)
+	for h := 0; h < 2*nSymbols; h++ {
+		var acc int
+		for k := 0; k < int(m); k++ {
+			acc += int(wave[h*int(m)+k]) * int(subcarrier(k))
+		}
+		switch {
+		case acc == int(m):
+			halves = append(halves, 1)
+		case acc == -int(m):
+			halves = append(halves, -1)
+		default:
+			return nil, fmt.Errorf("%w: corrupted subcarrier in half-bit %d", ErrBadEncoding, h)
+		}
+	}
+	bits := make([]byte, nSymbols)
+	for i := 0; i < nSymbols; i++ {
+		if halves[2*i] != halves[2*i+1] {
+			bits[i] = 1 // mid-bit inversion
+		}
+	}
+	// Verify baseband phase legality and the pilot.
+	phase := halves[0]
+	prev := byte(1)
+	for i := 0; i < nSymbols; i++ {
+		want := phase
+		if i > 0 && bits[i] == 0 && prev == 0 {
+			want = -want
+		}
+		if halves[2*i] != want {
+			return nil, fmt.Errorf("%w: illegal Miller phase at symbol %d", ErrBadEncoding, i)
+		}
+		phase = want
+		if bits[i] == 1 {
+			phase = -phase
+		}
+		prev = bits[i]
+	}
+	pilot := []byte{0, 1, 0, 1}
+	for i, p := range pilot {
+		if bits[i] != p {
+			return nil, fmt.Errorf("%w: Miller pilot mismatch", ErrBadEncoding)
+		}
+	}
+	return bits[len(pilot):], nil
+}
+
+// SymbolRate returns the tag data rate in bits/s for a coding at the
+// given backscatter link frequency (BLF): FM0 moves one bit per cycle,
+// Miller-M one bit per M cycles.
+func SymbolRate(blfHz float64, m MillerM) float64 {
+	if m == 0 {
+		return blfHz
+	}
+	return blfHz / float64(m)
+}

@@ -1,0 +1,195 @@
+package epcgen2
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(n int, rng *rand.Rand) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+func TestFM0RoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{1},
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+		{1, 0, 1, 1, 0, 0, 1, 0},
+	}
+	for _, bits := range cases {
+		wave := EncodeFM0(bits)
+		got, err := DecodeFM0(wave)
+		if err != nil {
+			t.Fatalf("bits %v: %v", bits, err)
+		}
+		if !bytes.Equal(got, bits) && !(len(got) == 0 && len(bits) == 0) {
+			t.Errorf("bits %v round-tripped to %v", bits, got)
+		}
+	}
+}
+
+func TestFM0RoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := randBits(int(n%64), rng)
+		got, err := DecodeFM0(EncodeFM0(bits))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, bits) || (len(got) == 0 && len(bits) == 0)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFM0GlobalInversionTolerated(t *testing.T) {
+	bits := []byte{1, 0, 0, 1}
+	wave := EncodeFM0(bits)
+	for i := range wave {
+		wave[i] = -wave[i]
+	}
+	got, err := DecodeFM0(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bits) {
+		t.Errorf("inverted round trip = %v", got)
+	}
+}
+
+func TestFM0PhaseInversionLaw(t *testing.T) {
+	// Every bit boundary must invert the level — the defining FM0
+	// property (and what gives it its DC-free spectrum).
+	bits := randBits(32, rand.New(rand.NewSource(22)))
+	wave := EncodeFM0(bits)
+	body := wave[len(fm0Preamble):]
+	prev := wave[len(fm0Preamble)-1]
+	for i := 0; i+1 < len(body); i += 2 {
+		if body[i] != -prev {
+			t.Fatalf("no inversion at boundary %d", i/2)
+		}
+		prev = body[i+1]
+	}
+}
+
+func TestFM0DecodeRejectsCorruption(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0}
+	wave := EncodeFM0(bits)
+	// Preamble corruption.
+	bad := append([]int8(nil), wave...)
+	bad[3] = -bad[3]
+	if _, err := DecodeFM0(bad); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("preamble corruption: %v", err)
+	}
+	// Odd length.
+	if _, err := DecodeFM0(wave[:len(wave)-1]); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("odd length: %v", err)
+	}
+	// Body boundary violation.
+	bad2 := append([]int8(nil), wave...)
+	bad2[len(fm0Preamble)] = -bad2[len(fm0Preamble)]
+	if _, err := DecodeFM0(bad2); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("body violation: %v", err)
+	}
+}
+
+func TestMillerRoundTripAllFactors(t *testing.T) {
+	for _, m := range []MillerM{Miller2, Miller4, Miller8} {
+		for _, bits := range [][]byte{{}, {0}, {1}, {1, 1, 0, 0, 1, 0, 1}} {
+			wave, err := EncodeMiller(bits, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeMiller(wave, m)
+			if err != nil {
+				t.Fatalf("m=%d bits=%v: %v", m, bits, err)
+			}
+			if !bytes.Equal(got, bits) && !(len(got) == 0 && len(bits) == 0) {
+				t.Errorf("m=%d: %v -> %v", m, bits, got)
+			}
+		}
+	}
+}
+
+func TestMillerRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8, mSel uint8) bool {
+		m := []MillerM{Miller2, Miller4, Miller8}[mSel%3]
+		rng := rand.New(rand.NewSource(seed))
+		bits := randBits(int(n%48), rng)
+		wave, err := EncodeMiller(bits, m)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMiller(wave, m)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, bits) || (len(got) == 0 && len(bits) == 0)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMillerValidation(t *testing.T) {
+	if _, err := EncodeMiller([]byte{1}, 3); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("bad factor encode: %v", err)
+	}
+	if _, err := DecodeMiller([]int8{1, 1}, 5); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("bad factor decode: %v", err)
+	}
+	if _, err := DecodeMiller([]int8{1, 1, 1}, Miller2); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("bad length: %v", err)
+	}
+	// Corrupt a subcarrier half-cycle.
+	wave, err := EncodeMiller([]byte{1, 0, 1}, Miller4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave[9] = -wave[9]
+	if _, err := DecodeMiller(wave, Miller4); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("corrupted subcarrier: %v", err)
+	}
+}
+
+func TestMFromQuery(t *testing.T) {
+	if m, ok := MFromQuery(0); ok || m != 0 {
+		t.Error("M=0 should select FM0 (no Miller)")
+	}
+	for q, want := range map[uint8]MillerM{1: Miller2, 2: Miller4, 3: Miller8} {
+		if m, ok := MFromQuery(q); !ok || m != want {
+			t.Errorf("MFromQuery(%d) = %d, %v", q, m, ok)
+		}
+	}
+}
+
+func TestSymbolRate(t *testing.T) {
+	// BLF 320 kHz: FM0 → 320 kbps, Miller-4 → 80 kbps.
+	if got := SymbolRate(320e3, 0); got != 320e3 {
+		t.Errorf("FM0 rate = %v", got)
+	}
+	if got := SymbolRate(320e3, Miller4); got != 80e3 {
+		t.Errorf("Miller-4 rate = %v", got)
+	}
+}
+
+func TestMillerWaveLengthScalesWithM(t *testing.T) {
+	bits := []byte{1, 0, 1}
+	w2, _ := EncodeMiller(bits, Miller2)
+	w8, _ := EncodeMiller(bits, Miller8)
+	if len(w8) != 4*len(w2) {
+		t.Errorf("Miller8 length %d, want 4× Miller2's %d", len(w8), len(w2))
+	}
+}

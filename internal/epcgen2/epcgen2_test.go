@@ -1,0 +1,266 @@
+package epcgen2
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1; Gen2 transmits its
+	// complement, so our CRC16 (with final complement) gives ^0x29B1.
+	got := CRC16([]byte("123456789"))
+	if got != ^uint16(0x29B1) {
+		t.Errorf("CRC16 = %#04x, want %#04x", got, ^uint16(0x29B1))
+	}
+}
+
+func TestCRC16RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return CheckCRC16(AppendCRC16(append([]byte(nil), data...)))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16DetectsCorruption(t *testing.T) {
+	frame := AppendCRC16([]byte{0x30, 0x00, 0xDE, 0xAD, 0xBE, 0xEF})
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x01
+		if CheckCRC16(bad) {
+			t.Errorf("single-bit corruption at byte %d not detected", i)
+		}
+	}
+	if CheckCRC16([]byte{0x01}) {
+		t.Error("too-short frame must fail")
+	}
+}
+
+func TestCRC5FiveBitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		bits := make([]byte, 17)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		if c := CRC5(bits); c > 0x1F {
+			t.Fatalf("CRC5 = %#x exceeds 5 bits", c)
+		}
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := Query{DR: true, M: 2, TRext: false, Sel: 1, Session: S2, Target: true, Q: 9}
+	bits, err := EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 22 {
+		t.Fatalf("query frame = %d bits", len(bits))
+	}
+	got, err := DecodeQuery(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != q {
+		t.Errorf("round trip: %+v != %+v", got, q)
+	}
+}
+
+func TestQueryRoundTripProperty(t *testing.T) {
+	f := func(dr, trext, target bool, m, sel, sess, qv uint8) bool {
+		q := Query{DR: dr, M: m % 4, TRext: trext, Sel: sel % 4, Session: Session(sess % 4), Target: target, Q: qv % 16}
+		bits, err := EncodeQuery(q)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeQuery(bits)
+		return err == nil && got == q
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, err := EncodeQuery(Query{Q: 16}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("Q=16: %v", err)
+	}
+	if _, err := EncodeQuery(Query{M: 4}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("M=4: %v", err)
+	}
+	if _, err := DecodeQuery(make([]byte, 10)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short: %v", err)
+	}
+	// Corrupt CRC.
+	bits, _ := EncodeQuery(Query{Q: 4})
+	bits[21] ^= 1
+	if _, err := DecodeQuery(bits); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad CRC: %v", err)
+	}
+	// Corrupt command code.
+	bits2, _ := EncodeQuery(Query{Q: 4})
+	bits2[0] = 0
+	if _, err := DecodeQuery(bits2); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad code: %v", err)
+	}
+}
+
+func TestQueryRepRoundTrip(t *testing.T) {
+	for s := S0; s <= S3; s++ {
+		bits := EncodeQueryRep(s)
+		got, err := DecodeQueryRep(bits)
+		if err != nil || got != s {
+			t.Errorf("session %d: got %d, %v", s, got, err)
+		}
+	}
+	if _, err := DecodeQueryRep([]byte{1, 1, 0, 0}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("wrong code: %v", err)
+	}
+}
+
+func TestACKRoundTrip(t *testing.T) {
+	for _, rn := range []uint16{0, 1, 0xFFFF, 0xA5A5} {
+		bits := EncodeACK(rn)
+		got, err := DecodeACK(bits)
+		if err != nil || got != rn {
+			t.Errorf("rn %#x: got %#x, %v", rn, got, err)
+		}
+	}
+	if _, err := DecodeACK(make([]byte, 5)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short ACK: %v", err)
+	}
+}
+
+func TestEPCReplyRoundTrip(t *testing.T) {
+	epc := []byte{0x30, 0x08, 0x33, 0xB2, 0xDD, 0xD9, 0x01, 0x40, 0x00, 0x00, 0x00, 0x01}
+	frame, err := EncodeEPCReply(epc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 2+12+2 {
+		t.Fatalf("frame len = %d", len(frame))
+	}
+	dec, err := DecodeEPCReply(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.EPC, epc) {
+		t.Errorf("EPC = %x", dec.EPC)
+	}
+	if dec.PC>>11 != 6 {
+		t.Errorf("PC words = %d, want 6", dec.PC>>11)
+	}
+}
+
+func TestEPCReplyValidation(t *testing.T) {
+	if _, err := EncodeEPCReply(nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("empty EPC: %v", err)
+	}
+	if _, err := EncodeEPCReply([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("odd EPC: %v", err)
+	}
+	frame, _ := EncodeEPCReply([]byte{1, 2})
+	frame[2] ^= 0xFF
+	if _, err := DecodeEPCReply(frame); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("corrupted: %v", err)
+	}
+	if _, err := DecodeEPCReply([]byte{1, 2}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short: %v", err)
+	}
+}
+
+func TestRunInventoryReadsAllTags(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	epcs := make([][]byte, 21) // the paper's default population
+	for i := range epcs {
+		epcs[i] = RandomEPC(rng)
+	}
+	res, err := RunInventory(epcs, InventoryParams{InitialQ: 4, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reads) != 21 {
+		t.Fatalf("reads = %d, want 21", len(res.Reads))
+	}
+	// Every EPC appears exactly once.
+	seen := map[string]bool{}
+	for _, r := range res.Reads {
+		k := string(r.EPC)
+		if seen[k] {
+			t.Errorf("EPC %x read twice", r.EPC)
+		}
+		seen[k] = true
+	}
+	// Accounting: per round, singles+collisions+idles == slots.
+	for i, st := range res.Rounds {
+		if st.Singles+st.Collisions+st.Idles != st.Slots {
+			t.Errorf("round %d accounting: %+v", i, st)
+		}
+	}
+}
+
+func TestRunInventoryQAdapts(t *testing.T) {
+	// Many tags with tiny initial Q: collisions must push Q upward.
+	rng := rand.New(rand.NewSource(5))
+	epcs := make([][]byte, 60)
+	for i := range epcs {
+		epcs[i] = RandomEPC(rng)
+	}
+	res, err := RunInventory(epcs, InventoryParams{InitialQ: 1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 2 {
+		t.Fatal("expected multiple rounds")
+	}
+	grew := false
+	for _, st := range res.Rounds[1:] {
+		if st.Q > 1 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("Q never adapted upward despite collisions")
+	}
+	if len(res.Reads) != 60 {
+		t.Errorf("reads = %d, want 60", len(res.Reads))
+	}
+}
+
+func TestRunInventoryValidation(t *testing.T) {
+	if _, err := RunInventory(nil, InventoryParams{}); !errors.Is(err, ErrNoRng) {
+		t.Errorf("nil rng: %v", err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	if _, err := RunInventory(nil, InventoryParams{InitialQ: 16, Rng: rng}); err == nil {
+		t.Error("Q=16 must error")
+	}
+	res, err := RunInventory(nil, InventoryParams{Rng: rng})
+	if err != nil || len(res.Reads) != 0 {
+		t.Errorf("empty population: %v, %v", res, err)
+	}
+}
+
+func TestSlotOutcomeString(t *testing.T) {
+	if SlotIdle.String() != "idle" || SlotSingle.String() != "single" || SlotCollision.String() != "collision" {
+		t.Error("SlotOutcome strings wrong")
+	}
+	if SlotOutcome(9).String() == "" {
+		t.Error("unknown outcome should still format")
+	}
+}
+
+func TestRandomEPCLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := RandomEPC(rng)
+	if len(e) != 12 {
+		t.Errorf("EPC length = %d", len(e))
+	}
+}

@@ -1,0 +1,175 @@
+package epcgen2
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bit-level frames. EPC Gen2 commands are variable-length bit strings;
+// we represent them as []byte with one bit per element (0 or 1,
+// MSB-first), which keeps CRC-5 computation and round-trip tests exact.
+
+// ErrBadFrame is returned when a frame fails to parse or verify.
+var ErrBadFrame = errors.New("epcgen2: bad frame")
+
+// Session is a Gen2 inventory session (S0-S3).
+type Session uint8
+
+// Gen2 sessions.
+const (
+	S0 Session = iota
+	S1
+	S2
+	S3
+)
+
+// Query is the Gen2 Query command that starts an inventory round.
+type Query struct {
+	DR      bool    // divide ratio
+	M       uint8   // cycles per symbol code, 2 bits
+	TRext   bool    // pilot tone
+	Sel     uint8   // which tags respond, 2 bits
+	Session Session // 2 bits
+	Target  bool    // inventoried flag A/B
+	Q       uint8   // slot-count exponent, 4 bits (0-15)
+}
+
+const queryCommandCode = 0b1000 // 4-bit Query command code
+
+// EncodeQuery renders the 22-bit Query frame including its CRC-5.
+func EncodeQuery(q Query) ([]byte, error) {
+	if q.M > 3 || q.Sel > 3 || q.Session > 3 || q.Q > 15 {
+		return nil, fmt.Errorf("%w: field out of range in %+v", ErrBadFrame, q)
+	}
+	bits := make([]byte, 0, 22)
+	bits = appendBits(bits, queryCommandCode, 4)
+	bits = appendBits(bits, b2u(q.DR), 1)
+	bits = appendBits(bits, uint(q.M), 2)
+	bits = appendBits(bits, b2u(q.TRext), 1)
+	bits = appendBits(bits, uint(q.Sel), 2)
+	bits = appendBits(bits, uint(q.Session), 2)
+	bits = appendBits(bits, b2u(q.Target), 1)
+	bits = appendBits(bits, uint(q.Q), 4)
+	crc := CRC5(bits)
+	bits = appendBits(bits, uint(crc), 5)
+	return bits, nil
+}
+
+// DecodeQuery parses and verifies a 22-bit Query frame.
+func DecodeQuery(bits []byte) (Query, error) {
+	if len(bits) != 22 {
+		return Query{}, fmt.Errorf("%w: query length %d, want 22", ErrBadFrame, len(bits))
+	}
+	if got := readBits(bits, 0, 4); got != queryCommandCode {
+		return Query{}, fmt.Errorf("%w: command code %04b", ErrBadFrame, got)
+	}
+	if CRC5(bits[:17]) != byte(readBits(bits, 17, 5)) {
+		return Query{}, fmt.Errorf("%w: CRC-5 mismatch", ErrBadFrame)
+	}
+	return Query{
+		DR:      readBits(bits, 4, 1) == 1,
+		M:       uint8(readBits(bits, 5, 2)),
+		TRext:   readBits(bits, 7, 1) == 1,
+		Sel:     uint8(readBits(bits, 8, 2)),
+		Session: Session(readBits(bits, 10, 2)),
+		Target:  readBits(bits, 12, 1) == 1,
+		Q:       uint8(readBits(bits, 13, 4)),
+	}, nil
+}
+
+const queryRepCommandCode = 0b00 // 2-bit QueryRep command code
+
+// EncodeQueryRep renders the 4-bit QueryRep frame (advance to the next
+// slot within a session).
+func EncodeQueryRep(s Session) []byte {
+	bits := make([]byte, 0, 4)
+	bits = appendBits(bits, queryRepCommandCode, 2)
+	bits = appendBits(bits, uint(s), 2)
+	return bits
+}
+
+// DecodeQueryRep parses a QueryRep frame.
+func DecodeQueryRep(bits []byte) (Session, error) {
+	if len(bits) != 4 || readBits(bits, 0, 2) != queryRepCommandCode {
+		return 0, fmt.Errorf("%w: not a QueryRep", ErrBadFrame)
+	}
+	return Session(readBits(bits, 2, 2)), nil
+}
+
+const ackCommandCode = 0b01 // 2-bit ACK command code
+
+// EncodeACK renders the 18-bit ACK frame echoing a tag's RN16.
+func EncodeACK(rn16 uint16) []byte {
+	bits := make([]byte, 0, 18)
+	bits = appendBits(bits, ackCommandCode, 2)
+	bits = appendBits(bits, uint(rn16), 16)
+	return bits
+}
+
+// DecodeACK parses an ACK frame and returns the echoed RN16.
+func DecodeACK(bits []byte) (uint16, error) {
+	if len(bits) != 18 || readBits(bits, 0, 2) != ackCommandCode {
+		return 0, fmt.Errorf("%w: not an ACK", ErrBadFrame)
+	}
+	return uint16(readBits(bits, 2, 16)), nil
+}
+
+// EPCReply is a tag's backscatter reply to an ACK: protocol control word
+// + EPC + CRC-16.
+type EPCReply struct {
+	PC  uint16 // protocol control: EPC length in words, in bits 15-11
+	EPC []byte // typically 12 bytes (96-bit EPC)
+}
+
+// EncodeEPCReply renders the byte-level PC+EPC+CRC16 reply.
+func EncodeEPCReply(epc []byte) ([]byte, error) {
+	if len(epc) == 0 || len(epc)%2 != 0 || len(epc) > 62 {
+		return nil, fmt.Errorf("%w: EPC length %d must be a positive even number ≤ 62", ErrBadFrame, len(epc))
+	}
+	pc := uint16(len(epc)/2) << 11
+	frame := make([]byte, 0, 2+len(epc)+2)
+	frame = append(frame, byte(pc>>8), byte(pc))
+	frame = append(frame, epc...)
+	return AppendCRC16(frame), nil
+}
+
+// DecodeEPCReply parses and CRC-verifies a PC+EPC+CRC16 reply.
+func DecodeEPCReply(frame []byte) (EPCReply, error) {
+	if len(frame) < 4 {
+		return EPCReply{}, fmt.Errorf("%w: reply too short (%d bytes)", ErrBadFrame, len(frame))
+	}
+	if !CheckCRC16(frame) {
+		return EPCReply{}, fmt.Errorf("%w: CRC-16 mismatch", ErrBadFrame)
+	}
+	pc := uint16(frame[0])<<8 | uint16(frame[1])
+	words := int(pc >> 11)
+	epc := frame[2 : len(frame)-2]
+	if len(epc) != words*2 {
+		return EPCReply{}, fmt.Errorf("%w: PC says %d words, frame has %d EPC bytes", ErrBadFrame, words, len(epc))
+	}
+	return EPCReply{PC: pc, EPC: append([]byte(nil), epc...)}, nil
+}
+
+// appendBits appends the low n bits of v, MSB-first.
+func appendBits(bits []byte, v uint, n int) []byte {
+	for i := n - 1; i >= 0; i-- {
+		bits = append(bits, byte((v>>uint(i))&1))
+	}
+	return bits
+}
+
+// readBits reads n bits MSB-first starting at off.
+func readBits(bits []byte, off, n int) uint {
+	var v uint
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint(bits[off+i]&1)
+	}
+	return v
+}
+
+func b2u(b bool) uint {
+	if b {
+		return 1
+	}
+	return 0
+}

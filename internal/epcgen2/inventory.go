@@ -1,0 +1,195 @@
+package epcgen2
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Inventory simulation: the slotted-ALOHA singulation process of Gen2.
+// Each round the reader issues Query(Q); every participating tag draws a
+// 16-bit RN and loads its slot counter from [0, 2^Q). Slot 0 tags
+// backscatter their RN16; a clean singleton gets ACKed and replies with
+// PC+EPC+CRC16; collisions and idle slots advance via QueryRep. Between
+// rounds the reader adapts Q with the standard floating-point
+// Q-algorithm (Gen2 Annex D): Qfp += C on collision, −C on idle.
+
+// SlotOutcome classifies one slot of an inventory round.
+type SlotOutcome int
+
+// Slot outcomes.
+const (
+	SlotIdle SlotOutcome = iota
+	SlotSingle
+	SlotCollision
+)
+
+// String implements fmt.Stringer.
+func (s SlotOutcome) String() string {
+	switch s {
+	case SlotIdle:
+		return "idle"
+	case SlotSingle:
+		return "single"
+	case SlotCollision:
+		return "collision"
+	default:
+		return fmt.Sprintf("SlotOutcome(%d)", int(s))
+	}
+}
+
+// TagState is a tag's inventory-relevant state.
+type TagState struct {
+	EPC  []byte
+	slot int
+	rn16 uint16
+	read bool
+}
+
+// Read reports whether the tag has been singulated this inventory cycle.
+func (t *TagState) Read() bool { return t.read }
+
+// InventoryParams configures the simulator.
+type InventoryParams struct {
+	InitialQ  uint8   // starting Q (0-15); typical 4
+	C         float64 // Q-algorithm step; Gen2 suggests 0.1 ≤ C ≤ 0.5; 0 = 0.3
+	MaxRounds int     // give up after this many rounds; 0 = 64
+	Rng       *rand.Rand
+}
+
+func (p InventoryParams) withDefaults() InventoryParams {
+	if p.C == 0 {
+		p.C = 0.3
+	}
+	if p.MaxRounds == 0 {
+		p.MaxRounds = 64
+	}
+	return p
+}
+
+// Read is one successful singulation.
+type Read struct {
+	EPC   []byte
+	Round int // inventory round index
+	Slot  int // slot within the round
+}
+
+// RoundStats summarizes one inventory round.
+type RoundStats struct {
+	Q          uint8
+	Slots      int
+	Singles    int
+	Collisions int
+	Idles      int
+}
+
+// InventoryResult is the outcome of a full inventory cycle.
+type InventoryResult struct {
+	Reads  []Read
+	Rounds []RoundStats
+}
+
+// ErrNoRng is returned when the params lack a randomness source.
+var ErrNoRng = errors.New("epcgen2: InventoryParams.Rng must be set")
+
+// RunInventory simulates inventory rounds until every tag has been read
+// or MaxRounds is exhausted. It mirrors what the reader and tag state
+// machines do on the air: Query starts a round, QueryRep walks slots,
+// singletons are ACKed and verified via their EPC reply CRC.
+func RunInventory(epcs [][]byte, params InventoryParams) (*InventoryResult, error) {
+	params = params.withDefaults()
+	if params.Rng == nil {
+		return nil, ErrNoRng
+	}
+	if params.InitialQ > 15 {
+		return nil, fmt.Errorf("epcgen2: initial Q %d out of range", params.InitialQ)
+	}
+	tags := make([]*TagState, len(epcs))
+	for i, e := range epcs {
+		tags[i] = &TagState{EPC: e}
+	}
+	res := &InventoryResult{}
+	qfp := float64(params.InitialQ)
+
+	remaining := len(tags)
+	for round := 0; round < params.MaxRounds && remaining > 0; round++ {
+		q := clampQ(qfp)
+		nSlots := 1 << q
+		stats := RoundStats{Q: q, Slots: nSlots}
+
+		// Tags load slot counters; already-read tags sit out (target
+		// flag flipped).
+		for _, t := range tags {
+			if t.read {
+				t.slot = -1
+				continue
+			}
+			t.slot = params.Rng.Intn(nSlots)
+			t.rn16 = uint16(params.Rng.Intn(1 << 16))
+		}
+		for slot := 0; slot < nSlots; slot++ {
+			var inSlot []*TagState
+			for _, t := range tags {
+				if t.slot == slot {
+					inSlot = append(inSlot, t)
+				}
+			}
+			switch len(inSlot) {
+			case 0:
+				stats.Idles++
+				qfp -= params.C
+			case 1:
+				t := inSlot[0]
+				// ACK handshake: the reader echoes the RN16; the tag
+				// verifies and replies with its CRC-protected EPC.
+				ack := EncodeACK(t.rn16)
+				rn, err := DecodeACK(ack)
+				if err != nil || rn != t.rn16 {
+					stats.Collisions++ // treated as a failed slot
+					continue
+				}
+				reply, err := EncodeEPCReply(t.EPC)
+				if err != nil {
+					return nil, fmt.Errorf("epcgen2: tag EPC invalid: %w", err)
+				}
+				dec, err := DecodeEPCReply(reply)
+				if err != nil {
+					return nil, err
+				}
+				t.read = true
+				remaining--
+				stats.Singles++
+				res.Reads = append(res.Reads, Read{EPC: dec.EPC, Round: round, Slot: slot})
+			default:
+				stats.Collisions++
+				qfp += params.C
+			}
+			if qfp < 0 {
+				qfp = 0
+			} else if qfp > 15 {
+				qfp = 15
+			}
+		}
+		res.Rounds = append(res.Rounds, stats)
+	}
+	return res, nil
+}
+
+func clampQ(qfp float64) uint8 {
+	q := int(qfp + 0.5)
+	if q < 0 {
+		q = 0
+	} else if q > 15 {
+		q = 15
+	}
+	return uint8(q)
+}
+
+// RandomEPC draws a 96-bit (12-byte) EPC.
+func RandomEPC(rng *rand.Rand) []byte {
+	e := make([]byte, 12)
+	for i := range e {
+		e[i] = byte(rng.Intn(256))
+	}
+	return e
+}

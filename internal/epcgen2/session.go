@@ -1,0 +1,230 @@
+package epcgen2
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Gen2 session state machine (Gen2 §6.3.2.2-6.3.2.3): every tag keeps
+// one inventoried flag (A or B) per session S0-S3 plus a selected (SL)
+// flag. A Query targeting A singulates only flag-A tags and flips each
+// read tag to B, so a full inventory round naturally partitions the
+// population; flags decay back to A after a session-specific
+// persistence time once the tag is unpowered. The Select command
+// pre-filters which tags participate by matching a mask against the
+// EPC. The paper's Impinj readers run exactly this machinery under
+// dense-reader Miller modes; D-Watch's per-tag acquisition cadence is
+// governed by it.
+
+// Flag is an inventoried flag value.
+type Flag uint8
+
+// Inventoried flag values.
+const (
+	FlagA Flag = iota
+	FlagB
+)
+
+// String implements fmt.Stringer.
+func (f Flag) String() string {
+	if f == FlagA {
+		return "A"
+	}
+	return "B"
+}
+
+// Persistence returns the nominal inventoried-flag persistence of a
+// session when the tag loses power (Gen2 Table 6.20): S0 decays
+// immediately, S1 holds 0.5-5 s, S2/S3 hold >2 s. Powered tags hold
+// indefinitely except S1.
+func Persistence(s Session) time.Duration {
+	switch s {
+	case S0:
+		return 0
+	case S1:
+		return 2 * time.Second // within the 500 ms – 5 s band
+	default:
+		return 10 * time.Second // "greater than 2 s"; pick a concrete value
+	}
+}
+
+// SessionTag is a tag's session-relevant state.
+type SessionTag struct {
+	EPC      []byte
+	SL       bool
+	flags    [4]Flag
+	lastSeen [4]time.Time
+}
+
+// NewSessionTag creates a tag with all flags at A and SL deasserted.
+func NewSessionTag(epc []byte) *SessionTag {
+	return &SessionTag{EPC: epc}
+}
+
+// FlagOf returns the tag's inventoried flag for a session at time now,
+// applying persistence decay (flags revert to A when their persistence
+// lapses; the model treats tags as unpowered between reader visits,
+// the conservative choice for multi-antenna TDM readers).
+func (t *SessionTag) FlagOf(s Session, now time.Time) Flag {
+	if t.flags[s] == FlagB {
+		p := Persistence(s)
+		if p == 0 || now.Sub(t.lastSeen[s]) > p {
+			t.flags[s] = FlagA
+		}
+	}
+	return t.flags[s]
+}
+
+// Invert flips the tag's flag for a session (the action of a successful
+// singulation, or of a Select with the invert action).
+func (t *SessionTag) Invert(s Session, now time.Time) {
+	if t.FlagOf(s, now) == FlagA {
+		t.flags[s] = FlagB
+	} else {
+		t.flags[s] = FlagA
+	}
+	t.lastSeen[s] = now
+}
+
+// SelectTarget says what a Select command modifies.
+type SelectTarget uint8
+
+// Select targets.
+const (
+	TargetSL SelectTarget = iota
+	TargetS0
+	TargetS1
+	TargetS2
+	TargetS3
+)
+
+// SelectAction is the subset of Gen2 select actions the simulator
+// needs: assert/deassert on match, with the complementary effect on
+// non-matching tags.
+type SelectAction uint8
+
+// Select actions.
+const (
+	// ActionAssert: matching tags set SL (or flag→A); others deassert.
+	ActionAssert SelectAction = iota
+	// ActionDeassert: matching tags clear SL (or flag→B); others assert.
+	ActionDeassert
+)
+
+// Select is the population-filter command.
+type Select struct {
+	Target SelectTarget
+	Action SelectAction
+	// Mask matches tags whose EPC contains Mask at bit offset Pointer
+	// (byte-aligned pointer for simplicity; Gen2 allows arbitrary bit
+	// offsets).
+	Pointer int
+	Mask    []byte
+}
+
+// Matches reports whether the tag's EPC matches the select mask.
+func (sel *Select) Matches(epc []byte) bool {
+	if sel.Pointer < 0 || sel.Pointer+len(sel.Mask) > len(epc) {
+		return false
+	}
+	for i, b := range sel.Mask {
+		if epc[sel.Pointer+i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply runs the select over a population at time now.
+func (sel *Select) Apply(tags []*SessionTag, now time.Time) {
+	for _, t := range tags {
+		match := sel.Matches(t.EPC)
+		assert := (match && sel.Action == ActionAssert) || (!match && sel.Action == ActionDeassert)
+		switch sel.Target {
+		case TargetSL:
+			t.SL = assert
+		case TargetS0, TargetS1, TargetS2, TargetS3:
+			s := Session(sel.Target - TargetS0)
+			if assert {
+				t.flags[s] = FlagA
+			} else {
+				t.flags[s] = FlagB
+				t.lastSeen[s] = now
+			}
+		}
+	}
+}
+
+// SessionInventoryParams configures RunSessionInventory.
+type SessionInventoryParams struct {
+	Session Session
+	Target  Flag // which flag value participates (usually A)
+	// SelFilter: 0 = all tags, 1 = only SL asserted, 2 = only SL
+	// deasserted (Gen2's Sel field, simplified).
+	SelFilter uint8
+	InitialQ  uint8
+	C         float64
+	MaxRounds int
+	Rng       *rand.Rand
+	Now       time.Time
+}
+
+// ErrNoSessionRng mirrors ErrNoRng for the session-aware inventory.
+var ErrNoSessionRng = errors.New("epcgen2: SessionInventoryParams.Rng must be set")
+
+// RunSessionInventory performs one inventory cycle against the session
+// state machine: only tags whose session flag equals Target (and whose
+// SL matches SelFilter) participate, and each successful singulation
+// inverts the tag's flag — so immediately re-running the same cycle
+// reads nothing until flags decay or a Select resets them.
+func RunSessionInventory(tags []*SessionTag, p SessionInventoryParams) (*InventoryResult, error) {
+	if p.Rng == nil {
+		return nil, ErrNoSessionRng
+	}
+	if p.InitialQ > 15 {
+		return nil, fmt.Errorf("epcgen2: initial Q %d out of range", p.InitialQ)
+	}
+	if p.Now.IsZero() {
+		p.Now = time.Now()
+	}
+	var participating []*SessionTag
+	for _, t := range tags {
+		if t.FlagOf(p.Session, p.Now) != p.Target {
+			continue
+		}
+		switch p.SelFilter {
+		case 1:
+			if !t.SL {
+				continue
+			}
+		case 2:
+			if t.SL {
+				continue
+			}
+		}
+		participating = append(participating, t)
+	}
+	epcs := make([][]byte, len(participating))
+	for i, t := range participating {
+		epcs[i] = t.EPC
+	}
+	res, err := RunInventory(epcs, InventoryParams{
+		InitialQ: p.InitialQ, C: p.C, MaxRounds: p.MaxRounds, Rng: p.Rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Flip the flags of every read tag.
+	byEPC := map[string]*SessionTag{}
+	for _, t := range participating {
+		byEPC[string(t.EPC)] = t
+	}
+	for _, r := range res.Reads {
+		if t, ok := byEPC[string(r.EPC)]; ok {
+			t.Invert(p.Session, p.Now)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package epcgen2
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func sessionTags(n int, rng *rand.Rand) []*SessionTag {
+	out := make([]*SessionTag, n)
+	for i := range out {
+		out[i] = NewSessionTag(RandomEPC(rng))
+	}
+	return out
+}
+
+func TestFlagPersistenceDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tag := NewSessionTag(RandomEPC(rng))
+	now := time.Unix(1000, 0)
+	if tag.FlagOf(S2, now) != FlagA {
+		t.Fatal("fresh tag not at A")
+	}
+	tag.Invert(S2, now)
+	if tag.FlagOf(S2, now.Add(time.Second)) != FlagB {
+		t.Error("S2 flag decayed within persistence")
+	}
+	if tag.FlagOf(S2, now.Add(time.Minute)) != FlagA {
+		t.Error("S2 flag did not decay after persistence")
+	}
+	// S0 decays immediately.
+	tag.Invert(S0, now)
+	if tag.FlagOf(S0, now.Add(time.Millisecond)) != FlagA {
+		t.Error("S0 flag persisted")
+	}
+}
+
+func TestFlagStrings(t *testing.T) {
+	if FlagA.String() != "A" || FlagB.String() != "B" {
+		t.Error("flag strings")
+	}
+}
+
+func TestPersistenceOrdering(t *testing.T) {
+	if Persistence(S0) != 0 {
+		t.Error("S0 persistence must be zero")
+	}
+	if Persistence(S1) >= Persistence(S2) {
+		t.Error("S1 persistence must be below S2")
+	}
+}
+
+func TestSelectMask(t *testing.T) {
+	sel := &Select{Pointer: 2, Mask: []byte{0xAB, 0xCD}}
+	if !sel.Matches([]byte{0, 0, 0xAB, 0xCD, 9}) {
+		t.Error("should match")
+	}
+	if sel.Matches([]byte{0, 0, 0xAB, 0xCE, 9}) {
+		t.Error("should not match")
+	}
+	if sel.Matches([]byte{0xAB, 0xCD}) {
+		t.Error("mask past EPC end must not match")
+	}
+	neg := &Select{Pointer: -1, Mask: []byte{1}}
+	if neg.Matches([]byte{1, 2}) {
+		t.Error("negative pointer must not match")
+	}
+}
+
+func TestSelectAssertSL(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tags := sessionTags(8, rng)
+	// Mark half the population via a 1-byte mask on their first EPC byte.
+	target := tags[0].EPC[0]
+	sel := &Select{Target: TargetSL, Action: ActionAssert, Pointer: 0, Mask: []byte{target}}
+	sel.Apply(tags, time.Unix(0, 0))
+	for _, tg := range tags {
+		want := tg.EPC[0] == target
+		if tg.SL != want {
+			t.Errorf("tag %x: SL=%v, want %v", tg.EPC[:2], tg.SL, want)
+		}
+	}
+}
+
+func TestSelectSessionFlags(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tags := sessionTags(4, rng)
+	now := time.Unix(1000, 0)
+	sel := &Select{Target: TargetS2, Action: ActionDeassert, Pointer: 0, Mask: tags[0].EPC[:1]}
+	sel.Apply(tags, now)
+	// Matching tag(s) got flag B; the rest A.
+	for _, tg := range tags {
+		want := FlagA
+		if tg.EPC[0] == tags[0].EPC[0] {
+			want = FlagB
+		}
+		if got := tg.FlagOf(S2, now); got != want {
+			t.Errorf("tag %x flag %v, want %v", tg.EPC[:2], got, want)
+		}
+	}
+}
+
+func TestSessionInventoryPartitionsPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tags := sessionTags(15, rng)
+	now := time.Unix(1000, 0)
+	p := SessionInventoryParams{Session: S2, Target: FlagA, InitialQ: 4, Rng: rng, Now: now}
+
+	res1, err := RunSessionInventory(tags, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Reads) != 15 {
+		t.Fatalf("cycle 1 read %d of 15", len(res1.Reads))
+	}
+	// Immediately re-running the same Target-A cycle reads nothing: all
+	// flags are now B.
+	res2, err := RunSessionInventory(tags, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Reads) != 0 {
+		t.Errorf("cycle 2 read %d tags, want 0 (flags at B)", len(res2.Reads))
+	}
+	// Target B reads them all again and flips them back.
+	pB := p
+	pB.Target = FlagB
+	res3, err := RunSessionInventory(tags, pB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Reads) != 15 {
+		t.Errorf("cycle 3 read %d, want 15", len(res3.Reads))
+	}
+	// After persistence lapses, Target A works again.
+	pLate := p
+	pLate.Now = now.Add(time.Minute)
+	res4, err := RunSessionInventory(tags, pLate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res4.Reads) != 15 {
+		t.Errorf("cycle 4 read %d after decay, want 15", len(res4.Reads))
+	}
+}
+
+func TestSessionInventorySelFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tags := sessionTags(10, rng)
+	now := time.Unix(1000, 0)
+	// Assert SL on tags whose first byte matches tag 0's.
+	sel := &Select{Target: TargetSL, Action: ActionAssert, Pointer: 0, Mask: tags[0].EPC[:1]}
+	sel.Apply(tags, now)
+	slCount := 0
+	for _, tg := range tags {
+		if tg.SL {
+			slCount++
+		}
+	}
+	res, err := RunSessionInventory(tags, SessionInventoryParams{
+		Session: S1, Target: FlagA, SelFilter: 1, InitialQ: 3, Rng: rng, Now: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reads) != slCount {
+		t.Errorf("SL-filtered inventory read %d, want %d", len(res.Reads), slCount)
+	}
+}
+
+func TestSessionInventoryValidation(t *testing.T) {
+	if _, err := RunSessionInventory(nil, SessionInventoryParams{}); !errors.Is(err, ErrNoSessionRng) {
+		t.Errorf("nil rng: %v", err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	if _, err := RunSessionInventory(nil, SessionInventoryParams{InitialQ: 16, Rng: rng}); err == nil {
+		t.Error("Q out of range must error")
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers: every sweep figure can dump its series as CSV for
+// external plotting (gnuplot/matplotlib), the format the paper's own
+// figures would be drawn from.
+
+// CSVWriter is implemented by results that can export a CSV table.
+type CSVWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV exports port offsets.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"port", "offset_deg"}}
+	for i, d := range r.OffsetsDeg {
+		rows = append(rows, []string{strconv.Itoa(i + 1), f(d)})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports per-path relative peak amplitudes.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"path", "angle_deg", "baseline", "one_blocked", "all_blocked", "is_blocked"}}
+	for i := range r.PathAnglesDeg {
+		rows = append(rows, []string{
+			strconv.Itoa(i + 1), f(r.PathAnglesDeg[i]), f(r.BaselinePeaks[i]),
+			f(r.OneBlockedPeaks[i]), f(r.AllBlockedPeaks[i]),
+			fmt.Sprint(i == r.BlockedIndex),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the calibration-error sweep.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"tags", "dwatch_rad", "phaser_rad"}}
+	for i, n := range r.Tags {
+		rows = append(rows, []string{strconv.Itoa(n), f(r.DWatch[i]), f(r.Phaser[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the AoA error samples (one row per trial).
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"trial", "dwatch_deg", "phaser_deg", "none_deg"}}
+	for i := range r.DWatchErrDeg {
+		rows = append(rows, []string{
+			strconv.Itoa(i + 1), f(r.DWatchErrDeg[i]), f(r.PhaserErrDeg[i]), f(r.NoneErrDeg[i]),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports P-MUSIC per-path relative peak powers.
+func (r *Fig12Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"path", "angle_deg", "baseline", "one_blocked", "all_blocked", "is_blocked"}}
+	for i := range r.PathAnglesDeg {
+		rows = append(rows, []string{
+			strconv.Itoa(i + 1), f(r.PathAnglesDeg[i]), f(r.BaselinePeaks[i]),
+			f(r.OneBlockedPeaks[i]), f(r.AllBlockedPeaks[i]),
+			fmt.Sprint(i == r.BlockedIndex),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the detection-rate sweep.
+func (r *Fig13Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"distance_m", "pmusic_one", "music_one", "pmusic_all", "music_all"}}
+	for i, d := range r.DistancesM {
+		rows = append(rows, []string{
+			f(d), f(r.PMusicOne[i]), f(r.MusicOne[i]), f(r.PMusicAll[i]), f(r.MusicAll[i]),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the per-environment error CDFs (long format).
+func (r *Fig14Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"env", "error_m", "cdf"}}
+	for _, e := range r.Envs {
+		for _, p := range e.CDF {
+			rows = append(rows, []string{e.Name, f(p.Value), f(p.P)})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports mean error per environment per antenna count.
+func (r *Fig15Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"env", "antennas", "mean_err_m", "coverage"}}
+	for i, e := range r.Envs {
+		for j, a := range r.Antennas {
+			rows = append(rows, []string{e, strconv.Itoa(a), f(r.MeanErr[i][j]), f(r.Coverage[i][j])})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the reflector sweep.
+func (r *Fig16Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"reflectors", "mean_err_m", "coverage"}}
+	for i, n := range r.Reflectors {
+		rows = append(rows, []string{strconv.Itoa(n), f(r.MeanErr[i]), f(r.Coverage[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the tag-count sweep.
+func (r *Fig17Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"tags", "mean_err_m", "coverage"}}
+	for i, n := range r.Tags {
+		rows = append(rows, []string{strconv.Itoa(n), f(r.MeanErr[i]), f(r.Coverage[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the height-difference sweep.
+func (r *Fig18Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"height_diff_cm", "mean_err_m", "coverage"}}
+	for i, d := range r.HeightDiffCm {
+		rows = append(rows, []string{f(d), f(r.MeanErr[i]), f(r.Coverage[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the multi-target cases.
+func (r *Fig19Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"separation_cm", "found", "max_err_cm", "merged"}}
+	for _, c := range r.Cases {
+		rows = append(rows, []string{
+			f(c.SeparationCm), strconv.Itoa(c.Found), f(c.MaxErrCm), fmt.Sprint(c.Merged),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports per-glyph tracking stats and trajectories.
+func (r *Fig21Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"glyph", "tags", "kind", "x_m", "y_m"}}
+	for _, g := range r.Glyphs {
+		for _, p := range g.Truth {
+			rows = append(rows, []string{g.Glyph, strconv.Itoa(g.Tags), "truth", f(p.X), f(p.Y)})
+		}
+		for _, p := range g.Estimated {
+			rows = append(rows, []string{g.Glyph, strconv.Itoa(g.Tags), "estimate", f(p.X), f(p.Y)})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteCSV exports the Doppler sweep.
+func (r *ExtensionDopplerResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{{"speed_mps", "want_hz", "got_hz", "bound_mps"}}
+	for i := range r.SpeedsMps {
+		rows = append(rows, []string{f(r.SpeedsMps[i]), f(r.WantHz[i]), f(r.GotHz[i]), f(r.BoundMps[i])})
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,98 @@
+// Package experiments reproduces every figure of the D-Watch paper's
+// evaluation (Section 6) against the simulated substrate: one driver
+// function per figure, each returning a structured result that the
+// bench harness (bench_test.go) and cmd/dwatch-bench print as
+// paper-style tables.
+//
+// Absolute numbers differ from the authors' physical testbed; the
+// reproduction targets the *shape* of each result — orderings,
+// monotone trends, crossovers and rough factors. EXPERIMENTS.md records
+// paper-vs-measured for every figure.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"dwatch/internal/dwatch"
+	"dwatch/internal/sim"
+)
+
+// Options tunes experiment cost. The defaults match the bench harness;
+// Fast is used by unit tests.
+type Options struct {
+	// Seed for all scenario randomness.
+	Seed int64
+	// Reps is the number of trials per measurement point; 0 = 5.
+	// (The paper uses 40; shapes stabilize far earlier in simulation.)
+	Reps int
+	// MaxLocations caps the test-location lattice per room; 0 = 12.
+	MaxLocations int
+	// Fast reduces sweeps to their endpoints for smoke tests.
+	Fast bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Reps == 0 {
+		o.Reps = 5
+		if o.Fast {
+			o.Reps = 2
+		}
+	}
+	if o.MaxLocations == 0 {
+		o.MaxLocations = 12
+		if o.Fast {
+			o.MaxLocations = 4
+		}
+	}
+	return o
+}
+
+// buildSystem constructs, calibrates and baselines a D-Watch system for
+// a scenario config.
+func buildSystem(cfg sim.Config, dcfg dwatch.Config) (*dwatch.System, error) {
+	sc, err := sim.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := dwatch.New(sc, dcfg)
+	if err := s.Calibrate(); err != nil {
+		return nil, err
+	}
+	if err := s.CollectBaseline(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// subsample returns at most n elements of xs, drawn by a deterministic
+// shuffle. (Naive striding is dangerous here: the test-location lattice
+// is row-major, and a stride equal to the row width walks a single
+// column of the room.)
+func subsample[T any](xs []T, n int) []T {
+	if n <= 0 || len(xs) <= n {
+		return xs
+	}
+	perm := rand.New(rand.NewSource(20161212)).Perm(len(xs))
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = xs[perm[i]]
+	}
+	return out
+}
+
+// rngFor derives a deterministic sub-rng for a named experiment.
+func rngFor(seed int64, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + salt))
+}
+
+// printf writes formatted output, ignoring errors (results tables).
+func printf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"io"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/dwatch"
+	"dwatch/internal/geom"
+	"dwatch/internal/sim"
+	"dwatch/internal/stats"
+)
+
+// roomConfigs returns the three environment presets in the paper's
+// multipath order: library (high), laboratory (medium), hall (low).
+func roomConfigs() []sim.Config {
+	return []sim.Config{sim.LibraryConfig(), sim.LaboratoryConfig(), sim.HallConfig()}
+}
+
+// runRoom localizes a human target at every test location and collects
+// human-rule errors and coverage. Each attempt is a robust fix over
+// `reps` acquisition rounds (median of fixes — the paper's repeated
+// measurements per location serve the same purpose).
+func runRoom(s *dwatch.System, locations []geom.Point, reps int) (*stats.Collector, error) {
+	col := &stats.Collector{}
+	for _, p := range locations {
+		res, err := s.LocateRobust([]channel.Target{channel.HumanTarget(p)}, reps)
+		if err != nil {
+			col.AddMiss()
+			continue
+		}
+		col.AddError(stats.HumanError(res.Pos.Dist2D(p)))
+	}
+	return col, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 14 — overall localization accuracy per environment.
+
+// Fig14Env is one environment's result.
+type Fig14Env struct {
+	Name    string
+	Summary stats.Summary
+	CDF     []stats.CDFPoint
+}
+
+// Fig14Result holds all three environments.
+type Fig14Result struct {
+	Envs []Fig14Env
+}
+
+// Fig14Localization reproduces Fig. 14: human-target localization
+// accuracy in the library, laboratory and hall. The paper's headline:
+// the richest-multipath room (library) is the MOST accurate — "bad"
+// multipaths are useful signal.
+func Fig14Localization(opts Options) (*Fig14Result, error) {
+	opts = opts.withDefaults()
+	out := &Fig14Result{}
+	for _, cfg := range roomConfigs() {
+		cfg.Seed = opts.Seed
+		s, err := buildSystem(cfg, dwatch.Config{})
+		if err != nil {
+			return nil, err
+		}
+		locs := subsample(s.Scenario.TestLocations(0.5), opts.MaxLocations)
+		col, err := runRoom(s, locs, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := col.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		out.Envs = append(out.Envs, Fig14Env{
+			Name:    cfg.Name,
+			Summary: sum,
+			CDF:     stats.CDF(col.Errors()),
+		})
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig14Result) Print(w io.Writer) {
+	printf(w, "Fig. 14 — localization error by environment (cm)\n")
+	printf(w, "env          median   mean    p90   coverage\n")
+	for _, e := range r.Envs {
+		printf(w, "%-11s  %6.1f  %5.1f  %5.1f  %7.0f%%\n",
+			e.Name, 100*e.Summary.Median, 100*e.Summary.Mean, 100*e.Summary.P90, 100*e.Summary.Coverage)
+	}
+	printf(w, "(paper medians: library 16.5, laboratory 25.3, hall 32.1;\n")
+	printf(w, " means 17.6 / 25.8 / 31.2 — richest multipath wins)\n\n")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 15 — impact of the number of antennas.
+
+// Fig15Result holds mean error per environment per antenna count.
+type Fig15Result struct {
+	Antennas []int
+	Envs     []string
+	// MeanErr[e][a] is the mean error (m) of environment e with
+	// Antennas[a] antennas; coverage likewise.
+	MeanErr  [][]float64
+	Coverage [][]float64
+}
+
+// Fig15Antennas reproduces Fig. 15: more antennas give finer AoA
+// resolution and lower error (paper library: 54.3 / 35.6 / 17.6 cm for
+// 4 / 6 / 8 antennas).
+func Fig15Antennas(opts Options) (*Fig15Result, error) {
+	opts = opts.withDefaults()
+	ants := []int{4, 6, 8}
+	if opts.Fast {
+		ants = []int{4, 8}
+	}
+	out := &Fig15Result{Antennas: ants}
+	for _, cfg := range roomConfigs() {
+		out.Envs = append(out.Envs, cfg.Name)
+		var row, cov []float64
+		for _, m := range ants {
+			c := cfg
+			c.Seed = opts.Seed
+			c.Antennas = m
+			s, err := buildSystem(c, dwatch.Config{})
+			if err != nil {
+				return nil, err
+			}
+			locs := subsample(s.Scenario.TestLocations(0.5), opts.MaxLocations)
+			col, err := runRoom(s, locs, opts.Reps)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := col.Summarize()
+			if err != nil {
+				return nil, err
+			}
+			mean := sum.Mean
+			if sum.N == 0 {
+				mean = float64(c.Width) // nothing localized: report room-scale error
+			}
+			row = append(row, mean)
+			cov = append(cov, sum.Coverage)
+		}
+		out.MeanErr = append(out.MeanErr, row)
+		out.Coverage = append(out.Coverage, cov)
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig15Result) Print(w io.Writer) {
+	printf(w, "Fig. 15 — mean error (cm) vs number of antennas\n")
+	printf(w, "env         ")
+	for _, a := range r.Antennas {
+		printf(w, "  M=%d   ", a)
+	}
+	printf(w, "\n")
+	for i, e := range r.Envs {
+		printf(w, "%-11s ", e)
+		for j := range r.Antennas {
+			printf(w, " %6.1f ", 100*r.MeanErr[i][j])
+		}
+		printf(w, "\n")
+	}
+	printf(w, "(paper library: 54.3 / 35.6 / 17.6 cm for 4 / 6 / 8 antennas)\n\n")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 16 — impact of the number of reflectors (hall).
+
+// Fig16Result holds error and coverage versus added reflectors.
+type Fig16Result struct {
+	Reflectors []int
+	MeanErr    []float64
+	Coverage   []float64
+}
+
+// Fig16Reflectors reproduces Fig. 16: adding reflectors to the sparse
+// hall raises coverage and improves accuracy (paper: 31.2 → 20.8 cm
+// mean error, coverage up sharply).
+func Fig16Reflectors(opts Options) (*Fig16Result, error) {
+	opts = opts.withDefaults()
+	counts := []int{0, 2, 4, 6, 8, 10, 12}
+	if opts.Fast {
+		counts = []int{0, 8}
+	}
+	out := &Fig16Result{Reflectors: counts}
+	for _, n := range counts {
+		cfg := sim.HallConfig()
+		cfg.Seed = opts.Seed
+		sc, err := sim.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sc.AddReflectors(n)
+		s := dwatch.New(sc, dwatch.Config{})
+		if err := s.Calibrate(); err != nil {
+			return nil, err
+		}
+		if err := s.CollectBaseline(); err != nil {
+			return nil, err
+		}
+		locs := subsample(sc.TestLocations(0.5), opts.MaxLocations)
+		col, err := runRoom(s, locs, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := col.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		mean := sum.Mean
+		if sum.N == 0 {
+			mean = cfg.Width
+		}
+		out.MeanErr = append(out.MeanErr, mean)
+		out.Coverage = append(out.Coverage, sum.Coverage)
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig16Result) Print(w io.Writer) {
+	printf(w, "Fig. 16 — hall accuracy vs added reflectors\n")
+	printf(w, "reflectors  mean-err(cm)  coverage\n")
+	for i, n := range r.Reflectors {
+		printf(w, "%10d  %12.1f  %7.0f%%\n", n, 100*r.MeanErr[i], 100*r.Coverage[i])
+	}
+	printf(w, "(paper: 31.2 → 20.8 cm mean error, coverage rises with reflectors)\n\n")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 17 — impact of the number of tags (library).
+
+// Fig17Result holds error and coverage versus tag count.
+type Fig17Result struct {
+	Tags     []int
+	MeanErr  []float64
+	Coverage []float64
+}
+
+// Fig17Tags reproduces Fig. 17: more tags create more blockable paths,
+// raising coverage and accuracy in the library.
+func Fig17Tags(opts Options) (*Fig17Result, error) {
+	opts = opts.withDefaults()
+	counts := []int{7, 12, 17, 22, 27, 32, 37, 42, 47}
+	if opts.Fast {
+		counts = []int{7, 27}
+	}
+	out := &Fig17Result{Tags: counts}
+	for _, n := range counts {
+		cfg := sim.LibraryConfig()
+		cfg.Seed = opts.Seed
+		cfg.Tags = n
+		s, err := buildSystem(cfg, dwatch.Config{})
+		if err != nil {
+			return nil, err
+		}
+		locs := subsample(s.Scenario.TestLocations(0.5), opts.MaxLocations)
+		col, err := runRoom(s, locs, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := col.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		mean := sum.Mean
+		if sum.N == 0 {
+			mean = cfg.Width
+		}
+		out.MeanErr = append(out.MeanErr, mean)
+		out.Coverage = append(out.Coverage, sum.Coverage)
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig17Result) Print(w io.Writer) {
+	printf(w, "Fig. 17 — library accuracy vs number of tags\n")
+	printf(w, "tags  mean-err(cm)  coverage\n")
+	for i, n := range r.Tags {
+		printf(w, "%4d  %12.1f  %7.0f%%\n", n, 100*r.MeanErr[i], 100*r.Coverage[i])
+	}
+	printf(w, "(paper: error falls and coverage rises with more tags)\n\n")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 18 — impact of tag-array height difference (library).
+
+// Fig18Result holds error versus tag-array height difference.
+type Fig18Result struct {
+	HeightDiffCm []float64
+	MeanErr      []float64
+	Coverage     []float64
+}
+
+// Fig18Height reproduces Fig. 18: tags mounted above the array plane
+// still work; error grows slowly with height difference (paper: ≈24 cm
+// at 40 cm difference, ≈40 cm at 120 cm).
+func Fig18Height(opts Options) (*Fig18Result, error) {
+	opts = opts.withDefaults()
+	diffs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+	if opts.Fast {
+		diffs = []float64{0, 0.8}
+	}
+	out := &Fig18Result{}
+	for _, d := range diffs {
+		cfg := sim.LibraryConfig()
+		cfg.Seed = opts.Seed
+		cfg.TagZMin = cfg.ArrayZ + d
+		cfg.TagZMax = cfg.ArrayZ + d
+		s, err := buildSystem(cfg, dwatch.Config{})
+		if err != nil {
+			return nil, err
+		}
+		locs := subsample(s.Scenario.TestLocations(0.5), opts.MaxLocations)
+		col, err := runRoom(s, locs, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := col.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		mean := sum.Mean
+		if sum.N == 0 {
+			mean = cfg.Width
+		}
+		out.HeightDiffCm = append(out.HeightDiffCm, d*100)
+		out.MeanErr = append(out.MeanErr, mean)
+		out.Coverage = append(out.Coverage, sum.Coverage)
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig18Result) Print(w io.Writer) {
+	printf(w, "Fig. 18 — library accuracy vs tag-array height difference\n")
+	printf(w, "diff(cm)  mean-err(cm)  coverage\n")
+	for i, d := range r.HeightDiffCm {
+		printf(w, "%8.0f  %12.1f  %7.0f%%\n", d, 100*r.MeanErr[i], 100*r.Coverage[i])
+	}
+	printf(w, "(paper: ≈24 cm at 40 cm difference, ≈40 cm at 120 cm)\n\n")
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"io"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/dwatch"
+	"dwatch/internal/geom"
+	"dwatch/internal/loc"
+	"dwatch/internal/sim"
+	"dwatch/internal/stats"
+	"dwatch/internal/trace"
+)
+
+// tableSurfaceZ is the table height; bottles stand on it, arrays and
+// tags sit slightly above at the fist/bottle mid-height.
+const tableSurfaceZ = 0.75
+
+// buildTable constructs the Fig. 20 table deployment with the given tag
+// count.
+func buildTable(opts Options, tags int) (*dwatch.System, error) {
+	cfg := sim.TableConfig()
+	cfg.Seed = opts.Seed
+	if tags > 0 {
+		cfg.Tags = tags
+	}
+	return buildSystem(cfg, dwatch.Config{})
+}
+
+// ---------------------------------------------------------------------
+// Fig. 19 — multi-target localization of three bottles.
+
+// Fig19Case is one separation's outcome.
+type Fig19Case struct {
+	SeparationCm float64
+	Found        int       // how many of the 3 bottles got a distinct fix
+	MaxErrCm     float64   // max distance from a fix to its true bottle
+	Merged       bool      // fewer fixes than bottles (targets merged)
+	Errors       []float64 // per-matched-bottle errors (m)
+}
+
+// Fig19Result holds the three separations of Fig. 19.
+type Fig19Result struct {
+	Cases []Fig19Case
+}
+
+// Fig19MultiTarget reproduces Fig. 19: three water bottles on the 2 m
+// table are separately localizable down to ≈50 cm spacing (paper: max
+// error 17.2 cm) and merge when only 20 cm apart.
+func Fig19MultiTarget(opts Options) (*Fig19Result, error) {
+	opts = opts.withDefaults()
+	seps := []float64{1.3, 0.5, 0.2}
+	if opts.Fast {
+		seps = []float64{1.3, 0.2}
+	}
+	s, err := buildTable(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig19Result{}
+	for _, sep := range seps {
+		// Bottles in a row centred on the table.
+		cx, cy := 1.0, 1.0
+		positions := []geom.Point{
+			geom.Pt(cx-sep, cy, tableSurfaceZ),
+			geom.Pt(cx, cy, tableSurfaceZ),
+			geom.Pt(cx+sep, cy, tableSurfaceZ),
+		}
+		if sep > 0.6 {
+			// Wide case: spread diagonally so all three stay on the table.
+			positions = []geom.Point{
+				geom.Pt(0.35, 0.45, tableSurfaceZ),
+				geom.Pt(1.0, 1.1, tableSurfaceZ),
+				geom.Pt(1.65, 1.55, tableSurfaceZ),
+			}
+		}
+		var targets []channel.Target
+		for _, p := range positions {
+			targets = append(targets, channel.BottleTarget(p, tableSurfaceZ))
+		}
+		minSep := sep / 2
+		if minSep < 0.1 {
+			minSep = 0.1
+		}
+		fixes, err := s.LocateMulti(targets, 3, minSep)
+		if err != nil && err != loc.ErrNotCovered {
+			return nil, err
+		}
+		c := Fig19Case{SeparationCm: sep * 100}
+		matched := make([]bool, len(positions))
+		for _, f := range fixes {
+			best, bd := -1, 1e9
+			for i, p := range positions {
+				if matched[i] {
+					continue
+				}
+				if d := f.Pos.Dist2D(p); d < bd {
+					best, bd = i, d
+				}
+			}
+			if best >= 0 && bd < 0.5 {
+				matched[best] = true
+				c.Found++
+				c.Errors = append(c.Errors, bd)
+				if bd*100 > c.MaxErrCm {
+					c.MaxErrCm = bd * 100
+				}
+			}
+		}
+		c.Merged = c.Found < len(positions)
+		out.Cases = append(out.Cases, c)
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig19Result) Print(w io.Writer) {
+	printf(w, "Fig. 19 — multi-target localization of 3 bottles (2 m table)\n")
+	printf(w, "separation  found  max-err(cm)  merged\n")
+	for _, c := range r.Cases {
+		printf(w, "%8.0fcm  %5d  %11.1f  %v\n", c.SeparationCm, c.Found, c.MaxErrCm, c.Merged)
+	}
+	printf(w, "(paper: ≤17.2 cm max error at 130/50 cm separation; targets\n")
+	printf(w, " merge at 20 cm)\n\n")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 21/22 — tracking a fist writing glyphs in the air.
+
+// Fig21Glyph is one glyph's tracking outcome.
+type Fig21Glyph struct {
+	Glyph     string
+	Tags      int
+	MedianCm  float64
+	P90Cm     float64
+	Points    int
+	Truth     geom.Polyline
+	Estimated geom.Polyline
+}
+
+// Fig21Result holds tracking results per glyph and tag count.
+type Fig21Result struct {
+	Glyphs []Fig21Glyph
+}
+
+// Fig21FistTracking reproduces Figs. 21-22: a fist writes "P" and "O"
+// over the table at ≈0.5 m/s; D-Watch tracks it passively. The paper
+// reports 5.8 cm median error with 26 tags and 9.7 cm with 13.
+func Fig21FistTracking(opts Options) (*Fig21Result, error) {
+	opts = opts.withDefaults()
+	tagCounts := []int{26, 13}
+	glyphs := []string{"P", "O"}
+	if opts.Fast {
+		tagCounts = []int{26}
+		glyphs = []string{"O"}
+	}
+	out := &Fig21Result{}
+	for _, nTags := range tagCounts {
+		s, err := buildTable(opts, nTags)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range glyphs {
+			stroke, err := trace.Glyph(g)
+			if err != nil {
+				return nil, err
+			}
+			truth := trace.Placed(stroke, geom.Pt2(0.5, 0.5), 1.0, tableSurfaceZ+0.10)
+			samples, err := trace.Sample(truth, 0.5, 0.1)
+			if err != nil {
+				return nil, err
+			}
+			tracker := &loc.Tracker{}
+			var est geom.Polyline
+			var errs []float64
+			for _, p := range samples {
+				fix, lerr := s.Locate([]channel.Target{channel.FistTarget(p)})
+				var smoothed geom.Point
+				if lerr != nil {
+					smoothed = tracker.Update(geom.Point{}, false)
+				} else {
+					smoothed = tracker.Update(fix.Pos, true)
+				}
+				if !tracker.Initialized() {
+					continue
+				}
+				est = append(est, smoothed)
+				errs = append(errs, smoothed.Dist2D(p))
+			}
+			gl := Fig21Glyph{Glyph: g, Tags: nTags, Points: len(errs), Truth: truth, Estimated: est}
+			if len(errs) > 0 {
+				med, _ := stats.Median(errs)
+				p90, _ := stats.Percentile(errs, 90)
+				gl.MedianCm = med * 100
+				gl.P90Cm = p90 * 100
+			}
+			out.Glyphs = append(out.Glyphs, gl)
+		}
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (r *Fig21Result) Print(w io.Writer) {
+	printf(w, "Fig. 21/22 — fist tracking on the 2 m table\n")
+	printf(w, "glyph  tags  points  median(cm)  p90(cm)\n")
+	for _, g := range r.Glyphs {
+		printf(w, "%5s  %4d  %6d  %10.1f  %7.1f\n", g.Glyph, g.Tags, g.Points, g.MedianCm, g.P90Cm)
+	}
+	printf(w, "(paper: median 5.8 cm with 26 tags, 9.7 cm with 13 tags)\n\n")
+}

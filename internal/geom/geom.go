@@ -1,0 +1,300 @@
+// Package geom provides the small amount of 3-D vector geometry D-Watch
+// needs: points, segments, specular reflection by the image method, and
+// point-to-segment distances used by the path-blocking model.
+//
+// Coordinates are metres in a right-handed frame with z up. Rooms are
+// axis-aligned boxes in the x-y plane; reflectors are vertical planar
+// facets described by a 2-D wall segment plus a height range.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location or free vector in 3-D space.
+type Point struct {
+	X, Y, Z float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y, z float64) Point { return Point{x, y, z} }
+
+// Pt2 constructs a Point in the z=0 plane.
+func Pt2(x, y float64) Point { return Point{x, y, 0} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s, p.Z * s} }
+
+// Dot returns the dot product p · q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y + p.Z*q.Z }
+
+// Cross returns the cross product p × q.
+func (p Point) Cross(q Point) Point {
+	return Point{
+		p.Y*q.Z - p.Z*q.Y,
+		p.Z*q.X - p.X*q.Z,
+		p.X*q.Y - p.Y*q.X,
+	}
+}
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Sqrt(p.Dot(p)) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2D returns the distance between p and q projected onto the x-y plane.
+func (p Point) Dist2D(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Unit returns p normalized to length 1. The zero vector is returned
+// unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return p.Scale(1 / n)
+}
+
+// Lerp returns the point (1-t)·p + t·q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{
+		p.X + (q.X-p.X)*t,
+		p.Y + (q.Y-p.Y)*t,
+		p.Z + (q.Z-p.Z)*t,
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", p.X, p.Y, p.Z)
+}
+
+// ApproxEq reports whether p and q agree within tol in every coordinate.
+func (p Point) ApproxEq(q Point, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol && math.Abs(p.Z-q.Z) <= tol
+}
+
+// Segment is the directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for constructing a Segment.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// At returns the point A + t·(B−A). t is not clamped.
+func (s Segment) At(t float64) Point { return s.A.Lerp(s.B, t) }
+
+// Midpoint returns the midpoint of the segment.
+func (s Segment) Midpoint() Point { return s.At(0.5) }
+
+// ClosestParam returns the parameter t ∈ [0,1] of the point on the segment
+// closest to p.
+func (s Segment) ClosestParam(p Point) float64 {
+	d := s.B.Sub(s.A)
+	den := d.Dot(d)
+	if den == 0 {
+		return 0
+	}
+	t := p.Sub(s.A).Dot(d) / den
+	return clamp(t, 0, 1)
+}
+
+// DistToPoint returns the minimum distance from p to the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	return p.Dist(s.At(s.ClosestParam(p)))
+}
+
+// DistToPoint2D returns the minimum distance, projected onto the x-y
+// plane, from p to the segment. This models a vertical-cylinder obstacle
+// (a standing person) intersecting a propagation path.
+func (s Segment) DistToPoint2D(p Point) float64 {
+	a := Point{s.A.X, s.A.Y, 0}
+	b := Point{s.B.X, s.B.Y, 0}
+	q := Point{p.X, p.Y, 0}
+	return Segment{a, b}.DistToPoint(q)
+}
+
+// Wall is a vertical planar reflector facet: a 2-D segment in the x-y
+// plane extruded from ZMin to ZMax. Book shelves, metal cabinets and
+// laptop lids are modelled as Walls.
+type Wall struct {
+	Foot       Segment // endpoints' Z values are ignored
+	ZMin, ZMax float64
+}
+
+// NewWall builds a vertical wall over the 2-D footprint from (x1,y1) to
+// (x2,y2) spanning heights [zmin, zmax].
+func NewWall(x1, y1, x2, y2, zmin, zmax float64) Wall {
+	return Wall{Foot: Seg(Pt2(x1, y1), Pt2(x2, y2)), ZMin: zmin, ZMax: zmax}
+}
+
+// normal2D returns the unit normal of the wall's footprint line in the
+// x-y plane.
+func (w Wall) normal2D() Point {
+	d := w.Foot.B.Sub(w.Foot.A)
+	n := Point{-d.Y, d.X, 0}
+	return n.Unit()
+}
+
+// Mirror returns the image of p reflected across the wall's (infinite)
+// vertical plane. Used by the image method to enumerate first-order
+// specular reflection paths.
+func (w Wall) Mirror(p Point) Point {
+	n := w.normal2D()
+	// Signed distance from p to the plane through Foot.A with normal n.
+	d := p.Sub(Pt(w.Foot.A.X, w.Foot.A.Y, p.Z)).Dot(n)
+	return p.Sub(n.Scale(2 * d))
+}
+
+// ReflectionPoint computes where the specular path from src to dst via
+// the wall hits the wall. It returns the hit point and true when the hit
+// lies within the wall's finite footprint and height range and both
+// endpoints are on the same side of the wall plane; otherwise ok=false.
+func (w Wall) ReflectionPoint(src, dst Point) (hit Point, ok bool) {
+	n := w.normal2D()
+	a := Pt(w.Foot.A.X, w.Foot.A.Y, 0)
+	ds := src.Sub(Pt(a.X, a.Y, src.Z)).Dot(n)
+	dd := dst.Sub(Pt(a.X, a.Y, dst.Z)).Dot(n)
+	if ds*dd <= 0 || ds == 0 {
+		// Endpoints straddle or touch the plane: no specular bounce.
+		return Point{}, false
+	}
+	img := w.Mirror(src)
+	// Intersect segment img->dst with the wall plane.
+	dir := dst.Sub(img)
+	den := dir.Dot(n)
+	if den == 0 {
+		return Point{}, false
+	}
+	di := img.Sub(Pt(a.X, a.Y, img.Z)).Dot(n)
+	t := -di / den
+	if t <= 0 || t >= 1 {
+		return Point{}, false
+	}
+	hit = img.Add(dir.Scale(t))
+	// Check the hit is within the finite facet.
+	foot2 := Segment{Pt2(w.Foot.A.X, w.Foot.A.Y), Pt2(w.Foot.B.X, w.Foot.B.Y)}
+	u := foot2.ClosestParam(Pt2(hit.X, hit.Y))
+	onFoot := foot2.At(u)
+	if onFoot.Dist2D(hit) > 1e-9 {
+		return Point{}, false
+	}
+	if u <= 0 || u >= 1 {
+		return Point{}, false
+	}
+	if hit.Z < w.ZMin || hit.Z > w.ZMax {
+		return Point{}, false
+	}
+	return hit, true
+}
+
+// Polyline is an ordered list of points, used for ground-truth
+// trajectories (e.g. the fist-writing glyphs).
+type Polyline []Point
+
+// Length returns the total arc length of the polyline.
+func (pl Polyline) Length() float64 {
+	var sum float64
+	for i := 1; i < len(pl); i++ {
+		sum += pl[i].Dist(pl[i-1])
+	}
+	return sum
+}
+
+// PointAt returns the point at arc-length distance s from the start,
+// clamped to the ends.
+func (pl Polyline) PointAt(s float64) Point {
+	if len(pl) == 0 {
+		return Point{}
+	}
+	if s <= 0 {
+		return pl[0]
+	}
+	for i := 1; i < len(pl); i++ {
+		l := pl[i].Dist(pl[i-1])
+		if s <= l {
+			if l == 0 {
+				return pl[i]
+			}
+			return pl[i-1].Lerp(pl[i], s/l)
+		}
+		s -= l
+	}
+	return pl[len(pl)-1]
+}
+
+// Resample returns n points spaced uniformly by arc length along the
+// polyline, including both endpoints.
+func (pl Polyline) Resample(n int) Polyline {
+	if n <= 0 || len(pl) == 0 {
+		return nil
+	}
+	out := make(Polyline, n)
+	if n == 1 {
+		out[0] = pl[0]
+		return out
+	}
+	total := pl.Length()
+	for i := 0; i < n; i++ {
+		out[i] = pl.PointAt(total * float64(i) / float64(n-1))
+	}
+	return out
+}
+
+// MinDistToPoint returns the minimum distance from p to any segment of
+// the polyline.
+func (pl Polyline) MinDistToPoint(p Point) float64 {
+	if len(pl) == 0 {
+		return math.Inf(1)
+	}
+	if len(pl) == 1 {
+		return pl[0].Dist(p)
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(pl); i++ {
+		if d := Seg(pl[i-1], pl[i]).DistToPoint(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AngleFrom returns the planar angle θ ∈ [0, π] between the direction
+// from 'from' to 'to' and the unit axis 'axis', all projected onto the
+// x-y plane. This is the AoA convention of the paper's Eq. 1-2: θ is
+// measured from the array axis, broadside is π/2.
+func AngleFrom(from, to, axis Point) float64 {
+	d := Point{to.X - from.X, to.Y - from.Y, 0}
+	a := Point{axis.X, axis.Y, 0}.Unit()
+	dn := d.Norm()
+	if dn == 0 {
+		return math.Pi / 2
+	}
+	c := d.Dot(a) / dn
+	return math.Acos(clamp(c, -1, 1))
+}

@@ -1,0 +1,296 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2, 3)
+	q := Pt(4, -1, 0.5)
+	if got := p.Add(q); got != Pt(5, 1, 3.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-3, 3, 2.5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1*4+2*-1+3*0.5 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	p := Pt(1, 2, 3)
+	q := Pt(-2, 0.5, 4)
+	c := p.Cross(q)
+	if !almostEq(c.Dot(p), 0, 1e-12) || !almostEq(c.Dot(q), 0, 1e-12) {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+}
+
+func TestNormDist(t *testing.T) {
+	if !almostEq(Pt(3, 4, 0).Norm(), 5, 1e-12) {
+		t.Error("Norm(3,4,0) != 5")
+	}
+	if !almostEq(Pt(0, 0, 0).Dist(Pt(1, 1, 1)), math.Sqrt(3), 1e-12) {
+		t.Error("Dist wrong")
+	}
+	if !almostEq(Pt(0, 0, 5).Dist2D(Pt(3, 4, -7)), 5, 1e-12) {
+		t.Error("Dist2D must ignore z")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Pt(0, 3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	z := Pt(0, 0, 0).Unit()
+	if z != Pt(0, 0, 0) {
+		t.Errorf("Unit of zero = %v", z)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0, 0), Pt(2, 4, 6)
+	if got := a.Lerp(b, 0.5); got != Pt(1, 2, 3) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp t=0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp t=1 = %v", got)
+	}
+}
+
+func TestSegmentClosest(t *testing.T) {
+	s := Seg(Pt2(0, 0), Pt2(10, 0))
+	cases := []struct {
+		p    Point
+		t    float64
+		dist float64
+	}{
+		{Pt2(5, 3), 0.5, 3},
+		{Pt2(-2, 0), 0, 2},
+		{Pt2(14, 3), 1, 5},
+		{Pt2(0, 0), 0, 0},
+	}
+	for _, c := range cases {
+		if got := s.ClosestParam(c.p); !almostEq(got, c.t, 1e-12) {
+			t.Errorf("ClosestParam(%v) = %v, want %v", c.p, got, c.t)
+		}
+		if got := s.DistToPoint(c.p); !almostEq(got, c.dist, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", c.p, got, c.dist)
+		}
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	s := Seg(Pt(1, 1, 1), Pt(1, 1, 1))
+	if got := s.DistToPoint(Pt(1, 2, 1)); !almostEq(got, 1, 1e-12) {
+		t.Errorf("degenerate segment dist = %v", got)
+	}
+	if s.Len() != 0 {
+		t.Error("degenerate segment length != 0")
+	}
+}
+
+func TestDistToPoint2DIgnoresHeight(t *testing.T) {
+	// Path climbs in z; the 2-D (cylinder) distance must ignore z entirely.
+	s := Seg(Pt(0, 0, 0), Pt(10, 0, 5))
+	if got := s.DistToPoint2D(Pt(5, 2, 100)); !almostEq(got, 2, 1e-12) {
+		t.Errorf("DistToPoint2D = %v, want 2", got)
+	}
+}
+
+func TestWallMirror(t *testing.T) {
+	// Wall along the y axis at x=2: mirror of (0,1) is (4,1).
+	w := NewWall(2, -5, 2, 5, 0, 3)
+	m := w.Mirror(Pt(0, 1, 1.5))
+	if !m.ApproxEq(Pt(4, 1, 1.5), 1e-9) {
+		t.Errorf("Mirror = %v, want (4,1,1.5)", m)
+	}
+	// Mirroring twice is the identity.
+	if mm := w.Mirror(m); !mm.ApproxEq(Pt(0, 1, 1.5), 1e-9) {
+		t.Errorf("double Mirror = %v", mm)
+	}
+}
+
+func TestWallReflectionPoint(t *testing.T) {
+	w := NewWall(0, -5, 0, 5, 0, 3) // wall in the y-z plane at x=0
+	src := Pt(3, -2, 1)
+	dst := Pt(3, 2, 1)
+	hit, ok := w.ReflectionPoint(src, dst)
+	if !ok {
+		t.Fatal("expected a reflection point")
+	}
+	// By symmetry the bounce is at y=0, x=0.
+	if !hit.ApproxEq(Pt(0, 0, 1), 1e-9) {
+		t.Errorf("hit = %v, want (0,0,1)", hit)
+	}
+	// Specular law: incoming and outgoing path lengths via the image are equal
+	// to the direct image distance.
+	img := w.Mirror(src)
+	want := img.Dist(dst)
+	got := src.Dist(hit) + hit.Dist(dst)
+	if !almostEq(got, want, 1e-9) {
+		t.Errorf("path length = %v, want image distance %v", got, want)
+	}
+}
+
+func TestWallReflectionRejectsOppositeSides(t *testing.T) {
+	w := NewWall(0, -5, 0, 5, 0, 3)
+	if _, ok := w.ReflectionPoint(Pt(-3, 0, 1), Pt(3, 0, 1)); ok {
+		t.Error("reflection must be rejected when endpoints straddle the wall")
+	}
+}
+
+func TestWallReflectionRejectsOutsideFootprint(t *testing.T) {
+	w := NewWall(0, -1, 0, 1, 0, 3) // short wall
+	// Specular point would be at y=5, outside [-1, 1].
+	if _, ok := w.ReflectionPoint(Pt(3, 4, 1), Pt(3, 6, 1)); ok {
+		t.Error("reflection must be rejected outside wall footprint")
+	}
+}
+
+func TestWallReflectionRejectsAboveHeight(t *testing.T) {
+	w := NewWall(0, -5, 0, 5, 0, 1) // low wall
+	if _, ok := w.ReflectionPoint(Pt(3, -2, 2.5), Pt(3, 2, 2.5)); ok {
+		t.Error("reflection must be rejected above wall height")
+	}
+}
+
+func TestPolylineLengthAndAt(t *testing.T) {
+	pl := Polyline{Pt2(0, 0), Pt2(3, 0), Pt2(3, 4)}
+	if !almostEq(pl.Length(), 7, 1e-12) {
+		t.Errorf("Length = %v", pl.Length())
+	}
+	if got := pl.PointAt(3); !got.ApproxEq(Pt2(3, 0), 1e-12) {
+		t.Errorf("PointAt(3) = %v", got)
+	}
+	if got := pl.PointAt(5); !got.ApproxEq(Pt2(3, 2), 1e-12) {
+		t.Errorf("PointAt(5) = %v", got)
+	}
+	if got := pl.PointAt(-1); got != pl[0] {
+		t.Errorf("PointAt(-1) = %v", got)
+	}
+	if got := pl.PointAt(100); got != pl[2] {
+		t.Errorf("PointAt(100) = %v", got)
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	pl := Polyline{Pt2(0, 0), Pt2(10, 0)}
+	r := pl.Resample(5)
+	if len(r) != 5 {
+		t.Fatalf("Resample len = %d", len(r))
+	}
+	for i, p := range r {
+		want := 10 * float64(i) / 4
+		if !almostEq(p.X, want, 1e-12) {
+			t.Errorf("Resample[%d].X = %v, want %v", i, p.X, want)
+		}
+	}
+	if got := pl.Resample(1); len(got) != 1 || got[0] != pl[0] {
+		t.Errorf("Resample(1) = %v", got)
+	}
+	if got := pl.Resample(0); got != nil {
+		t.Errorf("Resample(0) = %v", got)
+	}
+}
+
+func TestPolylineMinDist(t *testing.T) {
+	pl := Polyline{Pt2(0, 0), Pt2(10, 0), Pt2(10, 10)}
+	if got := pl.MinDistToPoint(Pt2(5, 2)); !almostEq(got, 2, 1e-12) {
+		t.Errorf("MinDistToPoint = %v", got)
+	}
+	if got := pl.MinDistToPoint(Pt2(12, 5)); !almostEq(got, 2, 1e-12) {
+		t.Errorf("MinDistToPoint = %v", got)
+	}
+	one := Polyline{Pt2(1, 1)}
+	if got := one.MinDistToPoint(Pt2(1, 3)); !almostEq(got, 2, 1e-12) {
+		t.Errorf("single-point MinDist = %v", got)
+	}
+}
+
+func TestAngleFrom(t *testing.T) {
+	axis := Pt2(1, 0)
+	cases := []struct {
+		to   Point
+		want float64
+	}{
+		{Pt2(5, 0), 0},
+		{Pt2(0, 5), math.Pi / 2},
+		{Pt2(-5, 0), math.Pi},
+		{Pt2(5, 5), math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := AngleFrom(Pt2(0, 0), c.to, axis); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("AngleFrom(->%v) = %v, want %v", c.to, got, c.want)
+		}
+	}
+	// Degenerate: to == from returns broadside.
+	if got := AngleFrom(Pt2(1, 1), Pt2(1, 1), axis); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("degenerate AngleFrom = %v", got)
+	}
+}
+
+// Property: mirroring across any wall is an involution and preserves
+// distance to the wall plane.
+func TestMirrorInvolutionProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2, px, py, pz float64) bool {
+		x1, y1 = math.Mod(x1, 50), math.Mod(y1, 50)
+		x2, y2 = math.Mod(x2, 50), math.Mod(y2, 50)
+		if math.Hypot(x2-x1, y2-y1) < 1e-6 {
+			return true // degenerate wall, skip
+		}
+		w := NewWall(x1, y1, x2, y2, 0, 3)
+		p := Pt(math.Mod(px, 50), math.Mod(py, 50), math.Mod(pz, 3))
+		return w.Mirror(w.Mirror(p)).ApproxEq(p, 1e-6)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClosestParam always yields the true minimum over a dense
+// sampling of the segment.
+func TestClosestParamIsMinimumProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		s := Seg(Pt2(math.Mod(ax, 20), math.Mod(ay, 20)), Pt2(math.Mod(bx, 20), math.Mod(by, 20)))
+		p := Pt2(math.Mod(px, 20), math.Mod(py, 20))
+		d := s.DistToPoint(p)
+		for t := 0.0; t <= 1.0; t += 0.01 {
+			if p.Dist(s.At(t)) < d-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineEmpty(t *testing.T) {
+	var pl Polyline
+	if pl.Length() != 0 {
+		t.Error("empty polyline length != 0")
+	}
+	if got := pl.PointAt(1); got != (Point{}) {
+		t.Errorf("empty PointAt = %v", got)
+	}
+	if !math.IsInf(pl.MinDistToPoint(Pt2(0, 0)), 1) {
+		t.Error("empty MinDistToPoint should be +Inf")
+	}
+}

@@ -1,0 +1,252 @@
+package llrp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultPort is LLRP's IANA-registered TCP port.
+const DefaultPort = 5084
+
+// DefaultIOTimeout bounds single message reads/writes.
+const DefaultIOTimeout = 10 * time.Second
+
+// Conn is a framed LLRP connection. It is safe for one concurrent
+// reader and one concurrent writer.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	writeMu sync.Mutex
+	timeout time.Duration
+	nextID  uint32
+	idMu    sync.Mutex
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, br: bufio.NewReaderSize(c, 64<<10), timeout: DefaultIOTimeout}
+}
+
+// SetTimeout changes the per-message I/O timeout. Zero disables
+// deadlines.
+func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// allocID returns a fresh message ID.
+func (c *Conn) allocID() uint32 {
+	c.idMu.Lock()
+	defer c.idMu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// Send writes a message with a freshly allocated ID and returns that ID.
+func (c *Conn) Send(typ uint16, payload []byte) (uint32, error) {
+	id := c.allocID()
+	return id, c.SendWithID(typ, id, payload)
+}
+
+// SendWithID writes a message with an explicit ID (used for responses
+// that must echo the request ID).
+func (c *Conn) SendWithID(typ uint16, id uint32, payload []byte) error {
+	hdr, err := MarshalHeader(typ, id, len(payload))
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.timeout > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("llrp: set write deadline: %w", err)
+		}
+	}
+	if _, err := c.c.Write(hdr); err != nil {
+		return fmt.Errorf("llrp: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := c.c.Write(payload); err != nil {
+			return fmt.Errorf("llrp: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Recv reads the next message.
+func (c *Conn) Recv() (Message, error) {
+	if c.timeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return Message{}, fmt.Errorf("llrp: set read deadline: %w", err)
+		}
+	}
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	typ, id, total, err := ParseHeader(hdr[:])
+	if err != nil {
+		return Message{}, err
+	}
+	payload := make([]byte, total-HeaderLen)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return Message{}, fmt.Errorf("llrp: read payload: %w", err)
+	}
+	return Message{Type: typ, ID: id, Payload: payload}, nil
+}
+
+// Handler processes inbound messages on a server connection. Returning
+// an error closes the connection.
+type Handler interface {
+	Handle(conn *Conn, msg Message) error
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(conn *Conn, msg Message) error
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(conn *Conn, msg Message) error { return f(conn, msg) }
+
+// Server accepts LLRP connections and dispatches messages to a Handler.
+// In D-Watch's deployment the *localization server* listens and the
+// readers connect to it to forward their backscatter reports.
+type Server struct {
+	Handler Handler
+
+	mu sync.Mutex
+	ln net.Listener
+
+	wg sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("llrp: server closed")
+
+// Listen starts listening on addr (e.g. ":5084").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Shutdown. Each connection is handled
+// on its own goroutine; per-message handler errors close only that
+// connection.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("llrp: Serve before Listen")
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			conn := NewConn(nc)
+			defer conn.Close()
+			// Greet like an LLRP reader-initiated event channel.
+			ev := ReaderEvent{Text: "connection established"}
+			if err := conn.SendWithID(MsgReaderEventNotification, 0, ev.Marshal()); err != nil {
+				return
+			}
+			for {
+				msg, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				if msg.Type == MsgCloseConnection {
+					_ = conn.SendWithID(MsgCloseConnectionResponse, msg.ID, nil)
+					return
+				}
+				if s.Handler == nil {
+					continue
+				}
+				if err := s.Handler.Handle(conn, msg); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Shutdown stops the listener and waits for connection goroutines with
+// the context's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Dial connects to an LLRP endpoint and consumes the greeting event.
+func Dial(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := NewConn(nc)
+	msg, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("llrp: greeting: %w", err)
+	}
+	if msg.Type != MsgReaderEventNotification {
+		conn.Close()
+		return nil, fmt.Errorf("llrp: unexpected greeting type %d", msg.Type)
+	}
+	return conn, nil
+}
+
+// SendKeepalive sends a KEEPALIVE and waits for the ack.
+func (c *Conn) SendKeepalive() error {
+	id, err := c.Send(MsgKeepalive, nil)
+	if err != nil {
+		return err
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type != MsgKeepaliveAck || msg.ID != id {
+		return fmt.Errorf("llrp: bad keepalive ack (type %d id %d)", msg.Type, msg.ID)
+	}
+	return nil
+}

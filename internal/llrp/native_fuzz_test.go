@@ -1,0 +1,62 @@
+package llrp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalROAccessReport is a native fuzz target for the report
+// parser — the main untrusted input surface. Run with
+//
+//	go test -fuzz=FuzzUnmarshalROAccessReport ./internal/llrp
+//
+// In normal test runs only the seed corpus executes.
+func FuzzUnmarshalROAccessReport(f *testing.F) {
+	good, err := sampleReport().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := UnmarshalROAccessReport(data)
+		if err != nil {
+			return
+		}
+		// Parsed reports must be internally sane.
+		for _, tr := range rep.Reports {
+			if len(tr.EPC) == 0 {
+				t.Fatal("empty EPC accepted")
+			}
+			if len(tr.Snapshot) > maxSnapshotDim {
+				t.Fatal("oversized snapshot accepted")
+			}
+			for _, row := range tr.Snapshot {
+				if len(row) > maxSnapshotDim {
+					t.Fatal("oversized snapshot row accepted")
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseHeader covers the framing layer.
+func FuzzParseHeader(f *testing.F) {
+	h, _ := MarshalHeader(MsgKeepalive, 1, 0)
+	f.Add(h)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, _, total, err := ParseHeader(data)
+		if err != nil {
+			return
+		}
+		if total < HeaderLen || total > MaxMessageLen {
+			t.Fatalf("accepted total %d", total)
+		}
+		if typ > 0x1FFF {
+			t.Fatalf("type %d out of field range", typ)
+		}
+	})
+}

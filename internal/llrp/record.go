@@ -1,0 +1,164 @@
+package llrp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Record/replay: a deployment wants to capture a reader session once
+// and re-run localization offline while tuning thresholds (the paper's
+// authors did exactly this with logged LLRP traffic). The format is a
+// simple length-prefixed stream:
+//
+//	magic "DWRL" | version u8
+//	repeated records: unix-micro i64 | msg type u16 | payload len u32 | payload
+//
+// Timestamps preserve inter-report pacing so replays can be run in real
+// time or as fast as possible.
+
+// recordMagic identifies a record stream.
+var recordMagic = [4]byte{'D', 'W', 'R', 'L'}
+
+// recordVersion is the current stream version.
+const recordVersion = 1
+
+// ErrBadRecord is returned for malformed record streams.
+var ErrBadRecord = errors.New("llrp: bad record stream")
+
+// RecordWriter appends timestamped messages to a stream.
+type RecordWriter struct {
+	w      *bufio.Writer
+	closer io.Closer
+	wrote  bool
+}
+
+// NewRecordWriter starts a record stream on w. If w is an io.Closer,
+// Close closes it.
+func NewRecordWriter(w io.Writer) *RecordWriter {
+	rw := &RecordWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		rw.closer = c
+	}
+	return rw
+}
+
+// Record appends one message with the given timestamp.
+func (rw *RecordWriter) Record(at time.Time, msg Message) error {
+	if !rw.wrote {
+		if _, err := rw.w.Write(recordMagic[:]); err != nil {
+			return err
+		}
+		if err := rw.w.WriteByte(recordVersion); err != nil {
+			return err
+		}
+		rw.wrote = true
+	}
+	var hdr [14]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(at.UnixMicro()))
+	binary.BigEndian.PutUint16(hdr[8:10], msg.Type)
+	binary.BigEndian.PutUint32(hdr[10:14], uint32(len(msg.Payload)))
+	if _, err := rw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := rw.w.Write(msg.Payload)
+	return err
+}
+
+// Close flushes (and closes the underlying writer when it is a Closer).
+func (rw *RecordWriter) Close() error {
+	if err := rw.w.Flush(); err != nil {
+		return err
+	}
+	if rw.closer != nil {
+		return rw.closer.Close()
+	}
+	return nil
+}
+
+// RecordedMessage is one replayed entry.
+type RecordedMessage struct {
+	At      time.Time
+	Message Message
+}
+
+// RecordReader iterates a record stream.
+type RecordReader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewRecordReader opens a record stream.
+func NewRecordReader(r io.Reader) *RecordReader {
+	return &RecordReader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next recorded message, or io.EOF at the end.
+func (rr *RecordReader) Next() (RecordedMessage, error) {
+	if !rr.header {
+		var m [5]byte
+		if _, err := io.ReadFull(rr.r, m[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return RecordedMessage{}, io.EOF
+			}
+			return RecordedMessage{}, fmt.Errorf("%w: header: %v", ErrBadRecord, err)
+		}
+		if [4]byte{m[0], m[1], m[2], m[3]} != recordMagic {
+			return RecordedMessage{}, fmt.Errorf("%w: bad magic", ErrBadRecord)
+		}
+		if m[4] != recordVersion {
+			return RecordedMessage{}, fmt.Errorf("%w: version %d", ErrBadRecord, m[4])
+		}
+		rr.header = true
+	}
+	var hdr [14]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return RecordedMessage{}, io.EOF
+		}
+		return RecordedMessage{}, fmt.Errorf("%w: truncated record header", ErrBadRecord)
+	}
+	l := binary.BigEndian.Uint32(hdr[10:14])
+	if l > MaxMessageLen {
+		return RecordedMessage{}, fmt.Errorf("%w: payload %d too large", ErrBadRecord, l)
+	}
+	payload := make([]byte, l)
+	if _, err := io.ReadFull(rr.r, payload); err != nil {
+		return RecordedMessage{}, fmt.Errorf("%w: truncated payload", ErrBadRecord)
+	}
+	return RecordedMessage{
+		At: time.UnixMicro(int64(binary.BigEndian.Uint64(hdr[0:8]))),
+		Message: Message{
+			Type:    binary.BigEndian.Uint16(hdr[8:10]),
+			Payload: payload,
+		},
+	}, nil
+}
+
+// Replay feeds every recorded message to handle in order. When pace is
+// true it sleeps to reproduce the original inter-message gaps.
+func Replay(r io.Reader, pace bool, handle func(RecordedMessage) error) error {
+	rr := NewRecordReader(r)
+	var prev time.Time
+	for {
+		rec, err := rr.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if pace && !prev.IsZero() {
+			if gap := rec.At.Sub(prev); gap > 0 {
+				time.Sleep(gap)
+			}
+		}
+		prev = rec.At
+		if err := handle(rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package llrp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	payload, err := sampleReport().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.UnixMicro(1_700_000_000_000_000)
+	msgs := []Message{
+		{Type: MsgReaderEventNotification, Payload: (&ReaderEvent{Text: "up"}).Marshal()},
+		{Type: MsgROAccessReport, Payload: payload},
+		{Type: MsgKeepalive},
+	}
+	for i, m := range msgs {
+		if err := w.Record(t0.Add(time.Duration(i)*time.Millisecond), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []RecordedMessage
+	err = Replay(bytes.NewReader(buf.Bytes()), false, func(rec RecordedMessage) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("replayed %d of %d", len(got), len(msgs))
+	}
+	for i, rec := range got {
+		if rec.Message.Type != msgs[i].Type {
+			t.Errorf("msg %d type %d, want %d", i, rec.Message.Type, msgs[i].Type)
+		}
+		if !bytes.Equal(rec.Message.Payload, msgs[i].Payload) {
+			t.Errorf("msg %d payload mismatch", i)
+		}
+		if want := t0.Add(time.Duration(i) * time.Millisecond); !rec.At.Equal(want) {
+			t.Errorf("msg %d at %v, want %v", i, rec.At, want)
+		}
+	}
+	// The recorded report still parses.
+	rep, err := UnmarshalROAccessReport(got[1].Message.Payload)
+	if err != nil || rep.ReaderID != "reader-1" {
+		t.Errorf("report: %+v, %v", rep, err)
+	}
+}
+
+func TestRecordReaderValidation(t *testing.T) {
+	// Bad magic.
+	rr := NewRecordReader(bytes.NewReader([]byte("XXXX\x01")))
+	if _, err := rr.Next(); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Bad version.
+	rr = NewRecordReader(bytes.NewReader([]byte("DWRL\x09")))
+	if _, err := rr.Next(); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	if err := w.Record(time.Now(), Message{Type: 1, Payload: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	rr = NewRecordReader(bytes.NewReader(cut))
+	if _, err := rr.Next(); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("truncated: %v", err)
+	}
+	// Empty stream is clean EOF.
+	rr = NewRecordReader(bytes.NewReader(nil))
+	if _, err := rr.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty: %v", err)
+	}
+	// Oversized payload length is rejected without allocation.
+	var huge bytes.Buffer
+	huge.WriteString("DWRL\x01")
+	hdr := make([]byte, 14)
+	hdr[10], hdr[11], hdr[12], hdr[13] = 0xFF, 0xFF, 0xFF, 0xFF
+	huge.Write(hdr)
+	rr = NewRecordReader(&huge)
+	if _, err := rr.Next(); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("oversized: %v", err)
+	}
+}
+
+func TestReplayHandlerError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	if err := w.Record(time.Now(), Message{Type: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Replay(bytes.NewReader(buf.Bytes()), false, func(RecordedMessage) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("handler error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package loc
+
+import (
+	"strings"
+
+	"dwatch/internal/geom"
+)
+
+// Heatmap is a sampled likelihood field over the search grid — the data
+// behind the paper's Fig. 19 heatmaps.
+type Heatmap struct {
+	NX, NY int
+	Cell   float64
+	XMin   float64
+	YMin   float64
+	Z      float64
+	Values []float64 // row-major, [y*NX+x]
+	Max    float64
+}
+
+// ComputeHeatmap evaluates the Eq. 15 likelihood over the grid at the
+// given cell size (coarser than the localization grid is fine for
+// display).
+func ComputeHeatmap(views []*View, grid Grid, cell float64) (*Heatmap, error) {
+	if len(views) == 0 {
+		return nil, ErrNoViews
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if cell <= 0 {
+		cell = grid.Cell
+	}
+	nx := int((grid.XMax-grid.XMin)/cell) + 1
+	ny := int((grid.YMax-grid.YMin)/cell) + 1
+	h := &Heatmap{NX: nx, NY: ny, Cell: cell, XMin: grid.XMin, YMin: grid.YMin, Z: grid.Z,
+		Values: make([]float64, nx*ny)}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			p := geom.Pt(grid.XMin+float64(ix)*cell, grid.YMin+float64(iy)*cell, grid.Z)
+			v := Likelihood(views, p)
+			h.Values[iy*nx+ix] = v
+			if v > h.Max {
+				h.Max = v
+			}
+		}
+	}
+	return h, nil
+}
+
+// heatRamp maps intensity (0..1) to display characters, dark to bright.
+const heatRamp = " .:-=+*#%@"
+
+// Render draws the heatmap as ASCII art, north (larger y) up, with
+// optional ground-truth markers drawn as 'X'.
+func (h *Heatmap) Render(marks ...geom.Point) string {
+	var b strings.Builder
+	max := h.Max
+	if max <= 0 {
+		max = 1
+	}
+	markAt := func(ix, iy int) bool {
+		for _, m := range marks {
+			mx := int((m.X - h.XMin) / h.Cell)
+			my := int((m.Y - h.YMin) / h.Cell)
+			if mx == ix && my == iy {
+				return true
+			}
+		}
+		return false
+	}
+	b.WriteString("+" + strings.Repeat("-", h.NX) + "+\n")
+	for iy := h.NY - 1; iy >= 0; iy-- {
+		b.WriteByte('|')
+		for ix := 0; ix < h.NX; ix++ {
+			if markAt(ix, iy) {
+				b.WriteByte('X')
+				continue
+			}
+			v := h.Values[iy*h.NX+ix] / max
+			idx := int(v * float64(len(heatRamp)-1))
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			b.WriteByte(heatRamp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", h.NX) + "+\n")
+	return b.String()
+}
+
+// Peak returns the grid position of the strongest cell.
+func (h *Heatmap) Peak() geom.Point {
+	best := 0
+	for i, v := range h.Values {
+		if v > h.Values[best] {
+			best = i
+		}
+	}
+	return geom.Pt(h.XMin+float64(best%h.NX)*h.Cell, h.YMin+float64(best/h.NX)*h.Cell, h.Z)
+}

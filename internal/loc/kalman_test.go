@@ -1,0 +1,159 @@
+package loc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/geom"
+)
+
+func TestKalmanConvergesOnStraightLine(t *testing.T) {
+	k := &KalmanTracker{}
+	rng := rand.New(rand.NewSource(1))
+	// Walker at 1 m/s along x, noisy decimetre fixes at 10 Hz.
+	var last geom.Point
+	for i := 0; i <= 60; i++ {
+		truth := geom.Pt(0.1*float64(i), 2, 1.25)
+		fix := geom.Pt(truth.X+rng.NormFloat64()*0.1, truth.Y+rng.NormFloat64()*0.1, 1.25)
+		last, _ = k.Update(fix, true)
+	}
+	truth := geom.Pt(6, 2, 1.25)
+	if d := last.Dist2D(truth); d > 0.15 {
+		t.Errorf("converged estimate %.2f m off", d)
+	}
+	v := k.Velocity()
+	if math.Abs(v.X-1) > 0.3 || math.Abs(v.Y) > 0.3 {
+		t.Errorf("velocity estimate %v, want ≈(1, 0)", v)
+	}
+	if s := k.PositionStd(); s > 0.2 {
+		t.Errorf("steady-state position std %.2f m", s)
+	}
+}
+
+func TestKalmanSmoothsBetterThanRaw(t *testing.T) {
+	k := &KalmanTracker{}
+	rng := rand.New(rand.NewSource(2))
+	var rawErr, kfErr float64
+	n := 0
+	for i := 0; i <= 80; i++ {
+		truth := geom.Pt(0.05*float64(i), 1+0.03*float64(i), 1.25)
+		fix := geom.Pt(truth.X+rng.NormFloat64()*0.12, truth.Y+rng.NormFloat64()*0.12, 1.25)
+		est, _ := k.Update(fix, true)
+		if i >= 20 { // after convergence
+			rawErr += fix.Dist2D(truth)
+			kfErr += est.Dist2D(truth)
+			n++
+		}
+	}
+	if kfErr >= rawErr {
+		t.Errorf("filter (%.3f m mean) not better than raw fixes (%.3f m)", kfErr/float64(n), rawErr/float64(n))
+	}
+}
+
+func TestKalmanGateRejectsOutliers(t *testing.T) {
+	k := &KalmanTracker{}
+	for i := 0; i <= 30; i++ {
+		k.Update(geom.Pt(0.1*float64(i), 2, 1.25), true)
+	}
+	before, err := k.Position()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wrong-mode fix 4 m away must be gated out.
+	_, accepted := k.Update(geom.Pt(before.X, 6, 1.25), true)
+	if accepted {
+		t.Error("4 m outlier accepted")
+	}
+	after, _ := k.Position()
+	if after.Dist2D(before) > 0.3 {
+		t.Errorf("outlier moved the track %.2f m", after.Dist2D(before))
+	}
+}
+
+func TestKalmanMissesWidenGate(t *testing.T) {
+	k := &KalmanTracker{}
+	for i := 0; i <= 30; i++ {
+		k.Update(geom.Pt(0.1*float64(i), 2, 1.25), true)
+	}
+	stdBefore := k.PositionStd()
+	// Ten deadzone snapshots: uncertainty must grow.
+	for i := 0; i < 10; i++ {
+		k.Update(geom.Point{}, false)
+	}
+	stdAfter := k.PositionStd()
+	if stdAfter <= stdBefore {
+		t.Errorf("misses did not widen uncertainty: %.3f -> %.3f", stdBefore, stdAfter)
+	}
+	// A fix that would have been gated in steady state is now inside
+	// the widened gate and re-acquires the track.
+	jump := geom.Pt(3.0+1.0, 2.6, 1.25) // coasted x ≈ 4.0, offset 0.6 m
+	_, accepted := k.Update(jump, true)
+	if !accepted {
+		t.Error("re-acquisition fix rejected despite widened gate")
+	}
+}
+
+func TestKalmanDeadzoneCoasts(t *testing.T) {
+	k := &KalmanTracker{}
+	for i := 0; i <= 20; i++ {
+		k.Update(geom.Pt(0.1*float64(i), 2, 1.25), true)
+	}
+	p0, _ := k.Position()
+	k.Update(geom.Point{}, false)
+	k.Update(geom.Point{}, false)
+	p2, _ := k.Position()
+	// Coasting continues along +x at ≈1 m/s for 0.2 s.
+	if p2.X <= p0.X {
+		t.Error("no coasting through deadzone")
+	}
+	if math.Abs(p2.X-p0.X-0.2) > 0.15 {
+		t.Errorf("coasted %.2f m in 0.2 s, want ≈0.2", p2.X-p0.X)
+	}
+}
+
+func TestKalmanUninitialized(t *testing.T) {
+	k := &KalmanTracker{}
+	if _, err := k.Position(); !errors.Is(err, ErrNotTracking) {
+		t.Errorf("err = %v", err)
+	}
+	if !math.IsInf(k.PositionStd(), 1) {
+		t.Error("uninitialized std should be +Inf")
+	}
+	if _, accepted := k.Update(geom.Point{}, false); accepted {
+		t.Error("miss before init accepted")
+	}
+	if v := k.Velocity(); v != (geom.Point{}) {
+		t.Errorf("uninitialized velocity %v", v)
+	}
+}
+
+// Head-to-head: on a noisy turn the Kalman tracker should track at
+// least as well as the α-β Tracker.
+func TestKalmanVsAlphaBetaOnTurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kf := &KalmanTracker{}
+	ab := &Tracker{}
+	var kfErr, abErr float64
+	n := 0
+	pos := geom.Pt(0, 0, 1.25)
+	vel := geom.Pt(1, 0, 0)
+	for i := 0; i < 100; i++ {
+		if i == 50 {
+			vel = geom.Pt(0, 1, 0) // sharp 90° turn
+		}
+		pos = pos.Add(vel.Scale(0.1))
+		fix := geom.Pt(pos.X+rng.NormFloat64()*0.1, pos.Y+rng.NormFloat64()*0.1, 1.25)
+		ke, _ := kf.Update(fix, true)
+		ae := ab.Update(fix, true)
+		if i >= 20 {
+			kfErr += ke.Dist2D(pos)
+			abErr += ae.Dist2D(pos)
+			n++
+		}
+	}
+	if kfErr > abErr*1.2 {
+		t.Errorf("kalman mean error %.3f m ≫ alpha-beta %.3f m", kfErr/float64(n), abErr/float64(n))
+	}
+}

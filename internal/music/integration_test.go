@@ -1,0 +1,57 @@
+package music_test
+
+// Cross-package regression test for the AoA sign convention: MUSIC run
+// on physically synthesized samples (exact per-element path lengths)
+// must peak at rf.Array.AngleTo of the source. This guards against the
+// classic mirror bug (θ vs π−θ) that pointwise self-consistent tests
+// cannot catch.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/geom"
+	"dwatch/internal/music"
+	"dwatch/internal/rf"
+)
+
+func TestMusicMatchesPhysicalGeometry(t *testing.T) {
+	arr, err := rf.NewArray(geom.Pt(0, 0, 1.25), geom.Pt2(1, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := channel.NewEnv(nil)
+	rng := rand.New(rand.NewSource(1))
+	c := arr.Center()
+	// Several off-broadside source placements on both sides, far enough
+	// (8 m) that plane-wave MUSIC applies.
+	for _, azDeg := range []float64{40, 70, 90, 115, 150} {
+		az := rf.Rad(azDeg)
+		// Position at angle az from the -axis reference direction.
+		dir := geom.Pt2(-math.Cos(az), math.Sin(az))
+		pos := c.Add(dir.Scale(8))
+		pos.Z = 1.25
+		x, _, err := env.Synthesize(pos, arr, nil, channel.SynthOpts{Snapshots: 10, NoiseStd: 0.001, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := music.Compute(x, arr, music.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peaks := music.FindPeaks(res.Angles, res.Spectrum, 0.1)
+		if len(peaks) == 0 {
+			t.Fatalf("az=%v: no peaks", azDeg)
+		}
+		want := arr.AngleTo(pos)
+		if math.Abs(want-az) > 1e-9 {
+			t.Fatalf("placement bug: AngleTo = %v, want %v", rf.Deg(want), azDeg)
+		}
+		if got := peaks[0].Angle; math.Abs(got-want) > rf.Rad(3) {
+			t.Errorf("az=%v: MUSIC peak at %.1f°, want %.1f° — sign convention broken?",
+				azDeg, rf.Deg(got), rf.Deg(want))
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package music
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/geom"
+	"dwatch/internal/rf"
+)
+
+func testArray(t testing.TB, m int) *rf.Array {
+	t.Helper()
+	a, err := rf.NewArray(geom.Pt2(0, 0), geom.Pt2(1, 0), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// synthSnapshots builds N×M snapshots for plane waves from the given
+// angles with the given amplitudes. coherent=true makes all sources
+// share the per-snapshot phase (multipath of one emitter).
+func synthSnapshots(arr *rf.Array, angles []float64, amps []float64, n int, noise float64, coherent bool, rng *rand.Rand) *cmatrix.Matrix {
+	x := cmatrix.New(n, arr.Elements)
+	for snap := 0; snap < n; snap++ {
+		shared := cmplx.Exp(complex(0, rng.Float64()*2*math.Pi))
+		for p, th := range angles {
+			s := shared
+			if !coherent {
+				s = cmplx.Exp(complex(0, rng.Float64()*2*math.Pi))
+			}
+			s *= complex(amps[p], 0)
+			st := arr.Steering(th)
+			for m := 0; m < arr.Elements; m++ {
+				x.Data[snap*arr.Elements+m] += s * st[m]
+			}
+		}
+		for m := 0; m < arr.Elements; m++ {
+			x.Data[snap*arr.Elements+m] += complex(rng.NormFloat64(), rng.NormFloat64()) * complex(noise/math.Sqrt2, 0)
+		}
+	}
+	return x
+}
+
+func TestCorrelationHermitianPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arr := testArray(t, 8)
+	x := synthSnapshots(arr, []float64{1.0}, []float64{1}, 20, 0.1, false, rng)
+	r, err := Correlation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsHermitian(1e-10) {
+		t.Error("correlation not Hermitian")
+	}
+	eig, err := cmatrix.EigenHermitian(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if v < -1e-10 {
+			t.Errorf("negative eigenvalue %v", v)
+		}
+	}
+}
+
+func TestCorrelationEmpty(t *testing.T) {
+	if _, err := Correlation(cmatrix.New(0, 0)); !errors.Is(err, ErrBadInput) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSmoothValidation(t *testing.T) {
+	r := cmatrix.New(8, 8)
+	if _, err := SmoothForwardBackward(r, 1); !errors.Is(err, ErrBadInput) {
+		t.Error("l=1 must error")
+	}
+	if _, err := SmoothForwardBackward(r, 9); !errors.Is(err, ErrBadInput) {
+		t.Error("l>m must error")
+	}
+	if _, err := SmoothForwardBackward(cmatrix.New(3, 4), 2); !errors.Is(err, ErrBadInput) {
+		t.Error("non-square must error")
+	}
+}
+
+func TestSmoothingRestoresRank(t *testing.T) {
+	// Two fully coherent sources: un-smoothed R has rank 1; smoothed R
+	// must have two dominant eigenvalues.
+	rng := rand.New(rand.NewSource(2))
+	arr := testArray(t, 8)
+	x := synthSnapshots(arr, []float64{rf.Rad(50), rf.Rad(110)}, []float64{1, 0.8}, 30, 0, true, rng)
+	r, err := Correlation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigRaw, err := cmatrix.EigenHermitian(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eigRaw.Values[1] > 1e-6*eigRaw.Values[0] {
+		t.Fatalf("coherent correlation should be rank ≈1: %v", eigRaw.Values[:3])
+	}
+	sm, err := SmoothForwardBackward(r, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigSm, err := cmatrix.EigenHermitian(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eigSm.Values[1] < 0.05*eigSm.Values[0] {
+		t.Errorf("smoothing failed to restore rank: %v", eigSm.Values[:3])
+	}
+}
+
+func TestDefaultSubarray(t *testing.T) {
+	cases := map[int]int{4: 3, 6: 4, 8: 6, 16: 11, 2: 2}
+	for m, want := range cases {
+		if got := DefaultSubarray(m); got != want {
+			t.Errorf("DefaultSubarray(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestEstimateSources(t *testing.T) {
+	if got := EstimateSources([]float64{100, 90, 1, 1.1, 0.9}, 10); got != 2 {
+		t.Errorf("EstimateSources = %d, want 2", got)
+	}
+	// Equal eigenvalues are the pure-noise signature: no sources.
+	if got := EstimateSources([]float64{100, 100, 100}, 10); got != 0 {
+		t.Errorf("equal eigenvalues = %d, want 0", got)
+	}
+	// All eigenvalues well above the floor caps at dim-1 so a noise
+	// subspace always remains.
+	if got := EstimateSources([]float64{1000, 500, 200, 1e-9}, 10); got != 3 {
+		t.Errorf("cap = %d, want 3 (dim-1)", got)
+	}
+	if got := EstimateSources(nil, 10); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	if got := EstimateSources([]float64{5, 0}, 10); got != 1 {
+		t.Errorf("zero floor = %d", got)
+	}
+}
+
+func TestMusicSingleSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arr := testArray(t, 8)
+	want := rf.Rad(64)
+	x := synthSnapshots(arr, []float64{want}, []float64{1}, 10, 0.02, false, rng)
+	res, err := Compute(x, arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := FindPeaks(res.Angles, res.Spectrum, 0.1)
+	if len(peaks) == 0 {
+		t.Fatal("no peaks")
+	}
+	if got := peaks[0].Angle; math.Abs(got-want) > rf.Rad(2) {
+		t.Errorf("peak at %.1f°, want %.1f°", rf.Deg(got), rf.Deg(want))
+	}
+}
+
+func TestMusicTwoCoherentSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	arr := testArray(t, 8)
+	a1, a2 := rf.Rad(50), rf.Rad(115)
+	x := synthSnapshots(arr, []float64{a1, a2}, []float64{1, 0.7}, 20, 0.02, true, rng)
+	res, err := Compute(x, arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := FindPeaks(res.Angles, res.Spectrum, 0.05)
+	if len(peaks) < 2 {
+		t.Fatalf("found %d peaks, want ≥2 (coherent sources need smoothing)", len(peaks))
+	}
+	if _, ok := NearestPeak(peaks, a1, rf.Rad(3)); !ok {
+		t.Errorf("no peak near %.0f°", rf.Deg(a1))
+	}
+	if _, ok := NearestPeak(peaks, a2, rf.Rad(3)); !ok {
+		t.Errorf("no peak near %.0f°", rf.Deg(a2))
+	}
+}
+
+func TestMusicThreeSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	arr := testArray(t, 8)
+	want := []float64{rf.Rad(40), rf.Rad(85), rf.Rad(130)}
+	x := synthSnapshots(arr, want, []float64{1, 0.9, 0.8}, 30, 0.02, true, rng)
+	res, err := Compute(x, arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := FindPeaks(res.Angles, res.Spectrum, 0.02)
+	for _, w := range want {
+		if _, ok := NearestPeak(peaks, w, rf.Rad(4)); !ok {
+			t.Errorf("no peak near %.0f°; peaks: %v", rf.Deg(w), peakAngles(peaks))
+		}
+	}
+}
+
+func peakAngles(ps []Peak) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = rf.Deg(p.Angle)
+	}
+	return out
+}
+
+func TestComputeValidation(t *testing.T) {
+	arr := testArray(t, 8)
+	if _, err := Compute(cmatrix.New(5, 4), arr, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("column mismatch: %v", err)
+	}
+}
+
+func TestFindPeaksBasics(t *testing.T) {
+	angles := rf.AngleGrid(11)
+	spec := []float64{0, 1, 5, 1, 0, 3, 8, 3, 0, 1, 0}
+	peaks := FindPeaks(angles, spec, 0.1)
+	if len(peaks) != 3 {
+		t.Fatalf("peaks = %d, want 3", len(peaks))
+	}
+	if peaks[0].Amplitude != 8 || peaks[1].Amplitude != 5 {
+		t.Errorf("order wrong: %+v", peaks)
+	}
+	// minRatio filters small peaks.
+	peaks = FindPeaks(angles, spec, 0.5)
+	if len(peaks) != 2 {
+		t.Errorf("ratio filter: %d peaks, want 2", len(peaks))
+	}
+}
+
+func TestFindPeaksPlateau(t *testing.T) {
+	angles := rf.AngleGrid(7)
+	spec := []float64{0, 2, 2, 2, 0, 1, 0}
+	peaks := FindPeaks(angles, spec, 0.1)
+	count := 0
+	for _, p := range peaks {
+		if p.Amplitude == 2 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("plateau reported %d times, want 1", count)
+	}
+}
+
+func TestFindPeaksEdgeCases(t *testing.T) {
+	if got := FindPeaks([]float64{0, 1}, []float64{1, 2}, 0.1); got != nil {
+		t.Error("too-short spectrum should return nil")
+	}
+	if got := FindPeaks(rf.AngleGrid(5), []float64{0, 0, 0, 0, 0}, 0.1); got != nil {
+		t.Error("all-zero spectrum should return nil")
+	}
+	if got := FindPeaks(rf.AngleGrid(5), []float64{1, 2}, 0.1); got != nil {
+		t.Error("length mismatch should return nil")
+	}
+}
+
+func TestNearestPeak(t *testing.T) {
+	peaks := []Peak{{Angle: 1.0, Amplitude: 5}, {Angle: 2.0, Amplitude: 3}}
+	p, ok := NearestPeak(peaks, 1.9, 0.2)
+	if !ok || p.Angle != 2.0 {
+		t.Errorf("NearestPeak = %+v, %v", p, ok)
+	}
+	if _, ok := NearestPeak(peaks, 0.5, 0.2); ok {
+		t.Error("should not match outside tolerance")
+	}
+	if _, ok := NearestPeak(nil, 1, 1); ok {
+		t.Error("empty peaks")
+	}
+}
+
+func TestProjectionOntoNoiseOrthogonal(t *testing.T) {
+	// Construct a noise subspace orthogonal to a known steering vector
+	// and verify the projection is ≈0 there and >0 elsewhere.
+	rng := rand.New(rand.NewSource(6))
+	arr := testArray(t, 8)
+	th := rf.Rad(75)
+	x := synthSnapshots(arr, []float64{th}, []float64{1}, 20, 0.001, false, rng)
+	res, err := Compute(x, arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := ProjectionOntoNoise(arr.SteeringSub(th, res.Subarray), res.Noise)
+	off := ProjectionOntoNoise(arr.SteeringSub(th+0.5, res.Subarray), res.Noise)
+	if at > off/100 {
+		t.Errorf("projection at source %v not ≪ off-source %v", at, off)
+	}
+}
+
+func BenchmarkMusic8x10(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	arr := testArray(b, 8)
+	x := synthSnapshots(arr, []float64{1.0, 2.0}, []float64{1, 0.8}, 10, 0.02, true, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(x, arr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestInfoCriterionSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	arr := testArray(t, 8)
+	// Two incoherent sources, decent SNR, many snapshots: both MDL and
+	// AIC should find k=2 on the raw correlation eigenvalues.
+	x := synthSnapshots(arr, []float64{rf.Rad(50), rf.Rad(120)}, []float64{1, 0.7}, 200, 0.05, false, rng)
+	r, err := Correlation(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := cmatrix.EigenHermitian(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := InfoCriterionSources(eig.Values, 200, MethodMDL); got != 2 {
+		t.Errorf("MDL = %d, want 2 (eig %.3g)", got, eig.Values)
+	}
+	if got := InfoCriterionSources(eig.Values, 200, MethodAIC); got < 2 {
+		t.Errorf("AIC = %d, want ≥ 2", got)
+	}
+}
+
+func TestInfoCriterionDegenerate(t *testing.T) {
+	if got := InfoCriterionSources(nil, 10, MethodMDL); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	if got := InfoCriterionSources([]float64{1}, 10, MethodMDL); got != 0 {
+		t.Errorf("single = %d", got)
+	}
+	if got := InfoCriterionSources([]float64{1, 0.5}, 0, MethodMDL); got != 0 {
+		t.Errorf("n=0 = %d", got)
+	}
+	// Pure noise (equal eigenvalues): k=0.
+	if got := InfoCriterionSources([]float64{1, 1, 1, 1, 1, 1}, 100, MethodMDL); got != 0 {
+		t.Errorf("pure noise MDL = %d, want 0", got)
+	}
+}
+
+func TestRefineAngleRecoversSubBin(t *testing.T) {
+	// A Gaussian peak centred between grid points: refinement must land
+	// closer to the true centre than the raw grid peak.
+	angles := rf.AngleGrid(181) // 1° steps
+	trueAngle := rf.Rad(60.37)
+	spec := make([]float64, len(angles))
+	for i, th := range angles {
+		d := th - trueAngle
+		spec[i] = math.Exp(-d * d / (2 * 0.001))
+	}
+	peaks := FindPeaks(angles, spec, 0.1)
+	if len(peaks) != 1 {
+		t.Fatalf("peaks = %d", len(peaks))
+	}
+	raw := peaks[0].Angle
+	refined := RefineAngle(angles, spec, peaks[0].Index)
+	if math.Abs(refined-trueAngle) >= math.Abs(raw-trueAngle) {
+		t.Errorf("refinement did not improve: raw err %.4f°, refined %.4f°",
+			rf.Deg(math.Abs(raw-trueAngle)), rf.Deg(math.Abs(refined-trueAngle)))
+	}
+	if math.Abs(refined-trueAngle) > rf.Rad(0.1) {
+		t.Errorf("refined angle %.3f°, want %.3f°", rf.Deg(refined), rf.Deg(trueAngle))
+	}
+}
+
+func TestRefineAngleEdgeCases(t *testing.T) {
+	angles := rf.AngleGrid(5)
+	spec := []float64{1, 2, 3, 2, 1}
+	// Edge index returns the grid angle.
+	if got := RefineAngle(angles, spec, 0); got != angles[0] {
+		t.Errorf("edge = %v", got)
+	}
+	if got := RefineAngle(angles, spec, 4); got != angles[4] {
+		t.Errorf("edge = %v", got)
+	}
+	// Zero neighbour returns the grid angle.
+	z := []float64{0, 2, 3, 2, 0}
+	if got := RefineAngle(angles, z, 1); got != angles[1] {
+		t.Errorf("zero neighbour = %v", got)
+	}
+	// Flat (non-concave) region returns the grid angle.
+	flat := []float64{1, 1, 1, 1, 1}
+	if got := RefineAngle(angles, flat, 2); got != angles[2] {
+		t.Errorf("flat = %v", got)
+	}
+}

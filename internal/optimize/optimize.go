@@ -1,0 +1,253 @@
+// Package optimize provides the hybrid genetic-algorithm +
+// gradient-descent solver D-Watch's wireless phase calibration uses for
+// the non-convex subspace objective of Eq. 11 (Section 4.1: "GA starts
+// initiating all the unknowns and then refines the solution with the GD
+// algorithm to find the closest local minimum").
+//
+// The objective is a black-box function of a real vector; gradients are
+// taken numerically by central differences, which is plenty for the
+// 3-15 dimensional calibration problems the system solves.
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective is a function to minimize.
+type Objective func(x []float64) float64
+
+// ErrBadConfig is returned for invalid optimizer configuration.
+var ErrBadConfig = errors.New("optimize: bad configuration")
+
+// GDOptions configures gradient descent.
+type GDOptions struct {
+	MaxIter  int     // 0 = 200
+	Step     float64 // initial step; 0 = 0.5
+	Eps      float64 // finite-difference epsilon; 0 = 1e-6
+	Tol      float64 // stop when the improvement per iteration < Tol; 0 = 1e-12
+	Backtrak int     // max backtracking halvings per iteration; 0 = 30
+}
+
+func (o GDOptions) withDefaults() GDOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.Step == 0 {
+		o.Step = 0.5
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-6
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	if o.Backtrak == 0 {
+		o.Backtrak = 30
+	}
+	return o
+}
+
+// GradientDescent minimizes f from x0 with numerical gradients and
+// backtracking line search. It returns the best point found and its
+// objective value.
+func GradientDescent(f Objective, x0 []float64, opts GDOptions) ([]float64, float64) {
+	opts = opts.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	fx := f(x)
+	grad := make([]float64, n)
+	trial := make([]float64, n)
+	step := opts.Step
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Central-difference gradient.
+		var gnorm float64
+		for i := 0; i < n; i++ {
+			orig := x[i]
+			x[i] = orig + opts.Eps
+			fp := f(x)
+			x[i] = orig - opts.Eps
+			fm := f(x)
+			x[i] = orig
+			grad[i] = (fp - fm) / (2 * opts.Eps)
+			gnorm += grad[i] * grad[i]
+		}
+		gnorm = math.Sqrt(gnorm)
+		if gnorm < 1e-15 {
+			break
+		}
+		// Backtracking line search along -grad.
+		improved := false
+		s := step
+		for b := 0; b < opts.Backtrak; b++ {
+			for i := 0; i < n; i++ {
+				trial[i] = x[i] - s*grad[i]/gnorm
+			}
+			ft := f(trial)
+			if ft < fx {
+				copy(x, trial)
+				if fx-ft < opts.Tol {
+					fx = ft
+					return x, fx
+				}
+				fx = ft
+				improved = true
+				step = s * 1.5 // be a little greedier next time
+				break
+			}
+			s /= 2
+		}
+		if !improved {
+			break
+		}
+	}
+	return x, fx
+}
+
+// GAOptions configures the genetic algorithm.
+type GAOptions struct {
+	Population  int        // 0 = 40
+	Generations int        // 0 = 60
+	Elite       int        // survivors copied unchanged; 0 = 4
+	MutateStd   float64    // Gaussian mutation std; 0 = 0.3
+	CrossProb   float64    // per-gene crossover probability; 0 = 0.5
+	Lo, Hi      float64    // gene initialization range (required: Lo < Hi)
+	Rng         *rand.Rand // required
+}
+
+func (o GAOptions) withDefaults() GAOptions {
+	if o.Population == 0 {
+		o.Population = 40
+	}
+	if o.Generations == 0 {
+		o.Generations = 60
+	}
+	if o.Elite == 0 {
+		o.Elite = 4
+	}
+	if o.MutateStd == 0 {
+		o.MutateStd = 0.3
+	}
+	if o.CrossProb == 0 {
+		o.CrossProb = 0.5
+	}
+	return o
+}
+
+type individual struct {
+	genes []float64
+	fit   float64
+}
+
+// Genetic minimizes f over n-dimensional vectors with a simple
+// generational GA: tournament selection, uniform crossover, Gaussian
+// mutation, elitism. Returns the best individual found.
+func Genetic(f Objective, n int, opts GAOptions) ([]float64, float64, error) {
+	if opts.Rng == nil {
+		return nil, 0, errors.New("optimize: GAOptions.Rng must be set")
+	}
+	if !(opts.Lo < opts.Hi) {
+		return nil, 0, ErrBadConfig
+	}
+	if n <= 0 {
+		return nil, 0, ErrBadConfig
+	}
+	opts = opts.withDefaults()
+	rng := opts.Rng
+
+	pop := make([]individual, opts.Population)
+	for i := range pop {
+		g := make([]float64, n)
+		for j := range g {
+			g[j] = opts.Lo + rng.Float64()*(opts.Hi-opts.Lo)
+		}
+		pop[i] = individual{genes: g, fit: f(g)}
+	}
+	sortPop(pop)
+
+	tournament := func() individual {
+		a := pop[rng.Intn(len(pop))]
+		b := pop[rng.Intn(len(pop))]
+		if a.fit <= b.fit {
+			return a
+		}
+		return b
+	}
+
+	next := make([]individual, 0, opts.Population)
+	for gen := 0; gen < opts.Generations; gen++ {
+		next = next[:0]
+		elite := opts.Elite
+		if elite > len(pop) {
+			elite = len(pop)
+		}
+		for i := 0; i < elite; i++ {
+			next = append(next, individual{genes: append([]float64(nil), pop[i].genes...), fit: pop[i].fit})
+		}
+		for len(next) < opts.Population {
+			p1, p2 := tournament(), tournament()
+			child := make([]float64, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < opts.CrossProb {
+					child[j] = p1.genes[j]
+				} else {
+					child[j] = p2.genes[j]
+				}
+				if rng.Float64() < 0.2 {
+					child[j] += rng.NormFloat64() * opts.MutateStd
+				}
+			}
+			next = append(next, individual{genes: child, fit: f(child)})
+		}
+		pop, next = next, pop
+		sortPop(pop)
+	}
+	best := pop[0]
+	return append([]float64(nil), best.genes...), best.fit, nil
+}
+
+func sortPop(pop []individual) {
+	sort.Slice(pop, func(i, j int) bool { return pop[i].fit < pop[j].fit })
+}
+
+// HybridOptions configures the GA+GD hybrid.
+type HybridOptions struct {
+	GA GAOptions
+	GD GDOptions
+	// Polish is how many of the GA's best individuals get a GD polish;
+	// 0 = 3.
+	Polish int
+}
+
+// Hybrid runs the paper's calibration optimizer: a GA global search
+// whose best candidates are each refined by gradient descent, returning
+// the overall best point.
+func Hybrid(f Objective, n int, opts HybridOptions) ([]float64, float64, error) {
+	if opts.Polish == 0 {
+		opts.Polish = 3
+	}
+	best, bestF, err := Genetic(f, n, opts.GA)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Collect GA-polished candidates: the GA winner plus random restarts
+	// near it to escape shallow basins.
+	rng := opts.GA.Rng
+	cands := [][]float64{best}
+	for i := 1; i < opts.Polish; i++ {
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = best[j] + rng.NormFloat64()*0.2
+		}
+		cands = append(cands, c)
+	}
+	for _, c := range cands {
+		x, fx := GradientDescent(f, c, opts.GD)
+		if fx < bestF {
+			best, bestF = x, fx
+		}
+	}
+	return best, bestF, nil
+}

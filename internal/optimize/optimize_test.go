@@ -1,0 +1,135 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// rastrigin is the classic multimodal benchmark: global minimum 0 at the
+// origin, dense local minima everywhere else.
+func rastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, v := range x {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return s
+}
+
+func TestGradientDescentSphere(t *testing.T) {
+	x, fx := GradientDescent(sphere, []float64{3, -2, 1.5}, GDOptions{})
+	if fx > 1e-6 {
+		t.Errorf("GD on sphere: f = %v at %v", fx, x)
+	}
+}
+
+func TestGradientDescentQuadraticOffset(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + 3*(x[1]+1)*(x[1]+1)
+	}
+	x, fx := GradientDescent(f, []float64{0, 0}, GDOptions{MaxIter: 500})
+	if fx > 1e-6 {
+		t.Errorf("f = %v", fx)
+	}
+	if math.Abs(x[0]-2) > 1e-3 || math.Abs(x[1]+1) > 1e-3 {
+		t.Errorf("x = %v, want (2, -1)", x)
+	}
+}
+
+func TestGradientDescentDoesNotWorsen(t *testing.T) {
+	x0 := []float64{0.1, 0.1}
+	f0 := rastrigin(x0)
+	_, fx := GradientDescent(rastrigin, x0, GDOptions{})
+	if fx > f0 {
+		t.Errorf("GD worsened objective: %v -> %v", f0, fx)
+	}
+}
+
+func TestGeneticSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, fx, err := Genetic(sphere, 4, GAOptions{Lo: -5, Hi: 5, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 0.5 {
+		t.Errorf("GA on sphere: f = %v at %v", fx, x)
+	}
+}
+
+func TestGeneticValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, _, err := Genetic(sphere, 3, GAOptions{Lo: 1, Hi: -1, Rng: rng}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("Lo>Hi: %v", err)
+	}
+	if _, _, err := Genetic(sphere, 0, GAOptions{Lo: -1, Hi: 1, Rng: rng}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, _, err := Genetic(sphere, 3, GAOptions{Lo: -1, Hi: 1}); err == nil {
+		t.Error("nil rng must error")
+	}
+}
+
+func TestHybridBeatsPlainGDOnRastrigin(t *testing.T) {
+	// Start GD from a deliberately bad point: it gets stuck in a local
+	// minimum. The hybrid must find a much better one.
+	bad := []float64{2.5, -3.5, 4.5}
+	_, gdF := GradientDescent(rastrigin, bad, GDOptions{})
+
+	rng := rand.New(rand.NewSource(3))
+	_, hyF, err := Hybrid(rastrigin, 3, HybridOptions{
+		GA: GAOptions{Lo: -5.12, Hi: 5.12, Rng: rng, Generations: 80, Population: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyF >= gdF {
+		t.Errorf("hybrid (%v) no better than stuck GD (%v)", hyF, gdF)
+	}
+	if hyF > 2 {
+		t.Errorf("hybrid f = %v, want near 0", hyF)
+	}
+}
+
+func TestHybridValidatesGA(t *testing.T) {
+	if _, _, err := Hybrid(sphere, 2, HybridOptions{GA: GAOptions{Lo: -1, Hi: 1}}); err == nil {
+		t.Error("nil rng must propagate as error")
+	}
+}
+
+func TestGeneticDeterministicWithSeed(t *testing.T) {
+	run := func() ([]float64, float64) {
+		x, f, err := Genetic(sphere, 3, GAOptions{Lo: -2, Hi: 2, Rng: rand.New(rand.NewSource(42))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x, f
+	}
+	x1, f1 := run()
+	x2, f2 := run()
+	if f1 != f2 {
+		t.Errorf("nondeterministic: %v vs %v", f1, f2)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Errorf("nondeterministic genes: %v vs %v", x1, x2)
+			break
+		}
+	}
+}
+
+func TestGradientDescentPreservesInput(t *testing.T) {
+	x0 := []float64{1, 2}
+	GradientDescent(sphere, x0, GDOptions{MaxIter: 5})
+	if x0[0] != 1 || x0[1] != 2 {
+		t.Errorf("input mutated: %v", x0)
+	}
+}

@@ -1,0 +1,301 @@
+package pmusic
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/geom"
+	"dwatch/internal/music"
+	"dwatch/internal/rf"
+)
+
+func testArray(t testing.TB, m int) *rf.Array {
+	t.Helper()
+	a, err := rf.NewArray(geom.Pt2(0, 0), geom.Pt2(1, 0), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// synth builds coherent-multipath snapshots: all sources share the
+// per-snapshot phase, like one tag's backscatter over several paths.
+func synth(arr *rf.Array, angles, amps []float64, n int, noise float64, rng *rand.Rand) *cmatrix.Matrix {
+	x := cmatrix.New(n, arr.Elements)
+	for snap := 0; snap < n; snap++ {
+		shared := cmplx.Exp(complex(0, rng.Float64()*2*math.Pi))
+		for p, th := range angles {
+			s := shared * complex(amps[p], 0)
+			st := arr.Steering(th)
+			for m := 0; m < arr.Elements; m++ {
+				x.Data[snap*arr.Elements+m] += s * st[m]
+			}
+		}
+		for m := 0; m < arr.Elements; m++ {
+			x.Data[snap*arr.Elements+m] += complex(rng.NormFloat64(), rng.NormFloat64()) * complex(noise/math.Sqrt2, 0)
+		}
+	}
+	return x
+}
+
+func TestBeamPowerSingleSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arr := testArray(t, 8)
+	th := rf.Rad(70)
+	amp := 0.5
+	x := synth(arr, []float64{th}, []float64{amp}, 10, 0, rng)
+	angles := rf.AngleGrid(361)
+	pb, err := BeamPower(x, arr, angles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the true angle the beamformer output is the source power amp².
+	peaks := music.FindPeaks(angles, pb, 0.5)
+	if len(peaks) == 0 {
+		t.Fatal("no beam peak")
+	}
+	if math.Abs(peaks[0].Angle-th) > rf.Rad(2) {
+		t.Errorf("beam peak at %.1f°, want %.1f°", rf.Deg(peaks[0].Angle), rf.Deg(th))
+	}
+	if math.Abs(peaks[0].Amplitude-amp*amp) > 0.05*amp*amp {
+		t.Errorf("beam peak power = %v, want ≈%v", peaks[0].Amplitude, amp*amp)
+	}
+}
+
+func TestBeamPowerTracksPower(t *testing.T) {
+	// Doubling the source amplitude must quadruple PB at the peak —
+	// the linearity classic MUSIC lacks.
+	rng := rand.New(rand.NewSource(2))
+	arr := testArray(t, 8)
+	th := rf.Rad(100)
+	angles := rf.AngleGrid(361)
+	get := func(amp float64) float64 {
+		x := synth(arr, []float64{th}, []float64{amp}, 10, 0, rand.New(rand.NewSource(3)))
+		pb, err := BeamPower(x, arr, angles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := music.FindPeaks(angles, pb, 0.5)
+		if len(p) == 0 {
+			t.Fatal("no peak")
+		}
+		return p[0].Amplitude
+	}
+	_ = rng
+	p1 := get(1)
+	p2 := get(2)
+	if math.Abs(p2/p1-4) > 0.1 {
+		t.Errorf("power ratio = %v, want 4", p2/p1)
+	}
+}
+
+func TestBeamPowerValidation(t *testing.T) {
+	arr := testArray(t, 8)
+	if _, err := BeamPower(cmatrix.New(5, 4), arr, rf.AngleGrid(10)); err == nil {
+		t.Error("column mismatch must error")
+	}
+	if _, err := BeamPower(cmatrix.New(0, 8), arr, rf.AngleGrid(10)); err == nil {
+		t.Error("no snapshots must error")
+	}
+}
+
+func TestNormalizePeaksToOne(t *testing.T) {
+	angles := rf.AngleGrid(101)
+	spec := make([]float64, 101)
+	// Two Gaussian-ish peaks with very different heights.
+	for i := range spec {
+		spec[i] = 100*math.Exp(-sq(float64(i-30)/3)) + 5*math.Exp(-sq(float64(i-70)/3)) + 0.01
+	}
+	nor := Normalize(angles, spec, 0.01)
+	if math.Abs(nor[30]-1) > 1e-9 {
+		t.Errorf("peak 1 normalized to %v", nor[30])
+	}
+	if math.Abs(nor[70]-1) > 1e-9 {
+		t.Errorf("peak 2 normalized to %v", nor[70])
+	}
+	// Between the peaks the value must dip well below 1.
+	if nor[50] > 0.5 {
+		t.Errorf("valley = %v, want < 0.5", nor[50])
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func TestNormalizeNoPeaks(t *testing.T) {
+	angles := rf.AngleGrid(5)
+	spec := []float64{1, 1, 1, 1, 1}
+	nor := Normalize(angles, spec, 0.5)
+	for _, v := range nor {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("flat spectrum normalized = %v", nor)
+			break
+		}
+	}
+	zero := Normalize(angles, []float64{0, 0, 0, 0, 0}, 0.5)
+	for _, v := range zero {
+		if v != 0 {
+			t.Errorf("zero spectrum changed: %v", zero)
+			break
+		}
+	}
+}
+
+func TestComputePMusicPowerMatchesPathPowers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	arr := testArray(t, 8)
+	a1, a2 := rf.Rad(55), rf.Rad(120)
+	g1, g2 := 1.0, 0.5
+	x := synth(arr, []float64{a1, a2}, []float64{g1, g2}, 20, 0.01, rng)
+	s, err := Compute(x, arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := s.Peaks(0.05)
+	p1, ok1 := music.NearestPeak(peaks, a1, rf.Rad(4))
+	p2, ok2 := music.NearestPeak(peaks, a2, rf.Rad(4))
+	if !ok1 || !ok2 {
+		t.Fatalf("missing P-MUSIC peaks; got %d peaks", len(peaks))
+	}
+	ratio := p1.Amplitude / p2.Amplitude
+	want := (g1 * g1) / (g2 * g2)
+	if math.Abs(ratio-want) > 0.5*want {
+		t.Errorf("peak power ratio = %v, want ≈%v", ratio, want)
+	}
+}
+
+func TestBlockedPathDropsOnlyItsPeak(t *testing.T) {
+	// The core D-Watch claim (Fig. 12): blocking one path drops exactly
+	// that path's P-MUSIC peak; the other peaks stay put.
+	arr := testArray(t, 8)
+	a1, a2, a3 := rf.Rad(45), rf.Rad(90), rf.Rad(135)
+	mk := func(g2 float64, seed int64) *Spectrum {
+		x := synth(arr, []float64{a1, a2, a3}, []float64{1, g2, 0.8}, 20, 0.01, rand.New(rand.NewSource(seed)))
+		s, err := Compute(x, arr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := mk(0.9, 5)
+	online := mk(0.9*0.12, 6) // path 2 blocked: 18 dB power ≈ 0.125 amplitude
+
+	events, err := DetectBlocked(base, online, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		angles := make([]float64, len(events))
+		for i, e := range events {
+			angles[i] = rf.Deg(e.Angle)
+		}
+		t.Fatalf("events = %d (%v°), want exactly 1", len(events), angles)
+	}
+	if math.Abs(events[0].Angle-a2) > rf.Rad(4) {
+		t.Errorf("blocked angle = %.1f°, want %.1f°", rf.Deg(events[0].Angle), rf.Deg(a2))
+	}
+	if events[0].RelDrop < 0.8 {
+		t.Errorf("RelDrop = %v, want ≥ 0.8 for an 18 dB block", events[0].RelDrop)
+	}
+}
+
+func TestAllPathsBlockedAllDetected(t *testing.T) {
+	// Fig. 12(b)/13(b): when every path is blocked, P-MUSIC reports
+	// every peak dropping (classic MUSIC misses them).
+	arr := testArray(t, 8)
+	angles := []float64{rf.Rad(50), rf.Rad(95), rf.Rad(140)}
+	mk := func(scale float64, seed int64) *Spectrum {
+		amps := []float64{1 * scale, 0.9 * scale, 0.8 * scale}
+		x := synth(arr, angles, amps, 20, 0.01, rand.New(rand.NewSource(seed)))
+		s, err := Compute(x, arr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := mk(1, 7)
+	online := mk(0.12, 8)
+	events, err := DetectBlocked(base, online, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+}
+
+func TestRelativeDrop(t *testing.T) {
+	base := &Spectrum{Angles: []float64{0, 1, 2}, Power: []float64{10, 4, 0}}
+	online := &Spectrum{Angles: []float64{0, 1, 2}, Power: []float64{10, 1, 1}}
+	d, err := RelativeDrop(base, online)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 {
+		t.Errorf("unchanged peak drop = %v", d[0])
+	}
+	if math.Abs(d[1]-0.3) > 1e-12 {
+		t.Errorf("drop = %v, want 0.3", d[1])
+	}
+	if d[2] != 0 {
+		t.Errorf("negative drop clamped = %v", d[2])
+	}
+}
+
+func TestRelativeDropGridMismatch(t *testing.T) {
+	a := &Spectrum{Angles: []float64{0, 1}, Power: []float64{1, 1}}
+	b := &Spectrum{Angles: []float64{0, 2}, Power: []float64{1, 1}}
+	if _, err := RelativeDrop(a, b); !errors.Is(err, ErrGridMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	c := &Spectrum{Angles: []float64{0}, Power: []float64{1}}
+	if _, err := RelativeDrop(a, c); !errors.Is(err, ErrGridMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := DetectBlocked(a, b, 0.1, 0.1); !errors.Is(err, ErrGridMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRelativeDropZeroBase(t *testing.T) {
+	a := &Spectrum{Angles: []float64{0, 1}, Power: []float64{0, 0}}
+	d, err := RelativeDrop(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d {
+		if v != 0 {
+			t.Errorf("zero-base drop = %v", d)
+		}
+	}
+}
+
+func TestPowerAt(t *testing.T) {
+	s := &Spectrum{Angles: []float64{0, 1, 2}, Power: []float64{5, 7, 9}}
+	if got := s.PowerAt(1.1); got != 7 {
+		t.Errorf("PowerAt = %v", got)
+	}
+	if got := s.PowerAt(10); got != 9 {
+		t.Errorf("PowerAt clamp = %v", got)
+	}
+	empty := &Spectrum{}
+	if got := empty.PowerAt(1); got != 0 {
+		t.Errorf("empty PowerAt = %v", got)
+	}
+}
+
+func BenchmarkPMusic(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	arr := testArray(b, 8)
+	x := synth(arr, []float64{1.0, 2.0}, []float64{1, 0.7}, 10, 0.01, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(x, arr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package pmusic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dwatch/internal/geom"
+	"dwatch/internal/music"
+	"dwatch/internal/rf"
+)
+
+// Property: Normalize leaves every detected peak at exactly 1 and never
+// produces values above 1 within peak segments' tops.
+func TestNormalizePeakInvariant(t *testing.T) {
+	f := func(seed int64, nPeaks uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(nPeaks%4) + 1
+		angles := rf.AngleGrid(181)
+		spec := make([]float64, len(angles))
+		centres := rng.Perm(160)[:k]
+		for _, c := range centres {
+			amp := 0.5 + 10*rng.Float64()
+			for i := range spec {
+				d := float64(i - (c + 10))
+				spec[i] += amp * math.Exp(-d*d/18)
+			}
+		}
+		nor := Normalize(angles, spec, 0.01)
+		for _, p := range music.FindPeaks(angles, nor, 0.5) {
+			if math.Abs(p.Amplitude-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: beam power is invariant to a global phase rotation of the
+// snapshots and scales quadratically with amplitude.
+func TestBeamPowerScaleInvariance(t *testing.T) {
+	arr, err := rf.NewArray(rfOrigin(), rfAxis(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	x := synth(arr, []float64{rf.Rad(75)}, []float64{1}, 6, 0.001, rng)
+	angles := rf.AngleGrid(91)
+	base, err := BeamPower(x, arr, angles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ×3 amplitude → ×9 power at every angle.
+	scaled := x.Scale(3)
+	p3, err := BeamPower(scaled, arr, angles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] == 0 {
+			continue
+		}
+		if r := p3[i] / base[i]; math.Abs(r-9) > 1e-6 {
+			t.Fatalf("scale ratio %v at angle %d", r, i)
+		}
+	}
+	// Global phase rotation leaves power untouched.
+	rot := x.Scale(cmplxExp(1.1))
+	pr, err := BeamPower(rot, arr, angles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if math.Abs(pr[i]-base[i]) > 1e-9*(1+base[i]) {
+			t.Fatalf("phase rotation changed power at %d: %v vs %v", i, pr[i], base[i])
+		}
+	}
+}
+
+// Property: RelativeDrop of a spectrum against itself is identically 0.
+func TestRelativeDropSelfZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Spectrum{Angles: rf.AngleGrid(61), Power: make([]float64, 61)}
+		for i := range s.Power {
+			s.Power[i] = rng.Float64()
+		}
+		d, err := RelativeDrop(s, s)
+		if err != nil {
+			return false
+		}
+		for _, v := range d {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(33))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Helpers shared with pmusic_test.go's synth.
+func rfOrigin() geom.Point { return geom.Pt2(0, 0) }
+func rfAxis() geom.Point   { return geom.Pt2(1, 0) }
+
+func cmplxExp(phase float64) complex128 {
+	return complex(math.Cos(phase), math.Sin(phase))
+}

@@ -1,0 +1,219 @@
+// Package reader models the COTS RFID reader D-Watch runs on: an
+// Impinj Speedway R420-class unit with four RF ports, extended through
+// an antenna hub to an 8-element λ/2 linear array whose antennas are
+// time-division multiplexed (~200 µs per antenna, Section 5). Each RF
+// chain contributes a random phase offset (Fig. 3); the offsets are
+// drawn once per power cycle and persist until Recalibrate-style state
+// changes, exactly the behaviour the wireless calibration of Section
+// 4.1 corrects for.
+//
+// A "snapshot" is one antenna-hub cycle: the tag's backscatter carrier
+// phase is stable over the ~1.6 ms cycle, so the per-antenna samples of
+// one cycle are mutually coherent even though they are captured
+// sequentially — this is what makes AoA processing on a TDM hub
+// possible at all, and the simulation preserves it.
+package reader
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dwatch/internal/calib"
+	"dwatch/internal/channel"
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/epcgen2"
+	"dwatch/internal/rf"
+	"dwatch/internal/tag"
+)
+
+// AntennaSlot is the hub dwell time per antenna (Section 5: ≈200 µs).
+const AntennaSlot = 200 * time.Microsecond
+
+// DefaultInterval is the reader's transmission interval (Section 5:
+// 0.1 s is enough for localization without raising overhead).
+const DefaultInterval = 100 * time.Millisecond
+
+// ErrBadConfig is returned for invalid reader configuration.
+var ErrBadConfig = errors.New("reader: bad configuration")
+
+// Reader is one simulated reader + antenna array.
+type Reader struct {
+	ID      string
+	Array   *rf.Array
+	Offsets []float64 // per-antenna RF-chain phase offsets (radians)
+
+	// Interval is the packet transmission interval; informational for
+	// latency accounting.
+	Interval time.Duration
+
+	noiseStd float64
+	rng      *rand.Rand
+}
+
+// Options configures New.
+type Options struct {
+	// NoiseStd is the per-element sample noise; 0 = channel.DefaultNoiseStd.
+	NoiseStd float64
+	// Offsets forces specific RF-chain offsets; nil draws random ones
+	// (uniform over (−π, π], Fig. 3).
+	Offsets []float64
+	// Interval overrides the transmission interval; 0 = DefaultInterval.
+	Interval time.Duration
+}
+
+// New creates a reader with the given array. The randomness source
+// seeds both the offset draw and all subsequent acquisitions.
+func New(id string, arr *rf.Array, rng *rand.Rand, opts Options) (*Reader, error) {
+	if arr == nil {
+		return nil, fmt.Errorf("%w: nil array", ErrBadConfig)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadConfig)
+	}
+	offs := opts.Offsets
+	if offs == nil {
+		offs = calib.RandomOffsets(arr.Elements, rng)
+	}
+	if len(offs) != arr.Elements {
+		return nil, fmt.Errorf("%w: %d offsets for %d elements", ErrBadConfig, len(offs), arr.Elements)
+	}
+	noise := opts.NoiseStd
+	if noise == 0 {
+		noise = channel.DefaultNoiseStd
+	}
+	interval := opts.Interval
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	return &Reader{
+		ID:       id,
+		Array:    arr,
+		Offsets:  append([]float64(nil), offs...),
+		Interval: interval,
+		noiseStd: noise,
+		rng:      rng,
+	}, nil
+}
+
+// TagSnapshots is the acquisition result for one tag.
+type TagSnapshots struct {
+	Tag  tag.Tag
+	Data *cmatrix.Matrix // N×M uncalibrated snapshots
+	// RSSIcdBm is the peak received power in centi-dBm, derived from
+	// the strongest per-element sample against a 0 dBm reference at
+	// unit amplitude — the quantity a COTS reader reports per read.
+	RSSIcdBm int16
+}
+
+// AcquireOptions configures Acquire.
+type AcquireOptions struct {
+	// Snapshots per tag (inventory cycles); 0 = 10 (the paper collects
+	// 10 backscatter packets per tag).
+	Snapshots int
+	// RunInventory gates each tag's acquisition on Gen2 singulation: a
+	// tag missed by the slotted-ALOHA inventory yields no snapshots that
+	// cycle. Disabled (false) acquires every tag deterministically.
+	RunInventory bool
+	// InitialQ for the inventory simulation; 0 = 4.
+	InitialQ uint8
+}
+
+// Acquire captures uncalibrated snapshot matrices for every readable
+// tag in the population, with the given device-free targets present in
+// the environment. The reader's RF-chain offsets are baked into the
+// samples — downstream code must calibrate.
+func (r *Reader) Acquire(env *channel.Env, pop *tag.Population, targets []channel.Target, opts AcquireOptions) ([]TagSnapshots, error) {
+	if env == nil || pop == nil {
+		return nil, fmt.Errorf("%w: nil env or population", ErrBadConfig)
+	}
+	n := opts.Snapshots
+	if n == 0 {
+		n = 10
+	}
+	readable := pop.Tags
+	if opts.RunInventory {
+		q := opts.InitialQ
+		if q == 0 {
+			q = 4
+		}
+		inv, err := epcgen2.RunInventory(pop.EPCs(), epcgen2.InventoryParams{InitialQ: q, Rng: r.rng})
+		if err != nil {
+			return nil, err
+		}
+		readable = readable[:0:0]
+		for _, read := range inv.Reads {
+			if t, ok := pop.ByEPC(read.EPC); ok {
+				readable = append(readable, t)
+			}
+		}
+	}
+	out := make([]TagSnapshots, 0, len(readable))
+	for _, t := range readable {
+		x, _, err := env.Synthesize(t.Pos, r.Array, targets, channel.SynthOpts{
+			Snapshots:    n,
+			NoiseStd:     r.noiseStd,
+			PhaseOffsets: r.Offsets,
+			Rng:          r.rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reader %s: tag %x: %w", r.ID, t.EPC, err)
+		}
+		out = append(out, TagSnapshots{Tag: t, Data: x, RSSIcdBm: peakRSSI(x)})
+	}
+	return out, nil
+}
+
+// peakRSSI converts the strongest sample magnitude to centi-dBm
+// against a 0 dBm unit-amplitude reference, clamped to a plausible
+// reader range of [-9000, 0].
+func peakRSSI(x *cmatrix.Matrix) int16 {
+	var maxP float64
+	for _, v := range x.Data {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if maxP <= 0 {
+		return -9000
+	}
+	c := 100 * 10 * math.Log10(maxP)
+	if c < -9000 {
+		c = -9000
+	} else if c > 0 {
+		c = 0
+	}
+	return int16(c)
+}
+
+// CycleDuration returns how long one full acquisition cycle takes on
+// the air: per tag, Snapshots hub cycles of Elements antenna slots.
+func (r *Reader) CycleDuration(tags, snapshots int) time.Duration {
+	return time.Duration(tags*snapshots*r.Array.Elements) * AntennaSlot
+}
+
+// Drift applies a random-walk perturbation to the RF-chain offsets, a
+// failure-injection hook modelling oscillator drift across power events
+// or temperature swings: after enough drift the one-time calibration of
+// Section 4.1 goes stale and localization degrades until the operator
+// recalibrates (the paper's "one-time effort for one power on-off
+// cycle" is exactly this boundary). std is the per-antenna drift in
+// radians.
+func (r *Reader) Drift(std float64) {
+	for i := 1; i < len(r.Offsets); i++ {
+		r.Offsets[i] = rf.WrapPhase(r.Offsets[i] + r.rng.NormFloat64()*std)
+	}
+}
+
+// OffsetsDeg returns the RF-chain offsets in degrees, the unit of
+// Fig. 3.
+func (r *Reader) OffsetsDeg() []float64 {
+	out := make([]float64, len(r.Offsets))
+	for i, o := range r.Offsets {
+		out[i] = rf.Deg(o)
+	}
+	return out
+}

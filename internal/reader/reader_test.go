@@ -1,0 +1,212 @@
+package reader
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/geom"
+	"dwatch/internal/rf"
+	"dwatch/internal/tag"
+)
+
+func mkArray(t testing.TB) *rf.Array {
+	t.Helper()
+	a, err := rf.NewArray(geom.Pt(0, 0, 1.25), geom.Pt2(1, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	arr := mkArray(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New("r1", nil, rng, Options{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil array: %v", err)
+	}
+	if _, err := New("r1", arr, nil, Options{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil rng: %v", err)
+	}
+	if _, err := New("r1", arr, rng, Options{Offsets: []float64{1}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad offsets: %v", err)
+	}
+}
+
+func TestNewRandomOffsets(t *testing.T) {
+	arr := mkArray(t)
+	r, err := New("r1", arr, rand.New(rand.NewSource(2)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Offsets) != 8 || r.Offsets[0] != 0 {
+		t.Errorf("offsets = %v", r.Offsets)
+	}
+	// Offsets are non-trivial (Fig. 3: spread across the full circle).
+	var nonzero int
+	for _, o := range r.Offsets[1:] {
+		if math.Abs(o) > 0.01 {
+			nonzero++
+		}
+	}
+	if nonzero < 5 {
+		t.Errorf("offsets suspiciously small: %v", r.Offsets)
+	}
+	deg := r.OffsetsDeg()
+	for i := range deg {
+		if math.Abs(deg[i]-rf.Deg(r.Offsets[i])) > 1e-9 {
+			t.Errorf("OffsetsDeg[%d] = %v", i, deg[i])
+		}
+	}
+}
+
+func TestAcquireAllTags(t *testing.T) {
+	arr := mkArray(t)
+	r, err := New("r1", arr, rand.New(rand.NewSource(3)), Options{NoiseStd: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := channel.NewEnv(nil)
+	pop, err := tag.RandomInRect(5, -2, 2, 2, 6, 1, 1.5, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := r.Acquire(env, pop, nil, AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("snaps = %d", len(snaps))
+	}
+	for _, s := range snaps {
+		if s.Data.Rows != 10 || s.Data.Cols != 8 {
+			t.Errorf("snapshot shape %dx%d", s.Data.Rows, s.Data.Cols)
+		}
+	}
+}
+
+func TestAcquireWithInventory(t *testing.T) {
+	arr := mkArray(t)
+	r, err := New("r1", arr, rand.New(rand.NewSource(5)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := channel.NewEnv(nil)
+	pop, err := tag.RandomInRect(21, -2, 2, 2, 6, 1, 1.5, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := r.Acquire(env, pop, nil, AcquireOptions{RunInventory: true, Snapshots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default inventory budget reads the whole population.
+	if len(snaps) != 21 {
+		t.Errorf("inventory read %d of 21 tags", len(snaps))
+	}
+}
+
+func TestAcquireOffsetsBakedIn(t *testing.T) {
+	// Two readers over the same channel with different offsets must see
+	// different sample phases for the same tag.
+	arr := mkArray(t)
+	env := channel.NewEnv(nil)
+	pop, err := tag.New([]geom.Point{geom.Pt(0.5, 4, 1.25)}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsA := make([]float64, 8)
+	offsB := make([]float64, 8)
+	for i := 1; i < 8; i++ {
+		offsB[i] = 1.0
+	}
+	mk := func(offs []float64) *Reader {
+		r, err := New("r", arr, rand.New(rand.NewSource(8)), Options{Offsets: offs, NoiseStd: 1e-15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	sa, err := mk(offsA).Acquire(env, pop, nil, AcquireOptions{Snapshots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := mk(offsB).Acquire(env, pop, nil, AcquireOptions{Snapshots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element 0 (reference) identical, element 1 rotated by 1 rad.
+	a0, b0 := sa[0].Data.At(0, 0), sb[0].Data.At(0, 0)
+	a1, b1 := sa[0].Data.At(0, 1), sb[0].Data.At(0, 1)
+	if d := cPhase(b0) - cPhase(a0); math.Abs(rf.WrapPhase(d)) > 1e-9 {
+		t.Errorf("reference element rotated by %v", d)
+	}
+	if d := rf.WrapPhase(cPhase(b1) - cPhase(a1)); math.Abs(d-1.0) > 1e-9 {
+		t.Errorf("element 1 rotation = %v, want 1.0", d)
+	}
+}
+
+func cPhase(c complex128) float64 { return math.Atan2(imag(c), real(c)) }
+
+func TestCycleDuration(t *testing.T) {
+	arr := mkArray(t)
+	r, err := New("r1", arr, rand.New(rand.NewSource(9)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.CycleDuration(21, 10)
+	want := time.Duration(21*10*8) * AntennaSlot
+	if got != want {
+		t.Errorf("CycleDuration = %v, want %v", got, want)
+	}
+}
+
+func TestAcquireValidation(t *testing.T) {
+	arr := mkArray(t)
+	r, err := New("r1", arr, rand.New(rand.NewSource(10)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Acquire(nil, nil, nil, AcquireOptions{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil env: %v", err)
+	}
+}
+
+func TestPeakRSSIPlausible(t *testing.T) {
+	arr := mkArray(t)
+	r, err := New("r1", arr, rand.New(rand.NewSource(11)), Options{NoiseStd: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := channel.NewEnv(nil)
+	near, err := tag.New([]geom.Point{geom.Pt(0.5, 2.5, 1.25)}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := tag.New([]geom.Point{geom.Pt(0.5, 9, 1.25)}, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := r.Acquire(env, near, nil, AcquireOptions{Snapshots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := r.Acquire(env, far, nil, AcquireOptions{Snapshots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn[0].RSSIcdBm <= sf[0].RSSIcdBm {
+		t.Errorf("near tag RSSI %d not above far tag %d", sn[0].RSSIcdBm, sf[0].RSSIcdBm)
+	}
+	// Backscatter power falls with d⁴: 2.5 m vs 9 m is ≈22 dB apart.
+	gap := float64(sn[0].RSSIcdBm-sf[0].RSSIcdBm) / 100
+	if gap < 15 || gap > 30 {
+		t.Errorf("near-far RSSI gap %.1f dB, want ≈22", gap)
+	}
+	if sn[0].RSSIcdBm > 0 || sn[0].RSSIcdBm < -9000 {
+		t.Errorf("RSSI %d outside clamp", sn[0].RSSIcdBm)
+	}
+}

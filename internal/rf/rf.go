@@ -1,0 +1,184 @@
+// Package rf holds the radio-frequency primitives shared by the D-Watch
+// stack: carrier constants for the 920.5-924.5 MHz UHF RFID band the
+// paper uses, uniform-linear-array geometry, steering vectors (Eq. 2-4
+// of the paper), and decibel helpers.
+package rf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"dwatch/internal/geom"
+)
+
+// SpeedOfLight is the propagation speed in m/s.
+const SpeedOfLight = 299792458.0
+
+// DefaultFrequencyHz is the centre of the paper's operating band
+// (920.5-924.5 MHz, the legal UHF band in China).
+const DefaultFrequencyHz = 922.5e6
+
+// Wavelength returns the wavelength in metres for a carrier frequency.
+func Wavelength(freqHz float64) float64 { return SpeedOfLight / freqHz }
+
+// DefaultWavelength is the wavelength at DefaultFrequencyHz (≈ 0.325 m).
+var DefaultWavelength = Wavelength(DefaultFrequencyHz)
+
+// PhaseForDistance returns the propagation phase -2π·d/λ accumulated over
+// distance d, wrapped to (-π, π].
+func PhaseForDistance(d, lambda float64) float64 {
+	return WrapPhase(-2 * math.Pi * d / lambda)
+}
+
+// WrapPhase wraps an angle in radians to (-π, π].
+func WrapPhase(p float64) float64 {
+	p = math.Mod(p, 2*math.Pi)
+	if p > math.Pi {
+		p -= 2 * math.Pi
+	} else if p <= -math.Pi {
+		p += 2 * math.Pi
+	}
+	return p
+}
+
+// PhaseDiff returns the wrapped difference a-b in (-π, π].
+func PhaseDiff(a, b float64) float64 { return WrapPhase(a - b) }
+
+// DB converts a power ratio to decibels.
+func DB(ratio float64) float64 { return 10 * math.Log10(ratio) }
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// AmplitudeFromDB converts a power change in dB to an amplitude factor.
+func AmplitudeFromDB(db float64) float64 { return math.Pow(10, db/20) }
+
+// ErrBadArray is returned for invalid array configurations.
+var ErrBadArray = errors.New("rf: invalid array configuration")
+
+// Array is a uniform linear antenna array. Element 0 is the reference
+// antenna at Origin; element m sits at Origin + m·Spacing·Axis.
+type Array struct {
+	Origin   geom.Point // position of the reference element
+	Axis     geom.Point // unit vector along the array (x-y plane)
+	Elements int        // number of antennas M
+	Spacing  float64    // inter-element spacing in metres (λ/2 by default)
+	Lambda   float64    // carrier wavelength in metres
+}
+
+// NewArray constructs a uniform linear array with λ/2 spacing at the
+// default carrier.
+func NewArray(origin geom.Point, axis geom.Point, elements int) (*Array, error) {
+	lambda := DefaultWavelength
+	return NewArrayFull(origin, axis, elements, lambda/2, lambda)
+}
+
+// NewArrayFull constructs an array with explicit spacing and wavelength.
+func NewArrayFull(origin, axis geom.Point, elements int, spacing, lambda float64) (*Array, error) {
+	if elements < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 elements, got %d", ErrBadArray, elements)
+	}
+	if spacing <= 0 || lambda <= 0 {
+		return nil, fmt.Errorf("%w: spacing %v, lambda %v", ErrBadArray, spacing, lambda)
+	}
+	u := axis.Unit()
+	if u.Norm() == 0 {
+		return nil, fmt.Errorf("%w: zero axis", ErrBadArray)
+	}
+	return &Array{Origin: origin, Axis: u, Elements: elements, Spacing: spacing, Lambda: lambda}, nil
+}
+
+// ElementPos returns the position of element m (0-based).
+func (a *Array) ElementPos(m int) geom.Point {
+	return a.Origin.Add(a.Axis.Scale(float64(m) * a.Spacing))
+}
+
+// Center returns the geometric centre of the array.
+func (a *Array) Center() geom.Point {
+	return a.Origin.Add(a.Axis.Scale(float64(a.Elements-1) * a.Spacing / 2))
+}
+
+// Omega returns ω(m, θ) = (m)·2πd/λ·cos θ, the phase lag of element m
+// (0-based; the paper's Eq. 2 uses 1-based m with an (m-1) factor).
+func (a *Array) Omega(m int, theta float64) float64 {
+	return float64(m) * 2 * math.Pi * a.Spacing / a.Lambda * math.Cos(theta)
+}
+
+// Steering returns the steering vector a(θ) of Eq. 4:
+// [1, e^{-jω(1,θ)}, …, e^{-jω(M-1,θ)}].
+func (a *Array) Steering(theta float64) []complex128 {
+	v := make([]complex128, a.Elements)
+	for m := 0; m < a.Elements; m++ {
+		v[m] = cmplx.Exp(complex(0, -a.Omega(m, theta)))
+	}
+	return v
+}
+
+// SteeringSub returns the steering vector truncated to the first n
+// elements, used with spatially smoothed (subarray) covariances.
+func (a *Array) SteeringSub(theta float64, n int) []complex128 {
+	v := make([]complex128, n)
+	for m := 0; m < n; m++ {
+		v[m] = cmplx.Exp(complex(0, -a.Omega(m, theta)))
+	}
+	return v
+}
+
+// SteeringAt returns the exact near-field (spherical-wavefront) steering
+// vector for a source at point p: element m's entry carries the phase of
+// its path-length excess over the reference element. For far sources it
+// converges to Steering(AngleTo(p)). Calibration uses it because tag
+// positions are known during that one step (paper footnote 2), which
+// removes the plane-wave approximation error across the 1.3 m aperture.
+func (a *Array) SteeringAt(p geom.Point) []complex128 {
+	v := make([]complex128, a.Elements)
+	ref := p.Dist(a.ElementPos(0))
+	for m := 0; m < a.Elements; m++ {
+		dl := p.Dist(a.ElementPos(m)) - ref
+		v[m] = cmplx.Exp(complex(0, -2*math.Pi*dl/a.Lambda))
+	}
+	return v
+}
+
+// AngleTo returns the AoA θ ∈ [0, π] at which a signal from p arrives
+// at the array. Per the geometry of the paper's Fig. 2 (antenna 1 is
+// nearest the source; the signal reaches element m with an extra path
+// of (m−1)·d·cos θ), θ is measured from the direction OPPOSITE the
+// element axis: a source beyond the last element is at θ = π, a
+// broadside source at θ = π/2.
+func (a *Array) AngleTo(p geom.Point) float64 {
+	return geom.AngleFrom(a.Center(), p, a.Axis.Scale(-1))
+}
+
+// AngleFromTwoPhases implements the paper's Eq. 1: the AoA recovered
+// from the phase difference measured at two adjacent antennas. It
+// returns an error when the implied |cos θ| exceeds 1 (calibration or
+// noise artefacts).
+func (a *Array) AngleFromTwoPhases(phi1, phi2 float64) (float64, error) {
+	c := PhaseDiff(phi1, phi2) * a.Lambda / (2 * math.Pi * a.Spacing)
+	if c < -1 || c > 1 {
+		return 0, fmt.Errorf("rf: phase difference implies cos θ = %v outside [-1,1]", c)
+	}
+	return math.Acos(c), nil
+}
+
+// AngleGrid returns n angles sampling [0, π] inclusive, the search grid
+// both MUSIC and P-MUSIC scan.
+func AngleGrid(n int) []float64 {
+	if n < 2 {
+		return []float64{math.Pi / 2}
+	}
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = math.Pi * float64(i) / float64(n-1)
+	}
+	return g
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }

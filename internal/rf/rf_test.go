@@ -1,0 +1,237 @@
+package rf
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dwatch/internal/geom"
+)
+
+func TestWavelength(t *testing.T) {
+	l := Wavelength(DefaultFrequencyHz)
+	if math.Abs(l-0.325) > 0.001 {
+		t.Errorf("wavelength = %v, want ≈0.325 m", l)
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-0.5, -0.5},
+		{2*math.Pi + 0.25, 0.25},
+	}
+	for _, c := range cases {
+		if got := WrapPhase(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapPhase(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapPhaseProperty(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Mod(p, 1000)
+		w := WrapPhase(p)
+		if w <= -math.Pi || w > math.Pi+1e-12 {
+			return false
+		}
+		// Must differ from input by a multiple of 2π.
+		k := (p - w) / (2 * math.Pi)
+		return math.Abs(k-math.Round(k)) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, r := range []float64{0.001, 0.5, 1, 2, 100} {
+		if got := FromDB(DB(r)); math.Abs(got-r) > 1e-12*r {
+			t.Errorf("FromDB(DB(%v)) = %v", r, got)
+		}
+	}
+	if got := AmplitudeFromDB(-20); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("AmplitudeFromDB(-20) = %v, want 0.1", got)
+	}
+	if got := DB(10); math.Abs(got-10) > 1e-12 {
+		t.Errorf("DB(10) = %v", got)
+	}
+}
+
+func mustArray(t *testing.T, m int) *Array {
+	t.Helper()
+	a, err := NewArray(geom.Pt2(0, 0), geom.Pt2(1, 0), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(geom.Pt2(0, 0), geom.Pt2(1, 0), 1); !errors.Is(err, ErrBadArray) {
+		t.Error("1-element array must be rejected")
+	}
+	if _, err := NewArray(geom.Pt2(0, 0), geom.Pt2(0, 0), 4); !errors.Is(err, ErrBadArray) {
+		t.Error("zero axis must be rejected")
+	}
+	if _, err := NewArrayFull(geom.Pt2(0, 0), geom.Pt2(1, 0), 4, -1, 0.3); !errors.Is(err, ErrBadArray) {
+		t.Error("negative spacing must be rejected")
+	}
+}
+
+func TestElementPosAndCenter(t *testing.T) {
+	a := mustArray(t, 8)
+	p7 := a.ElementPos(7)
+	want := 7 * DefaultWavelength / 2
+	if math.Abs(p7.X-want) > 1e-12 || p7.Y != 0 {
+		t.Errorf("ElementPos(7) = %v, want x=%v", p7, want)
+	}
+	c := a.Center()
+	if math.Abs(c.X-want/2) > 1e-12 {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestSteeringReference(t *testing.T) {
+	a := mustArray(t, 8)
+	for _, theta := range []float64{0.2, math.Pi / 2, 2.5} {
+		s := a.Steering(theta)
+		if s[0] != 1 {
+			t.Errorf("steering[0] = %v, want 1", s[0])
+		}
+		for m := range s {
+			if math.Abs(cmplx.Abs(s[m])-1) > 1e-12 {
+				t.Errorf("steering magnitude = %v at m=%d", cmplx.Abs(s[m]), m)
+			}
+		}
+	}
+}
+
+func TestSteeringBroadside(t *testing.T) {
+	// At θ=π/2, cos θ = 0, so all elements see identical phase.
+	a := mustArray(t, 8)
+	s := a.Steering(math.Pi / 2)
+	for m, v := range s {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("broadside steering[%d] = %v, want 1", m, v)
+		}
+	}
+}
+
+func TestSteeringEndfire(t *testing.T) {
+	// At θ=0 with d=λ/2, adjacent phase lag is π: elements alternate ±1.
+	a := mustArray(t, 4)
+	s := a.Steering(0)
+	for m, v := range s {
+		want := complex(1, 0)
+		if m%2 == 1 {
+			want = -1
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("endfire steering[%d] = %v, want %v", m, v, want)
+		}
+	}
+}
+
+func TestSteeringSub(t *testing.T) {
+	a := mustArray(t, 8)
+	full := a.Steering(1.1)
+	sub := a.SteeringSub(1.1, 5)
+	if len(sub) != 5 {
+		t.Fatalf("len = %d", len(sub))
+	}
+	for i := range sub {
+		if sub[i] != full[i] {
+			t.Errorf("SteeringSub[%d] != Steering prefix", i)
+		}
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	a := mustArray(t, 8)
+	c := a.Center()
+	// Point directly broadside of the centre.
+	p := geom.Pt2(c.X, 5)
+	if got := a.AngleTo(p); math.Abs(got-math.Pi/2) > 1e-9 {
+		t.Errorf("AngleTo broadside = %v", Deg(got))
+	}
+	// A point beyond the last element (along +axis) is at θ = π; a
+	// point behind the reference element is at θ = 0 (Fig. 2 geometry).
+	if got := a.AngleTo(geom.Pt2(c.X+10, 0)); math.Abs(got-math.Pi) > 1e-9 {
+		t.Errorf("AngleTo +axis = %v, want 180", Deg(got))
+	}
+	if got := a.AngleTo(geom.Pt2(c.X-10, 0)); math.Abs(got) > 1e-9 {
+		t.Errorf("AngleTo -axis = %v, want 0", Deg(got))
+	}
+}
+
+func TestAngleFromTwoPhases(t *testing.T) {
+	a := mustArray(t, 2)
+	// Simulate a plane wave from θ: phase at element m is -ω(m,θ)+const.
+	for _, theta := range []float64{0.3, 1.0, math.Pi / 2, 2.6} {
+		phi1 := 0.37 // arbitrary common phase
+		phi2 := phi1 - a.Omega(1, theta)
+		got, err := a.AngleFromTwoPhases(phi1, phi2)
+		if err != nil {
+			t.Fatalf("theta=%v: %v", theta, err)
+		}
+		if math.Abs(got-theta) > 1e-9 {
+			t.Errorf("AngleFromTwoPhases = %v, want %v", got, theta)
+		}
+	}
+	// With d=λ/2 every wrapped phase maps to a valid cos θ; use a λ/4
+	// spacing where a large measured Δφ is unphysical and must error.
+	l := DefaultWavelength
+	quarter, err := NewArrayFull(geom.Pt2(0, 0), geom.Pt2(1, 0), 2, l/4, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := quarter.AngleFromTwoPhases(0.9*math.Pi, 0); err == nil {
+		t.Error("expected error for unphysical phase difference")
+	}
+}
+
+func TestAngleGrid(t *testing.T) {
+	g := AngleGrid(181)
+	if len(g) != 181 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[0] != 0 || math.Abs(g[180]-math.Pi) > 1e-12 {
+		t.Errorf("grid ends = %v, %v", g[0], g[180])
+	}
+	if math.Abs(g[90]-math.Pi/2) > 1e-12 {
+		t.Errorf("grid midpoint = %v", g[90])
+	}
+	if g := AngleGrid(1); len(g) != 1 || g[0] != math.Pi/2 {
+		t.Errorf("degenerate grid = %v", g)
+	}
+}
+
+func TestDegRad(t *testing.T) {
+	if math.Abs(Deg(math.Pi)-180) > 1e-12 {
+		t.Error("Deg(π) != 180")
+	}
+	if math.Abs(Rad(90)-math.Pi/2) > 1e-12 {
+		t.Error("Rad(90) != π/2")
+	}
+}
+
+func TestPhaseForDistance(t *testing.T) {
+	l := 0.325
+	// One full wavelength wraps to zero.
+	if got := PhaseForDistance(l, l); math.Abs(got) > 1e-9 {
+		t.Errorf("PhaseForDistance(λ) = %v", got)
+	}
+	// Half wavelength gives ±π.
+	if got := math.Abs(PhaseForDistance(l/2, l)); math.Abs(got-math.Pi) > 1e-9 {
+		t.Errorf("PhaseForDistance(λ/2) = %v", got)
+	}
+}

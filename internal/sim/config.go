@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/geom"
+)
+
+// JSON deployment configs: a site survey is a short JSON file, not Go
+// code. Example:
+//
+//	{
+//	  "name": "warehouse-a",
+//	  "width": 12, "depth": 18,
+//	  "readers": 4, "antennas": 8, "tags": 30,
+//	  "reflectors": [
+//	    {"x1": 0, "y1": 6, "x2": 9, "y2": 6, "zmin": 0, "zmax": 2.5, "coeff": 0.7}
+//	  ],
+//	  "perimeter_coeff": 0.35
+//	}
+//
+// Unset numeric fields inherit the paper's defaults (1-1.5 m tag
+// heights, 1.25 m arrays, 5 cm grid).
+
+type jsonReflector struct {
+	X1, Y1, X2, Y2 float64
+	ZMin           float64 `json:"zmin"`
+	ZMax           float64 `json:"zmax"`
+	Coeff          float64
+}
+
+type jsonConfig struct {
+	Name            string
+	Width, Depth    float64
+	Readers         int
+	Antennas        int
+	Tags            int
+	TagZMin         float64 `json:"tag_zmin"`
+	TagZMax         float64 `json:"tag_zmax"`
+	ArrayZ          float64 `json:"array_z"`
+	Cell            float64
+	Seed            int64
+	Reflectors      []jsonReflector
+	PerimeterCoeff  float64 `json:"perimeter_coeff"`
+	SecondOrder     bool    `json:"second_order"`
+	FrequencyHz     float64 `json:"frequency_hz"`
+	MinTagArrayDist float64 `json:"min_tag_array_dist"`
+}
+
+// SaveConfig writes a Config back out as deployment JSON (the inverse
+// of LoadConfig, for persisting generated or tuned layouts).
+func SaveConfig(w io.Writer, cfg Config) error {
+	jc := jsonConfig{
+		Name:            cfg.Name,
+		Width:           cfg.Width,
+		Depth:           cfg.Depth,
+		Readers:         cfg.Readers,
+		Antennas:        cfg.Antennas,
+		Tags:            cfg.Tags,
+		TagZMin:         cfg.TagZMin,
+		TagZMax:         cfg.TagZMax,
+		ArrayZ:          cfg.ArrayZ,
+		Cell:            cfg.Cell,
+		Seed:            cfg.Seed,
+		SecondOrder:     cfg.SecondOrder,
+		FrequencyHz:     cfg.FrequencyHz,
+		MinTagArrayDist: cfg.MinTagArrayDist,
+	}
+	for _, r := range cfg.Reflectors {
+		jc.Reflectors = append(jc.Reflectors, jsonReflector{
+			X1: r.Wall.Foot.A.X, Y1: r.Wall.Foot.A.Y,
+			X2: r.Wall.Foot.B.X, Y2: r.Wall.Foot.B.Y,
+			ZMin: r.Wall.ZMin, ZMax: r.Wall.ZMax,
+			Coeff: r.Coeff,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&jc)
+}
+
+// LoadConfig parses a JSON deployment description into a Config,
+// filling unset fields with the paper's defaults.
+func LoadConfig(r io.Reader) (Config, error) {
+	var jc jsonConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jc); err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	cfg := Config{
+		Name:            jc.Name,
+		Width:           jc.Width,
+		Depth:           jc.Depth,
+		Readers:         jc.Readers,
+		Antennas:        jc.Antennas,
+		Tags:            jc.Tags,
+		TagZMin:         jc.TagZMin,
+		TagZMax:         jc.TagZMax,
+		ArrayZ:          jc.ArrayZ,
+		Cell:            jc.Cell,
+		Seed:            jc.Seed,
+		SecondOrder:     jc.SecondOrder,
+		FrequencyHz:     jc.FrequencyHz,
+		MinTagArrayDist: jc.MinTagArrayDist,
+	}
+	if cfg.Name == "" {
+		cfg.Name = "custom"
+	}
+	if cfg.Readers == 0 {
+		cfg.Readers = 4
+	}
+	if cfg.Antennas == 0 {
+		cfg.Antennas = 8
+	}
+	if cfg.Tags == 0 {
+		cfg.Tags = 21
+	}
+	if cfg.TagZMin == 0 {
+		cfg.TagZMin = 1.0
+	}
+	if cfg.TagZMax == 0 {
+		cfg.TagZMax = 1.5
+	}
+	if cfg.ArrayZ == 0 {
+		cfg.ArrayZ = 1.25
+	}
+	if cfg.Cell == 0 {
+		cfg.Cell = 0.05
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	for i, jr := range jc.Reflectors {
+		if jr.Coeff <= 0 || jr.Coeff > 1 {
+			return Config{}, fmt.Errorf("%w: reflector %d coeff %v", ErrBadConfig, i, jr.Coeff)
+		}
+		zmax := jr.ZMax
+		if zmax == 0 {
+			zmax = 2.5
+		}
+		cfg.Reflectors = append(cfg.Reflectors, channel.Reflector{
+			Wall:  geom.NewWall(jr.X1, jr.Y1, jr.X2, jr.Y2, jr.ZMin, zmax),
+			Coeff: jr.Coeff,
+		})
+	}
+	if jc.PerimeterCoeff > 0 {
+		cfg.Reflectors = append(cfg.Reflectors, perimeterWalls(cfg.Width, cfg.Depth, jc.PerimeterCoeff)...)
+	}
+	// Build validates extents and counts; pre-check the obvious here so
+	// errors point at the JSON.
+	if cfg.Width <= 0 || cfg.Depth <= 0 {
+		return Config{}, fmt.Errorf("%w: width/depth must be positive", ErrBadConfig)
+	}
+	return cfg, nil
+}

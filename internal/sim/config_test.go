@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLoadConfigDefaults(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(`{"width": 10, "depth": 12}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "custom" || cfg.Readers != 4 || cfg.Antennas != 8 || cfg.Tags != 21 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if cfg.TagZMin != 1.0 || cfg.TagZMax != 1.5 || cfg.ArrayZ != 1.25 || cfg.Cell != 0.05 {
+		t.Errorf("geometry defaults: %+v", cfg)
+	}
+	// And the config builds.
+	sc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Tags.Len() != 21 {
+		t.Errorf("tags = %d", sc.Tags.Len())
+	}
+}
+
+func TestLoadConfigFull(t *testing.T) {
+	blob := `{
+		"name": "warehouse-a",
+		"width": 12, "depth": 18,
+		"readers": 4, "antennas": 6, "tags": 30,
+		"tag_zmin": 0.8, "tag_zmax": 1.2, "array_z": 1.0,
+		"cell": 0.1, "seed": 7,
+		"reflectors": [
+			{"x1": 0, "y1": 6, "x2": 9, "y2": 6, "zmin": 0, "zmax": 2.5, "coeff": 0.7},
+			{"x1": 3, "y1": 2, "x2": 3, "y2": 9, "coeff": 0.5}
+		],
+		"perimeter_coeff": 0.35,
+		"second_order": true,
+		"frequency_hz": 5.18e9,
+		"min_tag_array_dist": 1.5
+	}`
+	cfg, err := LoadConfig(strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "warehouse-a" || cfg.Antennas != 6 || cfg.Tags != 30 {
+		t.Errorf("parsed: %+v", cfg)
+	}
+	// 2 explicit + 4 perimeter walls.
+	if len(cfg.Reflectors) != 6 {
+		t.Errorf("reflectors = %d, want 6", len(cfg.Reflectors))
+	}
+	// Unset zmax defaulted.
+	if cfg.Reflectors[1].Wall.ZMax != 2.5 {
+		t.Errorf("zmax default = %v", cfg.Reflectors[1].Wall.ZMax)
+	}
+	if !cfg.SecondOrder || cfg.FrequencyHz != 5.18e9 || cfg.MinTagArrayDist != 1.5 {
+		t.Errorf("extras: %+v", cfg)
+	}
+	sc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Readers[0].Array.Elements != 6 {
+		t.Errorf("antennas = %d", sc.Readers[0].Array.Elements)
+	}
+	// Wi-Fi wavelength applied.
+	if l := sc.Readers[0].Array.Lambda; l > 0.06 {
+		t.Errorf("lambda = %v, want ≈5.8 cm", l)
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"width": 10, "depth": 12, "bogus_field": 1}`,
+		`{"depth": 12}`,
+		`{"width": 10, "depth": 12, "reflectors": [{"x1":0,"y1":0,"x2":1,"y2":1,"coeff":0}]}`,
+		`{"width": 10, "depth": 12, "reflectors": [{"x1":0,"y1":0,"x2":1,"y2":1,"coeff":1.5}]}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadConfig(strings.NewReader(c)); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %q: err = %v", c, err)
+		}
+	}
+}
+
+func TestSaveLoadConfigRoundTrip(t *testing.T) {
+	orig := LibraryConfig()
+	var buf strings.Builder
+	if err := SaveConfig(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Width != orig.Width || got.Tags != orig.Tags {
+		t.Errorf("round trip: %+v", got)
+	}
+	if len(got.Reflectors) != len(orig.Reflectors) {
+		t.Fatalf("reflectors %d vs %d", len(got.Reflectors), len(orig.Reflectors))
+	}
+	for i := range got.Reflectors {
+		if got.Reflectors[i].Coeff != orig.Reflectors[i].Coeff {
+			t.Errorf("reflector %d coeff mismatch", i)
+		}
+		if !got.Reflectors[i].Wall.Foot.A.ApproxEq(orig.Reflectors[i].Wall.Foot.A, 1e-9) {
+			t.Errorf("reflector %d geometry mismatch", i)
+		}
+	}
+	// The round-tripped config builds identically (same seed, same layout).
+	a, err := Build(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tags.Tags {
+		if a.Tags.Tags[i].Pos != b.Tags.Tags[i].Pos {
+			t.Fatal("round-tripped config built a different deployment")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/geom"
+)
+
+// Deadzone analysis (paper Section 8): "when a target does not block
+// any path, it is in a 'deadzone' where the target cannot be detected…
+// we can increase the number of tags to reduce the amount of
+// deadzones." CoverageMap evaluates, from channel ground truth, how
+// many readers would see at least one blocked path for a target
+// standing at each grid cell — the planning view a deployer wants
+// before mounting hardware.
+
+// CoverageMap is a grid of per-cell reader-visibility counts.
+type CoverageMap struct {
+	NX, NY int
+	Cell   float64
+	XMin   float64
+	YMin   float64
+	// Counts[y*NX+x] is how many readers observe ≥1 blocked path for a
+	// target centred in that cell.
+	Counts []int
+}
+
+// blockThreshold is the amplitude factor below which a path counts as
+// observably blocked (≈3 dB power drop).
+const blockThreshold = 0.7
+
+// CoverageMap computes the deadzone map for a target template (its
+// position is swept over the grid). cell is the analysis resolution; a
+// coarse 0.25 m is plenty for planning.
+func (s *Scenario) CoverageMap(cell float64, template channel.Target) (*CoverageMap, error) {
+	if cell <= 0 {
+		return nil, fmt.Errorf("%w: cell %v", ErrBadConfig, cell)
+	}
+	nx := int(s.Cfg.Width/cell) + 1
+	ny := int(s.Cfg.Depth/cell) + 1
+	out := &CoverageMap{NX: nx, NY: ny, Cell: cell, XMin: 0, YMin: 0, Counts: make([]int, nx*ny)}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			tgt := template
+			tgt.Pos = geom.Pt(float64(ix)*cell, float64(iy)*cell, template.Pos.Z)
+			out.Counts[iy*nx+ix] = s.readersSeeing(tgt)
+		}
+	}
+	return out, nil
+}
+
+// readersSeeing counts readers with at least one observably blocked
+// path for the given target.
+func (s *Scenario) readersSeeing(tgt channel.Target) int {
+	n := 0
+	for _, r := range s.Readers {
+		seen := false
+		for _, tg := range s.Tags.Tags {
+			if channel.ForwardBlockFactor(tg.Pos, r.Array, []channel.Target{tgt}) < blockThreshold {
+				seen = true
+				break
+			}
+			for _, p := range s.Env.PathsTo(tg.Pos, r.Array) {
+				if channel.BlockFactor(p, []channel.Target{tgt}) < blockThreshold {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				break
+			}
+		}
+		if seen {
+			n++
+		}
+	}
+	return n
+}
+
+// CoverageRate returns the fraction of cells seen by at least
+// minReaders readers (2 are needed for a 2-D fix).
+func (m *CoverageMap) CoverageRate(minReaders int) float64 {
+	if len(m.Counts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range m.Counts {
+		if c >= minReaders {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.Counts))
+}
+
+// Deadzones returns the cell centres seen by fewer than minReaders.
+func (m *CoverageMap) Deadzones(minReaders int) []geom.Point {
+	var out []geom.Point
+	for iy := 0; iy < m.NY; iy++ {
+		for ix := 0; ix < m.NX; ix++ {
+			if m.Counts[iy*m.NX+ix] < minReaders {
+				out = append(out, geom.Pt(m.XMin+float64(ix)*m.Cell, m.YMin+float64(iy)*m.Cell, 0))
+			}
+		}
+	}
+	return out
+}
+
+// Render draws the map as ASCII: digits are reader counts, '.' is a
+// deadzone (zero readers). North (larger y) is up.
+func (m *CoverageMap) Render() string {
+	var b strings.Builder
+	for iy := m.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < m.NX; ix++ {
+			c := m.Counts[iy*m.NX+ix]
+			if c == 0 {
+				b.WriteByte('.')
+			} else if c > 9 {
+				b.WriteByte('+')
+			} else {
+				b.WriteByte(byte('0' + c))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

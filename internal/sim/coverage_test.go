@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dwatch/internal/channel"
+	"dwatch/internal/geom"
+)
+
+func TestCoverageMapBasics(t *testing.T) {
+	sc, err := Build(HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sc.CoverageMap(0.5, channel.HumanTarget(geom.Pt(0, 0, 1.25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NX < 10 || m.NY < 10 {
+		t.Fatalf("grid %dx%d too small", m.NX, m.NY)
+	}
+	// Counts bounded by the number of readers.
+	for _, c := range m.Counts {
+		if c < 0 || c > len(sc.Readers) {
+			t.Fatalf("count %d out of range", c)
+		}
+	}
+	// A hall with 21 tags must have substantial 2-reader coverage
+	// (physical ground truth, before any detection losses).
+	if rate := m.CoverageRate(2); rate < 0.5 {
+		t.Errorf("2-reader physical coverage %.2f, want ≥ 0.5", rate)
+	}
+	// Rates are monotone in the reader requirement.
+	if m.CoverageRate(1) < m.CoverageRate(2) || m.CoverageRate(2) < m.CoverageRate(3) {
+		t.Error("coverage rate not monotone in minReaders")
+	}
+}
+
+func TestCoverageMapMoreTagsMoreCoverage(t *testing.T) {
+	rate := func(tags int) float64 {
+		cfg := HallConfig()
+		cfg.Tags = tags
+		sc, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sc.CoverageMap(0.5, channel.HumanTarget(geom.Pt(0, 0, 1.25)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.CoverageRate(2)
+	}
+	few := rate(8)
+	many := rate(40)
+	if many < few {
+		t.Errorf("coverage fell with more tags: %.2f -> %.2f", few, many)
+	}
+}
+
+func TestCoverageMapDeadzonesAndRender(t *testing.T) {
+	sc, err := Build(HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sc.CoverageMap(0.5, channel.HumanTarget(geom.Pt(0, 0, 1.25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := m.Deadzones(2)
+	covered := 0
+	for _, c := range m.Counts {
+		if c >= 2 {
+			covered++
+		}
+	}
+	if len(dead)+covered != len(m.Counts) {
+		t.Errorf("deadzones (%d) + covered (%d) != cells (%d)", len(dead), covered, len(m.Counts))
+	}
+	r := m.Render()
+	if strings.Count(r, "\n") != m.NY {
+		t.Errorf("render has %d lines, want %d", strings.Count(r, "\n"), m.NY)
+	}
+}
+
+func TestCoverageMapValidation(t *testing.T) {
+	sc, err := Build(HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.CoverageMap(0, channel.HumanTarget(geom.Pt(0, 0, 1.25))); err == nil {
+		t.Error("zero cell must error")
+	}
+}

@@ -1,0 +1,150 @@
+// Package stats provides the summary statistics and error metrics the
+// D-Watch evaluation reports: medians, percentiles, CDFs, and the
+// paper's human-extent error rule (Section 6.2: a human target is 32-40
+// cm wide, so any estimate within 36 cm of the true centre counts as
+// zero error; beyond that, the error is the distance to the 36 cm
+// disc).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) with linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1)), nil
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value float64
+	P     float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns the empirical CDF of the sample.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// HumanExtent is the paper's 36 cm rule radius.
+const HumanExtent = 0.36
+
+// HumanError applies Section 6.2's rule to a raw distance-to-centre
+// error: distances within HumanExtent count as zero; beyond it, the
+// excess over HumanExtent is the error.
+func HumanError(dist float64) float64 {
+	if dist <= HumanExtent {
+		return 0
+	}
+	return dist - HumanExtent
+}
+
+// Summary bundles the error statistics the paper tables report.
+type Summary struct {
+	N        int
+	Mean     float64
+	Median   float64
+	P90      float64
+	Max      float64
+	Coverage float64 // fraction of attempts that produced a fix
+}
+
+// Collector accumulates localization errors and coverage.
+type Collector struct {
+	errs     []float64
+	attempts int
+}
+
+// AddError records a successful fix's error.
+func (c *Collector) AddError(e float64) {
+	c.errs = append(c.errs, e)
+	c.attempts++
+}
+
+// AddMiss records an attempt with no fix (deadzone / not covered).
+func (c *Collector) AddMiss() { c.attempts++ }
+
+// Errors returns the recorded errors (not a copy).
+func (c *Collector) Errors() []float64 { return c.errs }
+
+// Summarize computes the summary statistics.
+func (c *Collector) Summarize() (Summary, error) {
+	if c.attempts == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(c.errs)}
+	s.Coverage = float64(len(c.errs)) / float64(c.attempts)
+	if len(c.errs) == 0 {
+		return s, nil
+	}
+	s.Mean, _ = Mean(c.errs)
+	s.Median, _ = Median(c.errs)
+	s.P90, _ = Percentile(c.errs, 90)
+	for _, e := range c.errs {
+		if e > s.Max {
+			s.Max = e
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if m, err := Mean([]float64{1, 2, 3, 4}); err != nil || m != 2.5 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v (%v), want %v", c.p, got, err, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile sorted the input in place")
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("empty must error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range p must error")
+	}
+	if got, _ := Percentile([]float64{7}, 90); got != 7 {
+		t.Errorf("single sample = %v", got)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if m, _ := Median([]float64{9, 1, 5}); m != 5 {
+		t.Errorf("Median = %v", m)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s, want)
+	}
+	if _, err := StdDev([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("n<2 must error")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := CDF([]float64{3, 1, 2})
+	if len(c) != 3 {
+		t.Fatalf("len = %d", len(c))
+	}
+	if c[0].Value != 1 || math.Abs(c[0].P-1.0/3) > 1e-12 {
+		t.Errorf("c[0] = %+v", c[0])
+	}
+	if c[2].Value != 3 || c[2].P != 1 {
+		t.Errorf("c[2] = %+v", c[2])
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		c := CDF(xs)
+		for i := 1; i < len(c); i++ {
+			if c[i].Value < c[i-1].Value || c[i].P <= c[i-1].P {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHumanError(t *testing.T) {
+	if HumanError(0.2) != 0 {
+		t.Error("inside extent should be 0")
+	}
+	if HumanError(0.36) != 0 {
+		t.Error("boundary should be 0")
+	}
+	if got := HumanError(0.5); math.Abs(got-0.14) > 1e-12 {
+		t.Errorf("HumanError(0.5) = %v", got)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.AddError(0.1)
+	c.AddError(0.3)
+	c.AddError(0.2)
+	c.AddMiss()
+	s, err := c.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Coverage-0.75) > 1e-12 {
+		t.Errorf("Coverage = %v", s.Coverage)
+	}
+	if math.Abs(s.Median-0.2) > 1e-12 || math.Abs(s.Mean-0.2) > 1e-12 {
+		t.Errorf("Median/Mean = %v/%v", s.Median, s.Mean)
+	}
+	if s.Max != 0.3 {
+		t.Errorf("Max = %v", s.Max)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	var c Collector
+	if _, err := c.Summarize(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v", err)
+	}
+	c.AddMiss()
+	s, err := c.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Coverage != 0 || s.N != 0 {
+		t.Errorf("all-miss summary = %+v", s)
+	}
+}

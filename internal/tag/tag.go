@@ -1,0 +1,117 @@
+// Package tag models the passive UHF RFID tag population D-Watch
+// deploys: cheap Alien ALN-9634-class tags placed at arbitrary,
+// possibly unknown positions (the system never needs tag locations
+// except during phase calibration). Tags are pure backscatterers — no
+// battery — so whether a tag is readable at all depends on the forward
+// link budget from the reader.
+package tag
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dwatch/internal/epcgen2"
+	"dwatch/internal/geom"
+)
+
+// Tag is one deployed passive tag.
+type Tag struct {
+	EPC []byte     // 96-bit identity
+	Pos geom.Point // ground-truth position (used by the simulator; the
+	// localization pipeline itself never reads it outside calibration)
+}
+
+// ErrBadPopulation is returned for invalid population parameters.
+var ErrBadPopulation = errors.New("tag: bad population")
+
+// Population is a set of deployed tags.
+type Population struct {
+	Tags []Tag
+}
+
+// New creates a population with the given positions and random EPCs.
+func New(positions []geom.Point, rng *rand.Rand) (*Population, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadPopulation)
+	}
+	p := &Population{Tags: make([]Tag, len(positions))}
+	seen := make(map[string]bool, len(positions))
+	for i, pos := range positions {
+		var epc []byte
+		for {
+			epc = epcgen2.RandomEPC(rng)
+			if !seen[string(epc)] {
+				seen[string(epc)] = true
+				break
+			}
+		}
+		p.Tags[i] = Tag{EPC: epc, Pos: pos}
+	}
+	return p, nil
+}
+
+// RandomInRect places n tags uniformly in an axis-aligned rectangle at
+// heights uniform in [zMin, zMax] (the paper: tags on tables or held,
+// 1-1.5 m up).
+func RandomInRect(n int, xMin, xMax, yMin, yMax, zMin, zMax float64, rng *rand.Rand) (*Population, error) {
+	if n < 0 || xMax < xMin || yMax < yMin || zMax < zMin {
+		return nil, fmt.Errorf("%w: n=%d rect [%v,%v]x[%v,%v] z[%v,%v]", ErrBadPopulation, n, xMin, xMax, yMin, yMax, zMin, zMax)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadPopulation)
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(
+			xMin+rng.Float64()*(xMax-xMin),
+			yMin+rng.Float64()*(yMax-yMin),
+			zMin+rng.Float64()*(zMax-zMin),
+		)
+	}
+	return New(pts, rng)
+}
+
+// OnPerimeter places n tags evenly along the two given sides of a
+// rectangle, the table-area deployment of Fig. 20 (tags on two sides,
+// arrays on the other two).
+func OnPerimeter(n int, corner geom.Point, size, z float64, rng *rand.Rand) (*Population, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: perimeter needs ≥ 2 tags", ErrBadPopulation)
+	}
+	half := n / 2
+	pts := make([]geom.Point, 0, n)
+	// Left side (x = corner.X), spread along y.
+	for i := 0; i < half; i++ {
+		f := float64(i+1) / float64(half+1)
+		pts = append(pts, geom.Pt(corner.X, corner.Y+f*size, z))
+	}
+	// Top side (y = corner.Y+size), spread along x.
+	for i := 0; i < n-half; i++ {
+		f := float64(i+1) / float64(n-half+1)
+		pts = append(pts, geom.Pt(corner.X+f*size, corner.Y+size, z))
+	}
+	return New(pts, rng)
+}
+
+// EPCs returns the population's EPCs in order, for inventory simulation.
+func (p *Population) EPCs() [][]byte {
+	out := make([][]byte, len(p.Tags))
+	for i, t := range p.Tags {
+		out[i] = t.EPC
+	}
+	return out
+}
+
+// ByEPC returns the tag with the given EPC.
+func (p *Population) ByEPC(epc []byte) (Tag, bool) {
+	for _, t := range p.Tags {
+		if string(t.EPC) == string(epc) {
+			return t, true
+		}
+	}
+	return Tag{}, false
+}
+
+// Len returns the number of tags.
+func (p *Population) Len() int { return len(p.Tags) }

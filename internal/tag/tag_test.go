@@ -1,0 +1,112 @@
+package tag
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/geom"
+)
+
+func TestNewUniqueEPCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Pt2(float64(i), 0)
+	}
+	p, err := New(pts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 50 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	seen := map[string]bool{}
+	for _, tg := range p.Tags {
+		if len(tg.EPC) != 12 {
+			t.Fatalf("EPC len = %d", len(tg.EPC))
+		}
+		if seen[string(tg.EPC)] {
+			t.Fatal("duplicate EPC")
+		}
+		seen[string(tg.EPC)] = true
+	}
+	if _, err := New(pts, nil); !errors.Is(err, ErrBadPopulation) {
+		t.Errorf("nil rng: %v", err)
+	}
+}
+
+func TestRandomInRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := RandomInRect(30, 0, 7, 0, 10, 1, 1.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range p.Tags {
+		if tg.Pos.X < 0 || tg.Pos.X > 7 || tg.Pos.Y < 0 || tg.Pos.Y > 10 {
+			t.Errorf("tag outside rect: %v", tg.Pos)
+		}
+		if tg.Pos.Z < 1 || tg.Pos.Z > 1.5 {
+			t.Errorf("tag height: %v", tg.Pos.Z)
+		}
+	}
+	if _, err := RandomInRect(5, 1, 0, 0, 1, 0, 1, rng); !errors.Is(err, ErrBadPopulation) {
+		t.Errorf("bad rect: %v", err)
+	}
+	if _, err := RandomInRect(5, 0, 1, 0, 1, 0, 1, nil); !errors.Is(err, ErrBadPopulation) {
+		t.Errorf("nil rng: %v", err)
+	}
+}
+
+func TestOnPerimeter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := OnPerimeter(26, geom.Pt2(0, 0), 2, 0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 26 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for _, tg := range p.Tags {
+		onLeft := tg.Pos.X == 0 && tg.Pos.Y > 0 && tg.Pos.Y < 2
+		onTop := tg.Pos.Y == 2 && tg.Pos.X > 0 && tg.Pos.X < 2
+		if !onLeft && !onTop {
+			t.Errorf("tag not on perimeter sides: %v", tg.Pos)
+		}
+		if tg.Pos.Z != 0.8 {
+			t.Errorf("tag z = %v", tg.Pos.Z)
+		}
+	}
+	if _, err := OnPerimeter(1, geom.Pt2(0, 0), 2, 0.8, rng); !errors.Is(err, ErrBadPopulation) {
+		t.Errorf("n=1: %v", err)
+	}
+}
+
+func TestByEPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := New([]geom.Point{geom.Pt2(1, 2), geom.Pt2(3, 4)}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := p.ByEPC(p.Tags[1].EPC)
+	if !ok || got.Pos != geom.Pt2(3, 4) {
+		t.Errorf("ByEPC = %v, %v", got, ok)
+	}
+	if _, ok := p.ByEPC([]byte("nonexistent!")); ok {
+		t.Error("found nonexistent EPC")
+	}
+}
+
+func TestEPCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, _ := New([]geom.Point{geom.Pt2(0, 0), geom.Pt2(1, 1), geom.Pt2(2, 2)}, rng)
+	es := p.EPCs()
+	if len(es) != 3 {
+		t.Fatalf("EPCs len = %d", len(es))
+	}
+	for i := range es {
+		if string(es[i]) != string(p.Tags[i].EPC) {
+			t.Errorf("EPCs[%d] mismatch", i)
+		}
+	}
+}

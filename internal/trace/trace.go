@@ -1,0 +1,99 @@
+// Package trace generates ground-truth trajectories for the
+// fist-tracking experiments of Section 6.8: a user writing the glyphs
+// "P" and "O" in the air over a 2 m × 2 m table at natural writing speed
+// (≈0.5 m/s), sampled at the system's 0.1 s snapshot interval.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dwatch/internal/geom"
+)
+
+// ErrUnknownGlyph is returned for glyphs without a stored stroke.
+var ErrUnknownGlyph = errors.New("trace: unknown glyph")
+
+// Glyph returns the stroke polyline of a supported glyph ("P" or "O"),
+// drawn in a unit box [0,1]×[0,1] in the x-y plane.
+func Glyph(name string) (geom.Polyline, error) {
+	switch name {
+	case "P":
+		// Vertical bar up, then the bowl back down to mid-height.
+		pl := geom.Polyline{
+			geom.Pt2(0.2, 0.0),
+			geom.Pt2(0.2, 1.0),
+		}
+		// Bowl: semicircle from the top of the bar to mid-height.
+		const n = 16
+		cx, cy, r := 0.2, 0.75, 0.25
+		for i := 0; i <= n; i++ {
+			a := math.Pi/2 - math.Pi*float64(i)/n
+			pl = append(pl, geom.Pt2(cx+r*math.Cos(a), cy+r*math.Sin(a)))
+		}
+		return pl, nil
+	case "O":
+		const n = 48
+		pl := make(geom.Polyline, 0, n+1)
+		cx, cy, r := 0.5, 0.5, 0.45
+		for i := 0; i <= n; i++ {
+			a := math.Pi/2 + 2*math.Pi*float64(i)/n
+			pl = append(pl, geom.Pt2(cx+r*math.Cos(a), cy+r*math.Sin(a)))
+		}
+		return pl, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGlyph, name)
+	}
+}
+
+// Placed scales a unit-box polyline to size metres and translates it so
+// the box's lower-left corner is at origin, lifting all points to height
+// z.
+func Placed(pl geom.Polyline, origin geom.Point, size, z float64) geom.Polyline {
+	out := make(geom.Polyline, len(pl))
+	for i, p := range pl {
+		out[i] = geom.Pt(origin.X+p.X*size, origin.Y+p.Y*size, z)
+	}
+	return out
+}
+
+// Sample walks the polyline at speed m/s, emitting a point every
+// interval seconds (the paper: 0.5 m/s writing speed, 0.1 s snapshots).
+// Both endpoints are included.
+func Sample(pl geom.Polyline, speed, interval float64) (geom.Polyline, error) {
+	if speed <= 0 || interval <= 0 {
+		return nil, fmt.Errorf("trace: speed %v and interval %v must be positive", speed, interval)
+	}
+	total := pl.Length()
+	if total == 0 {
+		if len(pl) == 0 {
+			return nil, nil
+		}
+		return geom.Polyline{pl[0]}, nil
+	}
+	step := speed * interval
+	n := int(total/step) + 1
+	out := make(geom.Polyline, 0, n+1)
+	for s := 0.0; s < total; s += step {
+		out = append(out, pl.PointAt(s))
+	}
+	out = append(out, pl.PointAt(total))
+	return out, nil
+}
+
+// RMSError returns the root-mean-square distance from each estimated
+// point to the ground-truth polyline (trajectory-level accuracy, the
+// Fig. 22 metric uses per-point errors via stats.Collector; this is a
+// convenience aggregate).
+func RMSError(estimates geom.Polyline, truth geom.Polyline) float64 {
+	if len(estimates) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, p := range estimates {
+		d := truth.MinDistToPoint(p)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(estimates)))
+}

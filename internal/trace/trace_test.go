@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dwatch/internal/geom"
+)
+
+func TestGlyphP(t *testing.T) {
+	pl, err := Glyph("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) < 5 {
+		t.Fatalf("P has %d points", len(pl))
+	}
+	// All points inside the unit box.
+	for _, p := range pl {
+		if p.X < -1e-9 || p.X > 1+1e-9 || p.Y < -1e-9 || p.Y > 1+1e-9 {
+			t.Errorf("point %v outside unit box", p)
+		}
+	}
+	// The bar spans full height.
+	if pl[0].Y != 0 || pl[1].Y != 1 {
+		t.Errorf("bar = %v -> %v", pl[0], pl[1])
+	}
+}
+
+func TestGlyphO(t *testing.T) {
+	pl, err := Glyph("O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed loop: first and last points coincide.
+	if pl[0].Dist(pl[len(pl)-1]) > 1e-9 {
+		t.Errorf("O not closed: %v vs %v", pl[0], pl[len(pl)-1])
+	}
+	// All points at radius 0.45 from centre.
+	for _, p := range pl {
+		r := math.Hypot(p.X-0.5, p.Y-0.5)
+		if math.Abs(r-0.45) > 1e-9 {
+			t.Errorf("radius = %v at %v", r, p)
+		}
+	}
+}
+
+func TestGlyphUnknown(t *testing.T) {
+	if _, err := Glyph("Z"); !errors.Is(err, ErrUnknownGlyph) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPlaced(t *testing.T) {
+	pl := geom.Polyline{geom.Pt2(0, 0), geom.Pt2(1, 1)}
+	out := Placed(pl, geom.Pt2(2, 3), 1.5, 0.9)
+	if !out[0].ApproxEq(geom.Pt(2, 3, 0.9), 1e-12) {
+		t.Errorf("out[0] = %v", out[0])
+	}
+	if !out[1].ApproxEq(geom.Pt(3.5, 4.5, 0.9), 1e-12) {
+		t.Errorf("out[1] = %v", out[1])
+	}
+}
+
+func TestSampleSpacing(t *testing.T) {
+	pl := geom.Polyline{geom.Pt2(0, 0), geom.Pt2(1, 0)}
+	out, err := Sample(pl, 0.5, 0.1) // 5 cm steps over 1 m
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 21 {
+		t.Fatalf("samples = %d, want 21", len(out))
+	}
+	for i := 1; i < len(out)-1; i++ {
+		d := out[i].Dist(out[i-1])
+		if math.Abs(d-0.05) > 1e-9 {
+			t.Errorf("step %d = %v", i, d)
+		}
+	}
+	// Endpoint included.
+	if !out[len(out)-1].ApproxEq(geom.Pt2(1, 0), 1e-9) {
+		t.Errorf("last = %v", out[len(out)-1])
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	pl := geom.Polyline{geom.Pt2(0, 0), geom.Pt2(1, 0)}
+	if _, err := Sample(pl, 0, 0.1); err == nil {
+		t.Error("zero speed must error")
+	}
+	if _, err := Sample(pl, 0.5, 0); err == nil {
+		t.Error("zero interval must error")
+	}
+	one, err := Sample(geom.Polyline{geom.Pt2(1, 2)}, 0.5, 0.1)
+	if err != nil || len(one) != 1 {
+		t.Errorf("degenerate = %v, %v", one, err)
+	}
+	empty, err := Sample(nil, 0.5, 0.1)
+	if err != nil || empty != nil {
+		t.Errorf("empty = %v, %v", empty, err)
+	}
+}
+
+func TestRMSError(t *testing.T) {
+	truth := geom.Polyline{geom.Pt2(0, 0), geom.Pt2(1, 0)}
+	est := geom.Polyline{geom.Pt2(0.5, 0.1), geom.Pt2(0.7, -0.1)}
+	got := RMSError(est, truth)
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("RMS = %v, want 0.1", got)
+	}
+	if !math.IsNaN(RMSError(nil, truth)) {
+		t.Error("empty estimates should be NaN")
+	}
+}
