@@ -1,0 +1,32 @@
+# Standard verification gate: `make check` is what CI and pre-commit
+# should run. `make race` repeats the test suite under the race
+# detector — mandatory for changes touching internal/pipeline or
+# internal/llrp.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The figure benchmarks run one iteration each; the pipeline benchmark
+# is the scaling baseline for perf work.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -11,9 +11,18 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
+	"dwatch/internal/calib"
+	"dwatch/internal/channel"
 	"dwatch/internal/experiments"
+	"dwatch/internal/geom"
+	"dwatch/internal/llrp"
+	"dwatch/internal/pipeline"
+	"dwatch/internal/reader"
+	"dwatch/internal/rf"
+	"dwatch/internal/sim"
 )
 
 // benchOpts keeps per-iteration cost moderate; the figures' shapes are
@@ -261,4 +270,101 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// genPipelineReports synthesizes one recorded session for the table
+// scenario: 2 baseline rounds plus onlineRounds with a moving target,
+// exactly what dwatchd's simulated readers stream.
+func genPipelineReports(tb testing.TB, sc *sim.Scenario, onlineRounds, snapshots int) []*llrp.ROAccessReport {
+	tb.Helper()
+	var reports []*llrp.ROAccessReport
+	seq := uint32(0)
+	send := func(targets []channel.Target) {
+		seq++
+		for _, rd := range sc.Readers {
+			snaps, err := rd.Acquire(sc.Env, sc.Tags, targets, reader.AcquireOptions{Snapshots: snapshots})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			rep := &llrp.ROAccessReport{ReaderID: rd.ID, Seq: seq}
+			for _, sn := range snaps {
+				x, err := calib.Apply(sn.Data, rd.Offsets)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				snapshot := make([][]complex128, x.Rows)
+				for r := 0; r < x.Rows; r++ {
+					snapshot[r] = append([]complex128(nil), x.Data[r*x.Cols:(r+1)*x.Cols]...)
+				}
+				rep.Reports = append(rep.Reports, llrp.TagReport{EPC: sn.Tag.EPC, Snapshot: snapshot})
+			}
+			reports = append(reports, rep)
+		}
+	}
+	send(nil)
+	send(nil)
+	for k := 0; k < onlineRounds; k++ {
+		f := float64(k+1) / float64(onlineRounds+1)
+		pos := geom.Pt(sc.Cfg.Width*(0.3+0.4*f), sc.Cfg.Depth/2, sc.Cfg.ArrayZ)
+		send([]channel.Target{channel.HumanTarget(pos)})
+	}
+	return reports
+}
+
+// BenchmarkPipelineThroughput is the scaling baseline for the
+// streaming pipeline: the same report stream pushed through 1, 2, and
+// 4 spectrum workers, reporting end-to-end reports/sec and spectra/sec.
+// On multi-core hardware throughput should scale with the worker count
+// (the spectrum stage dominates); on a single core the worker counts
+// should tie, which is itself the "no pipeline overhead" check.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reports := genPipelineReports(b, sc, 6, 6)
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	var spectra int
+	for _, rep := range reports {
+		spectra += len(rep.Reports)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := pipeline.New(pipeline.Config{Arrays: arrays, Grid: sc.Grid, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Start()
+				done := make(chan int, 1)
+				go func() {
+					n := 0
+					for f := range p.Fixes() {
+						if f.Err == nil {
+							n++
+						}
+					}
+					done <- n
+				}()
+				for _, rep := range reports {
+					if err := p.Ingest(rep); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p.Drain()
+				if fixes := <-done; fixes == 0 {
+					b.Fatal("pipeline produced no fixes")
+				}
+			}
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(len(reports)*b.N)/secs, "reports/s")
+				b.ReportMetric(float64(spectra*b.N)/secs, "spectra/s")
+			}
+		})
+	}
 }

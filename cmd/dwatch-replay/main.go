@@ -2,20 +2,28 @@
 // session (written by dwatchd -record): the offline workflow for tuning
 // detection thresholds against captured traffic without the readers.
 //
+// Replay pumps the recorded reports through the same streaming
+// pipeline dwatchd serves with, so the worker pool parallelizes the
+// spectrum computation: -workers N trades cores for wall time, and the
+// summary reports the achieved report throughput.
+//
 // Usage:
 //
-//	dwatch-replay -in session.dwrl [-env hall] [-drop-floor 0.2]
+//	dwatch-replay -in session.dwrl [-env hall] [-drop-floor 0.2] [-workers N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
+	"time"
 
 	"dwatch/internal/dwatch"
 	"dwatch/internal/llrp"
-	"dwatch/internal/loc"
-	"dwatch/internal/pmusic"
+	"dwatch/internal/pipeline"
 	"dwatch/internal/rf"
 	"dwatch/internal/sim"
 )
@@ -24,6 +32,7 @@ func main() {
 	in := flag.String("in", "", "record file written by dwatchd -record")
 	env := flag.String("env", "hall", "environment preset (array geometry)")
 	dropFloor := flag.Float64("drop-floor", 0, "override the per-path drop floor (0 = default)")
+	workers := flag.Int("workers", 0, "spectrum worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
@@ -37,12 +46,34 @@ func main() {
 		fatal(err)
 	}
 	arrays := map[string]*rf.Array{}
-	readers := map[string]bool{}
 	for _, r := range sc.Readers {
 		arrays[r.ID] = r.Array
-		readers[r.ID] = true
 	}
-	fuser := dwatch.NewFuser(arrays, dwatch.Config{DropFloor: *dropFloor})
+
+	p, err := pipeline.New(pipeline.Config{
+		Arrays:  arrays,
+		Grid:    sc.Grid,
+		Workers: *workers,
+		Fuser:   dwatch.Config{DropFloor: *dropFloor},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p.Start()
+
+	// Collect fixes concurrently; they may complete out of seq order,
+	// so buffer and sort for a stable report.
+	type outcome struct {
+		fix pipeline.Fix
+	}
+	collected := make(chan []outcome, 1)
+	go func() {
+		var out []outcome
+		for fix := range p.Fixes() {
+			out = append(out, outcome{fix})
+		}
+		collected <- out
+	}()
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -50,10 +81,8 @@ func main() {
 	}
 	defer f.Close()
 
-	rounds := map[string]int{}
-	online := map[uint32]map[string]map[string]*pmusic.Spectrum{}
-	fixes, misses := 0, 0
-
+	start := time.Now()
+	reports := 0
 	err = llrp.Replay(f, false, func(rec llrp.RecordedMessage) error {
 		if rec.Message.Type != llrp.MsgROAccessReport {
 			return nil
@@ -62,69 +91,46 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if !readers[rep.ReaderID] {
-			return nil
+		reports++
+		// Unknown readers in a capture are skipped, as before;
+		// anything else is fatal.
+		if err := p.Ingest(rep); err != nil && !errors.Is(err, pipeline.ErrUnknownReader) {
+			return err
 		}
-		arr := arrays[rep.ReaderID]
-		spectra := map[string]*pmusic.Spectrum{}
-		for _, tr := range rep.Reports {
-			x, err := dwatch.RawSnapshotsToMatrix(tr.Snapshot)
-			if err != nil {
-				continue
-			}
-			sp, err := pmusic.Compute(x, arr, pmusic.Options{})
-			if err != nil {
-				continue
-			}
-			spectra[string(tr.EPC)] = sp
-		}
-		round := rounds[rep.ReaderID]
-		rounds[rep.ReaderID] = round + 1
-		if round < 2 {
-			for epc, sp := range spectra {
-				fuser.AddBaseline(rep.ReaderID, []byte(epc), sp)
-			}
-			if round == 1 {
-				fuser.FinishBaseline()
-			}
-			return nil
-		}
-		bySeq := online[rep.Seq]
-		if bySeq == nil {
-			bySeq = map[string]map[string]*pmusic.Spectrum{}
-			online[rep.Seq] = bySeq
-		}
-		bySeq[rep.ReaderID] = spectra
-		if len(bySeq) < len(sc.Readers) {
-			return nil
-		}
-		delete(online, rep.Seq)
-		var views []*loc.View
-		for _, rd := range sc.Readers {
-			if on := bySeq[rd.ID]; on != nil {
-				if v := fuser.BuildView(rd.ID, on); v != nil {
-					views = append(views, v)
-				}
-			}
-		}
-		if len(views) < 2 {
-			misses++
-			return nil
-		}
-		res, lerr := loc.Localize(views, sc.Grid, loc.Options{})
-		if lerr != nil {
-			misses++
-			fmt.Printf("seq %d: no fix (%v)\n", rep.Seq, lerr)
-			return nil
-		}
-		fixes++
-		fmt.Printf("seq %d: fix (%.2f, %.2f) confidence %.2f\n", rep.Seq, res.Pos.X, res.Pos.Y, res.Confidence)
 		return nil
 	})
 	if err != nil {
 		fatal(err)
 	}
+	p.Drain()
+	elapsed := time.Since(start)
+	out := <-collected
+
+	sort.Slice(out, func(i, j int) bool { return out[i].fix.Seq < out[j].fix.Seq })
+	fixes, misses := 0, 0
+	for _, o := range out {
+		if o.fix.Err != nil {
+			misses++
+			fmt.Printf("seq %d: no fix (%v)\n", o.fix.Seq, o.fix.Err)
+			continue
+		}
+		fixes++
+		fmt.Printf("seq %d: fix (%.2f, %.2f) confidence %.2f\n",
+			o.fix.Seq, o.fix.Pos.X, o.fix.Pos.Y, o.fix.Confidence)
+	}
+	st := p.Stats()
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
 	fmt.Printf("replay complete: %d fixes, %d misses\n", fixes, misses)
+	fmt.Printf("throughput: %d reports (%d spectra) in %.3fs with %d workers = %.1f reports/s\n",
+		reports, st.SpectraComputed, elapsed.Seconds(), w,
+		float64(reports)/elapsed.Seconds())
+	if st.SequencesEvicted > 0 || st.LateReports > 0 || st.PendingSequences > 0 {
+		fmt.Printf("warning: %d incomplete sequences evicted, %d still incomplete at EOF, %d late reports\n",
+			st.SequencesEvicted, st.PendingSequences, st.LateReports)
+	}
 }
 
 func preset(name string) (sim.Config, error) {

@@ -5,6 +5,12 @@
 // have reported fresh evidence — the deployment of Section 5, where all
 // backscatter packets are forwarded to a central server over Ethernet.
 //
+// Reports flow through the internal/pipeline streaming pipeline:
+// ingest validates and enqueues per-tag snapshot jobs, a worker pool
+// computes P-MUSIC spectra in parallel, and a sequence assembler with
+// TTL eviction fuses complete acquisition rounds into fixes, so one
+// slow or dead reader can neither stall the others nor leak memory.
+//
 // With -simulate, dwatchd also spawns in-process simulated readers that
 // connect over real TCP and stream reports from the chosen environment
 // while a target walks through it, demonstrating the full network path.
@@ -12,6 +18,7 @@
 // Usage:
 //
 //	dwatchd [-listen :5084] [-env hall] [-simulate] [-rounds N]
+//	        [-workers N] [-queue N] [-overload block|drop-oldest]
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -30,8 +38,7 @@ import (
 	"dwatch/internal/dwatch"
 	"dwatch/internal/geom"
 	"dwatch/internal/llrp"
-	"dwatch/internal/loc"
-	"dwatch/internal/pmusic"
+	"dwatch/internal/pipeline"
 	"dwatch/internal/reader"
 	"dwatch/internal/rf"
 	"dwatch/internal/sim"
@@ -44,6 +51,10 @@ func main() {
 	rounds := flag.Int("rounds", 5, "simulated acquisition rounds")
 	statePath := flag.String("state", "", "baseline state file: loaded at start when present, saved after baseline confirmation")
 	recordPath := flag.String("record", "", "append every inbound RO_ACCESS_REPORT to this record file (replay with dwatch-replay)")
+	workers := flag.Int("workers", 0, "spectrum worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "snapshot queue size (0 = default)")
+	overload := flag.String("overload", "block", "full-queue policy: block or drop-oldest")
+	seqTTL := flag.Duration("seq-ttl", 30*time.Second, "evict incomplete acquisition sequences after this long")
 	flag.Parse()
 
 	cfg, err := preset(*env)
@@ -54,8 +65,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy, err := parseOverload(*overload)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	srv := newServer(sc)
+	srv, err := newServer(sc, pipelineOptions{
+		workers: *workers, queue: *queue, overload: policy, seqTTL: *seqTTL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv.statePath = *statePath
 	if *recordPath != "" {
 		f, err := os.Create(*recordPath)
@@ -76,11 +96,13 @@ func main() {
 			log.Printf("baseline state restored from %s", *statePath)
 		}
 	}
+	srv.start()
 	addr, err := srv.llrp.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("dwatchd listening on %s (env %s, %d readers expected)", addr, sc.Name, len(sc.Readers))
+	log.Printf("dwatchd listening on %s (env %s, %d readers expected, %d workers, %s overload)",
+		addr, sc.Name, len(sc.Readers), pipelineWorkers(*workers), policy)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.llrp.Serve() }()
@@ -111,7 +133,25 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	srv.summary()
+	srv.shutdown()
+}
+
+func pipelineWorkers(flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func parseOverload(s string) (pipeline.OverloadPolicy, error) {
+	switch s {
+	case "block":
+		return pipeline.Block, nil
+	case "drop-oldest":
+		return pipeline.DropOldest, nil
+	default:
+		return 0, fmt.Errorf("unknown overload policy %q (want block or drop-oldest)", s)
+	}
 }
 
 func preset(name string) (sim.Config, error) {
@@ -129,38 +169,77 @@ func preset(name string) (sim.Config, error) {
 	}
 }
 
-// server is the localization state machine fed by LLRP reports: the
-// first two reports per reader are baseline rounds (the Fuser's
-// stability confirmation), everything after is online evidence.
+type pipelineOptions struct {
+	workers  int
+	queue    int
+	overload pipeline.OverloadPolicy
+	seqTTL   time.Duration
+}
+
+// server bridges LLRP connections to the streaming pipeline: the
+// handler does protocol work (capabilities, keepalives, recording) and
+// hands every report to pipeline.Ingest; baselines, spectra, and fixes
+// are the pipeline's business.
 type server struct {
 	llrp *llrp.Server
 	sc   *sim.Scenario
+	pipe *pipeline.Pipeline
+	opts pipelineOptions
 
 	mu        sync.Mutex
 	statePath string
 	recorder  *llrp.RecordWriter
-	fuser     *dwatch.Fuser
-	// rounds counts reports per reader; the first two feed the baseline.
-	rounds map[string]int
-	// online[seq][reader][epc] groups online spectra by acquisition
-	// sequence so evidence from different rounds never mixes.
-	online map[uint32]map[string]map[string]*pmusic.Spectrum
-	fixes  int
+	confirmed map[string]bool
+	restored  *dwatch.Fuser
+
+	fixWG sync.WaitGroup
+	fixes int
 }
 
-func newServer(sc *sim.Scenario) *server {
+func newServer(sc *sim.Scenario, opts pipelineOptions) (*server, error) {
+	s := &server{sc: sc, opts: opts, confirmed: map[string]bool{}}
+	s.llrp = &llrp.Server{Handler: llrp.HandlerFunc(s.handle)}
+	return s, nil
+}
+
+// start builds and launches the pipeline; called after any state load.
+func (s *server) start() {
 	arrays := map[string]*rf.Array{}
-	for _, r := range sc.Readers {
+	for _, r := range s.sc.Readers {
 		arrays[r.ID] = r.Array
 	}
-	s := &server{
-		sc:     sc,
-		fuser:  dwatch.NewFuser(arrays, dwatch.Config{}),
-		rounds: map[string]int{},
-		online: map[uint32]map[string]map[string]*pmusic.Spectrum{},
+	cfg := pipeline.Config{
+		Arrays:     arrays,
+		Grid:       s.sc.Grid,
+		Workers:    s.opts.workers,
+		QueueSize:  s.opts.queue,
+		Overload:   s.opts.overload,
+		SeqTTL:     s.opts.seqTTL,
+		Restored:   s.restored,
+		OnBaseline: s.onBaseline,
 	}
-	s.llrp = &llrp.Server{Handler: llrp.HandlerFunc(s.handle)}
-	return s
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	s.pipe = p
+	p.Start()
+	s.fixWG.Add(1)
+	go func() {
+		defer s.fixWG.Done()
+		for fix := range p.Fixes() {
+			if fix.Err != nil {
+				log.Printf("seq %d: no fix (%v)", fix.Seq, fix.Err)
+				continue
+			}
+			s.mu.Lock()
+			s.fixes++
+			n := s.fixes
+			s.mu.Unlock()
+			log.Printf("seq %d: fix #%d (%.2f, %.2f) confidence %.2f",
+				fix.Seq, n, fix.Pos.X, fix.Pos.Y, fix.Confidence)
+		}
+	}()
 }
 
 func (s *server) handle(conn *llrp.Conn, msg llrp.Message) error {
@@ -202,7 +281,9 @@ func (s *server) handle(conn *llrp.Conn, msg llrp.Message) error {
 			}
 		}
 		s.mu.Unlock()
-		s.ingest(rep)
+		if err := s.pipe.Ingest(rep); err != nil {
+			log.Printf("ingest: %v", err)
+		}
 	}
 	return nil
 }
@@ -218,105 +299,42 @@ func (s *server) arrayFor(id string) *reader.Reader {
 	return nil
 }
 
-func (s *server) ingest(rep *llrp.ROAccessReport) {
-	rd := s.arrayFor(rep.ReaderID)
-	if rd == nil {
-		log.Printf("report from unknown reader %q", rep.ReaderID)
-		return
-	}
+// onBaseline runs on the assembler goroutine once per confirmed reader
+// baseline — the one moment the fuser is safe to snapshot for state
+// persistence, since the assembler is parked in this callback.
+func (s *server) onBaseline(readerID string, tags int) {
+	log.Printf("baseline confirmed for %s (%d tags)", readerID, tags)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	round := s.rounds[rep.ReaderID]
-	s.rounds[rep.ReaderID] = round + 1
-
-	spectra := map[string]*pmusic.Spectrum{}
-	for _, tr := range rep.Reports {
-		x, err := dwatch.RawSnapshotsToMatrix(tr.Snapshot)
-		if err != nil {
-			continue
-		}
-		sp, err := pmusic.Compute(x, rd.Array, pmusic.Options{})
-		if err != nil {
-			continue
-		}
-		spectra[string(tr.EPC)] = sp
-	}
-
-	if round < 2 {
-		// Baseline rounds.
-		for epc, sp := range spectra {
-			s.fuser.AddBaseline(rep.ReaderID, []byte(epc), sp)
-		}
-		if round == 1 {
-			s.fuser.FinishBaseline()
-			log.Printf("baseline confirmed for %s (%d tags)", rep.ReaderID, len(spectra))
-			s.maybeSaveState()
-		}
-		return
-	}
-	bySeq := s.online[rep.Seq]
-	if bySeq == nil {
-		bySeq = map[string]map[string]*pmusic.Spectrum{}
-		s.online[rep.Seq] = bySeq
-	}
-	bySeq[rep.ReaderID] = spectra
-	if len(bySeq) == len(s.sc.Readers) {
-		s.tryLocalize(rep.Seq, bySeq)
-		delete(s.online, rep.Seq)
+	s.confirmed[readerID] = true
+	all := len(s.confirmed) == len(s.sc.Readers)
+	s.mu.Unlock()
+	if all {
+		s.maybeSaveState()
 	}
 }
 
-// tryLocalize builds drop views for one complete acquisition sequence
-// and runs the likelihood localizer. Called with s.mu held.
-func (s *server) tryLocalize(seq uint32, bySeq map[string]map[string]*pmusic.Spectrum) {
-	var views []*loc.View
-	for _, rd := range s.sc.Readers {
-		if on := bySeq[rd.ID]; on != nil {
-			if v := s.fuser.BuildView(rd.ID, on); v != nil {
-				views = append(views, v)
-			}
-		}
-	}
-	if len(views) < 2 {
-		log.Printf("seq %d: no fix (evidence from %d readers)", seq, len(views))
-		return
-	}
-	res, err := loc.Localize(views, s.sc.Grid, loc.Options{})
-	if err != nil {
-		log.Printf("seq %d: no fix: %v", seq, err)
-		return
-	}
-	s.fixes++
-	log.Printf("seq %d: fix #%d (%.2f, %.2f) confidence %.2f", seq, s.fixes, res.Pos.X, res.Pos.Y, res.Confidence)
-}
-
-// loadState restores a saved baseline. Called before serving.
+// loadState restores a saved baseline. Called before start.
 func (s *server) loadState(r *os.File) error {
 	sys := dwatch.New(s.sc, dwatch.Config{})
 	if err := sys.LoadState(r); err != nil {
 		return err
 	}
-	s.fuser = sys.Fuser()
-	// Mark all readers past the baseline phase.
+	s.restored = sys.Fuser()
 	for _, rd := range s.sc.Readers {
-		s.rounds[rd.ID] = 2
+		s.confirmed[rd.ID] = true
 	}
 	return nil
 }
 
 // maybeSaveState persists the baseline once every reader confirmed.
-// Called with s.mu held.
+// Called from the assembler goroutine (via onBaseline) while it holds
+// the fuser.
 func (s *server) maybeSaveState() {
 	if s.statePath == "" {
 		return
 	}
-	for _, rd := range s.sc.Readers {
-		if s.rounds[rd.ID] < 2 {
-			return
-		}
-	}
 	sys := dwatch.New(s.sc, dwatch.Config{})
-	sys.SetFuser(s.fuser)
+	sys.SetFuser(s.pipe.Fuser())
 	f, err := os.Create(s.statePath)
 	if err != nil {
 		log.Printf("save state: %v", err)
@@ -330,10 +348,24 @@ func (s *server) maybeSaveState() {
 	log.Printf("baseline state saved to %s", s.statePath)
 }
 
-func (s *server) summary() {
+// shutdown drains the pipeline and prints the session summary.
+func (s *server) shutdown() {
+	s.pipe.Drain()
+	s.fixWG.Wait()
+	st := s.pipe.Stats()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	log.Printf("done: %d fixes emitted", s.fixes)
+	fixes := s.fixes
+	s.mu.Unlock()
+	log.Printf("done: %d fixes emitted", fixes)
+	log.Printf("pipeline: %d reports in, %d snapshots (%d dropped), %d spectra (%d failed), %d sequences fused, %d evicted, %d late",
+		st.ReportsIn, st.SnapshotsIn, st.SnapshotsDropped,
+		st.SpectraComputed, st.SpectraFailed,
+		st.SequencesAssembled, st.SequencesEvicted, st.LateReports)
+	if st.ComputeLatency.Count > 0 {
+		log.Printf("latency: compute p50 %.2fms p90 %.2fms, fuse p50 %.2fms p90 %.2fms",
+			1e3*st.ComputeLatency.P50, 1e3*st.ComputeLatency.P90,
+			1e3*st.FuseLatency.P50, 1e3*st.FuseLatency.P90)
+	}
 }
 
 // runSimulatedReaders connects one LLRP client per scenario reader and

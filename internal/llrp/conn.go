@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,25 +19,31 @@ const DefaultPort = 5084
 const DefaultIOTimeout = 10 * time.Second
 
 // Conn is a framed LLRP connection. It is safe for one concurrent
-// reader and one concurrent writer.
+// reader and one concurrent writer; SetTimeout may be called from any
+// goroutine at any time.
 type Conn struct {
 	c  net.Conn
 	br *bufio.Reader
 
 	writeMu sync.Mutex
-	timeout time.Duration
+	timeout atomic.Int64 // time.Duration in nanoseconds
 	nextID  uint32
 	idMu    sync.Mutex
 }
 
 // NewConn wraps a net.Conn.
 func NewConn(c net.Conn) *Conn {
-	return &Conn{c: c, br: bufio.NewReaderSize(c, 64<<10), timeout: DefaultIOTimeout}
+	conn := &Conn{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+	conn.timeout.Store(int64(DefaultIOTimeout))
+	return conn
 }
 
 // SetTimeout changes the per-message I/O timeout. Zero disables
 // deadlines.
-func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
+func (c *Conn) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
+
+// Timeout returns the current per-message I/O timeout.
+func (c *Conn) Timeout() time.Duration { return time.Duration(c.timeout.Load()) }
 
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
@@ -67,8 +74,8 @@ func (c *Conn) SendWithID(typ uint16, id uint32, payload []byte) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if c.timeout > 0 {
-		if err := c.c.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+	if d := c.Timeout(); d > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(d)); err != nil {
 			return fmt.Errorf("llrp: set write deadline: %w", err)
 		}
 	}
@@ -85,8 +92,8 @@ func (c *Conn) SendWithID(typ uint16, id uint32, payload []byte) error {
 
 // Recv reads the next message.
 func (c *Conn) Recv() (Message, error) {
-	if c.timeout > 0 {
-		if err := c.c.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+	if d := c.Timeout(); d > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(d)); err != nil {
 			return Message{}, fmt.Errorf("llrp: set read deadline: %w", err)
 		}
 	}

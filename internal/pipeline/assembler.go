@@ -1,0 +1,260 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dwatch/internal/dwatch"
+	"dwatch/internal/loc"
+	"dwatch/internal/pmusic"
+)
+
+// reportAgg regroups the per-tag spectra of one report as they come
+// back from the worker pool in arbitrary order.
+type reportAgg struct {
+	reader  string
+	round   int
+	seq     uint32
+	expect  int
+	got     int
+	spectra map[string]*pmusic.Spectrum
+}
+
+// seqGroup accumulates one acquisition sequence across readers.
+type seqGroup struct {
+	byReader map[string]map[string]*pmusic.Spectrum
+	created  time.Time
+}
+
+// assembler is stage 3+4: it owns the fuser and all grouping state, so
+// everything here runs on one goroutine and needs no locks.
+type assembler struct {
+	p     *Pipeline
+	fuser *dwatch.Fuser
+
+	// agg collects in-flight reports by report index.
+	agg map[uint64]*reportAgg
+	// ready holds completed reports awaiting their turn in the
+	// per-reader round order; nextRound is the round each reader
+	// applies next. This restores the synchronous path's semantics:
+	// baseline rounds feed AddBaseline in order even when their
+	// spectra finished out of order across the pool.
+	ready     map[string]map[int]*reportAgg
+	nextRound map[string]int
+
+	// online groups post-baseline reports by acquisition sequence;
+	// pending mirrors len(online) for lock-free Stats reads.
+	online  map[uint32]*seqGroup
+	pending atomic.Int64
+	// done records sequences already fused or evicted (with the time
+	// they finished) so late reports are counted instead of
+	// resurrecting a group; pruned by the sweeper.
+	done map[uint32]time.Time
+}
+
+func newAssembler(p *Pipeline, fuser *dwatch.Fuser) *assembler {
+	a := &assembler{
+		p:         p,
+		fuser:     fuser,
+		agg:       map[uint64]*reportAgg{},
+		ready:     map[string]map[int]*reportAgg{},
+		nextRound: map[string]int{},
+		online:    map[uint32]*seqGroup{},
+		done:      map[uint32]time.Time{},
+	}
+	for id, next := range p.rounds {
+		// Restored-baseline pipelines start every reader past the
+		// baseline rounds.
+		a.nextRound[id] = next
+	}
+	return a
+}
+
+// run consumes worker results until the channel closes, sweeping stale
+// sequences on a timer.
+func (a *assembler) run() {
+	defer close(a.p.fixes)
+	tick := time.NewTicker(sweepInterval(a.p.cfg.SeqTTL))
+	defer tick.Stop()
+	for {
+		select {
+		case r, ok := <-a.p.results:
+			if !ok {
+				return
+			}
+			a.add(r)
+		case <-tick.C:
+			a.sweep(a.p.now())
+		case <-a.p.stop:
+			return
+		}
+	}
+}
+
+func sweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	return iv
+}
+
+// add folds one worker result into its report; completed reports are
+// applied in per-reader round order.
+func (a *assembler) add(r result) {
+	g := a.agg[r.repIdx]
+	if g == nil {
+		g = &reportAgg{
+			reader: r.reader, round: r.round, seq: r.seq,
+			expect: r.expect, spectra: map[string]*pmusic.Spectrum{},
+		}
+		a.agg[r.repIdx] = g
+	}
+	if r.expect > 0 {
+		g.got++
+		if r.sp != nil {
+			g.spectra[r.epc] = r.sp
+		}
+	}
+	if g.got < g.expect {
+		return
+	}
+	delete(a.agg, r.repIdx)
+	perReader := a.ready[g.reader]
+	if perReader == nil {
+		perReader = map[int]*reportAgg{}
+		a.ready[g.reader] = perReader
+	}
+	perReader[g.round] = g
+	for {
+		next, ok := perReader[a.nextRound[g.reader]]
+		if !ok {
+			return
+		}
+		delete(perReader, a.nextRound[g.reader])
+		a.nextRound[g.reader]++
+		a.apply(next)
+	}
+}
+
+// apply processes one complete report: baseline rounds feed the fuser,
+// online rounds join their sequence group.
+func (a *assembler) apply(g *reportAgg) {
+	if g.round < a.p.cfg.BaselineRounds {
+		for epc, sp := range g.spectra {
+			a.fuser.AddBaseline(g.reader, []byte(epc), sp)
+		}
+		if g.round == a.p.cfg.BaselineRounds-1 {
+			a.fuser.FinishBaseline()
+			a.p.c.baselinesConfirmed.Add(1)
+			if a.p.cfg.OnBaseline != nil {
+				a.p.cfg.OnBaseline(g.reader, len(g.spectra))
+			}
+		}
+		return
+	}
+	if _, dup := a.done[g.seq]; dup {
+		a.p.c.lateReports.Add(1)
+		return
+	}
+	grp := a.online[g.seq]
+	if grp == nil {
+		grp = &seqGroup{byReader: map[string]map[string]*pmusic.Spectrum{}, created: a.p.now()}
+		a.online[g.seq] = grp
+		a.pending.Add(1)
+		a.capPending()
+	}
+	grp.byReader[g.reader] = g.spectra
+	if len(grp.byReader) < a.p.cfg.ExpectReaders {
+		return
+	}
+	delete(a.online, g.seq)
+	a.pending.Add(-1)
+	a.done[g.seq] = a.p.now()
+	a.p.c.sequencesAssembled.Add(1)
+	a.fuse(g.seq, grp)
+}
+
+// fuse builds drop views for one complete sequence and localizes.
+func (a *assembler) fuse(seq uint32, grp *seqGroup) {
+	start := a.p.now()
+	// Deterministic view order: likelihood products are commutative
+	// but not associative in floating point, so a stable order keeps
+	// fixes bit-identical across runs and worker counts.
+	ids := make([]string, 0, len(grp.byReader))
+	for id := range grp.byReader {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var views []*loc.View
+	for _, id := range ids {
+		if v := a.fuser.BuildView(id, grp.byReader[id]); v != nil {
+			views = append(views, v)
+		}
+	}
+	fix := Fix{Seq: seq, Views: len(views)}
+	if len(views) < 2 {
+		fix.Err = fmt.Errorf("pipeline: seq %d: evidence from only %d readers", seq, len(views))
+	} else if res, err := loc.Localize(views, a.p.cfg.Grid, a.p.cfg.Loc); err != nil {
+		fix.Err = err
+	} else {
+		fix.Pos = res.Pos
+		fix.Confidence = res.Confidence
+	}
+	a.p.fuseHist.ObserveDuration(a.p.now().Sub(start))
+	if fix.Err != nil {
+		a.p.c.misses.Add(1)
+	} else {
+		a.p.c.fixes.Add(1)
+	}
+	select {
+	case a.p.fixes <- fix:
+	case <-a.p.stop:
+	}
+}
+
+// sweep evicts sequence groups older than SeqTTL and prunes the done
+// set. Returns how many groups were evicted.
+func (a *assembler) sweep(now time.Time) int {
+	evicted := 0
+	for seq, grp := range a.online {
+		if now.Sub(grp.created) >= a.p.cfg.SeqTTL {
+			delete(a.online, seq)
+			a.pending.Add(-1)
+			a.done[seq] = now
+			a.p.c.sequencesEvicted.Add(1)
+			evicted++
+		}
+	}
+	for seq, t := range a.done {
+		if now.Sub(t) >= 4*a.p.cfg.SeqTTL {
+			delete(a.done, seq)
+		}
+	}
+	return evicted
+}
+
+// capPending enforces MaxPendingSeqs by evicting the oldest group —
+// the memory backstop when a reader dies and TTL has not fired yet.
+func (a *assembler) capPending() {
+	for len(a.online) > a.p.cfg.MaxPendingSeqs {
+		var oldest uint32
+		var oldestT time.Time
+		first := true
+		for seq, grp := range a.online {
+			if first || grp.created.Before(oldestT) {
+				oldest, oldestT, first = seq, grp.created, false
+			}
+		}
+		delete(a.online, oldest)
+		a.pending.Add(-1)
+		a.done[oldest] = a.p.now()
+		a.p.c.sequencesEvicted.Add(1)
+	}
+}
+
+// pendingApprox reports how many sequences are mid-assembly; exact
+// once the pipeline is drained, approximate while running.
+func (a *assembler) pendingApprox() int { return int(a.pending.Load()) }

@@ -1,0 +1,462 @@
+// Package pipeline is the concurrent streaming localization pipeline:
+// the staged architecture that lets the D-Watch server keep up with
+// many readers forwarding every backscatter packet (Section 5's
+// deployment) instead of processing each RO_ACCESS_REPORT inline under
+// one lock.
+//
+// Stages:
+//
+//  1. Ingest — Ingest validates a report against the deployment,
+//     stamps it with the reader's round number, and enqueues one
+//     snapshot job per tag onto a bounded queue. When the queue is
+//     full the configured OverloadPolicy decides: Block applies
+//     backpressure to the reader connection, DropOldest sheds the
+//     stalest queued snapshot so fresh evidence wins.
+//  2. Spectrum workers — a pool of Workers goroutines decodes each
+//     snapshot into a matrix and runs pmusic.Compute in parallel; this
+//     is the dominant cost and the stage that scales with cores.
+//  3. Assembler — a single goroutine regroups per-tag spectra back
+//     into reports (order-independent: jobs may finish in any order),
+//     applies each reader's reports in round order so baselines are
+//     built exactly as in the synchronous path, and groups online
+//     reports by acquisition sequence. Incomplete sequences are
+//     evicted after SeqTTL (and capped at MaxPendingSeqs) so a dead
+//     reader cannot leak memory; reports for evicted sequences are
+//     counted as late, not crashed on.
+//  4. Fusion — when a sequence has evidence from every reader, the
+//     assembler builds drop views and runs loc.Localize, emitting a
+//     Fix on the output channel.
+//
+// The pipeline exposes a Stats snapshot (counters, queue depth, and
+// per-stage latency histograms) and a Start/Drain/Close lifecycle.
+// Fuser state transitions (baseline → online) are serialized in the
+// assembler, so the un-synchronized dwatch.Fuser needs no lock.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dwatch/internal/dwatch"
+	"dwatch/internal/geom"
+	"dwatch/internal/llrp"
+	"dwatch/internal/loc"
+	"dwatch/internal/pmusic"
+	"dwatch/internal/rf"
+	"dwatch/internal/stats"
+)
+
+// OverloadPolicy selects what Ingest does when the snapshot queue is
+// full.
+type OverloadPolicy int
+
+const (
+	// Block makes Ingest wait for queue space: backpressure propagates
+	// to the reader's TCP connection. The default.
+	Block OverloadPolicy = iota
+	// DropOldest sheds the oldest queued snapshot to make room, so a
+	// burst degrades evidence quality instead of latency. Dropped
+	// snapshots still complete their report (with no spectrum) so
+	// sequence assembly never stalls on a shed job.
+	DropOldest
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Arrays maps reader IDs to their array geometries — the
+	// deployment knowledge. Reports from readers not listed here are
+	// rejected. Required.
+	Arrays map[string]*rf.Array
+	// ExpectReaders is how many distinct readers must report a
+	// sequence before it is fused. 0 = len(Arrays).
+	ExpectReaders int
+	// Grid is the localization search area. Required.
+	Grid loc.Grid
+
+	// Workers sizes the spectrum worker pool. 0 = GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the snapshot job queue. 0 = 256.
+	QueueSize int
+	// Overload selects the full-queue policy.
+	Overload OverloadPolicy
+
+	// BaselineRounds is how many initial reports per reader feed the
+	// baseline instead of online localization. 0 = 2 (the paper's
+	// reference + confirmation rounds). Ignored when Restored is set.
+	BaselineRounds int
+	// Restored supplies a fuser with a previously saved baseline; all
+	// readers then start directly in the online phase.
+	Restored *dwatch.Fuser
+
+	// SeqTTL evicts incomplete sequences older than this. 0 = 30 s.
+	SeqTTL time.Duration
+	// MaxPendingSeqs caps concurrently-assembling sequences; beyond
+	// it the oldest is evicted immediately. 0 = 1024.
+	MaxPendingSeqs int
+
+	// Fuser tunes the evidence fuser (thresholds, drop floor).
+	Fuser dwatch.Config
+	// PMusic tunes the spectrum computation.
+	PMusic pmusic.Options
+	// Loc tunes the localizer.
+	Loc loc.Options
+
+	// OnBaseline, when set, is called from the assembler goroutine
+	// after a reader's baseline is confirmed, with the number of tags
+	// whose spectra fed the confirmation round.
+	OnBaseline func(readerID string, tags int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ExpectReaders == 0 {
+		c.ExpectReaders = len(c.Arrays)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.BaselineRounds == 0 {
+		c.BaselineRounds = 2
+	}
+	if c.SeqTTL <= 0 {
+		c.SeqTTL = 30 * time.Second
+	}
+	if c.MaxPendingSeqs <= 0 {
+		c.MaxPendingSeqs = 1024
+	}
+	return c
+}
+
+// Fix is one fusion outcome: a localization fix when Err is nil,
+// otherwise a miss (not enough evidence or no covered grid point).
+type Fix struct {
+	Seq        uint32
+	Pos        geom.Point
+	Confidence float64
+	Views      int // readers that contributed usable evidence
+	Err        error
+}
+
+// Errors returned by Ingest.
+var (
+	ErrClosed        = errors.New("pipeline: closed")
+	ErrUnknownReader = errors.New("pipeline: report from unknown reader")
+)
+
+// job is one tag snapshot heading to the worker pool. Reports with no
+// tags skip the queue as bare markers so round accounting still sees
+// them.
+type job struct {
+	reader string
+	arr    *rf.Array
+	round  int
+	seq    uint32
+	repIdx uint64 // unique per report, groups tags back together
+	expect int    // tags in the report
+	epc    string
+	snap   [][]complex128
+	enq    time.Time
+}
+
+// result is a finished (or shed) job on its way to the assembler.
+type result struct {
+	reader string
+	round  int
+	seq    uint32
+	repIdx uint64
+	expect int
+	epc    string
+	sp     *pmusic.Spectrum // nil: decode/compute failure or shed job
+}
+
+// Pipeline is the streaming localization pipeline. Create with New,
+// launch with Start, feed with Ingest, consume Fixes, and finish with
+// Drain (graceful) or Close (abort).
+type Pipeline struct {
+	cfg Config
+
+	jobs    chan job
+	results chan result
+	fixes   chan Fix
+	stop    chan struct{}
+
+	workerWG sync.WaitGroup
+	asmWG    sync.WaitGroup
+
+	started atomic.Bool
+	// ingestMu arbitrates shutdown against in-flight Ingest calls:
+	// producers hold it shared while sending, Drain/Close hold it
+	// exclusively to flip closed, so the jobs channel is never closed
+	// under a concurrent send.
+	ingestMu  sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+
+	// ingest-side sequencing: per-reader round numbers and the global
+	// report index that keys re-assembly.
+	mu     sync.Mutex
+	rounds map[string]int
+	repIdx uint64
+
+	c counters
+
+	decodeHist *stats.Histogram
+	fuseHist   *stats.Histogram
+
+	// compute and now are test seams; production uses pmusic.Compute
+	// and time.Now.
+	compute func(snap [][]complex128, arr *rf.Array, opts pmusic.Options) (*pmusic.Spectrum, error)
+	now     func() time.Time
+
+	asm *assembler
+}
+
+// New validates the configuration and builds a pipeline. Start must be
+// called before Ingest.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Arrays) == 0 {
+		return nil, errors.New("pipeline: no reader arrays configured")
+	}
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:        cfg,
+		jobs:       make(chan job, cfg.QueueSize),
+		results:    make(chan result, cfg.QueueSize+cfg.Workers+4),
+		fixes:      make(chan Fix, 64),
+		stop:       make(chan struct{}),
+		rounds:     map[string]int{},
+		decodeHist: stats.NewHistogram(stats.LatencyBounds()),
+		fuseHist:   stats.NewHistogram(stats.LatencyBounds()),
+		compute: func(snap [][]complex128, arr *rf.Array, opts pmusic.Options) (*pmusic.Spectrum, error) {
+			x, err := dwatch.RawSnapshotsToMatrix(snap)
+			if err != nil {
+				return nil, err
+			}
+			return pmusic.Compute(x, arr, opts)
+		},
+		now: time.Now,
+	}
+	fuser := cfg.Restored
+	if fuser == nil {
+		fuser = dwatch.NewFuser(cfg.Arrays, cfg.Fuser)
+	} else {
+		// A restored baseline puts every reader straight into the
+		// online phase.
+		for id := range cfg.Arrays {
+			p.rounds[id] = cfg.BaselineRounds
+		}
+	}
+	p.asm = newAssembler(p, fuser)
+	return p, nil
+}
+
+// Start launches the worker pool and the assembler. It may be called
+// once.
+func (p *Pipeline) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.workerWG.Add(1)
+		go p.worker()
+	}
+	p.asmWG.Add(1)
+	go func() {
+		defer p.asmWG.Done()
+		p.asm.run()
+	}()
+}
+
+// Fixes returns the output channel. It is closed after Drain once all
+// in-flight work has flushed. Consumers should drain it promptly; the
+// channel is buffered but the assembler blocks when it fills.
+func (p *Pipeline) Fixes() <-chan Fix { return p.fixes }
+
+// Ingest feeds one validated report into the pipeline. Safe for
+// concurrent use by per-connection handler goroutines. Under the Block
+// policy it waits for queue space; under DropOldest it never blocks on
+// a full queue.
+func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
+	p.ingestMu.RLock()
+	defer p.ingestMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	arr := p.cfg.Arrays[rep.ReaderID]
+	if arr == nil {
+		p.c.reportsRejected.Add(1)
+		return fmt.Errorf("%w %q", ErrUnknownReader, rep.ReaderID)
+	}
+	p.c.reportsIn.Add(1)
+
+	p.mu.Lock()
+	round := p.rounds[rep.ReaderID]
+	p.rounds[rep.ReaderID] = round + 1
+	idx := p.repIdx
+	p.repIdx++
+	p.mu.Unlock()
+
+	if len(rep.Reports) == 0 {
+		// Tagless report: skip the workers but keep round accounting
+		// and sequence membership alive.
+		return p.deliver(result{reader: rep.ReaderID, round: round, seq: rep.Seq, repIdx: idx})
+	}
+	now := p.now()
+	for _, tr := range rep.Reports {
+		j := job{
+			reader: rep.ReaderID,
+			arr:    arr,
+			round:  round,
+			seq:    rep.Seq,
+			repIdx: idx,
+			expect: len(rep.Reports),
+			epc:    string(tr.EPC),
+			snap:   tr.Snapshot,
+			enq:    now,
+		}
+		if err := p.enqueue(j); err != nil {
+			return err
+		}
+		p.c.snapshotsIn.Add(1)
+	}
+	return nil
+}
+
+// enqueue places a job on the snapshot queue honouring the overload
+// policy.
+func (p *Pipeline) enqueue(j job) error {
+	if p.cfg.Overload == Block {
+		select {
+		case p.jobs <- j:
+			return nil
+		case <-p.stop:
+			return ErrClosed
+		}
+	}
+	for {
+		select {
+		case p.jobs <- j:
+			return nil
+		case <-p.stop:
+			return ErrClosed
+		default:
+		}
+		// Queue full: shed the oldest queued snapshot and retry. The
+		// shed job is forwarded as an empty result so its report still
+		// completes. Losing the race to a worker just means space
+		// freed up — the retry will succeed.
+		select {
+		case old := <-p.jobs:
+			p.c.snapshotsDropped.Add(1)
+			if err := p.deliver(result{
+				reader: old.reader, round: old.round, seq: old.seq,
+				repIdx: old.repIdx, expect: old.expect, epc: old.epc,
+			}); err != nil {
+				return err
+			}
+		default:
+		}
+	}
+}
+
+// deliver hands a result to the assembler, honouring Close.
+func (p *Pipeline) deliver(r result) error {
+	select {
+	case p.results <- r:
+		return nil
+	case <-p.stop:
+		return ErrClosed
+	}
+}
+
+// worker is one spectrum-pool goroutine: decode + P-MUSIC per snapshot.
+func (p *Pipeline) worker() {
+	defer p.workerWG.Done()
+	for j := range p.jobs {
+		start := p.now()
+		sp, err := p.compute(j.snap, j.arr, p.cfg.PMusic)
+		p.decodeHist.ObserveDuration(p.now().Sub(start))
+		if err != nil {
+			p.c.spectraFailed.Add(1)
+			sp = nil
+		} else {
+			p.c.spectraComputed.Add(1)
+		}
+		r := result{
+			reader: j.reader, round: j.round, seq: j.seq,
+			repIdx: j.repIdx, expect: j.expect, epc: j.epc, sp: sp,
+		}
+		if p.deliver(r) != nil {
+			return
+		}
+	}
+}
+
+// Drain stops accepting new reports, waits for queued snapshots to
+// compute and assemble, flushes the fusion stage, and closes the Fixes
+// channel. Callers must keep consuming Fixes while draining (or buffer
+// permitting, after).
+func (p *Pipeline) Drain() {
+	if !p.started.Load() {
+		return
+	}
+	if p.markClosed() {
+		p.asmWG.Wait()
+		return
+	}
+	close(p.jobs)
+	p.workerWG.Wait()
+	close(p.results)
+	p.asmWG.Wait()
+}
+
+// Close aborts the pipeline immediately: in-flight work is abandoned.
+// Safe to call after Drain (it is then a no-op beyond bookkeeping).
+func (p *Pipeline) Close() {
+	p.closeOnce.Do(func() {
+		// Unblock parked producers and stages first, then wait for
+		// ingest rights before closing the channels.
+		close(p.stop)
+		already := p.markClosed()
+		if p.started.Load() && !already {
+			close(p.jobs)
+			p.workerWG.Wait()
+			close(p.results)
+			p.asmWG.Wait()
+		}
+	})
+}
+
+// markClosed flips the closed flag once no Ingest is mid-send and
+// reports whether it was already set.
+func (p *Pipeline) markClosed() bool {
+	p.ingestMu.Lock()
+	defer p.ingestMu.Unlock()
+	already := p.closed
+	p.closed = true
+	return already
+}
+
+// Fuser exposes the pipeline's evidence fuser. Only safe to inspect
+// after Drain (the assembler owns it while running).
+func (p *Pipeline) Fuser() *dwatch.Fuser { return p.asm.fuser }

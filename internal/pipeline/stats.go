@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"sync/atomic"
+
+	"dwatch/internal/stats"
+)
+
+// counters is the pipeline's hot-path instrumentation: plain atomics,
+// updated lock-free from every stage.
+type counters struct {
+	reportsIn          atomic.Uint64
+	reportsRejected    atomic.Uint64
+	snapshotsIn        atomic.Uint64
+	snapshotsDropped   atomic.Uint64
+	spectraComputed    atomic.Uint64
+	spectraFailed      atomic.Uint64
+	baselinesConfirmed atomic.Uint64
+	sequencesAssembled atomic.Uint64
+	sequencesEvicted   atomic.Uint64
+	lateReports        atomic.Uint64
+	fixes              atomic.Uint64
+	misses             atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the pipeline's health: flow
+// counters per stage, the current queue depth, and per-stage latency
+// digests.
+type Stats struct {
+	// Ingest stage.
+	ReportsIn        uint64 // reports accepted from known readers
+	ReportsRejected  uint64 // reports from unknown readers
+	SnapshotsIn      uint64 // per-tag snapshot jobs enqueued
+	SnapshotsDropped uint64 // jobs shed by the DropOldest policy
+
+	// Spectrum worker pool.
+	SpectraComputed uint64 // successful P-MUSIC runs
+	SpectraFailed   uint64 // decode or compute failures
+
+	// Assembler / fusion.
+	BaselinesConfirmed uint64 // readers whose baseline completed
+	SequencesAssembled uint64 // sequences with evidence from every reader
+	SequencesEvicted   uint64 // incomplete sequences dropped (TTL or cap)
+	LateReports        uint64 // reports for already-fused/evicted sequences
+	Fixes              uint64
+	Misses             uint64
+
+	// QueueDepth is the instantaneous snapshot-queue occupancy.
+	QueueDepth int
+	// PendingSequences is how many sequences are mid-assembly.
+	PendingSequences int
+
+	// ComputeLatency digests per-snapshot decode+P-MUSIC time (s).
+	ComputeLatency stats.HistogramSummary
+	// FuseLatency digests per-sequence view-building+localize time (s).
+	FuseLatency stats.HistogramSummary
+}
+
+// Stats snapshots the pipeline counters. Safe to call at any time from
+// any goroutine; PendingSequences is read without synchronization
+// against the assembler and is therefore approximate while running.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		ReportsIn:          p.c.reportsIn.Load(),
+		ReportsRejected:    p.c.reportsRejected.Load(),
+		SnapshotsIn:        p.c.snapshotsIn.Load(),
+		SnapshotsDropped:   p.c.snapshotsDropped.Load(),
+		SpectraComputed:    p.c.spectraComputed.Load(),
+		SpectraFailed:      p.c.spectraFailed.Load(),
+		BaselinesConfirmed: p.c.baselinesConfirmed.Load(),
+		SequencesAssembled: p.c.sequencesAssembled.Load(),
+		SequencesEvicted:   p.c.sequencesEvicted.Load(),
+		LateReports:        p.c.lateReports.Load(),
+		Fixes:              p.c.fixes.Load(),
+		Misses:             p.c.misses.Load(),
+		QueueDepth:         len(p.jobs),
+		PendingSequences:   p.asm.pendingApprox(),
+		ComputeLatency:     p.decodeHist.Summary(),
+		FuseLatency:        p.fuseHist.Summary(),
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	s := h.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Min != 3 || s.Max != 3 {
+		t.Fatalf("min/max = %v/%v, want 3/3", s.Min, s.Max)
+	}
+	// All mass in one bucket with min==max: quantiles clamp to the
+	// observed value exactly.
+	if s.P50 != 3 || s.P90 != 3 || s.P99 != 3 {
+		t.Fatalf("quantiles not clamped to 3: %+v", s)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	s := h.Summary()
+	if !(s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	// P50 of a uniform 10µs..10ms sample should sit well inside the
+	// range, not at an edge.
+	if s.P50 <= s.Min || s.P50 >= s.Max {
+		t.Fatalf("P50 %v at edge [%v, %v]", s.P50, s.Min, s.Max)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.ObserveDuration(time.Duration(g*i+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Summary().Count; got != 8*500 {
+		t.Fatalf("count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
