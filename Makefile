@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check clean
+.PHONY: all build vet test race bench bench-figures check clean
 
 all: check
 
@@ -21,9 +21,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The figure benchmarks run one iteration each; the pipeline benchmark
-# is the scaling baseline for perf work.
+# Hot-path micro-benchmarks with fixed iteration counts so successive
+# runs are benchstat-comparable; output lands in BENCH_hotpath.json for
+# before/after diffing in perf PRs.
+HOTPATH_BENCH = BenchmarkMusicSpectrum|BenchmarkBeamPower|BenchmarkLocalizeGrid|BenchmarkPipelineThroughput
 bench:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 100x -count 3 -benchmem . | tee BENCH_hotpath.json
+
+# The figure benchmarks run one iteration each; they reproduce the
+# paper's evaluation, not machine performance.
+bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
 check: vet build test race

@@ -12,14 +12,20 @@ package bench
 
 import (
 	"fmt"
+	"math"
+	"math/cmplx"
 	"testing"
 
 	"dwatch/internal/calib"
 	"dwatch/internal/channel"
+	"dwatch/internal/cmatrix"
 	"dwatch/internal/experiments"
 	"dwatch/internal/geom"
 	"dwatch/internal/llrp"
+	"dwatch/internal/loc"
+	"dwatch/internal/music"
 	"dwatch/internal/pipeline"
+	"dwatch/internal/pmusic"
 	"dwatch/internal/reader"
 	"dwatch/internal/rf"
 	"dwatch/internal/sim"
@@ -309,6 +315,196 @@ func genPipelineReports(tb testing.TB, sc *sim.Scenario, onlineRounds, snapshots
 		send([]channel.Target{channel.HumanTarget(pos)})
 	}
 	return reports
+}
+
+// benchSnapshotMatrix acquires one realistic calibrated snapshot matrix
+// from the table scenario — the exact input shape the spectrum hot path
+// sees in production.
+func benchSnapshotMatrix(tb testing.TB) (*cmatrix.Matrix, *rf.Array) {
+	tb.Helper()
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rd := sc.Readers[0]
+	snaps, err := rd.Acquire(sc.Env, sc.Tags, nil, reader.AcquireOptions{Snapshots: 10})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	x, err := calib.Apply(snaps[0].Data, rd.Offsets)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return x, rd.Array
+}
+
+// BenchmarkMusicSpectrum measures one MUSIC spectrum on a realistic
+// snapshot matrix. nocache replays the pre-steering-table pipeline
+// (per-angle SteeringSub + fresh scratch everywhere) from the public
+// primitives; cached is the table-backed entry point; workspace adds
+// scratch reuse on top. All three produce bit-identical spectra.
+func BenchmarkMusicSpectrum(b *testing.B) {
+	x, arr := benchSnapshotMatrix(b)
+	l := music.DefaultSubarray(arr.Elements)
+	b.Run("nocache", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := music.Correlation(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sm, err := music.SmoothForwardBackward(r, l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eig, err := cmatrix.EigenHermitian(sm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := music.EstimateSources(eig.Values, music.DefaultSourceThreshold)
+			if p < 1 {
+				p = 1
+			}
+			if p >= l {
+				p = l - 1
+			}
+			noise := cmatrix.New(l, l-p)
+			for j := 0; j < l-p; j++ {
+				col := eig.Vectors.Col(p + j)
+				for ii := 0; ii < l; ii++ {
+					noise.Set(ii, j, col[ii])
+				}
+			}
+			angles := rf.AngleGrid(361)
+			spec := make([]float64, len(angles))
+			for ii, th := range angles {
+				denom := music.ProjectionOntoNoise(arr.SteeringSub(th, l), noise)
+				if denom < 1e-18 {
+					denom = 1e-18
+				}
+				spec[ii] = 1 / denom
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := music.Compute(x, arr, music.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws, err := music.NewWorkspace(arr, music.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Compute(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBeamPower measures the Eq. 13 beamformer scan. nocache
+// recomputes the weight vector with cmplx.Exp at every angle (the
+// pre-table inner loop); cached walks the shared steering table.
+func BenchmarkBeamPower(b *testing.B) {
+	x, arr := benchSnapshotMatrix(b)
+	angles := rf.AngleGrid(361)
+	b.Run("nocache", func(b *testing.B) {
+		b.ReportAllocs()
+		m := arr.Elements
+		out := make([]float64, len(angles))
+		for i := 0; i < b.N; i++ {
+			for ai, th := range angles {
+				w := make([]complex128, m)
+				for mi := 0; mi < m; mi++ {
+					w[mi] = cmplx.Exp(complex(0, arr.Omega(mi, th)))
+				}
+				var acc float64
+				for n := 0; n < x.Rows; n++ {
+					var sum complex128
+					row := x.Data[n*m : (n+1)*m]
+					for mi, xv := range row {
+						sum += xv * w[mi]
+					}
+					acc += real(sum)*real(sum) + imag(sum)*imag(sum)
+				}
+				out[ai] = acc / float64(x.Rows) / float64(m*m)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pmusic.BeamPower(x, arr, angles); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchLocViews builds two synthetic drop views looking at one target —
+// the fusion stage's input shape.
+func benchLocViews(tb testing.TB) ([]*loc.View, loc.Grid) {
+	tb.Helper()
+	grid := loc.Grid{XMin: 0, XMax: 4, YMin: 0, YMax: 4, Cell: 0.05, Z: 1.25}
+	target := geom.Pt(2.6, 1.9, 1.25)
+	mk := func(origin, axis geom.Point) *loc.View {
+		arr, err := rf.NewArray(origin, axis, 8)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		angles := rf.AngleGrid(361)
+		drop := make([]float64, len(angles))
+		at := arr.AngleTo(target)
+		for i, th := range angles {
+			d := th - at
+			drop[i] = math.Exp(-d * d / (2 * 0.05 * 0.05))
+		}
+		return &loc.View{Array: arr, Angles: angles, Drop: drop}
+	}
+	views := []*loc.View{
+		mk(geom.Pt(1, 0, 1.25), geom.Pt2(1, 0)),
+		mk(geom.Pt(0, 1, 1.25), geom.Pt2(0, 1)),
+	}
+	return views, grid
+}
+
+// BenchmarkLocalizeGrid measures the Eq. 15 grid search: direct
+// recomputes each cell's AoA per call, indexed walks cached GridIndex
+// tables (built once, as the pipeline's fusion stage does).
+func BenchmarkLocalizeGrid(b *testing.B) {
+	views, grid := benchLocViews(b)
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := loc.Localize(views, grid, loc.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		indexes := make([]*loc.GridIndex, len(views))
+		for i, v := range views {
+			g, err := loc.NewGridIndex(v.Array, grid, len(v.Angles))
+			if err != nil {
+				b.Fatal(err)
+			}
+			indexes[i] = g
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := loc.LocalizeIndexed(views, indexes, grid, loc.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPipelineThroughput is the scaling baseline for the

@@ -19,6 +19,11 @@
 //
 //	dwatchd [-listen :5084] [-env hall] [-simulate] [-rounds N]
 //	        [-workers N] [-queue N] [-overload block|drop-oldest]
+//	        [-pprof 127.0.0.1:6060]
+//
+// -pprof serves net/http/pprof on the given address (opt-in, off by
+// default) for profiling the spectrum and fusion hot paths in a live
+// deployment.
 package main
 
 import (
@@ -26,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,7 +62,17 @@ func main() {
 	queue := flag.Int("queue", 0, "snapshot queue size (0 = default)")
 	overload := flag.String("overload", "block", "full-queue policy: block or drop-oldest")
 	seqTTL := flag.Duration("seq-ttl", 30*time.Second, "evict incomplete acquisition sequences after this long")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	cfg, err := preset(*env)
 	if err != nil {

@@ -250,6 +250,23 @@ var ErrNoConverge = errors.New("cmatrix: eigendecomposition did not converge")
 // descending order — the convention subspace methods want (signal
 // eigenvectors first).
 func EigenHermitian(a *Matrix) (*Eigen, error) {
+	var ws EigenWorkspace
+	return ws.EigenHermitian(a)
+}
+
+// EigenWorkspace holds the Jacobi scratch matrices so repeated
+// eigendecompositions of same-sized inputs allocate nothing beyond the
+// escaping Eigen result. The zero value is ready to use; a workspace is
+// not safe for concurrent use.
+type EigenWorkspace struct {
+	w, v *Matrix
+	vals []float64
+	idx  []int
+}
+
+// EigenHermitian is EigenHermitian reusing the workspace's scratch. The
+// returned Eigen owns its memory and stays valid across further calls.
+func (ws *EigenWorkspace) EigenHermitian(a *Matrix) (*Eigen, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: %dx%d", ErrNotHermitian, a.Rows, a.Cols)
 	}
@@ -257,7 +274,14 @@ func EigenHermitian(a *Matrix) (*Eigen, error) {
 	if !a.IsHermitian(1e-8 * (1 + a.FrobNorm())) {
 		return nil, ErrNotHermitian
 	}
-	w := a.Clone()
+	if ws.w == nil || ws.w.Rows != n {
+		ws.w = New(n, n)
+		ws.v = New(n, n)
+		ws.vals = make([]float64, n)
+		ws.idx = make([]int, n)
+	}
+	w, v := ws.w, ws.v
+	copy(w.Data, a.Data)
 	// Force exact Hermitian symmetry so rounding cannot accumulate.
 	for i := 0; i < n; i++ {
 		w.Set(i, i, complex(real(w.At(i, i)), 0))
@@ -267,14 +291,18 @@ func EigenHermitian(a *Matrix) (*Eigen, error) {
 			w.Set(j, i, cmplx.Conj(avg))
 		}
 	}
-	v := Identity(n)
+	for i := range v.Data {
+		v.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
 
 	const maxSweeps = 100
 	tol := 1e-14 * (1 + w.FrobNorm())
 	for sweep := 0; sweep < maxSweeps; sweep++ {
-		off := offDiagNorm(w)
-		if off <= tol {
-			return finishEigen(w, v), nil
+		if offDiagWithin(w, tol) {
+			return ws.finishEigen(w, v), nil
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
@@ -286,9 +314,9 @@ func EigenHermitian(a *Matrix) (*Eigen, error) {
 			}
 		}
 	}
-	if offDiagNorm(w) <= 1e-8*(1+w.FrobNorm()) {
+	if offDiagWithin(w, 1e-8*(1+w.FrobNorm())) {
 		// Converged to a looser but still usable tolerance.
-		return finishEigen(w, v), nil
+		return ws.finishEigen(w, v), nil
 	}
 	return nil, ErrNoConverge
 }
@@ -339,8 +367,6 @@ func rotate(w, v *Matrix, p, q int) {
 	w.Set(q, p, 0)
 	w.Set(p, p, complex(real(w.At(p, p)), 0))
 	w.Set(q, q, complex(real(w.At(q, q)), 0))
-	_ = app
-	_ = aqq
 
 	for k := 0; k < n; k++ {
 		vkp := v.At(k, p)
@@ -350,7 +376,11 @@ func rotate(w, v *Matrix, p, q int) {
 	}
 }
 
-func offDiagNorm(m *Matrix) float64 {
+// offDiagWithin reports whether the off-diagonal Frobenius mass of m is
+// at most tol, returning as soon as the accumulated squared sum exceeds
+// tol² so unconverged Jacobi sweeps stop scanning early.
+func offDiagWithin(m *Matrix, tol float64) bool {
+	limit := tol * tol
 	var s float64
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
@@ -359,15 +389,17 @@ func offDiagNorm(m *Matrix) float64 {
 			}
 			v := m.At(i, j)
 			s += real(v)*real(v) + imag(v)*imag(v)
+			if s > limit {
+				return false
+			}
 		}
 	}
-	return math.Sqrt(s)
+	return true
 }
 
-func finishEigen(w, v *Matrix) *Eigen {
+func (ws *EigenWorkspace) finishEigen(w, v *Matrix) *Eigen {
 	n := w.Rows
-	vals := make([]float64, n)
-	idx := make([]int, n)
+	vals, idx := ws.vals, ws.idx
 	for i := 0; i < n; i++ {
 		vals[i] = real(w.At(i, i))
 		idx[i] = i

@@ -1,0 +1,77 @@
+package cmatrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenWorkspaceMatchesEigenHermitian(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var ws EigenWorkspace
+	// Reuse one workspace across sizes and inputs; every decomposition
+	// must be bit-identical to the stateless entry point, and earlier
+	// results must survive later calls (outputs never alias scratch).
+	for _, n := range []int{2, 5, 6, 6, 3, 6} {
+		a := randomHermitian(n, rng)
+		want, err := EigenHermitian(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ws.EigenHermitian(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("n=%d: value %d = %v, want %v", n, i, got.Values[i], want.Values[i])
+			}
+		}
+		for i := range want.Vectors.Data {
+			if got.Vectors.Data[i] != want.Vectors.Data[i] {
+				t.Fatalf("n=%d: vector entry %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestEigenWorkspaceRetainedResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var ws EigenWorkspace
+	a := randomHermitian(5, rng)
+	first, err := ws.EigenHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]float64(nil), first.Values...)
+	vecs := append([]complex128(nil), first.Vectors.Data...)
+	for i := 0; i < 3; i++ {
+		if _, err := ws.EigenHermitian(randomHermitian(5, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range vals {
+		if first.Values[i] != vals[i] {
+			t.Fatal("earlier result's values were overwritten by workspace reuse")
+		}
+	}
+	for i := range vecs {
+		if first.Vectors.Data[i] != vecs[i] {
+			t.Fatal("earlier result's vectors were overwritten by workspace reuse")
+		}
+	}
+}
+
+func TestEigenWorkspaceRejectsNonHermitian(t *testing.T) {
+	var ws EigenWorkspace
+	m := New(2, 3)
+	if _, err := ws.EigenHermitian(m); !errors.Is(err, ErrNotHermitian) {
+		t.Errorf("non-square: got %v", err)
+	}
+	bad := New(2, 2)
+	bad.Set(0, 1, 5)
+	bad.Set(1, 0, 7)
+	if _, err := ws.EigenHermitian(bad); !errors.Is(err, ErrNotHermitian) {
+		t.Errorf("non-Hermitian: got %v", err)
+	}
+}

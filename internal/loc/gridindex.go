@@ -1,0 +1,137 @@
+// Grid-to-angle index: the precomputed half of the fusion hot path.
+//
+// Evaluating the Eq. 15 likelihood at a grid cell needs the AoA under
+// which each reader's array sees that cell — vector math plus an acos
+// per (cell, view). Both are pure functions of the array geometry, the
+// search grid, and the angle-grid size, all fixed for a session.
+// GridIndex computes the cell→angle-bin mapping once; the grid search
+// then reduces to Πᵢ (ε + Dropᵢ[binᵢ[cell]]), a pure table walk.
+package loc
+
+import (
+	"fmt"
+
+	"dwatch/internal/rf"
+)
+
+// GridIndex maps every cell of one search Grid to the rf.AngleGrid bin
+// one array sees it under. Immutable after construction and safe to
+// share across goroutines.
+type GridIndex struct {
+	NX, NY int // grid cells, matching Grid.Cells()
+	Bins   int // angle-grid size the entries index into
+	bins   []int32
+}
+
+// NewGridIndex precomputes the cell→angle-bin table for an array over a
+// grid, for views scanned on rf.AngleGrid(angleBins). Each entry is
+// rf.GridBin(arr.AngleTo(cell), angleBins) — exactly the lookup
+// View.DropAt performs — so indexed likelihoods are bit-identical to
+// the uncached path.
+func NewGridIndex(arr *rf.Array, grid Grid, angleBins int) (*GridIndex, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if angleBins < 1 {
+		return nil, fmt.Errorf("loc: angle grid size %d", angleBins)
+	}
+	nx, ny := grid.Cells()
+	g := &GridIndex{NX: nx, NY: ny, Bins: angleBins, bins: make([]int32, nx*ny)}
+	k := 0
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			g.bins[k] = int32(rf.GridBin(arr.AngleTo(grid.CellAt(ix, iy)), angleBins))
+			k++
+		}
+	}
+	return g, nil
+}
+
+// Bin returns the angle bin of cell (ix, iy).
+func (g *GridIndex) Bin(ix, iy int) int { return int(g.bins[iy*g.NX+ix]) }
+
+// checkIndexes validates that every view has a matching index table for
+// this grid.
+func checkIndexes(views []*View, indexes []*GridIndex, grid Grid) (nx, ny int, err error) {
+	if len(indexes) != len(views) {
+		return 0, 0, fmt.Errorf("loc: %d index tables for %d views", len(indexes), len(views))
+	}
+	nx, ny = grid.Cells()
+	for i, g := range indexes {
+		if g == nil {
+			return 0, 0, fmt.Errorf("loc: nil index table for view %d", i)
+		}
+		if g.NX != nx || g.NY != ny {
+			return 0, 0, fmt.Errorf("loc: index table %d is %dx%d, grid is %dx%d", i, g.NX, g.NY, nx, ny)
+		}
+		if g.Bins != len(views[i].Angles) {
+			return 0, 0, fmt.Errorf("loc: index table %d has %d angle bins, view has %d", i, g.Bins, len(views[i].Angles))
+		}
+	}
+	return nx, ny, nil
+}
+
+// LocalizeIndexed is Localize with the grid search driven by
+// precomputed GridIndex tables (one per view, built for the same grid
+// and each view's angle-grid size). The coarse search is a pure table
+// walk; hill-climb refinement still evaluates exact angles off-grid.
+// Results are bit-identical to Localize.
+func LocalizeIndexed(views []*View, indexes []*GridIndex, grid Grid, opts Options) (Result, error) {
+	if len(views) == 0 {
+		return Result{}, ErrNoViews
+	}
+	if err := grid.Validate(); err != nil {
+		return Result{}, err
+	}
+	nx, _, err := checkIndexes(views, indexes, grid)
+	if err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+
+	bestK, bestL := 0, -1.0
+	for k := range indexes[0].bins {
+		l := 1.0
+		for v, g := range indexes {
+			l *= epsilon + views[v].Drop[g.bins[k]]
+		}
+		if l > bestL {
+			bestK, bestL = k, l
+		}
+	}
+	best := Result{Pos: grid.CellAt(bestK%nx, bestK/nx), Likelihood: bestL}
+	best = hillClimb(views, grid, best, opts.HillClimbIters)
+	max := theoreticalMax(len(views))
+	best.Confidence = best.Likelihood / max
+	if best.Confidence < opts.MinPeak {
+		return Result{}, ErrNotCovered
+	}
+	return best, nil
+}
+
+// LocalizeMultiIndexed is LocalizeMulti with the likelihood field
+// filled by table walk. Results are bit-identical to LocalizeMulti.
+func LocalizeMultiIndexed(views []*View, indexes []*GridIndex, grid Grid, maxTargets int, minSep float64, opts Options) ([]Result, error) {
+	if len(views) == 0 {
+		return nil, ErrNoViews
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if maxTargets <= 0 {
+		return nil, nil
+	}
+	nx, ny, err := checkIndexes(views, indexes, grid)
+	if err != nil {
+		return nil, err
+	}
+	field := make([]float64, nx*ny)
+	for k := range field {
+		l := 1.0
+		for v, g := range indexes {
+			l *= epsilon + views[v].Drop[g.bins[k]]
+		}
+		field[k] = l
+	}
+	return extractTargets(views, grid, field, nx, ny, maxTargets, minSep, opts), nil
+}

@@ -41,20 +41,16 @@ type View struct {
 	Drop   []float64 // ΔΩ(θ) ≥ 0
 }
 
-// DropAt returns the drop at the grid angle nearest to theta.
+// DropAt returns the drop at the grid angle nearest to theta. The grid
+// is the uniform rf.AngleGrid, so the lookup is O(1) via the shared
+// rf.GridBin helper (the same indexing pmusic.Spectrum.PowerAt and
+// GridIndex use).
 func (v *View) DropAt(theta float64) float64 {
 	n := len(v.Angles)
 	if n == 0 {
 		return 0
 	}
-	// The grid is uniform over [0, π]: index directly.
-	i := int(theta/math.Pi*float64(n-1) + 0.5)
-	if i < 0 {
-		i = 0
-	} else if i >= n {
-		i = n - 1
-	}
-	return v.Drop[i]
+	return v.Drop[rf.GridBin(theta, n)]
 }
 
 // MaxDrop returns the maximum drop in the view.
@@ -101,6 +97,20 @@ func (g Grid) Validate() error {
 // Contains reports whether p lies inside the grid (x-y only).
 func (g Grid) Contains(p geom.Point) bool {
 	return p.X >= g.XMin && p.X <= g.XMax && p.Y >= g.YMin && p.Y <= g.YMax
+}
+
+// Cells returns the number of search cells along x and y. Every grid
+// walk (Localize, LocalizeMulti, heatmaps, GridIndex) derives its cell
+// count here so cached and uncached paths visit identical points.
+func (g Grid) Cells() (nx, ny int) {
+	nx = int((g.XMax-g.XMin)/g.Cell) + 1
+	ny = int((g.YMax-g.YMin)/g.Cell) + 1
+	return nx, ny
+}
+
+// CellAt returns the centre of cell (ix, iy) at the search height.
+func (g Grid) CellAt(ix, iy int) geom.Point {
+	return geom.Pt(g.XMin+float64(ix)*g.Cell, g.YMin+float64(iy)*g.Cell, g.Z)
 }
 
 // epsilon keeps the likelihood product alive when one reader
@@ -156,10 +166,13 @@ func Localize(views []*View, grid Grid, opts Options) (Result, error) {
 	}
 	opts = opts.withDefaults()
 
+	// Integer cell indices: accumulating y += Cell drifts in floating
+	// point and can drop the last row/column before reaching YMax.
+	nx, ny := grid.Cells()
 	best := Result{Likelihood: -1}
-	for y := grid.YMin; y <= grid.YMax; y += grid.Cell {
-		for x := grid.XMin; x <= grid.XMax; x += grid.Cell {
-			p := geom.Pt(x, y, grid.Z)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			p := grid.CellAt(ix, iy)
 			if l := Likelihood(views, p); l > best.Likelihood {
 				best = Result{Pos: p, Likelihood: l}
 			}
@@ -227,17 +240,20 @@ func LocalizeMulti(views []*View, grid Grid, maxTargets int, minSep float64, opt
 	if maxTargets <= 0 {
 		return nil, nil
 	}
-	opts = opts.withDefaults()
-
-	nx := int((grid.XMax-grid.XMin)/grid.Cell) + 1
-	ny := int((grid.YMax-grid.YMin)/grid.Cell) + 1
+	nx, ny := grid.Cells()
 	field := make([]float64, nx*ny)
 	for iy := 0; iy < ny; iy++ {
 		for ix := 0; ix < nx; ix++ {
-			p := geom.Pt(grid.XMin+float64(ix)*grid.Cell, grid.YMin+float64(iy)*grid.Cell, grid.Z)
-			field[iy*nx+ix] = Likelihood(views, p)
+			field[iy*nx+ix] = Likelihood(views, grid.CellAt(ix, iy))
 		}
 	}
+	return extractTargets(views, grid, field, nx, ny, maxTargets, minSep, opts), nil
+}
+
+// extractTargets runs the non-maximum suppression of LocalizeMulti over
+// an already-evaluated likelihood field; field is consumed (zeroed).
+func extractTargets(views []*View, grid Grid, field []float64, nx, ny, maxTargets int, minSep float64, opts Options) []Result {
+	opts = opts.withDefaults()
 	max := theoreticalMax(len(views))
 	var out []Result
 	taken := make([]geom.Point, 0, maxTargets)
@@ -245,7 +261,7 @@ func LocalizeMulti(views []*View, grid Grid, maxTargets int, minSep float64, opt
 		bi, bl := -1, 0.0
 		for i, l := range field {
 			if l > bl {
-				p := geom.Pt(grid.XMin+float64(i%nx)*grid.Cell, grid.YMin+float64(i/nx)*grid.Cell, grid.Z)
+				p := grid.CellAt(i%nx, i/nx)
 				ok := true
 				for _, tp := range taken {
 					if p.Dist2D(tp) < minSep {
@@ -261,7 +277,7 @@ func LocalizeMulti(views []*View, grid Grid, maxTargets int, minSep float64, opt
 		if bi < 0 || bl/max < opts.MinPeak {
 			break
 		}
-		p := geom.Pt(grid.XMin+float64(bi%nx)*grid.Cell, grid.YMin+float64(bi/nx)*grid.Cell, grid.Z)
+		p := grid.CellAt(bi%nx, bi/nx)
 		r := hillClimb(views, grid, Result{Pos: p, Likelihood: bl}, opts.HillClimbIters)
 		r.Confidence = r.Likelihood / max
 		// Hill climbing may converge onto an already-accepted mode (the
@@ -284,13 +300,13 @@ func LocalizeMulti(views []*View, grid Grid, maxTargets int, minSep float64, opt
 		// floor), plus a minSep disc around both the seed and the summit.
 		floodSuppress(field, nx, ny, bi, 0.9*opts.MinPeak*max)
 		for i := range field {
-			q := geom.Pt(grid.XMin+float64(i%nx)*grid.Cell, grid.YMin+float64(i/nx)*grid.Cell, grid.Z)
+			q := grid.CellAt(i%nx, i/nx)
 			if q.Dist2D(p) < minSep || q.Dist2D(r.Pos) < minSep {
 				field[i] = 0
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // floodSuppress zeroes the 4-connected component of cells with value

@@ -159,55 +159,18 @@ func Compute(x *cmatrix.Matrix, arr *rf.Array, opts Options) (*Result, error) {
 }
 
 // ComputeFromCorrelation runs the MUSIC stages after correlation; use it
-// when the correlation matrix is accumulated incrementally.
+// when the correlation matrix is accumulated incrementally. The
+// pseudo-spectrum scan consumes the shared precomputed steering table
+// for the array — bit-identical to evaluating Array.SteeringSub at every
+// grid angle, without the per-angle cmplx.Exp calls or allocations.
+// Repeated callers should hold a Workspace instead, which also reuses
+// the smoothing and eigendecomposition scratch.
 func ComputeFromCorrelation(r *cmatrix.Matrix, arr *rf.Array, opts Options) (*Result, error) {
-	opts = opts.withDefaults(arr.Elements)
-	sm := r
-	if opts.NoSmoothing {
-		opts.Subarray = arr.Elements
-	} else {
-		var err error
-		sm, err = SmoothForwardBackward(r, opts.Subarray)
-		if err != nil {
-			return nil, err
-		}
-	}
-	eig, err := cmatrix.EigenHermitian(sm)
+	ws, err := NewWorkspace(arr, opts)
 	if err != nil {
 		return nil, err
 	}
-	p := opts.Sources
-	if p <= 0 {
-		p = EstimateSources(eig.Values, opts.Threshold)
-	}
-	if p < 1 {
-		p = 1
-	}
-	l := opts.Subarray
-	if p >= l {
-		p = l - 1
-	}
-	q := l - p
-	noise := cmatrix.New(l, q)
-	for j := 0; j < q; j++ {
-		col := eig.Vectors.Col(p + j)
-		for i := 0; i < l; i++ {
-			noise.Set(i, j, col[i])
-		}
-	}
-	angles := rf.AngleGrid(opts.GridSize)
-	spec := make([]float64, len(angles))
-	for i, th := range angles {
-		spec[i] = pseudoSpectrum(arr.SteeringSub(th, l), noise)
-	}
-	return &Result{
-		Angles:   angles,
-		Spectrum: spec,
-		Sources:  p,
-		Noise:    noise,
-		Eigen:    eig,
-		Subarray: l,
-	}, nil
+	return ws.ComputeFromCorrelation(r)
 }
 
 // pseudoSpectrum evaluates 1 / (aᴴ·Uₙ·Uₙᴴ·a) for a steering vector a.

@@ -9,6 +9,7 @@ import (
 	"dwatch/internal/dwatch"
 	"dwatch/internal/loc"
 	"dwatch/internal/pmusic"
+	"dwatch/internal/rf"
 )
 
 // reportAgg regroups the per-tag spectra of one report as they come
@@ -52,6 +53,17 @@ type assembler struct {
 	// they finished) so late reports are counted instead of
 	// resurrecting a group; pruned by the sweeper.
 	done map[uint32]time.Time
+
+	// gridIdx caches each array's cell→angle-bin table for the search
+	// grid, keyed by array identity plus angle-grid size. Array
+	// geometries and the grid are fixed for the pipeline's lifetime, so
+	// entries never invalidate; single-goroutine access, no lock.
+	gridIdx map[gridIdxKey]*loc.GridIndex
+}
+
+type gridIdxKey struct {
+	arr  *rf.Array
+	bins int
 }
 
 func newAssembler(p *Pipeline, fuser *dwatch.Fuser) *assembler {
@@ -63,6 +75,7 @@ func newAssembler(p *Pipeline, fuser *dwatch.Fuser) *assembler {
 		nextRound: map[string]int{},
 		online:    map[uint32]*seqGroup{},
 		done:      map[uint32]time.Time{},
+		gridIdx:   map[gridIdxKey]*loc.GridIndex{},
 	}
 	for id, next := range p.rounds {
 		// Restored-baseline pipelines start every reader past the
@@ -197,7 +210,7 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup) {
 	fix := Fix{Seq: seq, Views: len(views)}
 	if len(views) < 2 {
 		fix.Err = fmt.Errorf("pipeline: seq %d: evidence from only %d readers", seq, len(views))
-	} else if res, err := loc.Localize(views, a.p.cfg.Grid, a.p.cfg.Loc); err != nil {
+	} else if res, err := a.localize(views); err != nil {
 		fix.Err = err
 	} else {
 		fix.Pos = res.Pos
@@ -213,6 +226,27 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup) {
 	case a.p.fixes <- fix:
 	case <-a.p.stop:
 	}
+}
+
+// localize runs the grid search through the cached per-array
+// GridIndex tables (bit-identical to loc.Localize), falling back to
+// the direct search if a table cannot be built for some view.
+func (a *assembler) localize(views []*loc.View) (loc.Result, error) {
+	indexes := make([]*loc.GridIndex, len(views))
+	for i, v := range views {
+		k := gridIdxKey{arr: v.Array, bins: len(v.Angles)}
+		g, ok := a.gridIdx[k]
+		if !ok {
+			var err error
+			g, err = loc.NewGridIndex(v.Array, a.p.cfg.Grid, len(v.Angles))
+			if err != nil {
+				return loc.Localize(views, a.p.cfg.Grid, a.p.cfg.Loc)
+			}
+			a.gridIdx[k] = g
+		}
+		indexes[i] = g
+	}
+	return loc.LocalizeIndexed(views, indexes, a.p.cfg.Grid, a.p.cfg.Loc)
 }
 
 // sweep evicts sequence groups older than SeqTTL and prunes the done

@@ -220,8 +220,11 @@ type Pipeline struct {
 	decodeHist *stats.Histogram
 	fuseHist   *stats.Histogram
 
-	// compute and now are test seams; production uses pmusic.Compute
-	// and time.Now.
+	// compute and now are test seams. compute is nil in production:
+	// each worker then decodes and runs P-MUSIC through its own
+	// reusable per-array pmusic.Workspace (bit-identical to
+	// pmusic.Compute, without the per-snapshot steering and scratch
+	// allocations).
 	compute func(snap [][]complex128, arr *rf.Array, opts pmusic.Options) (*pmusic.Spectrum, error)
 	now     func() time.Time
 
@@ -247,14 +250,7 @@ func New(cfg Config) (*Pipeline, error) {
 		rounds:     map[string]int{},
 		decodeHist: stats.NewHistogram(stats.LatencyBounds()),
 		fuseHist:   stats.NewHistogram(stats.LatencyBounds()),
-		compute: func(snap [][]complex128, arr *rf.Array, opts pmusic.Options) (*pmusic.Spectrum, error) {
-			x, err := dwatch.RawSnapshotsToMatrix(snap)
-			if err != nil {
-				return nil, err
-			}
-			return pmusic.Compute(x, arr, opts)
-		},
-		now: time.Now,
+		now:        time.Now,
 	}
 	fuser := cfg.Restored
 	if fuser == nil {
@@ -390,11 +386,15 @@ func (p *Pipeline) deliver(r result) error {
 }
 
 // worker is one spectrum-pool goroutine: decode + P-MUSIC per snapshot.
+// Each worker owns one pmusic.Workspace per array geometry, so the
+// correlation/smoothing/Jacobi scratch is reused across every snapshot
+// it processes while the steering tables stay shared and read-only.
 func (p *Pipeline) worker() {
 	defer p.workerWG.Done()
+	ws := map[*rf.Array]*pmusic.Workspace{}
 	for j := range p.jobs {
 		start := p.now()
-		sp, err := p.compute(j.snap, j.arr, p.cfg.PMusic)
+		sp, err := p.computeSnapshot(ws, j)
 		p.decodeHist.ObserveDuration(p.now().Sub(start))
 		if err != nil {
 			p.c.spectraFailed.Add(1)
@@ -410,6 +410,27 @@ func (p *Pipeline) worker() {
 			return
 		}
 	}
+}
+
+// computeSnapshot turns one raw snapshot into a P-MUSIC spectrum,
+// through the test seam when set, otherwise through the worker's
+// reusable workspace for the job's array (created on first use).
+func (p *Pipeline) computeSnapshot(ws map[*rf.Array]*pmusic.Workspace, j job) (*pmusic.Spectrum, error) {
+	if p.compute != nil {
+		return p.compute(j.snap, j.arr, p.cfg.PMusic)
+	}
+	x, err := dwatch.RawSnapshotsToMatrix(j.snap)
+	if err != nil {
+		return nil, err
+	}
+	w := ws[j.arr]
+	if w == nil {
+		if w, err = pmusic.NewWorkspace(j.arr, p.cfg.PMusic); err != nil {
+			return nil, err
+		}
+		ws[j.arr] = w
+	}
+	return w.Compute(x)
 }
 
 // Drain stops accepting new reports, waits for queued snapshots to

@@ -59,7 +59,11 @@ type Spectrum struct {
 }
 
 // BeamPower computes PB(θ) of Eq. 13 averaged over snapshots:
-// (1/N)·Σₙ ‖Σₘ xₙₘ·e^{jω(m,θ)}‖² / M².
+// (1/N)·Σₙ ‖Σₘ xₙₘ·e^{jω(m,θ)}‖² / M². When angles is the canonical
+// uniform rf.AngleGrid — the only grid the spectrum pipeline scans —
+// the weights come from the shared precomputed steering table instead
+// of per-angle cmplx.Exp calls; arbitrary grids fall back to computing
+// weights on the fly. Both paths are bit-identical.
 func BeamPower(x *cmatrix.Matrix, arr *rf.Array, angles []float64) ([]float64, error) {
 	if x.Cols != arr.Elements {
 		return nil, fmt.Errorf("pmusic: %d columns for %d-element array", x.Cols, arr.Elements)
@@ -67,26 +71,65 @@ func BeamPower(x *cmatrix.Matrix, arr *rf.Array, angles []float64) ([]float64, e
 	if x.Rows == 0 {
 		return nil, errors.New("pmusic: no snapshots")
 	}
-	m := arr.Elements
 	out := make([]float64, len(angles))
+	if tab := weightTableFor(arr, angles); tab != nil {
+		beamPowerTable(out, x, tab)
+		return out, nil
+	}
+	m := arr.Elements
+	w := make([]complex128, m)
 	for ai, th := range angles {
 		// Conjugate of the steering vector: weights e^{+jω(m,θ)}.
-		w := make([]complex128, m)
 		for mi := 0; mi < m; mi++ {
 			w[mi] = cmplx.Exp(complex(0, arr.Omega(mi, th)))
 		}
-		var acc float64
-		for n := 0; n < x.Rows; n++ {
-			var sum complex128
-			row := x.Data[n*m : (n+1)*m]
-			for mi, xv := range row {
-				sum += xv * w[mi]
-			}
-			acc += real(sum)*real(sum) + imag(sum)*imag(sum)
-		}
-		out[ai] = acc / float64(x.Rows) / float64(m*m)
+		out[ai] = beamPowerAt(x, w)
 	}
 	return out, nil
+}
+
+// beamPowerAt evaluates the Eq. 13 beamformer for one weight vector.
+func beamPowerAt(x *cmatrix.Matrix, w []complex128) float64 {
+	m := x.Cols
+	var acc float64
+	for n := 0; n < x.Rows; n++ {
+		var sum complex128
+		row := x.Data[n*m : (n+1)*m]
+		for mi, xv := range row {
+			sum += xv * w[mi]
+		}
+		acc += real(sum)*real(sum) + imag(sum)*imag(sum)
+	}
+	return acc / float64(x.Rows) / float64(m*m)
+}
+
+// beamPowerTable fills out[i] with the beam power at each table angle —
+// the zero-allocation hot path, flat row-major walks only.
+func beamPowerTable(out []float64, x *cmatrix.Matrix, tab *rf.SteeringTable) {
+	for i := range out {
+		out[i] = beamPowerAt(x, tab.Weights(i))
+	}
+}
+
+// weightTableFor returns the shared steering table when angles is
+// exactly the uniform rf.AngleGrid(len(angles)), nil otherwise. The
+// subarray length mirrors the MUSIC default so the P-MUSIC pipeline's
+// two stages share one table.
+func weightTableFor(arr *rf.Array, angles []float64) *rf.SteeringTable {
+	n := len(angles)
+	if n < 2 {
+		return nil
+	}
+	for i, th := range angles {
+		if th != math.Pi*float64(i)/float64(n-1) {
+			return nil
+		}
+	}
+	tab, err := rf.SteeringTableFor(arr, n, music.DefaultSubarray(arr.Elements))
+	if err != nil {
+		return nil
+	}
+	return tab
 }
 
 // Normalize returns the MUSIC spectrum with every detected peak scaled
@@ -96,6 +139,13 @@ func BeamPower(x *cmatrix.Matrix, arr *rf.Array, angles []float64) ([]float64, e
 // by the global maximum, keeping them well below 1.
 func Normalize(angles, spec []float64, peakRatio float64) []float64 {
 	out := make([]float64, len(spec))
+	NormalizeInto(out, angles, spec, peakRatio)
+	return out
+}
+
+// NormalizeInto is Normalize writing into out (len(spec)); every entry
+// of out is overwritten, so a reused scratch slice needs no clearing.
+func NormalizeInto(out, angles, spec []float64, peakRatio float64) {
 	peaks := music.FindPeaks(angles, spec, peakRatio)
 	if len(peaks) == 0 {
 		var max float64
@@ -110,7 +160,7 @@ func Normalize(angles, spec []float64, peakRatio float64) []float64 {
 		for i, v := range spec {
 			out[i] = v / max
 		}
-		return out
+		return
 	}
 	// Order peaks by grid index.
 	idx := make([]int, len(peaks))
@@ -148,7 +198,6 @@ func Normalize(angles, spec []float64, peakRatio float64) []float64 {
 			out[j] = spec[j] / den
 		}
 	}
-	return out
 }
 
 // Compute runs the full P-MUSIC pipeline of Eq. 14 on an N×M snapshot
@@ -176,18 +225,14 @@ func (s *Spectrum) Peaks(minRatio float64) []music.Peak {
 	return music.FindPeaks(s.Angles, s.Power, minRatio)
 }
 
-// PowerAt returns the spectrum power at the grid angle closest to theta.
+// PowerAt returns the spectrum power at the grid angle closest to
+// theta. Spectra scan the uniform rf.AngleGrid, so the lookup is O(1)
+// direct indexing via the same rf.GridBin helper loc.View.DropAt uses.
 func (s *Spectrum) PowerAt(theta float64) float64 {
 	if len(s.Angles) == 0 {
 		return 0
 	}
-	best, bd := 0, math.Inf(1)
-	for i, a := range s.Angles {
-		if d := math.Abs(a - theta); d < bd {
-			best, bd = i, d
-		}
-	}
-	return s.Power[best]
+	return s.Power[rf.GridBin(theta, len(s.Angles))]
 }
 
 // RelativeDrop returns, per grid angle, the fractional power drop from

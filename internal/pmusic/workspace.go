@@ -1,0 +1,57 @@
+package pmusic
+
+import (
+	"dwatch/internal/cmatrix"
+	"dwatch/internal/music"
+	"dwatch/internal/rf"
+)
+
+// Workspace is the reusable per-worker state for repeated P-MUSIC runs
+// against one array with fixed options. It wraps a music.Workspace (so
+// the subspace stage reuses its correlation/smoothing/Jacobi scratch
+// and the shared steering table) and adds the beamformer/normalization
+// scratch of the power stage. The returned Spectrum owns its memory —
+// its Angles alias the immutable shared grid — and may be retained by
+// callers (baselines, sequence groups) across further workspace calls.
+//
+// Not safe for concurrent use; give each goroutine its own.
+type Workspace struct {
+	opts Options
+	mw   *music.Workspace
+	nor  []float64 // normalization scratch, fully overwritten per run
+}
+
+// NewWorkspace resolves the options and builds the underlying MUSIC
+// workspace (which fetches or computes the shared steering table).
+func NewWorkspace(arr *rf.Array, opts Options) (*Workspace, error) {
+	opts = opts.withDefaults()
+	mw, err := music.NewWorkspace(arr, opts.Music)
+	if err != nil {
+		return nil, err
+	}
+	return &Workspace{
+		opts: opts,
+		mw:   mw,
+		nor:  make([]float64, mw.Table().Len()),
+	}, nil
+}
+
+// Compute runs the full P-MUSIC pipeline of Eq. 14 on an N×M snapshot
+// matrix — bit-identical to the package-level Compute, with the
+// steady-state allocations reduced to the escaping Spectrum.
+func (w *Workspace) Compute(x *cmatrix.Matrix) (*Spectrum, error) {
+	mres, err := w.mw.Compute(x)
+	if err != nil {
+		return nil, err
+	}
+	beam := make([]float64, len(mres.Angles))
+	// x's shape was validated by the subspace stage; the table's weight
+	// rows span the full array, matching x's columns.
+	beamPowerTable(beam, x, w.mw.Table())
+	NormalizeInto(w.nor, mres.Angles, mres.Spectrum, w.opts.PeakRatio)
+	power := make([]float64, len(beam))
+	for i := range power {
+		power[i] = beam[i] * w.nor[i]
+	}
+	return &Spectrum{Angles: mres.Angles, Power: power, Beam: beam, Music: mres}, nil
+}

@@ -177,6 +177,24 @@ func AngleGrid(n int) []float64 {
 	return g
 }
 
+// GridBin returns the index of the AngleGrid(n) angle nearest to theta,
+// clamped to [0, n-1] — the O(1) lookup every uniform-grid spectrum
+// consumer (loc.View.DropAt, pmusic.Spectrum.PowerAt, loc.GridIndex)
+// shares so their rounding cannot drift apart.
+func GridBin(theta float64, n int) int {
+	if n < 2 {
+		return 0
+	}
+	i := int(theta/math.Pi*float64(n-1) + 0.5)
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
 // Deg converts radians to degrees.
 func Deg(rad float64) float64 { return rad * 180 / math.Pi }
 
