@@ -5,12 +5,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-figures check clean
+.PHONY: all build fmt vet test race bench bench-figures check serve-smoke clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# gofmt is enforced, not advisory: fail loudly with the offending files.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +38,12 @@ bench:
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
-check: vet build test race
+check: fmt vet build test race
+
+# Boots dwatchd -simulate with the observability plane and curls the
+# endpoints a monitoring stack would: liveness, metrics, live stats.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,7 @@ import (
 	"dwatch/internal/llrp"
 	"dwatch/internal/loc"
 	"dwatch/internal/music"
+	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
 	"dwatch/internal/pmusic"
 	"dwatch/internal/reader"
@@ -529,38 +530,68 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				p, err := pipeline.New(pipeline.Config{Arrays: arrays, Grid: sc.Grid, Workers: workers})
-				if err != nil {
-					b.Fatal(err)
-				}
-				p.Start()
-				done := make(chan int, 1)
-				go func() {
-					n := 0
-					for f := range p.Fixes() {
-						if f.Err == nil {
-							n++
-						}
-					}
-					done <- n
-				}()
-				for _, rep := range reports {
-					if err := p.Ingest(rep); err != nil {
-						b.Fatal(err)
-					}
-				}
-				p.Drain()
-				if fixes := <-done; fixes == 0 {
-					b.Fatal("pipeline produced no fixes")
-				}
-			}
-			secs := b.Elapsed().Seconds()
-			if secs > 0 {
-				b.ReportMetric(float64(len(reports)*b.N)/secs, "reports/s")
-				b.ReportMetric(float64(spectra*b.N)/secs, "spectra/s")
-			}
+			runPipelineThroughput(b, sc, arrays, reports, spectra, workers, nil)
 		})
+	}
+}
+
+// BenchmarkPipelineThroughputInstrumented repeats the workers=4 run
+// with an obs.Registry attached — every report, spectrum, and fix also
+// increments the Prometheus-facing counters and the stage-span
+// histograms. Compare against BenchmarkPipelineThroughput/workers=4 in
+// BENCH_hotpath.json: the instrumentation budget is ~5% of the
+// uninstrumented reports/s (labeled children are pre-resolved atomics,
+// so the cost is a handful of atomic adds per snapshot).
+func BenchmarkPipelineThroughputInstrumented(b *testing.B) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reports := genPipelineReports(b, sc, 6, 6)
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	var spectra int
+	for _, rep := range reports {
+		spectra += len(rep.Reports)
+	}
+	b.Run("workers=4", func(b *testing.B) {
+		runPipelineThroughput(b, sc, arrays, reports, spectra, 4, obs.NewRegistry())
+	})
+}
+
+func runPipelineThroughput(b *testing.B, sc *sim.Scenario, arrays map[string]*rf.Array, reports []*llrp.ROAccessReport, spectra, workers int, reg *obs.Registry) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pipeline.New(pipeline.Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, Obs: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Start()
+		done := make(chan int, 1)
+		go func() {
+			n := 0
+			for f := range p.Fixes() {
+				if f.Err == nil {
+					n++
+				}
+			}
+			done <- n
+		}()
+		for _, rep := range reports {
+			if err := p.Ingest(rep); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p.Drain()
+		if fixes := <-done; fixes == 0 {
+			b.Fatal("pipeline produced no fixes")
+		}
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(len(reports)*b.N)/secs, "reports/s")
+		b.ReportMetric(float64(spectra*b.N)/secs, "spectra/s")
 	}
 }

@@ -10,12 +10,19 @@
 // Usage:
 //
 //	dwatch-replay -in session.dwrl [-env hall] [-drop-floor 0.2] [-workers N]
+//	              [-http 127.0.0.1:8080]
+//
+// -http serves the observability plane during the replay — useful for
+// watching /metrics or the /api/v1/positions SSE stream while a long
+// capture re-runs, and for profiling via /debug/pprof.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"sort"
@@ -23,8 +30,10 @@ import (
 
 	"dwatch/internal/dwatch"
 	"dwatch/internal/llrp"
+	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
 	"dwatch/internal/rf"
+	"dwatch/internal/serve"
 	"dwatch/internal/sim"
 )
 
@@ -33,6 +42,7 @@ func main() {
 	env := flag.String("env", "hall", "environment preset (array geometry)")
 	dropFloor := flag.Float64("drop-floor", 0, "override the per-path drop floor (0 = default)")
 	workers := flag.Int("workers", 0, "spectrum worker pool size (0 = GOMAXPROCS)")
+	httpAddr := flag.String("http", "", "serve the observability plane (metrics, health, positions, pprof) on this address during replay; empty = disabled")
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
@@ -50,14 +60,52 @@ func main() {
 		arrays[r.ID] = r.Array
 	}
 
+	var reg *obs.Registry
+	var broker *serve.Broker
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		broker = serve.NewBroker()
+	}
 	p, err := pipeline.New(pipeline.Config{
 		Arrays:  arrays,
 		Grid:    sc.Grid,
 		Workers: *workers,
 		Fuser:   dwatch.Config{DropFloor: *dropFloor},
+		Obs:     reg,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	var plane *serve.Server
+	if *httpAddr != "" {
+		p.SubscribeFixes(func(fix pipeline.Fix) {
+			if fix.Err != nil {
+				return
+			}
+			broker.Publish(serve.Position{
+				Env: sc.Name, Seq: fix.Seq,
+				X: fix.Pos.X, Y: fix.Pos.Y,
+				Confidence: fix.Confidence, Views: fix.Views,
+				Time: time.Now(),
+			})
+		})
+		plane = serve.New(serve.Options{
+			Registry: reg,
+			Broker:   broker,
+			Stats:    func() any { return p.Stats() },
+			Ready: func() error {
+				if st := p.Stats(); st.BaselinesConfirmed < uint64(len(arrays)) {
+					return fmt.Errorf("baseline: %d/%d readers confirmed", st.BaselinesConfirmed, len(arrays))
+				}
+				return nil
+			},
+			Logf: log.Printf,
+		})
+		planeAddr, err := plane.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability plane on http://%s/\n", planeAddr)
 	}
 	p.Start()
 
@@ -105,6 +153,11 @@ func main() {
 	p.Drain()
 	elapsed := time.Since(start)
 	out := <-collected
+	if plane != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		plane.Shutdown(ctx)
+		cancel()
+	}
 
 	sort.Slice(out, func(i, j int) bool { return out[i].fix.Seq < out[j].fix.Seq })
 	fixes, misses := 0, 0

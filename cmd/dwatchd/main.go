@@ -19,11 +19,14 @@
 //
 //	dwatchd [-listen :5084] [-env hall] [-simulate] [-rounds N]
 //	        [-workers N] [-queue N] [-overload block|drop-oldest]
-//	        [-pprof 127.0.0.1:6060]
+//	        [-http 127.0.0.1:8080]
 //
-// -pprof serves net/http/pprof on the given address (opt-in, off by
-// default) for profiling the spectrum and fusion hot paths in a live
-// deployment.
+// -http serves the observability plane (opt-in, off by default):
+// Prometheus /metrics, /healthz, /readyz (ready once every reader's
+// baseline is confirmed), /api/v1/stats, /api/v1/positions (latest fix
+// per environment, or a live SSE stream with ?stream=1), and
+// /debug/pprof/* for profiling the spectrum and fusion hot paths.
+// -pprof is a deprecated alias for -http.
 package main
 
 import (
@@ -31,8 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,9 +46,11 @@ import (
 	"dwatch/internal/dwatch"
 	"dwatch/internal/geom"
 	"dwatch/internal/llrp"
+	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
 	"dwatch/internal/reader"
 	"dwatch/internal/rf"
+	"dwatch/internal/serve"
 	"dwatch/internal/sim"
 )
 
@@ -62,16 +65,15 @@ func main() {
 	queue := flag.Int("queue", 0, "snapshot queue size (0 = default)")
 	overload := flag.String("overload", "block", "full-queue policy: block or drop-oldest")
 	seqTTL := flag.Duration("seq-ttl", 30*time.Second, "evict incomplete acquisition sequences after this long")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
+	httpAddr := flag.String("http", "", "serve the observability plane (metrics, health, positions, pprof) on this address; empty = disabled")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -http (pprof is part of the observability plane)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof: %v", err)
-			}
-		}()
+		if *httpAddr == "" {
+			*httpAddr = *pprofAddr
+		}
+		log.Printf("-pprof is deprecated; use -http (serving full observability plane on %s)", *httpAddr)
 	}
 
 	cfg, err := preset(*env)
@@ -92,6 +94,10 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *httpAddr != "" {
+		srv.obs = obs.NewRegistry()
+		srv.broker = serve.NewBroker()
 	}
 	srv.statePath = *statePath
 	if *recordPath != "" {
@@ -120,6 +126,22 @@ func main() {
 	}
 	log.Printf("dwatchd listening on %s (env %s, %d readers expected, %d workers, %s overload)",
 		addr, sc.Name, len(sc.Readers), pipelineWorkers(*workers), policy)
+
+	var plane *serve.Server
+	if *httpAddr != "" {
+		plane = serve.New(serve.Options{
+			Registry: srv.obs,
+			Broker:   srv.broker,
+			Stats:    func() any { return srv.pipe.Stats() },
+			Ready:    srv.ready,
+			Logf:     log.Printf,
+		})
+		planeAddr, err := plane.Start(*httpAddr)
+		if err != nil {
+			log.Fatalf("observability plane: %v", err)
+		}
+		log.Printf("observability plane on http://%s/ (metrics, healthz, readyz, api/v1, debug/pprof)", planeAddr)
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.llrp.Serve() }()
@@ -151,6 +173,13 @@ func main() {
 		}
 	}
 	srv.shutdown()
+	if plane != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := plane.Shutdown(ctx); err != nil {
+			log.Printf("observability plane shutdown: %v", err)
+		}
+	}
 }
 
 func pipelineWorkers(flagVal int) int {
@@ -203,6 +232,11 @@ type server struct {
 	pipe *pipeline.Pipeline
 	opts pipelineOptions
 
+	// obs and broker are nil unless -http is set; the pipeline and fix
+	// subscription tolerate both being absent.
+	obs    *obs.Registry
+	broker *serve.Broker
+
 	mu        sync.Mutex
 	statePath string
 	recorder  *llrp.RecordWriter
@@ -234,12 +268,26 @@ func (s *server) start() {
 		SeqTTL:     s.opts.seqTTL,
 		Restored:   s.restored,
 		OnBaseline: s.onBaseline,
+		Obs:        s.obs,
 	}
 	p, err := pipeline.New(cfg)
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}
 	s.pipe = p
+	if s.broker != nil {
+		p.SubscribeFixes(func(fix pipeline.Fix) {
+			if fix.Err != nil {
+				return
+			}
+			s.broker.Publish(serve.Position{
+				Env: s.sc.Name, Seq: fix.Seq,
+				X: fix.Pos.X, Y: fix.Pos.Y,
+				Confidence: fix.Confidence, Views: fix.Views,
+				Time: time.Now(),
+			})
+		})
+	}
 	p.Start()
 	s.fixWG.Add(1)
 	go func() {
@@ -312,6 +360,18 @@ func (s *server) arrayFor(id string) *reader.Reader {
 		if r.ID == id {
 			return r
 		}
+	}
+	return nil
+}
+
+// ready is the /readyz hook: the deployment is ready to localize once
+// every expected reader's baseline has been confirmed (or restored).
+func (s *server) ready() error {
+	s.mu.Lock()
+	confirmed := len(s.confirmed)
+	s.mu.Unlock()
+	if confirmed < len(s.sc.Readers) {
+		return fmt.Errorf("baseline: %d/%d readers confirmed", confirmed, len(s.sc.Readers))
 	}
 	return nil
 }

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition bytes for one
+// registry with every metric kind: header lines, label rendering,
+// cumulative histogram buckets with the +Inf terminator, and
+// deterministic family/child ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dwatch_reports_total", "Reports accepted.").Add(7)
+	rej := r.CounterVec("dwatch_rejects_total", "Reports rejected by reason.", "reason")
+	rej.With("unknown-reader").Add(2)
+	rej.With(`quo"te`).Inc()
+	r.Gauge("dwatch_queue_depth", "Snapshot queue occupancy.").Set(3)
+	r.GaugeFunc("dwatch_pending", "Pending sequences.", func() float64 { return 1.5 })
+	h := r.Histogram("dwatch_fuse_seconds", "Fusion latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5) // overflow bucket
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dwatch_reports_total Reports accepted.
+# TYPE dwatch_reports_total counter
+dwatch_reports_total 7
+# HELP dwatch_rejects_total Reports rejected by reason.
+# TYPE dwatch_rejects_total counter
+dwatch_rejects_total{reason="unknown-reader"} 2
+dwatch_rejects_total{reason="quo\"te"} 1
+# HELP dwatch_queue_depth Snapshot queue occupancy.
+# TYPE dwatch_queue_depth gauge
+dwatch_queue_depth 3
+# HELP dwatch_pending Pending sequences.
+# TYPE dwatch_pending gauge
+dwatch_pending 1.5
+# HELP dwatch_fuse_seconds Fusion latency.
+# TYPE dwatch_fuse_seconds histogram
+dwatch_fuse_seconds_bucket{le="0.01"} 1
+dwatch_fuse_seconds_bucket{le="0.1"} 3
+dwatch_fuse_seconds_bucket{le="1"} 3
+dwatch_fuse_seconds_bucket{le="+Inf"} 4
+dwatch_fuse_seconds_sum 5.105
+dwatch_fuse_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusHistogramLabels checks the le label composes with
+// family labels on vec histograms.
+func TestWritePrometheusHistogramLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("stage_seconds", "Stage latency.", []float64{1}, "stage")
+	v.With("fuse").Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`stage_seconds_bucket{stage="fuse",le="1"} 1`,
+		`stage_seconds_bucket{stage="fuse",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="fuse"} 0.5`,
+		`stage_seconds_count{stage="fuse"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+// TestEmptyFamiliesOmitted: a vec with no children yet must not emit
+// headers (Prometheus chokes on TYPE lines with no samples... it does
+// not, but empty families are noise either way).
+func TestEmptyFamiliesOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("never_used_total", "unused", "l")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty family emitted: %q", sb.String())
+	}
+}

@@ -45,8 +45,11 @@ type assembler struct {
 	ready     map[string]map[int]*reportAgg
 	nextRound map[string]int
 
-	// online groups post-baseline reports by acquisition sequence;
-	// pending mirrors len(online) for lock-free Stats reads.
+	// online groups post-baseline reports by acquisition sequence.
+	// pending is an atomic mirror of len(online), updated by the
+	// assembler in the same breath as every map mutation: it is the
+	// *only* assembler state other goroutines may read (via
+	// pendingSequences), so Stats never touches the unlocked maps.
 	online  map[uint32]*seqGroup
 	pending atomic.Int64
 	// done records sequences already fused or evicted (with the time
@@ -162,6 +165,7 @@ func (a *assembler) apply(g *reportAgg) {
 		if g.round == a.p.cfg.BaselineRounds-1 {
 			a.fuser.FinishBaseline()
 			a.p.c.baselinesConfirmed.Add(1)
+			a.p.ins.baselineConfirmed(g.reader)
 			if a.p.cfg.OnBaseline != nil {
 				a.p.cfg.OnBaseline(g.reader, len(g.spectra))
 			}
@@ -170,6 +174,7 @@ func (a *assembler) apply(g *reportAgg) {
 	}
 	if _, dup := a.done[g.seq]; dup {
 		a.p.c.lateReports.Add(1)
+		a.p.ins.lateReport()
 		return
 	}
 	grp := a.online[g.seq]
@@ -185,14 +190,20 @@ func (a *assembler) apply(g *reportAgg) {
 	}
 	delete(a.online, g.seq)
 	a.pending.Add(-1)
-	a.done[g.seq] = a.p.now()
+	now := a.p.now()
+	a.done[g.seq] = now
 	a.p.c.sequencesAssembled.Add(1)
+	a.p.ins.sequenceAssembled()
+	// The assemble span runs from the group's creation (first report
+	// of the sequence) to completion: cross-reader skew, not CPU time.
+	a.p.ins.span(stageAssemble, grp.created).EndAt(now)
 	a.fuse(g.seq, grp)
 }
 
 // fuse builds drop views for one complete sequence and localizes.
 func (a *assembler) fuse(seq uint32, grp *seqGroup) {
 	start := a.p.now()
+	span := a.p.ins.span(stageFuse, start)
 	// Deterministic view order: likelihood products are commutative
 	// but not associative in floating point, so a stable order keeps
 	// fixes bit-identical across runs and worker counts.
@@ -216,11 +227,17 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup) {
 		fix.Pos = res.Pos
 		fix.Confidence = res.Confidence
 	}
-	a.p.fuseHist.ObserveDuration(a.p.now().Sub(start))
+	a.p.fuseHist.ObserveDuration(span.EndAt(a.p.now()))
 	if fix.Err != nil {
 		a.p.c.misses.Add(1)
 	} else {
 		a.p.c.fixes.Add(1)
+	}
+	a.p.ins.fix(fix.Err == nil)
+	// Subscribers see every outcome before the channel send, so a
+	// slow Fixes consumer cannot starve the live position feed.
+	for _, fn := range a.p.fixSubs {
+		fn(fix)
 	}
 	select {
 	case a.p.fixes <- fix:
@@ -259,6 +276,7 @@ func (a *assembler) sweep(now time.Time) int {
 			a.pending.Add(-1)
 			a.done[seq] = now
 			a.p.c.sequencesEvicted.Add(1)
+			a.p.ins.sequenceEvicted("ttl")
 			evicted++
 		}
 	}
@@ -286,9 +304,12 @@ func (a *assembler) capPending() {
 		a.pending.Add(-1)
 		a.done[oldest] = a.p.now()
 		a.p.c.sequencesEvicted.Add(1)
+		a.p.ins.sequenceEvicted("cap")
 	}
 }
 
-// pendingApprox reports how many sequences are mid-assembly; exact
-// once the pipeline is drained, approximate while running.
-func (a *assembler) pendingApprox() int { return int(a.pending.Load()) }
+// pendingSequences reports how many sequences are mid-assembly from
+// the atomic mirror — a properly synchronized read that may lag the
+// assembler's map by one in-flight mutation, and is exact once the
+// pipeline is drained.
+func (a *assembler) pendingSequences() int { return int(a.pending.Load()) }

@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"time"
+
+	"dwatch/internal/obs"
+)
+
+// Metric names the pipeline exports when a registry is attached.
+// Label conventions: reader= is the deployment reader ID, result=
+// discriminates outcomes inside one flow, stage= (on the shared
+// obs.SpanFamily histograms) is ingest|spectrum|assemble|fuse.
+const (
+	metricReports          = "dwatch_pipeline_reports_total"
+	metricReportsRejected  = "dwatch_pipeline_reports_rejected_total"
+	metricSnapshots        = "dwatch_pipeline_snapshots_total"
+	metricSnapshotsDropped = "dwatch_pipeline_snapshots_dropped_total"
+	metricSpectra          = "dwatch_pipeline_spectra_total"
+	metricBaselines        = "dwatch_pipeline_baselines_confirmed_total"
+	metricSequences        = "dwatch_pipeline_sequences_total"
+	metricLateReports      = "dwatch_pipeline_late_reports_total"
+	metricFixes            = "dwatch_pipeline_fixes_total"
+	metricQueueDepth       = "dwatch_pipeline_queue_depth"
+	metricPendingSeqs      = "dwatch_pipeline_pending_sequences"
+)
+
+// Stage labels on the obs.SpanFamily duration histograms, in flow
+// order. The assemble span measures first-report-to-complete per
+// sequence, not goroutine work, so it reflects cross-reader skew.
+const (
+	stageIngest   = "ingest"
+	stageSpectrum = "spectrum"
+	stageAssemble = "assemble"
+	stageFuse     = "fuse"
+)
+
+// instruments mirrors the pipeline's atomic counters onto an
+// obs.Registry so a live deployment exposes them incrementally instead
+// of only via end-of-run Stats dumps. All labeled children are
+// resolved once at construction (the reader set is fixed for the
+// pipeline's lifetime), so steady-state increments are single atomics
+// with no registry locking. A nil *instruments (no registry attached)
+// makes every method a no-op — the uninstrumented hot path pays one
+// nil check per site.
+type instruments struct {
+	reg *obs.Registry
+
+	reports   map[string]*obs.Counter // by reader ID
+	rejected  *obs.Counter
+	snaps     *obs.Counter
+	snapsDrop *obs.Counter
+
+	spectraOK     *obs.Counter
+	spectraFailed *obs.Counter
+
+	baselines    map[string]*obs.Counter // by reader ID
+	seqAssembled *obs.Counter
+	seqEvicted   *obs.Counter
+	late         *obs.Counter
+	fixOK        *obs.Counter
+	fixMiss      *obs.Counter
+}
+
+// newInstruments registers the pipeline's metric families and gauges.
+// Called from New after the assembler exists; returns nil when no
+// registry is attached.
+func newInstruments(reg *obs.Registry, p *Pipeline) *instruments {
+	if reg == nil {
+		return nil
+	}
+	in := &instruments{
+		reg:       reg,
+		reports:   map[string]*obs.Counter{},
+		baselines: map[string]*obs.Counter{},
+	}
+	reports := reg.CounterVec(metricReports, "Reports accepted from known readers.", "reader")
+	baselines := reg.CounterVec(metricBaselines, "Baseline confirmations per reader.", "reader")
+	for id := range p.cfg.Arrays {
+		in.reports[id] = reports.With(id)
+		in.baselines[id] = baselines.With(id)
+	}
+	in.rejected = reg.Counter(metricReportsRejected, "Reports rejected (unknown reader).")
+	in.snaps = reg.Counter(metricSnapshots, "Per-tag snapshot jobs enqueued.")
+	in.snapsDrop = reg.Counter(metricSnapshotsDropped, "Snapshot jobs shed by the drop-oldest overload policy.")
+	spectra := reg.CounterVec(metricSpectra, "P-MUSIC spectrum computations by result.", "result")
+	in.spectraOK = spectra.With("ok")
+	in.spectraFailed = spectra.With("failed")
+	sequences := reg.CounterVec(metricSequences, "Acquisition sequences by outcome.", "outcome")
+	in.seqAssembled = sequences.With("assembled")
+	in.seqEvicted = sequences.With("evicted")
+	in.late = reg.Counter(metricLateReports, "Reports for already-fused or evicted sequences.")
+	fixes := reg.CounterVec(metricFixes, "Fusion outcomes.", "result")
+	in.fixOK = fixes.With("fix")
+	in.fixMiss = fixes.With("miss")
+	reg.GaugeFunc(metricQueueDepth, "Instantaneous snapshot-queue occupancy.",
+		func() float64 { return float64(len(p.jobs)) })
+	reg.GaugeFunc(metricPendingSeqs, "Sequences currently mid-assembly.",
+		func() float64 { return float64(p.asm.pendingSequences()) })
+	return in
+}
+
+// span starts a stage span on the shared obs.SpanFamily histogram. On
+// a nil receiver the span still measures (EndAt returns the elapsed
+// time) but records nothing, so call sites can reuse its duration for
+// the legacy Stats digests unconditionally.
+func (in *instruments) span(stage string, start time.Time) obs.Span {
+	if in == nil {
+		return (*obs.Registry)(nil).StartSpanAt(stage, start)
+	}
+	return in.reg.StartSpanAt(stage, start)
+}
+
+func (in *instruments) reportAccepted(reader string) {
+	if in == nil {
+		return
+	}
+	in.reports[reader].Inc()
+}
+
+func (in *instruments) reportRejected() {
+	if in == nil {
+		return
+	}
+	in.rejected.Inc()
+}
+
+func (in *instruments) snapshotEnqueued() {
+	if in == nil {
+		return
+	}
+	in.snaps.Inc()
+}
+
+func (in *instruments) snapshotDropped() {
+	if in == nil {
+		return
+	}
+	in.snapsDrop.Inc()
+}
+
+func (in *instruments) spectrum(ok bool) {
+	if in == nil {
+		return
+	}
+	if ok {
+		in.spectraOK.Inc()
+	} else {
+		in.spectraFailed.Inc()
+	}
+}
+
+func (in *instruments) baselineConfirmed(reader string) {
+	if in == nil {
+		return
+	}
+	in.baselines[reader].Inc()
+}
+
+func (in *instruments) sequenceAssembled() {
+	if in == nil {
+		return
+	}
+	in.seqAssembled.Inc()
+}
+
+// sequenceEvicted counts an eviction and records the cause (ttl or
+// cap) as an event — the distinction Stats folds into one counter.
+func (in *instruments) sequenceEvicted(cause string) {
+	if in == nil {
+		return
+	}
+	in.seqEvicted.Inc()
+	in.reg.Event("sequence_evicted_" + cause)
+}
+
+func (in *instruments) lateReport() {
+	if in == nil {
+		return
+	}
+	in.late.Inc()
+}
+
+func (in *instruments) fix(ok bool) {
+	if in == nil {
+		return
+	}
+	if ok {
+		in.fixOK.Inc()
+	} else {
+		in.fixMiss.Inc()
+	}
+}

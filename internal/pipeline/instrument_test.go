@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"dwatch/internal/obs"
+	"dwatch/internal/rf"
+	"dwatch/internal/sim"
+)
+
+// instrumentedRun pushes one simulated session through a pipeline with
+// a registry attached and returns the pipeline, its registry, and the
+// fixes.
+func instrumentedRun(t *testing.T, workers int) (*Pipeline, *obs.Registry, []Fix) {
+	t.Helper()
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := genReports(t, sc, 3, 6)
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	reg := obs.NewRegistry()
+	p, err := New(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	wait := drainFixes(p)
+	for _, rep := range reports {
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	return p, reg, wait()
+}
+
+// TestInstrumentsMirrorStats: after a drained run, every registry
+// counter must agree exactly with the Stats snapshot — the two views
+// are fed from the same sites.
+func TestInstrumentsMirrorStats(t *testing.T) {
+	p, reg, fixes := instrumentedRun(t, 4)
+	if len(fixes) == 0 {
+		t.Fatal("no fixes produced")
+	}
+	st := p.Stats()
+	s := reg.Snapshot()
+
+	var reports float64
+	for id, v := range s {
+		if len(id) > len(metricReports) && id[:len(metricReports)+1] == metricReports+"{" {
+			reports += v
+		}
+	}
+	if reports != float64(st.ReportsIn) {
+		t.Fatalf("reports metric = %v, stats = %d", reports, st.ReportsIn)
+	}
+	checks := map[string]float64{
+		metricSnapshots:                           float64(st.SnapshotsIn),
+		metricSpectra + `{result="ok"}`:           float64(st.SpectraComputed),
+		metricSpectra + `{result="failed"}`:       float64(st.SpectraFailed),
+		metricSequences + `{outcome="assembled"}`: float64(st.SequencesAssembled),
+		metricFixes + `{result="fix"}`:            float64(st.Fixes),
+		metricFixes + `{result="miss"}`:           float64(st.Misses),
+		metricQueueDepth:                          0,
+		metricPendingSeqs:                         0,
+	}
+	for id, want := range checks {
+		if got, ok := s[id]; !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", id, got, ok, want)
+		}
+	}
+	// One baseline confirmation per reader.
+	var baselines float64
+	for id, v := range s {
+		if len(id) > len(metricBaselines) && id[:len(metricBaselines)+1] == metricBaselines+"{" {
+			baselines += v
+		}
+	}
+	if baselines != float64(st.BaselinesConfirmed) {
+		t.Fatalf("baseline metric = %v, stats = %d", baselines, st.BaselinesConfirmed)
+	}
+	// Every stage span family recorded samples.
+	for _, stage := range []string{stageIngest, stageSpectrum, stageAssemble, stageFuse} {
+		id := obs.SpanFamily + `_count{stage="` + stage + `"}`
+		if s[id] == 0 {
+			t.Errorf("stage %q recorded no spans (snapshot %v)", stage, s[id])
+		}
+	}
+	// Spectrum spans and the Stats compute digest are the same
+	// measurements.
+	if got := s[obs.SpanFamily+`_count{stage="spectrum"}`]; got != float64(st.ComputeLatency.Count) {
+		t.Fatalf("spectrum spans = %v, compute digest count = %d", got, st.ComputeLatency.Count)
+	}
+}
+
+// TestUninstrumentedUnchanged: without a registry the pipeline still
+// runs and Stats still counts — the nil-instrument path.
+func TestUninstrumentedUnchanged(t *testing.T) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := genReports(t, sc, 2, 6)
+	with := pipelineFixes(t, sc, reports, 2)
+	if len(with) == 0 {
+		t.Fatal("no fixes")
+	}
+}
+
+// TestSubscribeFixes: subscribers observe every outcome, in assembler
+// order, before the Fixes channel consumer needs to keep up.
+func TestSubscribeFixes(t *testing.T) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := genReports(t, sc, 3, 6)
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	p, err := New(Config{Arrays: arrays, Grid: sc.Grid, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []Fix
+	p.SubscribeFixes(func(f Fix) {
+		mu.Lock()
+		seen = append(seen, f)
+		mu.Unlock()
+	})
+	p.Start()
+	wait := drainFixes(p)
+	for _, rep := range reports {
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	fromChan := wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(fromChan) {
+		t.Fatalf("subscriber saw %d outcomes, channel delivered %d", len(seen), len(fromChan))
+	}
+	if len(seen) == 0 {
+		t.Fatal("no outcomes at all")
+	}
+}
+
+// TestSubscribeAfterStartPanics: the subscription list is read
+// lock-free from the assembler, so late registration must refuse.
+func TestSubscribeAfterStartPanics(t *testing.T) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	p, err := New(Config{Arrays: arrays, Grid: sc.Grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubscribeFixes after Start did not panic")
+		}
+	}()
+	p.SubscribeFixes(func(Fix) {})
+}
+
+// TestStatsRaceWithAssembler hammers Stats (and the registry's gauge
+// funcs, which read the same assembler mirror) from several goroutines
+// while a full session streams through the pipeline. Run under
+// -race this is the proof that PendingSequences and friends are
+// properly synchronized against the assembler.
+func TestStatsRaceWithAssembler(t *testing.T) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := genReports(t, sc, 3, 6)
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	reg := obs.NewRegistry()
+	p, err := New(Config{Arrays: arrays, Grid: sc.Grid, Workers: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	wait := drainFixes(p)
+
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rd.Add(1)
+		go func() {
+			defer rd.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := p.Stats()
+				if st.PendingSequences < 0 {
+					t.Error("negative pending sequences")
+					return
+				}
+				reg.Snapshot() // exercises the gauge funcs too
+			}
+		}()
+	}
+	for _, rep := range reports {
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	close(stop)
+	rd.Wait()
+	wait()
+	if st := p.Stats(); st.PendingSequences != 0 {
+		t.Fatalf("pending sequences after drain = %d, want 0", st.PendingSequences)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"dwatch/internal/geom"
 	"dwatch/internal/llrp"
 	"dwatch/internal/loc"
+	"dwatch/internal/obs"
 	"dwatch/internal/pmusic"
 	"dwatch/internal/rf"
 	"dwatch/internal/stats"
@@ -120,6 +121,15 @@ type Config struct {
 	// after a reader's baseline is confirmed, with the number of tags
 	// whose spectra fed the confirmation round.
 	OnBaseline func(readerID string, tags int)
+
+	// Obs, when set, attaches the pipeline to a metrics registry: the
+	// flow counters feed labeled counter families incrementally, queue
+	// depth and pending sequences become live gauges, and each stage
+	// (ingest, spectrum, assemble, fuse) records an obs span — the
+	// seam the internal/serve observability plane scrapes while the
+	// pipeline runs. Nil disables instrumentation at zero cost beyond
+	// one nil check per counter site.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +226,12 @@ type Pipeline struct {
 	repIdx uint64
 
 	c counters
+	// ins mirrors the counters onto the attached obs.Registry (nil
+	// when Config.Obs is unset — every method is then a no-op).
+	ins *instruments
+	// fixSubs are invoked from the assembler goroutine for every fix;
+	// registration is only allowed before Start.
+	fixSubs []func(Fix)
 
 	decodeHist *stats.Histogram
 	fuseHist   *stats.Histogram
@@ -263,7 +279,20 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 	}
 	p.asm = newAssembler(p, fuser)
+	p.ins = newInstruments(cfg.Obs, p)
 	return p, nil
+}
+
+// SubscribeFixes registers fn to be invoked for every fusion outcome
+// (fix or miss) before it is placed on the Fixes channel — the seam
+// the observability plane uses for live position streaming without
+// competing with the Fixes consumer. Callbacks run on the assembler
+// goroutine and must not block; they may not be added after Start.
+func (p *Pipeline) SubscribeFixes(fn func(Fix)) {
+	if p.started.Load() {
+		panic("pipeline: SubscribeFixes after Start")
+	}
+	p.fixSubs = append(p.fixSubs, fn)
 }
 
 // Start launches the worker pool and the assembler. It may be called
@@ -301,9 +330,11 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 	arr := p.cfg.Arrays[rep.ReaderID]
 	if arr == nil {
 		p.c.reportsRejected.Add(1)
+		p.ins.reportRejected()
 		return fmt.Errorf("%w %q", ErrUnknownReader, rep.ReaderID)
 	}
 	p.c.reportsIn.Add(1)
+	p.ins.reportAccepted(rep.ReaderID)
 
 	p.mu.Lock()
 	round := p.rounds[rep.ReaderID]
@@ -318,6 +349,10 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 		return p.deliver(result{reader: rep.ReaderID, round: round, seq: rep.Seq, repIdx: idx})
 	}
 	now := p.now()
+	// The ingest span covers validation-to-enqueued, including any
+	// backpressure wait under the Block policy — that wait is the
+	// signal the span exists to surface.
+	sp := p.ins.span(stageIngest, now)
 	for _, tr := range rep.Reports {
 		j := job{
 			reader: rep.ReaderID,
@@ -334,6 +369,10 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 			return err
 		}
 		p.c.snapshotsIn.Add(1)
+		p.ins.snapshotEnqueued()
+	}
+	if p.ins != nil {
+		sp.EndAt(p.now())
 	}
 	return nil
 }
@@ -364,6 +403,7 @@ func (p *Pipeline) enqueue(j job) error {
 		select {
 		case old := <-p.jobs:
 			p.c.snapshotsDropped.Add(1)
+			p.ins.snapshotDropped()
 			if err := p.deliver(result{
 				reader: old.reader, round: old.round, seq: old.seq,
 				repIdx: old.repIdx, expect: old.expect, epc: old.epc,
@@ -394,13 +434,16 @@ func (p *Pipeline) worker() {
 	ws := map[*rf.Array]*pmusic.Workspace{}
 	for j := range p.jobs {
 		start := p.now()
+		span := p.ins.span(stageSpectrum, start)
 		sp, err := p.computeSnapshot(ws, j)
-		p.decodeHist.ObserveDuration(p.now().Sub(start))
+		p.decodeHist.ObserveDuration(span.EndAt(p.now()))
 		if err != nil {
 			p.c.spectraFailed.Add(1)
+			p.ins.spectrum(false)
 			sp = nil
 		} else {
 			p.c.spectraComputed.Add(1)
+			p.ins.spectrum(true)
 		}
 		r := result{
 			reader: j.reader, round: j.round, seq: j.seq,

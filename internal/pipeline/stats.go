@@ -47,7 +47,8 @@ type Stats struct {
 
 	// QueueDepth is the instantaneous snapshot-queue occupancy.
 	QueueDepth int
-	// PendingSequences is how many sequences are mid-assembly.
+	// PendingSequences is how many sequences are mid-assembly,
+	// sampled from the assembler's atomic mirror of its group table.
 	PendingSequences int
 
 	// ComputeLatency digests per-snapshot decode+P-MUSIC time (s).
@@ -57,8 +58,13 @@ type Stats struct {
 }
 
 // Stats snapshots the pipeline counters. Safe to call at any time from
-// any goroutine; PendingSequences is read without synchronization
-// against the assembler and is therefore approximate while running.
+// any goroutine: every field is backed by an atomic or a lock — the
+// assembler publishes its pending-sequence count through an atomic
+// mirror, so there is no unsynchronized read of assembler state
+// (TestStatsRaceWithAssembler drives this under the race detector).
+// The snapshot is not a consistent cut across stages: counters are
+// sampled independently while work is in flight, and only settle into
+// a mutually consistent view after Drain.
 func (p *Pipeline) Stats() Stats {
 	return Stats{
 		ReportsIn:          p.c.reportsIn.Load(),
@@ -74,7 +80,7 @@ func (p *Pipeline) Stats() Stats {
 		Fixes:              p.c.fixes.Load(),
 		Misses:             p.c.misses.Load(),
 		QueueDepth:         len(p.jobs),
-		PendingSequences:   p.asm.pendingApprox(),
+		PendingSequences:   p.asm.pendingSequences(),
 		ComputeLatency:     p.decodeHist.Summary(),
 		FuseLatency:        p.fuseHist.Summary(),
 	}

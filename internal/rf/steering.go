@@ -81,10 +81,10 @@ func (t *SteeringTable) Weights(i int) []complex128 {
 // distinct Array instances with equal geometry share one table) plus
 // the grid and subarray sizes.
 type tableKey struct {
-	origin, axis     geom.Point
-	elements         int
-	spacing, lambda  float64
-	gridSize, sub    int
+	origin, axis    geom.Point
+	elements        int
+	spacing, lambda float64
+	gridSize, sub   int
 }
 
 var tableCache sync.Map // tableKey → *SteeringTable

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Position is one localization fix as the API exposes it: flattened
+// coordinates plus provenance, JSON-ready for both the latest-fix
+// endpoint and the SSE stream.
+type Position struct {
+	Env        string    `json:"env"`
+	Seq        uint32    `json:"seq"`
+	X          float64   `json:"x"`
+	Y          float64   `json:"y"`
+	Confidence float64   `json:"confidence"`
+	Views      int       `json:"views"`
+	Time       time.Time `json:"time"`
+}
+
+// Broker fans localization fixes out to API consumers: it retains the
+// latest fix per environment (the /api/v1/positions GET body) and
+// feeds every live SSE subscriber. Publishers are never blocked — a
+// slow subscriber loses its oldest undelivered fix, not the stream.
+type Broker struct {
+	mu     sync.Mutex
+	latest map[string]Position
+	subs   map[int]chan Position
+	next   int
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{latest: map[string]Position{}, subs: map[int]chan Position{}}
+}
+
+// subBuffer is the per-subscriber channel depth. Fix rates are ~10/s
+// per environment (the paper's 0.1 s acquisition period), so a handful
+// of buffered fixes rides out any realistic write stall.
+const subBuffer = 16
+
+// Publish records p as its environment's latest fix and offers it to
+// every subscriber. Never blocks: a full subscriber drops its oldest
+// buffered fix so the newest evidence always gets through.
+func (b *Broker) Publish(p Position) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.latest[p.Env] = p
+	for _, ch := range b.subs {
+		for {
+			select {
+			case ch <- p:
+			default:
+				select {
+				case <-ch: // shed the stalest fix and retry
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Latest returns the most recent fix per environment, sorted by
+// environment name for deterministic output.
+func (b *Broker) Latest() []Position {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	out := make([]Position, 0, len(b.latest))
+	for _, p := range b.latest {
+		out = append(out, p)
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Env < out[j].Env })
+	return out
+}
+
+// Subscribe registers a live fix feed. The returned cancel func must
+// be called when the consumer goes away; after cancel the channel is
+// closed.
+func (b *Broker) Subscribe() (<-chan Position, func()) {
+	ch := make(chan Position, subBuffer)
+	b.mu.Lock()
+	id := b.next
+	b.next++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}

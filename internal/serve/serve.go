@@ -1,0 +1,255 @@
+// Package serve is the observability plane of the D-Watch daemons: one
+// HTTP mux exposing metrics, health, live positions, and profiling for
+// a running deployment.
+//
+// Endpoints:
+//
+//	/metrics           Prometheus text exposition (obs.Registry)
+//	/healthz           liveness: 200 as long as the process serves
+//	/readyz            readiness: 503 until the Ready hook passes
+//	                   (dwatchd: every reader's baseline confirmed)
+//	/api/v1/stats      JSON snapshot from the Stats hook
+//	                   (dwatchd/dwatch-replay: pipeline.Stats)
+//	/api/v1/positions  latest fix per environment (JSON), or a live
+//	                   Server-Sent-Events stream of new fixes when the
+//	                   client asks for text/event-stream (or ?stream=1)
+//	/debug/pprof/*     net/http/pprof, absorbed from the old -pprof flag
+//
+// The server is deliberately decoupled from internal/pipeline: it sees
+// a registry, a couple of hooks, and a position broker, so any future
+// subsystem (sharded fusers, multi-site aggregators) can mount the
+// same plane.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+
+	"dwatch/internal/obs"
+)
+
+// Options configures a Server. Every field is optional: endpoints
+// whose hook is absent degrade gracefully (404 for positions/stats,
+// empty exposition, always-ready readiness).
+type Options struct {
+	// Registry backs /metrics; the server also registers its own
+	// request counters on it when present.
+	Registry *obs.Registry
+	// Stats supplies the /api/v1/stats payload (typically
+	// pipeline.Stats()); it is re-invoked per request.
+	Stats func() any
+	// Ready gates /readyz: nil error (or a nil hook) means ready.
+	Ready func() error
+	// Broker feeds /api/v1/positions.
+	Broker *Broker
+	// Logf, when set, receives serve-plane log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server wraps an http.Server with the observability mux and a
+// graceful lifecycle: New → Start → Shutdown.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	requests *obs.CounterVec
+
+	mu sync.Mutex
+	hs *http.Server
+	ln net.Listener
+}
+
+// New builds the mux. The server is inert until Start (tests can drive
+// Handler through httptest instead).
+func New(opts Options) *Server {
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.requests = opts.Registry.CounterVec("dwatch_http_requests_total",
+		"Observability-plane HTTP requests by endpoint.", "path")
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/api/v1/positions", s.handlePositions)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the full observability mux (request counting
+// included) — the seam httptest drives.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.With(endpointLabel(r.URL.Path)).Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// endpointLabel collapses request paths onto the known endpoint set so
+// the request counter's cardinality stays bounded no matter what URLs
+// clients probe.
+func endpointLabel(path string) string {
+	switch {
+	case path == "/healthz", path == "/readyz", path == "/metrics",
+		path == "/api/v1/stats", path == "/api/v1/positions":
+		return path
+	case strings.HasPrefix(path, "/debug/pprof/"):
+		return "/debug/pprof/"
+	default:
+		return "other"
+	}
+}
+
+// Start listens on addr and serves in a background goroutine,
+// returning the bound address (so addr may use port 0).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.hs = ln, hs
+	s.mu.Unlock()
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.logf("serve: %v", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully stops the server, waiting for in-flight requests
+// (SSE streams are bounded by the context deadline).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.hs
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.opts.Ready != nil {
+		if err := s.opts.Ready(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := s.opts.Registry.WritePrometheus(w); err != nil {
+		s.logf("metrics: %v", err)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Stats == nil {
+		http.Error(w, "stats unavailable", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.opts.Stats())
+}
+
+func (s *Server) handlePositions(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Broker == nil {
+		http.Error(w, "positions unavailable", http.StatusNotFound)
+		return
+	}
+	if wantsEventStream(r) {
+		s.streamPositions(w, r)
+		return
+	}
+	writeJSON(w, struct {
+		Positions []Position `json:"positions"`
+	}{s.opts.Broker.Latest()})
+}
+
+func wantsEventStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// streamPositions serves the SSE feed: each environment's current fix
+// first (so a late joiner renders immediately), then every new fix as
+// it is published, until the client hangs up or the server shuts down.
+func (s *Server) streamPositions(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := s.opts.Broker.Subscribe()
+	defer cancel()
+	for _, p := range s.opts.Broker.Latest() {
+		if err := writeEvent(w, p); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := writeEvent(w, p); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func writeEvent(w http.ResponseWriter, p Position) error {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: position\ndata: %s\n\n", data)
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode failure here means the client hung up mid-body;
+	// nothing recoverable.
+	_ = enc.Encode(v)
+}

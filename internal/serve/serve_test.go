@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dwatch/internal/obs"
+)
+
+func TestHealthz(t *testing.T) {
+	s := New(Options{})
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestReadyzFlips: 503 while the Ready hook errors, 200 once it
+// passes — the baseline-confirmation gate as dwatchd wires it.
+func TestReadyzFlips(t *testing.T) {
+	ready := false
+	s := New(Options{Ready: func() error {
+		if !ready {
+			return errors.New("baseline: 0/2 readers confirmed")
+		}
+		return nil
+	}})
+	h := s.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready readyz = %d, want 503", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "0/2 readers") {
+		t.Fatalf("readyz body %q lacks reason", rr.Body.String())
+	}
+
+	ready = true
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ready readyz = %d, want 200", rr.Code)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("dwatch_test_total", "A test counter.").Add(3)
+	s := New(Options{Registry: reg})
+	h := s.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q, want %q", ct, obs.ContentType)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# TYPE dwatch_test_total counter",
+		"dwatch_test_total 3",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Fatalf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+
+	// The serve plane counts its own requests, including the in-flight
+	// scrape, so the second scrape reports both.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), `dwatch_http_requests_total{path="/metrics"} 2`) {
+		t.Fatalf("request counter missing:\n%s", rr.Body.String())
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	type fakeStats struct {
+		ReportsIn uint64
+		Fixes     uint64
+	}
+	s := New(Options{Stats: func() any { return fakeStats{ReportsIn: 12, Fixes: 3} }})
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got fakeStats
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ReportsIn != 12 || got.Fixes != 3 {
+		t.Fatalf("stats round-trip = %+v", got)
+	}
+
+	// No hook: 404, not a panic.
+	none := New(Options{})
+	rr = httptest.NewRecorder()
+	none.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("hookless stats = %d, want 404", rr.Code)
+	}
+}
+
+func TestPositionsJSON(t *testing.T) {
+	b := NewBroker()
+	b.Publish(Position{Env: "hall", Seq: 7, X: 1.5, Y: 2.5, Confidence: 40, Views: 2})
+	b.Publish(Position{Env: "hall", Seq: 8, X: 1.6, Y: 2.4, Confidence: 42, Views: 2})
+	b.Publish(Position{Env: "lab", Seq: 3, X: 0.5, Y: 0.5, Confidence: 10, Views: 2})
+	s := New(Options{Broker: b})
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/positions", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("positions = %d", rr.Code)
+	}
+	var got struct {
+		Positions []Position `json:"positions"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	// Latest per environment, env-sorted.
+	if len(got.Positions) != 2 || got.Positions[0].Env != "hall" || got.Positions[0].Seq != 8 ||
+		got.Positions[1].Env != "lab" {
+		t.Fatalf("positions = %+v", got.Positions)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s := New(Options{})
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", rr.Code)
+	}
+}
+
+// readSSE reads Server-Sent Events off a stream until n "position"
+// events arrived or the deadline passed.
+func readSSE(t *testing.T, body *bufio.Reader, n int, deadline time.Duration) []Position {
+	t.Helper()
+	type res struct {
+		ps  []Position
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		var out []Position
+		var data string
+		for len(out) < n {
+			line, err := body.ReadString('\n')
+			if err != nil {
+				ch <- res{out, err}
+				return
+			}
+			line = strings.TrimRight(line, "\n")
+			switch {
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && data != "":
+				var p Position
+				if err := json.Unmarshal([]byte(data), &p); err != nil {
+					ch <- res{out, err}
+					return
+				}
+				out = append(out, p)
+				data = ""
+			}
+		}
+		ch <- res{out, nil}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("SSE read: %v (got %d events)", r.err, len(r.ps))
+		}
+		return r.ps
+	case <-time.After(deadline):
+		t.Fatalf("SSE: timed out waiting for %d events", n)
+		return nil
+	}
+}
+
+// TestPositionsSSE: a live subscriber receives the backlog (latest per
+// env) and then every newly published fix.
+func TestPositionsSSE(t *testing.T) {
+	b := NewBroker()
+	b.Publish(Position{Env: "hall", Seq: 1, X: 1, Y: 1})
+	s := New(Options{Broker: b})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/positions", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	rd := bufio.NewReader(resp.Body)
+
+	// Backlog first.
+	if got := readSSE(t, rd, 1, 5*time.Second); got[0].Seq != 1 {
+		t.Fatalf("backlog event = %+v", got[0])
+	}
+	// Then live fixes. Publish from another goroutine with a delay to
+	// prove the stream stays open.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		b.Publish(Position{Env: "hall", Seq: 2, X: 2, Y: 2})
+		b.Publish(Position{Env: "hall", Seq: 3, X: 3, Y: 3})
+	}()
+	got := readSSE(t, rd, 2, 5*time.Second)
+	if got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("live events = %+v", got)
+	}
+}
+
+func TestBrokerSlowSubscriberKeepsNewest(t *testing.T) {
+	b := NewBroker()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	// Overfill: the buffer holds subBuffer fixes; the oldest get shed.
+	n := subBuffer + 8
+	for i := 1; i <= n; i++ {
+		b.Publish(Position{Env: "hall", Seq: uint32(i)})
+	}
+	var last Position
+	for i := 0; i < subBuffer; i++ {
+		last = <-ch
+	}
+	if last.Seq != uint32(n) {
+		t.Fatalf("last buffered seq = %d, want newest %d", last.Seq, n)
+	}
+	if lat := b.Latest(); len(lat) != 1 || lat[0].Seq != uint32(n) {
+		t.Fatalf("latest = %+v", lat)
+	}
+}
+
+func TestStartShutdown(t *testing.T) {
+	s := New(Options{})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over TCP = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}

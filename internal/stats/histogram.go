@@ -104,6 +104,32 @@ func (h *Histogram) Summary() HistogramSummary {
 	return s
 }
 
+// Buckets is a raw dump of a Histogram's state: the immutable bucket
+// upper edges and the per-bucket sample counts, plus the running sum
+// and total. Counts has len(Bounds)+1 entries — the last is the
+// implicit overflow bucket above the final bound. This is the export
+// shape Prometheus-style exposition writers need (cumulate the counts,
+// append a +Inf bucket).
+type Buckets struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Buckets snapshots the histogram's buckets under the lock. The
+// returned slices are copies and safe to retain.
+func (h *Histogram) Buckets() Buckets {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Buckets{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
 // Quantile estimates the q-th quantile (0 ≤ q ≤ 1).
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()

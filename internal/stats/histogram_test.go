@@ -75,3 +75,31 @@ func TestHistogramBadBoundsPanics(t *testing.T) {
 	}()
 	NewHistogram([]float64{1, 1})
 }
+
+// TestHistogramBuckets checks the raw export used by the Prometheus
+// exposition writer: copied slices, per-bucket (non-cumulative)
+// counts, and the trailing overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	if len(b.Bounds) != 3 || len(b.Counts) != 4 {
+		t.Fatalf("shape = %d bounds / %d counts", len(b.Bounds), len(b.Counts))
+	}
+	want := []uint64{1, 2, 1, 1}
+	for i, c := range want {
+		if b.Counts[i] != c {
+			t.Fatalf("counts = %v, want %v", b.Counts, want)
+		}
+	}
+	if b.Count != 5 || b.Sum != 106.5 {
+		t.Fatalf("count/sum = %d/%v, want 5/106.5", b.Count, b.Sum)
+	}
+	// The export is a snapshot: mutating it must not touch the histogram.
+	b.Counts[0] = 99
+	if h.Buckets().Counts[0] != 1 {
+		t.Fatal("Buckets returned live state")
+	}
+}

@@ -1,0 +1,89 @@
+#!/bin/sh
+# serve-smoke: boot dwatchd -simulate with the observability plane and
+# verify the endpoints a monitoring stack scrapes. Exercises the real
+# binary over real TCP — the curl-level counterpart to the httptest
+# coverage in internal/serve.
+set -eu
+
+HTTP_ADDR="${HTTP_ADDR:-127.0.0.1:18080}"
+LLRP_ADDR="${LLRP_ADDR:-127.0.0.1:15084}"
+BIN="$(mktemp -d)/dwatchd"
+LOG="$(mktemp)"
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 5 "$1"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -q -T 5 -O - "$1"
+    else
+        echo "serve-smoke: neither curl nor wget available" >&2
+        exit 1
+    fi
+}
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$BIN" "$LOG"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building dwatchd"
+go build -o "$BIN" ./cmd/dwatchd
+
+echo "== starting dwatchd -simulate -http $HTTP_ADDR"
+"$BIN" -listen "$LLRP_ADDR" -env table -simulate -rounds 4 -http "$HTTP_ADDR" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the plane to come up.
+i=0
+until fetch "http://$HTTP_ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "FAIL: plane never served /healthz" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "FAIL: dwatchd exited early" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "ok: /healthz"
+
+# Metrics must be valid Prometheus exposition with pipeline families.
+METRICS="$(fetch "http://$HTTP_ADDR/metrics")"
+for want in \
+    "# TYPE dwatch_pipeline_reports_total counter" \
+    "# TYPE dwatch_stage_duration_seconds histogram" \
+    "# TYPE dwatch_http_requests_total counter"; do
+    if ! printf '%s\n' "$METRICS" | grep -Fq "$want"; then
+        echo "FAIL: /metrics missing: $want" >&2
+        exit 1
+    fi
+done
+echo "ok: /metrics"
+
+# Stats JSON must carry the pipeline snapshot.
+STATS="$(fetch "http://$HTTP_ADDR/api/v1/stats")"
+if ! printf '%s\n' "$STATS" | grep -q '"ReportsIn"'; then
+    echo "FAIL: /api/v1/stats lacks ReportsIn: $STATS" >&2
+    exit 1
+fi
+echo "ok: /api/v1/stats"
+
+# Readiness flips once the simulated readers confirm their baselines.
+i=0
+until fetch "http://$HTTP_ADDR/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "FAIL: /readyz never turned ready" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "ok: /readyz"
+
+echo "serve-smoke: PASS"
