@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-figures check serve-smoke clean
+.PHONY: all build fmt vet test race chaos bench bench-figures check serve-smoke clean
 
 all: check
 
@@ -23,8 +23,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# -short here skips the chaos e2e, which gets its own race-enabled
+# target below — no point running the slowest test twice per check.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
+
+# The fault-tolerance gate: kill and restart a reader mid-run over real
+# TCP with injected link faults, under the race detector. Degraded
+# fixes must flow during the outage and post-recovery fixes must be
+# bit-identical to a fault-free run.
+chaos:
+	$(GO) test -race -run TestChaosEndToEnd ./internal/session/
 
 # Hot-path micro-benchmarks with fixed iteration counts so successive
 # runs are benchstat-comparable; output lands in BENCH_hotpath.json for
@@ -38,7 +47,7 @@ bench:
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
-check: fmt vet build test race
+check: fmt vet build test race chaos
 
 # Boots dwatchd -simulate with the observability plane and curls the
 # endpoints a monitoring stack would: liveness, metrics, live stats.

@@ -564,7 +564,8 @@ func BenchmarkPipelineThroughputInstrumented(b *testing.B) {
 func runPipelineThroughput(b *testing.B, sc *sim.Scenario, arrays map[string]*rf.Array, reports []*llrp.ROAccessReport, spectra, workers int, reg *obs.Registry) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, err := pipeline.New(pipeline.Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, Obs: reg})
+		p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
+			pipeline.WithWorkers(workers), pipeline.WithObs(reg))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -66,13 +66,11 @@ func main() {
 		reg = obs.NewRegistry()
 		broker = serve.NewBroker()
 	}
-	p, err := pipeline.New(pipeline.Config{
-		Arrays:  arrays,
-		Grid:    sc.Grid,
-		Workers: *workers,
-		Fuser:   dwatch.Config{DropFloor: *dropFloor},
-		Obs:     reg,
-	})
+	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
+		pipeline.WithWorkers(*workers),
+		pipeline.WithFuser(dwatch.Config{DropFloor: *dropFloor}),
+		pipeline.WithObs(reg),
+	)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,21 +84,22 @@ func main() {
 				Env: sc.Name, Seq: fix.Seq,
 				X: fix.Pos.X, Y: fix.Pos.Y,
 				Confidence: fix.Confidence, Views: fix.Views,
+				Readers: fix.Readers, Degraded: fix.Degraded,
 				Time: time.Now(),
 			})
 		})
-		plane = serve.New(serve.Options{
-			Registry: reg,
-			Broker:   broker,
-			Stats:    func() any { return p.Stats() },
-			Ready: func() error {
+		plane = serve.New(
+			serve.WithRegistry(reg),
+			serve.WithBroker(broker),
+			serve.WithStats(func() any { return p.Stats() }),
+			serve.WithReady(func() error {
 				if st := p.Stats(); st.BaselinesConfirmed < uint64(len(arrays)) {
 					return fmt.Errorf("baseline: %d/%d readers confirmed", st.BaselinesConfirmed, len(arrays))
 				}
 				return nil
-			},
-			Logf: log.Printf,
-		})
+			}),
+			serve.WithLogf(log.Printf),
+		)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {
 			fatal(err)

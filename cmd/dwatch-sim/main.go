@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("environment %q: %.1f×%.1f m, %d readers × %d antennas, %d tags, %d reflectors\n",
 		sc.Name, cfg.Width, cfg.Depth, len(sc.Readers), cfg.Antennas, sc.Tags.Len(), len(sc.Env.Reflectors))
 
-	s := dwatch.New(sc, dwatch.Config{})
+	s := dwatch.New(sc)
 	fmt.Print("wireless phase calibration... ")
 	if err := s.Calibrate(); err != nil {
 		fatal(err)

@@ -15,11 +15,22 @@
 // connect over real TCP and stream reports from the chosen environment
 // while a target walks through it, demonstrating the full network path.
 //
+// With -dial or -chaos, dwatchd runs in supervised mode instead: it
+// dials its readers (the real LLRP direction) and a session.Supervisor
+// keeps every connection alive with keepalive probes, jittered-backoff
+// reconnects, and per-reader circuit breakers. When a reader dies the
+// pipeline keeps fusing degraded fixes from the remaining live quorum.
+// -chaos demonstrates the whole loop in-process: simulated reader
+// endpoints are dialed through a deterministic fault injector and one
+// of them is killed and restarted mid-run.
+//
 // Usage:
 //
 //	dwatchd [-listen :5084] [-env hall] [-simulate] [-rounds N]
 //	        [-workers N] [-queue N] [-overload block|drop-oldest]
 //	        [-http 127.0.0.1:8080]
+//	dwatchd -dial reader-1=host:port,reader-2=host:port [...]
+//	dwatchd -chaos [-chaos-flap 2s] [-chaos-seed N] [-env table] [...]
 //
 // -http serves the observability plane (opt-in, off by default):
 // Prometheus /metrics, /healthz, /readyz (ready once every reader's
@@ -67,6 +78,10 @@ func main() {
 	seqTTL := flag.Duration("seq-ttl", 30*time.Second, "evict incomplete acquisition sequences after this long")
 	httpAddr := flag.String("http", "", "serve the observability plane (metrics, health, positions, pprof) on this address; empty = disabled")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -http (pprof is part of the observability plane)")
+	dial := flag.String("dial", "", "supervised mode: dial these reader endpoints (id=addr,id=addr) instead of listening")
+	chaos := flag.Bool("chaos", false, "supervised chaos demo: dial in-process simulated readers through a fault injector and flap one mid-run")
+	chaosFlap := flag.Duration("chaos-flap", 2*time.Second, "how long the chaos run keeps the flapped reader down")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos fault injector and reconnect jitter")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -119,6 +134,16 @@ func main() {
 			log.Printf("baseline state restored from %s", *statePath)
 		}
 	}
+	if *chaos || *dial != "" {
+		if err := runSupervised(srv, supervisedOptions{
+			dial: *dial, chaos: *chaos, chaosSeed: *chaosSeed,
+			flap: *chaosFlap, rounds: *rounds, httpAddr: *httpAddr,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	srv.start()
 	addr, err := srv.llrp.Listen(*listen)
 	if err != nil {
@@ -129,13 +154,13 @@ func main() {
 
 	var plane *serve.Server
 	if *httpAddr != "" {
-		plane = serve.New(serve.Options{
-			Registry: srv.obs,
-			Broker:   srv.broker,
-			Stats:    func() any { return srv.pipe.Stats() },
-			Ready:    srv.ready,
-			Logf:     log.Printf,
-		})
+		plane = serve.New(
+			serve.WithRegistry(srv.obs),
+			serve.WithBroker(srv.broker),
+			serve.WithStats(func() any { return srv.pipe.Stats() }),
+			serve.WithReady(srv.ready),
+			serve.WithLogf(log.Printf),
+		)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {
 			log.Fatalf("observability plane: %v", err)
@@ -237,6 +262,10 @@ type server struct {
 	obs    *obs.Registry
 	broker *serve.Broker
 
+	// liveReaders is set in supervised mode before start(): the
+	// assembler's oracle for quorum-degraded fusion when readers die.
+	liveReaders func() []string
+
 	mu        sync.Mutex
 	statePath string
 	recorder  *llrp.RecordWriter
@@ -259,18 +288,21 @@ func (s *server) start() {
 	for _, r := range s.sc.Readers {
 		arrays[r.ID] = r.Array
 	}
-	cfg := pipeline.Config{
-		Arrays:     arrays,
-		Grid:       s.sc.Grid,
-		Workers:    s.opts.workers,
-		QueueSize:  s.opts.queue,
-		Overload:   s.opts.overload,
-		SeqTTL:     s.opts.seqTTL,
-		Restored:   s.restored,
-		OnBaseline: s.onBaseline,
-		Obs:        s.obs,
+	opts := []pipeline.Option{
+		pipeline.WithWorkers(s.opts.workers),
+		pipeline.WithQueueSize(s.opts.queue),
+		pipeline.WithOverload(s.opts.overload),
+		pipeline.WithSeqTTL(s.opts.seqTTL),
+		pipeline.WithOnBaseline(s.onBaseline),
+		pipeline.WithObs(s.obs),
 	}
-	p, err := pipeline.New(cfg)
+	if s.restored != nil {
+		opts = append(opts, pipeline.WithRestored(s.restored))
+	}
+	if s.liveReaders != nil {
+		opts = append(opts, pipeline.WithLiveReaders(s.liveReaders))
+	}
+	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: s.sc.Grid}, opts...)
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}
@@ -284,6 +316,7 @@ func (s *server) start() {
 				Env: s.sc.Name, Seq: fix.Seq,
 				X: fix.Pos.X, Y: fix.Pos.Y,
 				Confidence: fix.Confidence, Views: fix.Views,
+				Readers: fix.Readers, Degraded: fix.Degraded,
 				Time: time.Now(),
 			})
 		})
@@ -301,8 +334,12 @@ func (s *server) start() {
 			s.fixes++
 			n := s.fixes
 			s.mu.Unlock()
-			log.Printf("seq %d: fix #%d (%.2f, %.2f) confidence %.2f",
-				fix.Seq, n, fix.Pos.X, fix.Pos.Y, fix.Confidence)
+			note := ""
+			if fix.Degraded {
+				note = fmt.Sprintf(" [degraded: %d/%d readers]", fix.Views, len(s.sc.Readers))
+			}
+			log.Printf("seq %d: fix #%d (%.2f, %.2f) confidence %.2f%s",
+				fix.Seq, n, fix.Pos.X, fix.Pos.Y, fix.Confidence, note)
 		}
 	}()
 }
@@ -392,7 +429,7 @@ func (s *server) onBaseline(readerID string, tags int) {
 
 // loadState restores a saved baseline. Called before start.
 func (s *server) loadState(r *os.File) error {
-	sys := dwatch.New(s.sc, dwatch.Config{})
+	sys := dwatch.New(s.sc)
 	if err := sys.LoadState(r); err != nil {
 		return err
 	}
@@ -410,7 +447,7 @@ func (s *server) maybeSaveState() {
 	if s.statePath == "" {
 		return
 	}
-	sys := dwatch.New(s.sc, dwatch.Config{})
+	sys := dwatch.New(s.sc)
 	sys.SetFuser(s.pipe.Fuser())
 	f, err := os.Create(s.statePath)
 	if err != nil {

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dwatch/internal/llrp"
+	"dwatch/internal/serve"
+	"dwatch/internal/session"
+	"dwatch/internal/sim"
+)
+
+// supervisedOptions parameterizes the outbound (supervised) mode,
+// where dwatchd dials its readers — the real-LLRP direction — and a
+// session.Supervisor keeps every connection alive through keepalive
+// probing, backoff reconnect, and per-reader circuit breakers.
+type supervisedOptions struct {
+	// dial lists real reader endpoints as "id=addr,id=addr"; empty
+	// with chaos set spawns in-process simulated readers instead.
+	dial      string
+	chaos     bool
+	chaosSeed int64
+	// flap is how long the chaos run keeps one reader dead mid-walk.
+	flap     time.Duration
+	rounds   int
+	httpAddr string
+}
+
+// parseDial turns "reader-1=host:port,reader-2=host:port" into
+// session endpoints.
+func parseDial(s string) ([]session.Endpoint, error) {
+	var eps []session.Endpoint
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -dial entry %q (want id=addr)", part)
+		}
+		eps = append(eps, session.Endpoint{ID: id, Addr: addr})
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("-dial: no endpoints")
+	}
+	return eps, nil
+}
+
+// runSupervised is dwatchd's fault-tolerant mode: a supervisor owns
+// one session per reader, the pipeline fuses from the live quorum when
+// a reader is down, and /readyz exposes per-reader state. With -chaos
+// the readers are in-process simulations dialed through the
+// deterministic fault injector, and one of them is killed and
+// restarted mid-run to demonstrate degraded fixes and recovery.
+func runSupervised(srv *server, opts supervisedOptions) error {
+	sc := srv.sc
+	var eps []session.Endpoint
+	var sims []*sim.ReaderEndpoint
+	if opts.dial != "" {
+		var err error
+		if eps, err = parseDial(opts.dial); err != nil {
+			return err
+		}
+	} else {
+		for _, rd := range sc.Readers {
+			e := sim.NewReaderEndpoint(rd.ID, rd.Array.Elements)
+			addr, err := e.Start("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			defer e.Stop()
+			sims = append(sims, e)
+			eps = append(eps, session.Endpoint{ID: rd.ID, Addr: addr.String()})
+			log.Printf("simulated reader %s listening on %s", rd.ID, addr)
+		}
+	}
+
+	sopts := []session.Option{
+		session.WithHandler(func(rep *llrp.ROAccessReport) error {
+			return srv.pipe.Ingest(rep)
+		}),
+		session.WithObs(srv.obs),
+		session.WithLogf(log.Printf),
+	}
+	if opts.chaos {
+		// Compressed fault-handling cadence so a short demo run shows
+		// down-detection, degraded fixes, and reconnect.
+		sopts = append(sopts,
+			session.WithKeepalive(llrp.KeepaliveOptions{
+				Interval: 100 * time.Millisecond, Timeout: 200 * time.Millisecond, Missed: 2,
+			}),
+			session.WithBackoff(llrp.BackoffOptions{
+				Base: 50 * time.Millisecond, Cap: 500 * time.Millisecond,
+			}),
+			session.WithBreaker(3, 500*time.Millisecond),
+			session.WithJitterSeed(opts.chaosSeed),
+			session.WithFaults(session.FaultConfig{
+				Seed:      opts.chaosSeed,
+				DelayProb: 0.05, // visible jitter without breaking frames
+			}),
+		)
+	}
+	var sup *session.Supervisor
+	// The state observer logs transitions and pokes the assembler so
+	// pending sequences re-evaluate against the new live set.
+	sopts = append(sopts, session.WithOnState(func(id string, st session.State) {
+		log.Printf("reader %s: %s", id, st)
+		srv.pipe.NotifyLiveChange()
+	}))
+	sup, err := session.New(eps, sopts...)
+	if err != nil {
+		return err
+	}
+	srv.liveReaders = sup.Live
+	srv.start()
+	sup.Start()
+	defer sup.Stop()
+	log.Printf("dwatchd supervising %d readers (env %s, %d workers, %s overload)",
+		len(eps), sc.Name, pipelineWorkers(srv.opts.workers), srv.opts.overload)
+
+	var plane *serve.Server
+	if opts.httpAddr != "" {
+		plane = serve.New(
+			serve.WithRegistry(srv.obs),
+			serve.WithBroker(srv.broker),
+			serve.WithStats(func() any { return srv.pipe.Stats() }),
+			serve.WithReady(srv.ready),
+			serve.WithReaders(readerStatuses(sup)),
+			serve.WithDegraded(sup.Degraded),
+			serve.WithLogf(log.Printf),
+		)
+		planeAddr, err := plane.Start(opts.httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability plane: %v", err)
+		}
+		log.Printf("observability plane on http://%s/ (readyz now reports per-reader state)", planeAddr)
+	}
+
+	done := make(chan error, 1)
+	if opts.chaos && len(sims) > 0 {
+		go func() { done <- runChaos(sc, sims, opts) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case err := <-done:
+		if err != nil {
+			log.Printf("chaos run: %v", err)
+		}
+		// Let the pipeline drain the tail of reports before stopping.
+		time.Sleep(300 * time.Millisecond)
+	}
+	sup.Stop()
+	srv.shutdown()
+	if plane != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := plane.Shutdown(ctx); err != nil {
+			log.Printf("observability plane shutdown: %v", err)
+		}
+	}
+	return nil
+}
+
+// runChaos drives the simulated readers through pre-generated rounds
+// and flaps the last reader mid-walk: stopped after the first walking
+// round, restarted opts.flap later. While it is down the pipeline
+// emits degraded fixes from the remaining live quorum.
+func runChaos(sc *sim.Scenario, sims []*sim.ReaderEndpoint, opts supervisedOptions) error {
+	rounds, err := sim.GenerateLLRPRounds(sc, opts.rounds, 10)
+	if err != nil {
+		return err
+	}
+	// Wait for every session to finish its handshake before streaming.
+	for _, e := range sims {
+		select {
+		case <-e.WaitStreaming():
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("reader %s: no session after 10s", e.ID)
+		}
+	}
+	victim := sims[len(sims)-1]
+	const interval = 200 * time.Millisecond
+	for i, rd := range rounds {
+		if i == 3 && len(sims) > 2 { // first walking round delivered; kill one reader
+			log.Printf("chaos: killing reader %s for %s", victim.ID, opts.flap)
+			victim.Stop()
+			time.AfterFunc(opts.flap, func() {
+				if _, err := victim.Start(victim.Addr()); err != nil {
+					log.Printf("chaos: restart %s: %v", victim.ID, err)
+					return
+				}
+				log.Printf("chaos: reader %s restarted", victim.ID)
+			})
+		}
+		for _, e := range sims {
+			if err := e.Broadcast(rd.Payloads[e.ID]); err != nil {
+				// A dead or reconnecting reader just misses the round.
+				continue
+			}
+		}
+		time.Sleep(interval)
+	}
+	return nil
+}
+
+// readerStatuses adapts supervisor status snapshots to the serve
+// plane's reader-state shape.
+func readerStatuses(sup *session.Supervisor) func() []serve.ReaderStatus {
+	return func() []serve.ReaderStatus {
+		sts := sup.Status()
+		out := make([]serve.ReaderStatus, len(sts))
+		for i, st := range sts {
+			out[i] = serve.ReaderStatus{
+				ID: st.ID, Addr: st.Addr, State: st.State.String(),
+				Since: st.Since, Reconnects: st.Reconnects, LastError: st.LastError,
+			}
+		}
+		return out
+	}
+}

@@ -25,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	system := dwatch.New(scenario, dwatch.Config{})
+	system := dwatch.New(scenario)
 	if err := system.Calibrate(); err != nil {
 		log.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	system := dwatch.New(scenario, dwatch.Config{})
+	system := dwatch.New(scenario)
 
 	// 2. One-time wireless phase calibration (Section 4.1 of the paper):
 	//    no cables, no downtime — a few tags with known positions anchor

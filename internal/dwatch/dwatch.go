@@ -144,8 +144,21 @@ var (
 	ErrNoBaseline    = errors.New("dwatch: baseline not collected")
 )
 
-// New binds a pipeline to a scenario.
-func New(sc *sim.Scenario, cfg Config) *System {
+// New binds a pipeline to a scenario, tuned by functional options
+// (none = the paper's defaults).
+func New(sc *sim.Scenario, opts ...Option) *System {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewFromConfig(sc, cfg)
+}
+
+// NewFromConfig binds a pipeline to a scenario with a filled Config.
+//
+// Deprecated: use New with functional options; this shim remains for
+// callers constructed around the Config struct.
+func NewFromConfig(sc *sim.Scenario, cfg Config) *System {
 	return &System{Scenario: sc, cfg: cfg.withDefaults()}
 }
 

@@ -19,7 +19,7 @@ func buildSystem(t testing.TB, cfg sim.Config, dcfg Config) *System {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(sc, dcfg)
+	s := NewFromConfig(sc, dcfg)
 	if err := s.Calibrate(); err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestPipelineOrderEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(sc, Config{})
+	s := New(sc)
 	if _, err := s.Views(nil); !errors.Is(err, ErrNoBaseline) {
 		t.Errorf("Views before baseline: %v", err)
 	}
@@ -48,7 +48,7 @@ func TestWirelessCalibrationAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(sc, Config{})
+	s := New(sc)
 	if err := s.Calibrate(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,41 @@
+package dwatch
+
+import (
+	"dwatch/internal/loc"
+	"dwatch/internal/music"
+)
+
+// Option configures a System at construction. Zero-valued fields keep
+// the paper's defaults (see Config).
+type Option func(*Config)
+
+// WithConfig overlays a whole Config — the bridge for callers that
+// assemble configuration programmatically (state restore, experiment
+// sweeps).
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithSnapshots sets the per-tag snapshot count per acquisition
+// (0 = 10, the paper's packet count).
+func WithSnapshots(n int) Option { return func(c *Config) { c.Snapshots = n } }
+
+// WithGridSize sets the AoA scan resolution (0 = 361, 0.5° steps).
+func WithGridSize(n int) Option { return func(c *Config) { c.GridSize = n } }
+
+// WithCalibration selects the RF-chain offset handling mode.
+func WithCalibration(m CalibrationMode) Option { return func(c *Config) { c.Calibration = m } }
+
+// WithMinDrop sets the per-peak fractional power drop that counts as a
+// blocking event (0 = 0.35).
+func WithMinDrop(d float64) Option { return func(c *Config) { c.MinDrop = d } }
+
+// WithLoc sets the localization options.
+func WithLoc(o loc.Options) Option { return func(c *Config) { c.Loc = o } }
+
+// WithMusic sets the subspace options (grid size is still overridden
+// by GridSize).
+func WithMusic(o music.Options) Option { return func(c *Config) { c.Music = o } }
+
+// WithInventory gates acquisitions on Gen2 slotted-ALOHA singulation.
+func WithInventory(on bool) Option { return func(c *Config) { c.RunInventory = on } }

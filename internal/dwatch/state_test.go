@@ -28,7 +28,7 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := New(scB, Config{})
+	b := New(scB)
 	if err := b.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestSaveStateRequiresPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(sc, Config{})
+	s := New(sc)
 	var buf bytes.Buffer
 	if err := s.SaveState(&buf); !errors.Is(err, ErrNotCalibrated) {
 		t.Errorf("uncalibrated save: %v", err)
@@ -66,7 +66,7 @@ func TestLoadStateValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(sc, Config{})
+	s := New(sc)
 	cases := []string{
 		`not json`,
 		`{"version": 99}`,
@@ -87,7 +87,7 @@ func TestLoadStatePeakIndexValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(sc, Config{})
+	s := New(sc)
 	blob := `{"version":1,
 		"baseline":{"reader-1":{"0102":{"grid_size":361,
 			"power":` + zeros(361) + `,"beam":` + zeros(361) + `}}},

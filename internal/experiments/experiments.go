@@ -59,7 +59,7 @@ func buildSystem(cfg sim.Config, dcfg dwatch.Config) (*dwatch.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := dwatch.New(sc, dcfg)
+	s := dwatch.New(sc, dwatch.WithConfig(dcfg))
 	if err := s.Calibrate(); err != nil {
 		return nil, err
 	}

@@ -193,7 +193,7 @@ func Fig16Reflectors(opts Options) (*Fig16Result, error) {
 			return nil, err
 		}
 		sc.AddReflectors(n)
-		s := dwatch.New(sc, dwatch.Config{})
+		s := dwatch.New(sc)
 		if err := s.Calibrate(); err != nil {
 			return nil, err
 		}

@@ -223,23 +223,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Dial connects to an LLRP endpoint and consumes the greeting event.
+// It makes a single attempt; DialWith adds retry with configurable
+// backoff and a pluggable transport.
 func Dial(ctx context.Context, addr string) (*Conn, error) {
-	var d net.Dialer
-	nc, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	conn := NewConn(nc)
-	msg, err := conn.Recv()
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("llrp: greeting: %w", err)
-	}
-	if msg.Type != MsgReaderEventNotification {
-		conn.Close()
-		return nil, fmt.Errorf("llrp: unexpected greeting type %d", msg.Type)
-	}
-	return conn, nil
+	return dialOnce(ctx, addr, nil, 0)
 }
 
 // SendKeepalive sends a KEEPALIVE and waits for the ack.

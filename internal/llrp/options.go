@@ -1,0 +1,202 @@
+package llrp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Keepalive and reconnect-backoff defaults. These used to live as
+// hardcoded constants inside the callers; they are exported here so
+// internal/session, the daemons, and tests all share one knob set.
+const (
+	// DefaultKeepaliveInterval is how often a liveness probe is sent on
+	// an otherwise healthy connection.
+	DefaultKeepaliveInterval = 5 * time.Second
+	// DefaultKeepaliveTimeout bounds one probe's round trip.
+	DefaultKeepaliveTimeout = 2 * time.Second
+	// DefaultKeepaliveMissed is how many consecutive unacknowledged
+	// probes declare the peer down.
+	DefaultKeepaliveMissed = 3
+
+	// DefaultBackoffBase is the first reconnect delay.
+	DefaultBackoffBase = 250 * time.Millisecond
+	// DefaultBackoffCap bounds the exponential growth.
+	DefaultBackoffCap = 15 * time.Second
+	// DefaultBackoffMultiplier is the per-attempt growth factor.
+	DefaultBackoffMultiplier = 2.0
+	// DefaultBackoffJitter is the fraction of each delay randomized to
+	// decorrelate reconnect storms across readers.
+	DefaultBackoffJitter = 0.2
+)
+
+// KeepaliveOptions tunes connection liveness probing.
+type KeepaliveOptions struct {
+	// Interval between KEEPALIVE probes. 0 = DefaultKeepaliveInterval.
+	Interval time.Duration
+	// Timeout bounds one probe round trip. 0 = DefaultKeepaliveTimeout.
+	Timeout time.Duration
+	// Missed is how many consecutive unacknowledged probes declare the
+	// peer down. 0 = DefaultKeepaliveMissed.
+	Missed int
+}
+
+// WithDefaults fills unset fields with the package defaults.
+func (o KeepaliveOptions) WithDefaults() KeepaliveOptions {
+	if o.Interval <= 0 {
+		o.Interval = DefaultKeepaliveInterval
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultKeepaliveTimeout
+	}
+	if o.Missed <= 0 {
+		o.Missed = DefaultKeepaliveMissed
+	}
+	return o
+}
+
+// BackoffOptions parameterizes jittered exponential backoff between
+// connection attempts.
+type BackoffOptions struct {
+	// Base is the delay before the second attempt. 0 = DefaultBackoffBase.
+	Base time.Duration
+	// Cap bounds the grown delay. 0 = DefaultBackoffCap.
+	Cap time.Duration
+	// Multiplier is the growth factor per attempt. 0 = DefaultBackoffMultiplier.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized: the
+	// delay is drawn uniformly from [d·(1-J/2), d·(1+J/2)]. 0 =
+	// DefaultBackoffJitter; jitter only applies when a *rand.Rand is
+	// supplied to Delay.
+	Jitter float64
+	// MaxAttempts, when positive, caps the total number of connection
+	// attempts (DialWith then fails permanently). 0 = unlimited.
+	MaxAttempts int
+}
+
+// WithDefaults fills unset fields with the package defaults.
+func (o BackoffOptions) WithDefaults() BackoffOptions {
+	if o.Base <= 0 {
+		o.Base = DefaultBackoffBase
+	}
+	if o.Cap <= 0 {
+		o.Cap = DefaultBackoffCap
+	}
+	if o.Multiplier <= 1 {
+		o.Multiplier = DefaultBackoffMultiplier
+	}
+	if o.Jitter <= 0 {
+		o.Jitter = DefaultBackoffJitter
+	}
+	return o
+}
+
+// Delay returns the backoff before attempt n (1-based: Delay(1) is the
+// wait after the first failure). A nil rng disables jitter, which makes
+// the schedule fully deterministic for tests.
+func (o BackoffOptions) Delay(attempt int, rng *rand.Rand) time.Duration {
+	o = o.WithDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(o.Base)
+	for i := 1; i < attempt; i++ {
+		d *= o.Multiplier
+		if d >= float64(o.Cap) {
+			break
+		}
+	}
+	if d > float64(o.Cap) {
+		d = float64(o.Cap)
+	}
+	if rng != nil && o.Jitter > 0 {
+		d *= 1 - o.Jitter/2 + o.Jitter*rng.Float64()
+		if d > float64(o.Cap) {
+			d = float64(o.Cap)
+		}
+	}
+	return time.Duration(d)
+}
+
+// DialOptions parameterizes DialWith.
+type DialOptions struct {
+	// Dialer opens the raw transport; nil uses net.Dialer. The seam the
+	// session layer's fault injector plugs into.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Timeout bounds each attempt's dial + greeting exchange.
+	// 0 = DefaultIOTimeout.
+	Timeout time.Duration
+	// Backoff schedules the delay between attempts.
+	Backoff BackoffOptions
+	// Rng supplies backoff jitter; nil disables jitter.
+	Rng *rand.Rand
+}
+
+// DialWith connects to an LLRP endpoint, retrying failed attempts with
+// jittered exponential backoff until the context is done or
+// Backoff.MaxAttempts is exhausted. Backoff.MaxAttempts = 1 gives a
+// single attempt (what Dial does, with configurable transport).
+func DialWith(ctx context.Context, addr string, opts DialOptions) (*Conn, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultIOTimeout
+	}
+	bo := opts.Backoff.WithDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		conn, err := dialOnce(ctx, addr, opts.Dialer, opts.Timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if opts.Backoff.MaxAttempts > 0 && attempt >= opts.Backoff.MaxAttempts {
+			return nil, fmt.Errorf("llrp: dial %s: %d attempts exhausted: %w", addr, attempt, lastErr)
+		}
+		t := time.NewTimer(bo.Delay(attempt, opts.Rng))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// dialOnce performs one dial + greeting exchange.
+func dialOnce(ctx context.Context, addr string, dialer func(context.Context, string) (net.Conn, error), timeout time.Duration) (*Conn, error) {
+	if dialer == nil {
+		var d net.Dialer
+		dialer = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	dctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	nc, err := dialer(dctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := NewConn(nc)
+	if timeout > 0 {
+		conn.SetTimeout(timeout)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("llrp: greeting: %w", err)
+	}
+	if msg.Type != MsgReaderEventNotification {
+		conn.Close()
+		return nil, fmt.Errorf("llrp: unexpected greeting type %d", msg.Type)
+	}
+	conn.SetTimeout(DefaultIOTimeout)
+	return conn, nil
+}

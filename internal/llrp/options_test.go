@@ -1,0 +1,144 @@
+package llrp
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayGrowth: without jitter the schedule is deterministic
+// exponential growth capped at Cap.
+func TestBackoffDelayGrowth(t *testing.T) {
+	o := BackoffOptions{Base: 100 * time.Millisecond, Cap: 800 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := o.Delay(i+1, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Attempt numbers below 1 clamp to the base delay.
+	if got := o.Delay(0, nil); got != want[0] {
+		t.Errorf("Delay(0) = %v, want %v", got, want[0])
+	}
+}
+
+// TestBackoffDelayJitter: with an rng the delay lands in
+// [d·(1-J/2), d·(1+J/2)] and never exceeds the cap.
+func TestBackoffDelayJitter(t *testing.T) {
+	o := BackoffOptions{Base: 100 * time.Millisecond, Cap: time.Minute, Multiplier: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	varied := false
+	for i := 0; i < 200; i++ {
+		d := o.Delay(2, rng) // nominal 200ms
+		lo, hi := 150*time.Millisecond, 250*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != 200*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("200 jittered draws all equal the nominal delay")
+	}
+	// Same seed → same sequence: jitter must be reproducible.
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 1; i < 10; i++ {
+		if o.Delay(i, a) != o.Delay(i, b) {
+			t.Fatal("same-seed jitter sequences diverged")
+		}
+	}
+}
+
+// TestBackoffDefaults: zero values resolve to the exported defaults.
+func TestBackoffDefaults(t *testing.T) {
+	o := BackoffOptions{}.WithDefaults()
+	if o.Base != DefaultBackoffBase || o.Cap != DefaultBackoffCap ||
+		o.Multiplier != DefaultBackoffMultiplier || o.Jitter != DefaultBackoffJitter {
+		t.Fatalf("defaults = %+v", o)
+	}
+	k := KeepaliveOptions{}.WithDefaults()
+	if k.Interval != DefaultKeepaliveInterval || k.Timeout != DefaultKeepaliveTimeout || k.Missed != DefaultKeepaliveMissed {
+		t.Fatalf("keepalive defaults = %+v", k)
+	}
+}
+
+// TestDialWithMaxAttempts: the retry loop makes exactly MaxAttempts
+// dials against a dead address and reports the exhaustion.
+func TestDialWithMaxAttempts(t *testing.T) {
+	// Grab a port that is then closed again: connection refused, fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	attempts := 0
+	_, err = DialWith(context.Background(), addr, DialOptions{
+		Dialer: func(ctx context.Context, a string) (net.Conn, error) {
+			attempts++
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", a)
+		},
+		Backoff: BackoffOptions{Base: time.Millisecond, Cap: 2 * time.Millisecond, MaxAttempts: 3},
+	})
+	if err == nil {
+		t.Fatal("DialWith succeeded against a closed port")
+	}
+	if attempts != 3 {
+		t.Fatalf("made %d attempts, want 3", attempts)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error %q does not report exhaustion", err)
+	}
+}
+
+// TestDialWithGreeting: DialWith completes against a listener that
+// sends the ReaderEventNotification greeting, and rejects one that
+// greets with the wrong message type.
+func TestDialWithGreeting(t *testing.T) {
+	serve := func(greetType uint16) string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go func() {
+			for {
+				nc, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				c := NewConn(nc)
+				c.Send(greetType, nil)
+			}
+		}()
+		return ln.Addr().String()
+	}
+
+	good := serve(MsgReaderEventNotification)
+	conn, err := DialWith(context.Background(), good, DialOptions{Backoff: BackoffOptions{MaxAttempts: 1}})
+	if err != nil {
+		t.Fatalf("dial with proper greeting: %v", err)
+	}
+	conn.Close()
+
+	bad := serve(MsgKeepalive)
+	if _, err := DialWith(context.Background(), bad, DialOptions{
+		Timeout: time.Second,
+		Backoff: BackoffOptions{MaxAttempts: 1},
+	}); err == nil || !strings.Contains(err.Error(), "greeting") {
+		t.Fatalf("bad greeting err = %v, want greeting failure", err)
+	}
+}

@@ -103,6 +103,8 @@ func (a *assembler) run() {
 			a.add(r)
 		case <-tick.C:
 			a.sweep(a.p.now())
+		case <-a.p.liveCh:
+			a.reevaluate()
 		case <-a.p.stop:
 			return
 		}
@@ -185,23 +187,101 @@ func (a *assembler) apply(g *reportAgg) {
 		a.capPending()
 	}
 	grp.byReader[g.reader] = g.spectra
+	a.tryFuse(g.seq, grp)
+}
+
+// tryFuse fuses a sequence when it is complete — or, with a
+// LiveReaders oracle and a reader down, when the live quorum has
+// reported. No-op otherwise (the group stays pending).
+func (a *assembler) tryFuse(seq uint32, grp *seqGroup) {
+	degraded := false
 	if len(grp.byReader) < a.p.cfg.ExpectReaders {
-		return
+		if !a.quorumReady(grp) {
+			return
+		}
+		degraded = true
 	}
-	delete(a.online, g.seq)
+	delete(a.online, seq)
 	a.pending.Add(-1)
 	now := a.p.now()
-	a.done[g.seq] = now
+	a.done[seq] = now
 	a.p.c.sequencesAssembled.Add(1)
 	a.p.ins.sequenceAssembled()
 	// The assemble span runs from the group's creation (first report
 	// of the sequence) to completion: cross-reader skew, not CPU time.
 	a.p.ins.span(stageAssemble, grp.created).EndAt(now)
-	a.fuse(g.seq, grp)
+	a.fuse(seq, grp, degraded)
 }
 
-// fuse builds drop views for one complete sequence and localizes.
-func (a *assembler) fuse(seq uint32, grp *seqGroup) {
+// quorumReady reports whether an incomplete sequence may fuse in
+// degraded mode: a LiveReaders oracle is configured, every live
+// expected reader has reported, and at least two of the reporting
+// readers carry non-collinear arrays (Eq. 15's likelihood product
+// needs two crossing bearing constraints to pin a point).
+func (a *assembler) quorumReady(grp *seqGroup) bool {
+	oracle := a.p.cfg.LiveReaders
+	if oracle == nil {
+		return false
+	}
+	for _, id := range oracle() {
+		if _, expected := a.p.cfg.Arrays[id]; !expected {
+			continue
+		}
+		if _, reported := grp.byReader[id]; !reported {
+			return false
+		}
+	}
+	arrs := make([]*rf.Array, 0, len(grp.byReader))
+	for id := range grp.byReader {
+		if arr := a.p.cfg.Arrays[id]; arr != nil {
+			arrs = append(arrs, arr)
+		}
+	}
+	for i := 0; i < len(arrs); i++ {
+		for j := i + 1; j < len(arrs); j++ {
+			if nonCollinear(arrs[i], arrs[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nonCollinear reports whether two arrays constrain two independent
+// axes: their axes are not parallel, or they are parallel but offset
+// sideways (two facing walls still triangulate; two arrays end-to-end
+// on the same line do not).
+func nonCollinear(a, b *rf.Array) bool {
+	const eps = 1e-9
+	if cz := a.Axis.X*b.Axis.Y - a.Axis.Y*b.Axis.X; cz > eps || cz < -eps {
+		return true
+	}
+	d := b.Center().Sub(a.Center())
+	oz := a.Axis.X*d.Y - a.Axis.Y*d.X
+	return oz > eps || oz < -eps
+}
+
+// reevaluate re-runs the fusion gate over every pending sequence; run
+// when the live-reader set changes (a reader going down may make
+// already-received evidence sufficient).
+func (a *assembler) reevaluate() {
+	pending := make([]uint32, 0, len(a.online))
+	for seq := range a.online {
+		pending = append(pending, seq)
+	}
+	// Fuse in sequence order so a burst of unblocked sequences emits
+	// deterministically.
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, seq := range pending {
+		if grp := a.online[seq]; grp != nil {
+			a.tryFuse(seq, grp)
+		}
+	}
+}
+
+// fuse builds drop views for one complete (or quorum-degraded)
+// sequence and localizes.
+func (a *assembler) fuse(seq uint32, grp *seqGroup, degraded bool) {
 	start := a.p.now()
 	span := a.p.ins.span(stageFuse, start)
 	// Deterministic view order: likelihood products are commutative
@@ -218,7 +298,7 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup) {
 			views = append(views, v)
 		}
 	}
-	fix := Fix{Seq: seq, Views: len(views)}
+	fix := Fix{Seq: seq, Views: len(views), Readers: ids, Degraded: degraded}
 	if len(views) < 2 {
 		fix.Err = fmt.Errorf("pipeline: seq %d: evidence from only %d readers", seq, len(views))
 	} else if res, err := a.localize(views); err != nil {
@@ -232,8 +312,11 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup) {
 		a.p.c.misses.Add(1)
 	} else {
 		a.p.c.fixes.Add(1)
+		if degraded {
+			a.p.c.degradedFixes.Add(1)
+		}
 	}
-	a.p.ins.fix(fix.Err == nil)
+	a.p.ins.fix(fix.Err == nil, degraded)
 	// Subscribers see every outcome before the channel send, so a
 	// slow Fixes consumer cannot starve the live position feed.
 	for _, fn := range a.p.fixSubs {

@@ -1,0 +1,245 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dwatch/internal/geom"
+	"dwatch/internal/llrp"
+	"dwatch/internal/rf"
+	"dwatch/internal/sim"
+)
+
+// TestNonCollinear pins the quorum geometry predicate: two arrays can
+// triangulate when their axes cross, or when they are parallel but
+// laterally offset (facing walls); arrays strung along one line cannot.
+func TestNonCollinear(t *testing.T) {
+	mk := func(origin, axis geom.Point) *rf.Array {
+		arr, err := rf.NewArrayFull(origin, axis, 8, rf.DefaultWavelength/2, rf.DefaultWavelength)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	bottom := mk(geom.Pt(1, 0, 1), geom.Pt2(1, 0))
+	left := mk(geom.Pt(0, 1, 1), geom.Pt2(0, 1))
+	top := mk(geom.Pt(1, 4, 1), geom.Pt2(1, 0))
+	inline := mk(geom.Pt(3, 0, 1), geom.Pt2(1, 0)) // same wall as bottom
+
+	if !nonCollinear(bottom, left) {
+		t.Error("perpendicular arrays reported collinear")
+	}
+	if !nonCollinear(bottom, top) {
+		t.Error("facing parallel walls reported collinear")
+	}
+	if nonCollinear(bottom, inline) {
+		t.Error("arrays on the same line reported non-collinear")
+	}
+	if nonCollinear(bottom, bottom) {
+		t.Error("an array is non-collinear with itself")
+	}
+}
+
+// genReportsAt is genReports with an explicit trajectory, and the
+// baseline rounds included, so callers can withhold readers per round.
+func genReportsAt(tb testing.TB, sc *sim.Scenario, positions []geom.Point, snapshots int) [][]*llrp.ROAccessReport {
+	tb.Helper()
+	rounds, err := sim.GenerateLLRPRoundsAt(sc, positions, snapshots)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := make([][]*llrp.ROAccessReport, len(rounds))
+	for i, rd := range rounds {
+		for _, r := range sc.Readers {
+			rep, err := llrp.UnmarshalROAccessReport(rd.Payloads[r.ID])
+			if err != nil {
+				tb.Fatal(err)
+			}
+			out[i] = append(out[i], rep)
+		}
+	}
+	return out
+}
+
+// TestQuorumDegradedFusion drives the assembler's live-reader oracle
+// directly: a round missing one reader fuses as soon as every *live*
+// reader has reported (degraded, with the contributors recorded), while
+// a full round stays a normal fix. No supervisor, no TCP — just the
+// pipeline and a swappable oracle.
+func TestQuorumDegradedFusion(t *testing.T) {
+	sc, err := sim.Build(sim.HallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positions the hall covers with 4 views and with the 3 survivors
+	// (see the session chaos test's deadzone scan).
+	rounds := genReportsAt(t, sc,
+		[]geom.Point{geom.Pt(4, 3, 1.25), geom.Pt(3, 3, 1.25)}, 3)
+
+	arrays := map[string]*rf.Array{}
+	var ids []string
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+		ids = append(ids, r.ID)
+	}
+	victim := ids[len(ids)-1]
+	survivors := ids[:len(ids)-1]
+
+	var live atomic.Value
+	live.Store(ids)
+	p, err := New(Deployment{Arrays: arrays, Grid: sc.Grid},
+		WithWorkers(2),
+		WithSeqTTL(time.Minute),
+		WithLiveReaders(func() []string { return live.Load().([]string) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fixes := map[uint32]Fix{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for fix := range p.Fixes() {
+			mu.Lock()
+			fixes[fix.Seq] = fix
+			mu.Unlock()
+		}
+	}()
+	p.Start()
+
+	get := func(seq uint32) (Fix, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		f, ok := fixes[seq]
+		return f, ok
+	}
+	wait := func(seq uint32) Fix {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if f, ok := get(seq); ok {
+				return f
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("no fix for seq %d", seq)
+		return Fix{}
+	}
+
+	// Baselines (rounds 0,1) and a full healthy round (seq 3).
+	for _, rep := range rounds[0] {
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rep := range rounds[1] {
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rep := range rounds[2] {
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healthy := wait(3)
+	if healthy.Degraded || healthy.Views != len(ids) {
+		t.Fatalf("healthy fix = %+v, want %d-view non-degraded", healthy, len(ids))
+	}
+	if len(healthy.Readers) != len(ids) {
+		t.Fatalf("healthy fix readers = %v, want all of %v", healthy.Readers, ids)
+	}
+
+	// Seq 4: withhold the victim's report. With the oracle still
+	// reporting all readers live, the group must NOT fuse — a slow
+	// reader is not a dead reader.
+	for _, rep := range rounds[3] {
+		if rep.ReaderID == victim {
+			continue
+		}
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.NotifyLiveChange()
+	time.Sleep(200 * time.Millisecond)
+	if f, ok := get(4); ok {
+		t.Fatalf("incomplete group fused while all readers live: %+v", f)
+	}
+
+	// The victim goes down: the next re-evaluation fuses the pending
+	// group from the survivor quorum.
+	live.Store(survivors)
+	p.NotifyLiveChange()
+	deg := wait(4)
+	if deg.Err != nil {
+		t.Fatalf("degraded fuse failed: %v", deg.Err)
+	}
+	if !deg.Degraded || deg.Views != len(survivors) {
+		t.Fatalf("degraded fix = %+v, want %d-view degraded", deg, len(survivors))
+	}
+	for _, id := range deg.Readers {
+		if id == victim {
+			t.Fatalf("degraded fix lists dead reader %s", victim)
+		}
+	}
+
+	p.Drain()
+	<-done
+	st := p.Stats()
+	if st.DegradedFixes != 1 {
+		t.Fatalf("DegradedFixes = %d, want 1", st.DegradedFixes)
+	}
+	if st.SequencesEvicted != 0 {
+		t.Fatalf("SequencesEvicted = %d, want 0", st.SequencesEvicted)
+	}
+}
+
+// TestNoOracleNoQuorumFuse: without a live-reader oracle the assembler
+// keeps its original contract — incomplete groups wait for SeqTTL, and
+// a live-change notification is a no-op.
+func TestNoOracleNoQuorumFuse(t *testing.T) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := genReportsAt(t, sc, []geom.Point{geom.Pt(1, 1, 0.85)}, 3)
+	arrays := map[string]*rf.Array{}
+	for _, r := range sc.Readers {
+		arrays[r.ID] = r.Array
+	}
+	p, err := New(Deployment{Arrays: arrays, Grid: sc.Grid},
+		WithWorkers(1), WithSeqTTL(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range p.Fixes() {
+		}
+	}()
+	p.Start()
+	for _, round := range rounds[:2] {
+		for _, rep := range round {
+			if err := p.Ingest(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Online round from only the first reader.
+	if err := p.Ingest(rounds[2][0]); err != nil {
+		t.Fatal(err)
+	}
+	p.NotifyLiveChange()
+	time.Sleep(300 * time.Millisecond)
+	st := p.Stats()
+	if st.DegradedFixes != 0 {
+		t.Fatalf("DegradedFixes = %d without an oracle", st.DegradedFixes)
+	}
+	if st.PendingSequences != 1 {
+		t.Fatalf("PendingSequences = %d, want 1 (group must wait for TTL)", st.PendingSequences)
+	}
+	p.Drain()
+}

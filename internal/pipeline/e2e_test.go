@@ -137,7 +137,7 @@ func pipelineFixes(tb testing.TB, sc *sim.Scenario, reports []*llrp.ROAccessRepo
 	for _, r := range sc.Readers {
 		arrays[r.ID] = r.Array
 	}
-	p, err := New(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers})
+	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestRestoredBaselineSkipsBaselineRounds(t *testing.T) {
 	}
 
 	// First pipeline: full run, keep its fuser and fixes.
-	p1, err := New(Config{Arrays: arrays, Grid: sc.Grid})
+	p1, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestRestoredBaselineSkipsBaselineRounds(t *testing.T) {
 	}
 
 	// Second pipeline: restored fuser, online reports only.
-	p2, err := New(Config{Arrays: arrays, Grid: sc.Grid, Restored: p1.Fuser()})
+	p2, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Restored: p1.Fuser()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,7 @@ type instruments struct {
 	seqEvicted   *obs.Counter
 	late         *obs.Counter
 	fixOK        *obs.Counter
+	fixDegraded  *obs.Counter
 	fixMiss      *obs.Counter
 }
 
@@ -91,6 +92,7 @@ func newInstruments(reg *obs.Registry, p *Pipeline) *instruments {
 	in.late = reg.Counter(metricLateReports, "Reports for already-fused or evicted sequences.")
 	fixes := reg.CounterVec(metricFixes, "Fusion outcomes.", "result")
 	in.fixOK = fixes.With("fix")
+	in.fixDegraded = fixes.With("degraded")
 	in.fixMiss = fixes.With("miss")
 	reg.GaugeFunc(metricQueueDepth, "Instantaneous snapshot-queue occupancy.",
 		func() float64 { return float64(len(p.jobs)) })
@@ -180,13 +182,19 @@ func (in *instruments) lateReport() {
 	in.late.Inc()
 }
 
-func (in *instruments) fix(ok bool) {
+// fix counts a fusion outcome. A degraded fix (fused from the live
+// quorum while a reader was down) lands in result="degraded" so
+// dashboards can distinguish full-evidence from quorum fixes.
+func (in *instruments) fix(ok, degraded bool) {
 	if in == nil {
 		return
 	}
-	if ok {
-		in.fixOK.Inc()
-	} else {
+	switch {
+	case !ok:
 		in.fixMiss.Inc()
+	case degraded:
+		in.fixDegraded.Inc()
+	default:
+		in.fixOK.Inc()
 	}
 }

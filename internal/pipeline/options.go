@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"time"
+
+	"dwatch/internal/dwatch"
+	"dwatch/internal/loc"
+	"dwatch/internal/obs"
+	"dwatch/internal/pmusic"
+	"dwatch/internal/rf"
+)
+
+// Deployment is the required deployment knowledge a pipeline cannot
+// run without: which readers exist (and their array geometries) and
+// where to search. Everything else is an Option.
+type Deployment struct {
+	// Arrays maps reader IDs to their array geometries. Reports from
+	// readers not listed here are rejected.
+	Arrays map[string]*rf.Array
+	// Grid is the localization search area.
+	Grid loc.Grid
+}
+
+// Option configures a Pipeline at construction.
+type Option func(*Config)
+
+// WithWorkers sizes the spectrum worker pool (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithQueueSize bounds the snapshot job queue (0 = 256).
+func WithQueueSize(n int) Option { return func(c *Config) { c.QueueSize = n } }
+
+// WithOverload selects the full-queue policy.
+func WithOverload(p OverloadPolicy) Option { return func(c *Config) { c.Overload = p } }
+
+// WithExpectReaders overrides how many distinct readers must report a
+// sequence before it is fused (0 = all deployed readers).
+func WithExpectReaders(n int) Option { return func(c *Config) { c.ExpectReaders = n } }
+
+// WithBaselineRounds sets how many initial reports per reader feed the
+// baseline (0 = 2).
+func WithBaselineRounds(n int) Option { return func(c *Config) { c.BaselineRounds = n } }
+
+// WithRestored supplies a fuser with a previously saved baseline; all
+// readers then start directly in the online phase.
+func WithRestored(f *dwatch.Fuser) Option { return func(c *Config) { c.Restored = f } }
+
+// WithSeqTTL evicts incomplete sequences older than this (0 = 30 s).
+func WithSeqTTL(d time.Duration) Option { return func(c *Config) { c.SeqTTL = d } }
+
+// WithMaxPendingSeqs caps concurrently-assembling sequences (0 = 1024).
+func WithMaxPendingSeqs(n int) Option { return func(c *Config) { c.MaxPendingSeqs = n } }
+
+// WithFuser tunes the evidence fuser.
+func WithFuser(cfg dwatch.Config) Option { return func(c *Config) { c.Fuser = cfg } }
+
+// WithPMusic tunes the spectrum computation.
+func WithPMusic(o pmusic.Options) Option { return func(c *Config) { c.PMusic = o } }
+
+// WithLoc tunes the localizer.
+func WithLoc(o loc.Options) Option { return func(c *Config) { c.Loc = o } }
+
+// WithOnBaseline registers the per-reader baseline-confirmed callback
+// (invoked on the assembler goroutine).
+func WithOnBaseline(fn func(readerID string, tags int)) Option {
+	return func(c *Config) { c.OnBaseline = fn }
+}
+
+// WithObs attaches the pipeline to a metrics registry.
+func WithObs(reg *obs.Registry) Option { return func(c *Config) { c.Obs = reg } }
+
+// WithLiveReaders supplies the live-reader oracle (typically
+// session.Supervisor.Live) that enables quorum-degraded fusion: a
+// sequence fuses once every live expected reader has reported and at
+// least two reporting readers have non-collinear arrays, instead of
+// stalling until SeqTTL when a reader is down. Call NotifyLiveChange
+// when the live set changes so pending sequences are re-evaluated.
+func WithLiveReaders(fn func() []string) Option {
+	return func(c *Config) { c.LiveReaders = fn }
+}
+
+// New builds a pipeline for a deployment with functional options.
+// Start must be called before Ingest.
+func New(dep Deployment, opts ...Option) (*Pipeline, error) {
+	cfg := Config{Arrays: dep.Arrays, Grid: dep.Grid}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewFromConfig(cfg)
+}

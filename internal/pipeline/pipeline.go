@@ -122,6 +122,16 @@ type Config struct {
 	// whose spectra fed the confirmation round.
 	OnBaseline func(readerID string, tags int)
 
+	// LiveReaders, when set, supplies the live-reader set (reader IDs,
+	// any order) and enables quorum-degraded fusion: a sequence no
+	// longer waits for ExpectReaders when a reader is down — it fuses
+	// as soon as every *live* expected reader has reported, provided
+	// at least two reporting readers have non-collinear arrays (a
+	// collinear pair constrains only one axis and cannot localize).
+	// Such fixes are marked Degraded. Call NotifyLiveChange after the
+	// set changes. Nil preserves the strict ExpectReaders gate.
+	LiveReaders func() []string
+
 	// Obs, when set, attaches the pipeline to a metrics registry: the
 	// flow counters feed labeled counter families incrementally, queue
 	// depth and pending sequences become live gauges, and each stage
@@ -161,7 +171,13 @@ type Fix struct {
 	Pos        geom.Point
 	Confidence float64
 	Views      int // readers that contributed usable evidence
-	Err        error
+	// Readers lists the readers whose reports joined this fusion,
+	// sorted — under degraded operation a subset of the deployment.
+	Readers []string
+	// Degraded marks a fix fused from the live quorum while at least
+	// one expected reader was down.
+	Degraded bool
+	Err      error
 }
 
 // Errors returned by Ingest.
@@ -206,6 +222,9 @@ type Pipeline struct {
 	results chan result
 	fixes   chan Fix
 	stop    chan struct{}
+	// liveCh pokes the assembler when the live-reader set changes so
+	// pending sequences are re-evaluated against the new quorum.
+	liveCh chan struct{}
 
 	workerWG sync.WaitGroup
 	asmWG    sync.WaitGroup
@@ -247,9 +266,12 @@ type Pipeline struct {
 	asm *assembler
 }
 
-// New validates the configuration and builds a pipeline. Start must be
-// called before Ingest.
-func New(cfg Config) (*Pipeline, error) {
+// NewFromConfig validates a full Config and builds a pipeline. Start
+// must be called before Ingest.
+//
+// Deprecated: use New with a Deployment and functional options; this
+// shim remains for callers constructed around the Config struct.
+func NewFromConfig(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Arrays) == 0 {
 		return nil, errors.New("pipeline: no reader arrays configured")
@@ -263,6 +285,7 @@ func New(cfg Config) (*Pipeline, error) {
 		results:    make(chan result, cfg.QueueSize+cfg.Workers+4),
 		fixes:      make(chan Fix, 64),
 		stop:       make(chan struct{}),
+		liveCh:     make(chan struct{}, 1),
 		rounds:     map[string]int{},
 		decodeHist: stats.NewHistogram(stats.LatencyBounds()),
 		fuseHist:   stats.NewHistogram(stats.LatencyBounds()),
@@ -310,6 +333,17 @@ func (p *Pipeline) Start() {
 		defer p.asmWG.Done()
 		p.asm.run()
 	}()
+}
+
+// NotifyLiveChange pokes the assembler to re-evaluate pending
+// sequences against the current LiveReaders set. Cheap, non-blocking,
+// safe from any goroutine (typically a session.Supervisor state
+// callback); a no-op when no LiveReaders oracle is configured.
+func (p *Pipeline) NotifyLiveChange() {
+	select {
+	case p.liveCh <- struct{}{}:
+	default:
+	}
 }
 
 // Fixes returns the output channel. It is closed after Drain once all

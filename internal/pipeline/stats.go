@@ -20,6 +20,7 @@ type counters struct {
 	sequencesEvicted   atomic.Uint64
 	lateReports        atomic.Uint64
 	fixes              atomic.Uint64
+	degradedFixes      atomic.Uint64
 	misses             atomic.Uint64
 }
 
@@ -43,6 +44,7 @@ type Stats struct {
 	SequencesEvicted   uint64 // incomplete sequences dropped (TTL or cap)
 	LateReports        uint64 // reports for already-fused/evicted sequences
 	Fixes              uint64
+	DegradedFixes      uint64 // fixes fused from the live quorum with a reader down
 	Misses             uint64
 
 	// QueueDepth is the instantaneous snapshot-queue occupancy.
@@ -78,6 +80,7 @@ func (p *Pipeline) Stats() Stats {
 		SequencesEvicted:   p.c.sequencesEvicted.Load(),
 		LateReports:        p.c.lateReports.Load(),
 		Fixes:              p.c.fixes.Load(),
+		DegradedFixes:      p.c.degradedFixes.Load(),
 		Misses:             p.c.misses.Load(),
 		QueueDepth:         len(p.jobs),
 		PendingSequences:   p.asm.pendingSequences(),

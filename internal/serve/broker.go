@@ -6,17 +6,31 @@ import (
 	"time"
 )
 
+// PositionSchema is the version stamped on every published Position.
+// v1 was the pre-fault-tolerance shape; v2 adds degraded-mode
+// provenance (degraded flag + contributing readers).
+const PositionSchema = 2
+
 // Position is one localization fix as the API exposes it: flattened
 // coordinates plus provenance, JSON-ready for both the latest-fix
 // endpoint and the SSE stream.
 type Position struct {
-	Env        string    `json:"env"`
-	Seq        uint32    `json:"seq"`
-	X          float64   `json:"x"`
-	Y          float64   `json:"y"`
-	Confidence float64   `json:"confidence"`
-	Views      int       `json:"views"`
-	Time       time.Time `json:"time"`
+	// Schema is the Position JSON schema version (PositionSchema);
+	// stamped by Publish so clients can detect shape changes.
+	Schema     int     `json:"schema"`
+	Env        string  `json:"env"`
+	Seq        uint32  `json:"seq"`
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	Confidence float64 `json:"confidence"`
+	Views      int     `json:"views"`
+	// Readers lists the readers whose evidence joined the fix (sorted;
+	// schema ≥ 2).
+	Readers []string `json:"readers,omitempty"`
+	// Degraded marks a fix fused from a live quorum while at least one
+	// expected reader was down (schema ≥ 2).
+	Degraded bool      `json:"degraded,omitempty"`
+	Time     time.Time `json:"time"`
 }
 
 // Broker fans localization fixes out to API consumers: it retains the
@@ -47,6 +61,7 @@ func (b *Broker) Publish(p Position) {
 	if b == nil {
 		return
 	}
+	p.Schema = PositionSchema
 	b.mu.Lock()
 	b.latest[p.Env] = p
 	for _, ch := range b.subs {

@@ -79,7 +79,8 @@ func TestServePlaneEndToEnd(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	broker := NewBroker()
-	p, err := pipeline.New(pipeline.Config{Arrays: arrays, Grid: sc.Grid, Workers: 2, Obs: reg})
+	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
+		pipeline.WithWorkers(2), pipeline.WithObs(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestServePlaneEndToEnd(t *testing.T) {
 			Confidence: f.Confidence, Views: f.Views, Time: time.Now(),
 		})
 	})
-	srv := New(Options{
+	srv := NewFromOptions(Options{
 		Registry: reg,
 		Broker:   broker,
 		Stats:    func() any { return p.Stats() },

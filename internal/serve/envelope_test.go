@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeError(t *testing.T, resp *http.Response) apiError {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type = %q, want application/json", ct)
+	}
+	var e apiError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body is not the envelope: %v", err)
+	}
+	if e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("envelope missing code/message: %+v", e)
+	}
+	return e
+}
+
+// TestErrorEnvelope pins the /api/v1/* failure contract: every error is
+// a JSON envelope {"error":{"code","message"}} with a stable code.
+func TestErrorEnvelope(t *testing.T) {
+	srv := New() // no hooks: everything degrades
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		method, path string
+		status       int
+		code         string
+	}{
+		{"GET", "/api/v1/stats", http.StatusNotFound, "stats_unavailable"},
+		{"GET", "/api/v1/positions", http.StatusNotFound, "positions_unavailable"},
+		{"POST", "/api/v1/stats", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"DELETE", "/api/v1/positions", http.StatusMethodNotAllowed, "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+		}
+		if e := decodeError(t, resp); e.Error.Code != tc.code {
+			t.Errorf("%s %s code = %q, want %q", tc.method, tc.path, e.Error.Code, tc.code)
+		}
+	}
+}
+
+// TestReadyzJSON pins the readiness schema: ready/reason/degraded plus
+// the per-reader session states, with 200/503 tracking the Ready hook.
+func TestReadyzJSON(t *testing.T) {
+	ready := false
+	degraded := true
+	srv := New(
+		WithReady(func() error {
+			if !ready {
+				return fmt.Errorf("baseline: 0/2 readers confirmed")
+			}
+			return nil
+		}),
+		WithDegraded(func() bool { return degraded }),
+		WithReaders(func() []ReaderStatus {
+			return []ReaderStatus{
+				{ID: "reader-1", State: "up", Reconnects: 2},
+				{ID: "reader-2", State: "down", LastError: "connection refused"},
+			}
+		}),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func() (int, readyResponse) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rr readyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatalf("readyz body: %v", err)
+		}
+		return resp.StatusCode, rr
+	}
+
+	code, rr := get()
+	if code != http.StatusServiceUnavailable || rr.Ready {
+		t.Fatalf("not-ready readyz = %d ready=%v", code, rr.Ready)
+	}
+	if !strings.Contains(rr.Reason, "0/2 readers") {
+		t.Fatalf("reason = %q", rr.Reason)
+	}
+	if !rr.Degraded {
+		t.Fatal("degraded flag not surfaced")
+	}
+	if len(rr.Readers) != 2 || rr.Readers[1].State != "down" || rr.Readers[1].LastError == "" {
+		t.Fatalf("readers = %+v", rr.Readers)
+	}
+
+	ready, degraded = true, false
+	code, rr = get()
+	if code != http.StatusOK || !rr.Ready || rr.Degraded {
+		t.Fatalf("ready readyz = %d %+v", code, rr)
+	}
+}
+
+// TestPositionSchema: Publish stamps the schema version, and the JSON
+// carries the degraded flag and contributing readers.
+func TestPositionSchema(t *testing.T) {
+	b := NewBroker()
+	b.Publish(Position{
+		Env: "hall", Seq: 7, X: 1, Y: 2,
+		Readers: []string{"reader-1", "reader-2"}, Degraded: true,
+		Time: time.Now(),
+	})
+	srv := New(WithBroker(b))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/v1/positions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var out struct {
+		Positions []Position `json:"positions"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Positions) != 1 {
+		t.Fatalf("positions = %s", body)
+	}
+	p := out.Positions[0]
+	if p.Schema != PositionSchema {
+		t.Fatalf("schema = %d, want %d (Publish must stamp it)", p.Schema, PositionSchema)
+	}
+	if !p.Degraded || len(p.Readers) != 2 {
+		t.Fatalf("degraded/readers not serialized: %s", body)
+	}
+	for _, want := range []string{`"schema"`, `"degraded"`, `"readers"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("body missing %s: %s", want, body)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	"dwatch/internal/obs"
 )
@@ -47,11 +48,54 @@ type Options struct {
 	Stats func() any
 	// Ready gates /readyz: nil error (or a nil hook) means ready.
 	Ready func() error
+	// Readers supplies per-reader session status for the /readyz body
+	// (typically adapted from session.Supervisor.Status).
+	Readers func() []ReaderStatus
+	// Degraded reports whether the deployment is localizing from a
+	// quorum with a reader down; surfaced on /readyz.
+	Degraded func() bool
 	// Broker feeds /api/v1/positions.
 	Broker *Broker
 	// Logf, when set, receives serve-plane log lines.
 	Logf func(format string, args ...any)
 }
+
+// ReaderStatus is one reader's supervision state as /readyz exposes
+// it. Defined here (not imported from internal/session) so the serve
+// plane stays decoupled from any one supervisor implementation.
+type ReaderStatus struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+	// State is "up", "down", "connecting", or "half-open".
+	State      string    `json:"state"`
+	Since      time.Time `json:"since,omitempty"`
+	Reconnects uint64    `json:"reconnects,omitempty"`
+	LastError  string    `json:"last_error,omitempty"`
+}
+
+// Option configures a Server at construction.
+type Option func(*Options)
+
+// WithRegistry backs /metrics (and request counting) with reg.
+func WithRegistry(reg *obs.Registry) Option { return func(o *Options) { o.Registry = reg } }
+
+// WithStats supplies the /api/v1/stats payload hook.
+func WithStats(fn func() any) Option { return func(o *Options) { o.Stats = fn } }
+
+// WithReady gates /readyz on fn (nil error = ready).
+func WithReady(fn func() error) Option { return func(o *Options) { o.Ready = fn } }
+
+// WithReaders supplies per-reader session status for /readyz.
+func WithReaders(fn func() []ReaderStatus) Option { return func(o *Options) { o.Readers = fn } }
+
+// WithDegraded supplies the degraded-mode flag for /readyz.
+func WithDegraded(fn func() bool) Option { return func(o *Options) { o.Degraded = fn } }
+
+// WithBroker feeds /api/v1/positions from b.
+func WithBroker(b *Broker) Option { return func(o *Options) { o.Broker = b } }
+
+// WithLogf routes serve-plane log lines to fn.
+func WithLogf(fn func(format string, args ...any)) Option { return func(o *Options) { o.Logf = fn } }
 
 // Server wraps an http.Server with the observability mux and a
 // graceful lifecycle: New → Start → Shutdown.
@@ -66,9 +110,21 @@ type Server struct {
 	ln net.Listener
 }
 
-// New builds the mux. The server is inert until Start (tests can drive
-// Handler through httptest instead).
-func New(opts Options) *Server {
+// New builds the mux from functional options. The server is inert
+// until Start (tests can drive Handler through httptest instead).
+func New(opts ...Option) *Server {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewFromOptions(o)
+}
+
+// NewFromOptions builds the mux from a filled Options struct.
+//
+// Deprecated: use New with functional options; this shim remains for
+// callers constructed around the Options struct.
+func NewFromOptions(opts Options) *Server {
 	s := &Server{opts: opts, mux: http.NewServeMux()}
 	s.requests = opts.Registry.CounterVec("dwatch_http_requests_total",
 		"Observability-plane HTTP requests by endpoint.", "path")
@@ -151,15 +207,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// readyResponse is the /readyz body: overall readiness plus the
+// per-reader session states and degraded-mode flag the fault-tolerant
+// deployment exposes.
+type readyResponse struct {
+	Ready    bool           `json:"ready"`
+	Reason   string         `json:"reason,omitempty"`
+	Degraded bool           `json:"degraded"`
+	Readers  []ReaderStatus `json:"readers,omitempty"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	resp := readyResponse{Ready: true}
 	if s.opts.Ready != nil {
 		if err := s.opts.Ready(); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
+			resp.Ready = false
+			resp.Reason = err.Error()
 		}
 	}
-	fmt.Fprintln(w, "ok")
+	if s.opts.Degraded != nil {
+		resp.Degraded = s.opts.Degraded()
+	}
+	if s.opts.Readers != nil {
+		resp.Readers = s.opts.Readers()
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSONStatus(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -170,16 +246,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/stats", r.Method))
+		return
+	}
 	if s.opts.Stats == nil {
-		http.Error(w, "stats unavailable", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "stats_unavailable",
+			"no stats hook configured on this deployment")
 		return
 	}
 	writeJSON(w, s.opts.Stats())
 }
 
 func (s *Server) handlePositions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/positions", r.Method))
+		return
+	}
 	if s.opts.Broker == nil {
-		http.Error(w, "positions unavailable", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "positions_unavailable",
+			"no position broker configured on this deployment")
 		return
 	}
 	if wantsEventStream(r) {
@@ -204,7 +292,8 @@ func wantsEventStream(r *http.Request) bool {
 func (s *Server) streamPositions(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "stream_unsupported",
+			"response writer does not support streaming")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -246,10 +335,34 @@ func writeEvent(w http.ResponseWriter, p Position) error {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	// An encode failure here means the client hung up mid-body;
 	// nothing recoverable.
 	_ = enc.Encode(v)
+}
+
+// apiError is the structured error envelope every /api/v1/* endpoint
+// (and the serve plane's JSON handlers generally) returns on failure:
+//
+//	{"error": {"code": "stats_unavailable", "message": "..."}}
+//
+// Code is a stable machine-readable identifier; Message is for humans.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSONStatus(w, status, apiError{Error: apiErrorBody{Code: code, Message: message}})
 }

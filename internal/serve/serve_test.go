@@ -16,7 +16,7 @@ import (
 )
 
 func TestHealthz(t *testing.T) {
-	s := New(Options{})
+	s := NewFromOptions(Options{})
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
 	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "ok") {
@@ -28,7 +28,7 @@ func TestHealthz(t *testing.T) {
 // passes — the baseline-confirmation gate as dwatchd wires it.
 func TestReadyzFlips(t *testing.T) {
 	ready := false
-	s := New(Options{Ready: func() error {
+	s := NewFromOptions(Options{Ready: func() error {
 		if !ready {
 			return errors.New("baseline: 0/2 readers confirmed")
 		}
@@ -56,7 +56,7 @@ func TestReadyzFlips(t *testing.T) {
 func TestMetricsExposition(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("dwatch_test_total", "A test counter.").Add(3)
-	s := New(Options{Registry: reg})
+	s := NewFromOptions(Options{Registry: reg})
 	h := s.Handler()
 
 	rr := httptest.NewRecorder()
@@ -91,7 +91,7 @@ func TestStatsJSON(t *testing.T) {
 		ReportsIn uint64
 		Fixes     uint64
 	}
-	s := New(Options{Stats: func() any { return fakeStats{ReportsIn: 12, Fixes: 3} }})
+	s := NewFromOptions(Options{Stats: func() any { return fakeStats{ReportsIn: 12, Fixes: 3} }})
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
 	if rr.Code != http.StatusOK {
@@ -109,7 +109,7 @@ func TestStatsJSON(t *testing.T) {
 	}
 
 	// No hook: 404, not a panic.
-	none := New(Options{})
+	none := NewFromOptions(Options{})
 	rr = httptest.NewRecorder()
 	none.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
 	if rr.Code != http.StatusNotFound {
@@ -122,7 +122,7 @@ func TestPositionsJSON(t *testing.T) {
 	b.Publish(Position{Env: "hall", Seq: 7, X: 1.5, Y: 2.5, Confidence: 40, Views: 2})
 	b.Publish(Position{Env: "hall", Seq: 8, X: 1.6, Y: 2.4, Confidence: 42, Views: 2})
 	b.Publish(Position{Env: "lab", Seq: 3, X: 0.5, Y: 0.5, Confidence: 10, Views: 2})
-	s := New(Options{Broker: b})
+	s := NewFromOptions(Options{Broker: b})
 
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/positions", nil))
@@ -143,7 +143,7 @@ func TestPositionsJSON(t *testing.T) {
 }
 
 func TestPprofMounted(t *testing.T) {
-	s := New(Options{})
+	s := NewFromOptions(Options{})
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
 	if rr.Code != http.StatusOK {
@@ -202,7 +202,7 @@ func readSSE(t *testing.T, body *bufio.Reader, n int, deadline time.Duration) []
 func TestPositionsSSE(t *testing.T) {
 	b := NewBroker()
 	b.Publish(Position{Env: "hall", Seq: 1, X: 1, Y: 1})
-	s := New(Options{Broker: b})
+	s := NewFromOptions(Options{Broker: b})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -257,7 +257,7 @@ func TestBrokerSlowSubscriberKeepsNewest(t *testing.T) {
 }
 
 func TestStartShutdown(t *testing.T) {
-	s := New(Options{})
+	s := NewFromOptions(Options{})
 	addr, err := s.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,102 @@
+package session
+
+import "time"
+
+// breakerState is the classic three-state circuit breaker: closed
+// (attempts flow), open (attempts rejected until the cooldown expires),
+// half-open (exactly one probe in flight; its outcome decides).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-reader circuit breaker. It is driven from a single
+// session goroutine, so it needs no lock; observers see its state only
+// through the supervisor's status table.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open → half-open delay
+
+	state    breakerState
+	failures int
+	openedAt time.Time
+
+	// onTransition, when set, observes every state change (metrics).
+	onTransition func(to breakerState)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a connection attempt may proceed now. When the
+// breaker is open and cooling down it returns false and how long until
+// the half-open probe unlocks. An allowed attempt from the open state
+// transitions to half-open (the probe).
+func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return true, 0
+	default: // open
+		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.transition(breakerHalfOpen)
+		return true, 0
+	}
+}
+
+// success records a successful connection: the breaker closes and the
+// failure streak resets.
+func (b *breaker) success() {
+	b.failures = 0
+	if b.state != breakerClosed {
+		b.transition(breakerClosed)
+	}
+}
+
+// failure records a failed attempt at the given time. A half-open
+// probe's failure re-opens immediately; in the closed state the breaker
+// opens once the consecutive-failure threshold is reached.
+func (b *breaker) failure(now time.Time) {
+	b.failures++
+	switch b.state {
+	case breakerHalfOpen:
+		b.openedAt = now
+		b.transition(breakerOpen)
+	case breakerClosed:
+		if b.failures >= b.threshold {
+			b.openedAt = now
+			b.transition(breakerOpen)
+		}
+	}
+}
+
+func (b *breaker) transition(to breakerState) {
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}

@@ -1,0 +1,93 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the breaker through the full state machine:
+// closed absorbs failures below the threshold, opens at the threshold,
+// rejects attempts during the cooldown, half-opens after it, and the
+// probe's outcome decides between closing and re-opening.
+func TestBreakerLifecycle(t *testing.T) {
+	var transitions []string
+	b := newBreaker(3, 100*time.Millisecond)
+	b.onTransition = func(to breakerState) { transitions = append(transitions, to.String()) }
+	now := time.Unix(0, 0)
+
+	// Closed: attempts always allowed; failures below threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		b.failure(now)
+		if b.state != breakerClosed {
+			t.Fatalf("opened after %d failures, threshold is 3", i+1)
+		}
+	}
+
+	// Third consecutive failure opens it.
+	b.failure(now)
+	if b.state != breakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.state)
+	}
+
+	// During the cooldown attempts are rejected with the remaining wait.
+	ok, wait := b.allow(now.Add(40 * time.Millisecond))
+	if ok {
+		t.Fatal("open breaker allowed attempt inside cooldown")
+	}
+	if want := 60 * time.Millisecond; wait != want {
+		t.Fatalf("cooldown wait = %v, want %v", wait, want)
+	}
+
+	// Past the cooldown the next attempt is the half-open probe.
+	if ok, _ := b.allow(now.Add(150 * time.Millisecond)); !ok {
+		t.Fatal("breaker did not half-open after cooldown")
+	}
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.state)
+	}
+
+	// Probe failure re-opens immediately (no threshold accumulation).
+	b.failure(now.Add(160 * time.Millisecond))
+	if b.state != breakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", b.state)
+	}
+
+	// Second probe succeeds: breaker closes and the streak resets.
+	if ok, _ := b.allow(now.Add(300 * time.Millisecond)); !ok {
+		t.Fatal("breaker did not half-open for second probe")
+	}
+	b.success()
+	if b.state != breakerClosed || b.failures != 0 {
+		t.Fatalf("state=%v failures=%d after probe success, want closed/0", b.state, b.failures)
+	}
+
+	want := []string{"open", "half-open", "open", "half-open", "closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (full: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+// TestBreakerSuccessResetsStreak verifies a success between failures
+// clears the consecutive count, so intermittent flaps don't open it.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(2, time.Second)
+	now := time.Unix(0, 0)
+	b.failure(now)
+	b.success()
+	b.failure(now)
+	if b.state != breakerClosed {
+		t.Fatal("breaker opened despite interleaved success")
+	}
+	b.failure(now)
+	if b.state != breakerOpen {
+		t.Fatal("breaker did not open after two consecutive failures")
+	}
+}

@@ -1,0 +1,182 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is returned by FaultConn reads/writes when the
+// injector tears the connection down mid-message.
+var ErrInjectedReset = errors.New("session: injected connection reset")
+
+// FaultConfig parameterizes the deterministic fault injector. All
+// probabilities are per-operation (one fault at most per Read/Write);
+// the zero value injects nothing.
+type FaultConfig struct {
+	// Seed makes the fault sequence reproducible: the same seed and the
+	// same operation sequence yield the same faults.
+	Seed int64
+
+	// DropProb silently discards a whole Write (reported as successful).
+	// Because LLRP frames span multiple writes, a dropped write
+	// desynchronizes the stream and exercises the peer's parser errors.
+	DropProb float64
+	// DelayProb stalls an operation for up to MaxDelay.
+	DelayProb float64
+	// MaxDelay bounds an injected stall. 0 = 5ms.
+	MaxDelay time.Duration
+	// PartialProb writes only a prefix of the buffer and returns
+	// io.ErrShortWrite — a partial-frame write.
+	PartialProb float64
+	// ResetProb closes the underlying connection mid-message and
+	// returns ErrInjectedReset.
+	ResetProb float64
+	// CorruptProb flips one byte of the buffer before writing it.
+	CorruptProb float64
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 5 * time.Millisecond
+	}
+	return c
+}
+
+// FaultConn wraps a net.Conn with seeded fault injection: drops,
+// delays, partial-frame writes, mid-message resets, and byte
+// corruption. It is deterministic given the seed and the sequence of
+// operations, which is what lets chaos tests assert exact recovery
+// behavior. Safe for one concurrent reader plus one concurrent writer
+// (the rand source is locked).
+type FaultConn struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultConn wraps c with the given fault profile.
+func NewFaultConn(c net.Conn, cfg FaultConfig) *FaultConn {
+	cfg = cfg.withDefaults()
+	return &FaultConn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// fault is one injected failure mode.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDrop
+	faultDelay
+	faultPartial
+	faultReset
+	faultCorrupt
+)
+
+// roll draws at most one fault for an operation. The candidate order is
+// fixed so the draw sequence is reproducible.
+func (f *FaultConn) roll(write bool) (fault, float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u := f.rng.Float64()
+	aux := f.rng.Float64() // second draw: delay length / corrupt position
+	p := u
+	if p < f.cfg.ResetProb {
+		return faultReset, aux
+	}
+	p -= f.cfg.ResetProb
+	if p < f.cfg.DelayProb {
+		return faultDelay, aux
+	}
+	p -= f.cfg.DelayProb
+	if write {
+		if p < f.cfg.DropProb {
+			return faultDrop, aux
+		}
+		p -= f.cfg.DropProb
+		if p < f.cfg.PartialProb {
+			return faultPartial, aux
+		}
+		p -= f.cfg.PartialProb
+		if p < f.cfg.CorruptProb {
+			return faultCorrupt, aux
+		}
+	}
+	return faultNone, aux
+}
+
+// Read applies reset/delay faults, then reads.
+func (f *FaultConn) Read(b []byte) (int, error) {
+	switch kind, aux := f.roll(false); kind {
+	case faultReset:
+		f.Conn.Close()
+		return 0, ErrInjectedReset
+	case faultDelay:
+		time.Sleep(time.Duration(aux * float64(f.cfg.MaxDelay)))
+	}
+	return f.Conn.Read(b)
+}
+
+// Write applies one fault (reset, delay, drop, partial, corrupt), then
+// writes.
+func (f *FaultConn) Write(b []byte) (int, error) {
+	switch kind, aux := f.roll(true); kind {
+	case faultReset:
+		f.Conn.Close()
+		return 0, ErrInjectedReset
+	case faultDelay:
+		time.Sleep(time.Duration(aux * float64(f.cfg.MaxDelay)))
+	case faultDrop:
+		return len(b), nil
+	case faultPartial:
+		n := int(aux * float64(len(b)))
+		if n >= len(b) {
+			n = len(b) - 1
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > 0 {
+			if w, err := f.Conn.Write(b[:n]); err != nil {
+				return w, err
+			}
+		}
+		return n, io.ErrShortWrite
+	case faultCorrupt:
+		if len(b) > 0 {
+			c := make([]byte, len(b))
+			copy(c, b)
+			c[int(aux*float64(len(c)))%len(c)] ^= 0xFF
+			b = c
+		}
+	}
+	return f.Conn.Write(b)
+}
+
+// FaultDialer returns a dial function that wraps every new connection
+// in a FaultConn. Each connection derives its own seed from the base
+// seed and a connection counter, so the fault sequence is reproducible
+// across reconnects, not identical on every one.
+func FaultDialer(cfg FaultConfig) func(ctx context.Context, addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	var conns int64
+	var d net.Dialer
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		nc, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns++
+		c := cfg
+		c.Seed = cfg.Seed + conns*7919 // distinct stream per connection
+		mu.Unlock()
+		return NewFaultConn(nc, c), nil
+	}
+}

@@ -1,0 +1,147 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// memConn is an in-memory net.Conn stub: writes accumulate in a
+// buffer, reads drain a preloaded one. Enough surface for the injector.
+type memConn struct {
+	net.Conn
+	rd  bytes.Reader
+	wr  bytes.Buffer
+	cls bool
+}
+
+func (m *memConn) Read(b []byte) (int, error)  { return m.rd.Read(b) }
+func (m *memConn) Write(b []byte) (int, error) { return m.wr.Write(b) }
+func (m *memConn) Close() error                { m.cls = true; return nil }
+
+// TestFaultConnDeterministic asserts the injector's core contract: the
+// same seed and the same operation sequence produce the same fault
+// sequence, byte for byte. Chaos tests lean on this to compare a
+// faulted run against a clean one.
+func TestFaultConnDeterministic(t *testing.T) {
+	cfg := FaultConfig{
+		Seed:        7,
+		DropProb:    0.2,
+		PartialProb: 0.2,
+		CorruptProb: 0.2,
+		MaxDelay:    time.Microsecond, // keep injected delays invisible
+		DelayProb:   0.1,
+	}
+	run := func() ([]byte, []error) {
+		mc := &memConn{}
+		fc := NewFaultConn(mc, cfg)
+		var errs []error
+		for i := 0; i < 64; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 16)
+			_, err := fc.Write(msg)
+			errs = append(errs, err)
+		}
+		return mc.wr.Bytes(), errs
+	}
+	b1, e1 := run()
+	b2, e2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different byte streams (%d vs %d bytes)", len(b1), len(b2))
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("error counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if !errors.Is(e1[i], e2[i]) && (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("op %d: error mismatch %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	// With these probabilities over 64 writes the stream must actually
+	// diverge from the clean transcript — otherwise the test is vacuous.
+	clean := &memConn{}
+	for i := 0; i < 64; i++ {
+		clean.wr.Write(bytes.Repeat([]byte{byte(i)}, 16))
+	}
+	if bytes.Equal(b1, clean.wr.Bytes()) {
+		t.Fatal("fault injector produced a fault-free transcript")
+	}
+}
+
+// TestFaultConnSeedsDiverge: different seeds give different fault
+// sequences (the per-connection seed derivation in FaultDialer depends
+// on this).
+func TestFaultConnSeedsDiverge(t *testing.T) {
+	write := func(seed int64) []byte {
+		mc := &memConn{}
+		fc := NewFaultConn(mc, FaultConfig{Seed: seed, DropProb: 0.5})
+		for i := 0; i < 32; i++ {
+			fc.Write(bytes.Repeat([]byte{byte(i)}, 8))
+		}
+		return mc.wr.Bytes()
+	}
+	if bytes.Equal(write(1), write(2)) {
+		t.Fatal("seeds 1 and 2 produced identical fault sequences")
+	}
+}
+
+// TestFaultConnReset: a reset fault closes the underlying conn and
+// surfaces ErrInjectedReset to the caller.
+func TestFaultConnReset(t *testing.T) {
+	mc := &memConn{}
+	fc := NewFaultConn(mc, FaultConfig{Seed: 1, ResetProb: 1})
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	if !mc.cls {
+		t.Fatal("underlying conn not closed on injected reset")
+	}
+}
+
+// TestFaultConnPartial: a partial fault writes a strict prefix and
+// returns io.ErrShortWrite, so frame writers see a torn frame.
+func TestFaultConnPartial(t *testing.T) {
+	mc := &memConn{}
+	fc := NewFaultConn(mc, FaultConfig{Seed: 1, PartialProb: 1})
+	msg := []byte("0123456789")
+	n, err := fc.Write(msg)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("partial write wrote %d of %d bytes", n, len(msg))
+	}
+	if got := mc.wr.Bytes(); !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("wire bytes %q are not a prefix of the message", got)
+	}
+}
+
+// TestFaultConnCorrupt: corruption flips exactly one byte and does not
+// mutate the caller's buffer.
+func TestFaultConnCorrupt(t *testing.T) {
+	mc := &memConn{}
+	fc := NewFaultConn(mc, FaultConfig{Seed: 1, CorruptProb: 1})
+	msg := []byte("0123456789")
+	orig := append([]byte(nil), msg...)
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("corrupt fault mutated the caller's buffer")
+	}
+	got := mc.wr.Bytes()
+	if len(got) != len(msg) {
+		t.Fatalf("wire length %d != %d", len(got), len(msg))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt fault flipped %d bytes, want exactly 1", diff)
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"dwatch/internal/calib"
+	"dwatch/internal/channel"
+	"dwatch/internal/geom"
+	"dwatch/internal/llrp"
+	"dwatch/internal/reader"
+)
+
+// LLRPRound is one pre-generated acquisition round: the marshaled
+// RO_ACCESS_REPORT payload every reader would transmit for one
+// sequence number. Rounds are generated sequentially from the
+// scenario's single Rng, so the byte streams are deterministic — the
+// property the chaos tests lean on to assert bit-identical recovery.
+type LLRPRound struct {
+	Seq uint32
+	// Target is true for rounds with the walking target present
+	// (baseline rounds are target-free).
+	Target bool
+	// Payloads maps reader ID to its marshaled ROAccessReport.
+	Payloads map[string][]byte
+}
+
+// GenerateLLRPRounds pre-computes the report byte streams for two
+// baseline rounds followed by `rounds` rounds of a target walking
+// across the middle of the room — the same trajectory dwatchd
+// -simulate streams live. snapshotsPerTag ≤ 0 uses the paper's 10.
+func GenerateLLRPRounds(sc *Scenario, rounds, snapshotsPerTag int) ([]LLRPRound, error) {
+	pts := make([]geom.Point, rounds)
+	for k := range pts {
+		f := float64(k+1) / float64(rounds+1)
+		pts[k] = geom.Pt(sc.Cfg.Width*(0.3+0.4*f), sc.Cfg.Depth/2, sc.Cfg.ArrayZ)
+	}
+	return GenerateLLRPRoundsAt(sc, pts, snapshotsPerTag)
+}
+
+// GenerateLLRPRoundsAt is GenerateLLRPRounds with an explicit target
+// trajectory: two baseline rounds, then one round per position. Tests
+// pass positions they know the deployment covers (deadzones are real,
+// Section 8).
+//
+// Generation is strictly sequential (reader.Acquire draws from the
+// scenario's shared Rng), which is exactly why endpoints replay these
+// bytes instead of acquiring concurrently.
+func GenerateLLRPRoundsAt(sc *Scenario, positions []geom.Point, snapshotsPerTag int) ([]LLRPRound, error) {
+	if snapshotsPerTag <= 0 {
+		snapshotsPerTag = 10
+	}
+	out := make([]LLRPRound, 0, len(positions)+2)
+	seq := uint32(0)
+	gen := func(targets []channel.Target) error {
+		seq++
+		rd := LLRPRound{Seq: seq, Target: len(targets) > 0, Payloads: make(map[string][]byte, len(sc.Readers))}
+		for _, r := range sc.Readers {
+			snaps, err := r.Acquire(sc.Env, sc.Tags, targets, reader.AcquireOptions{Snapshots: snapshotsPerTag})
+			if err != nil {
+				return err
+			}
+			rep := &llrp.ROAccessReport{ReaderID: r.ID, Seq: seq}
+			for _, sn := range snaps {
+				// Stream calibrated samples: the simulated reader knows
+				// its own RF-chain offsets (wired ground truth), standing
+				// in for the Section 4.1 power-on calibration.
+				x, err := calib.Apply(sn.Data, r.Offsets)
+				if err != nil {
+					return err
+				}
+				snapshot := make([][]complex128, x.Rows)
+				for row := 0; row < x.Rows; row++ {
+					snapshot[row] = append([]complex128(nil), x.Data[row*x.Cols:(row+1)*x.Cols]...)
+				}
+				rep.Reports = append(rep.Reports, llrp.TagReport{
+					EPC:          sn.Tag.EPC,
+					AntennaID:    1,
+					PeakRSSIcdBm: sn.RSSIcdBm,
+					Snapshot:     snapshot,
+				})
+			}
+			payload, err := rep.Marshal()
+			if err != nil {
+				return err
+			}
+			rd.Payloads[r.ID] = payload
+		}
+		out = append(out, rd)
+		return nil
+	}
+	// Two baseline rounds: the stability filter needs a confirmation.
+	if err := gen(nil); err != nil {
+		return nil, err
+	}
+	if err := gen(nil); err != nil {
+		return nil, err
+	}
+	for _, pos := range positions {
+		if err := gen([]channel.Target{channel.HumanTarget(pos)}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReaderEndpoint emulates one COTS reader's LLRP listener: the
+// direction real deployments use, where the reader accepts the
+// localization server's connection, answers the capabilities exchange
+// and keepalive probes, and streams RO_ACCESS_REPORTs once a ROSpec is
+// started. internal/session dials these; tests and dwatchd -chaos kill
+// and restart them to exercise the supervisor.
+type ReaderEndpoint struct {
+	// ID is reported in the capabilities exchange; it must match the
+	// session's expected reader ID or the supervisor rejects the
+	// connection.
+	ID string
+	// Antennas reported in capabilities.
+	Antennas int
+	// Model string reported in capabilities ("" = speedway-r420-sim).
+	Model string
+
+	mu      sync.Mutex
+	ln      net.Listener
+	addr    string
+	conns   map[*llrp.Conn]bool // value: StartROSpec received
+	started chan struct{}       // closed once any conn is streaming
+	wg      sync.WaitGroup
+}
+
+// ErrEndpointDown is returned by Broadcast when no streaming
+// connection exists.
+var ErrEndpointDown = errors.New("sim: reader endpoint has no streaming connection")
+
+// NewReaderEndpoint builds a stopped endpoint. Start brings it up.
+func NewReaderEndpoint(id string, antennas int) *ReaderEndpoint {
+	return &ReaderEndpoint{ID: id, Antennas: antennas}
+}
+
+// Start listens on addr (":0" picks a port; pass a previous Addr() to
+// restart on the same port after Stop) and serves connections until
+// Stop.
+func (e *ReaderEndpoint) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.ln != nil {
+		e.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("sim: endpoint %s already started", e.ID)
+	}
+	e.ln = ln
+	e.addr = ln.Addr().String()
+	e.conns = make(map[*llrp.Conn]bool)
+	e.started = make(chan struct{})
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// Addr returns the last listen address (stable across Stop, so a
+// restart can reuse it).
+func (e *ReaderEndpoint) Addr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.addr
+}
+
+// Stop closes the listener and every connection and waits for the
+// serving goroutines — the chaos tests' "kill this reader" switch.
+func (e *ReaderEndpoint) Stop() {
+	e.mu.Lock()
+	ln := e.ln
+	e.ln = nil
+	conns := make([]*llrp.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.conns = nil
+	e.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	e.wg.Wait()
+}
+
+// Streaming reports whether at least one connection has completed the
+// handshake and received StartROSpec.
+func (e *ReaderEndpoint) Streaming() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, started := range e.conns {
+		if started {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitStreaming returns a channel closed once any connection is
+// streaming (never closed if the endpoint is stopped first).
+func (e *ReaderEndpoint) WaitStreaming() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.started
+}
+
+// Broadcast sends one marshaled ROAccessReport payload to every
+// streaming connection (normally exactly one: the supervisor's).
+func (e *ReaderEndpoint) Broadcast(payload []byte) error {
+	e.mu.Lock()
+	conns := make([]*llrp.Conn, 0, len(e.conns))
+	for c, started := range e.conns {
+		if started {
+			conns = append(conns, c)
+		}
+	}
+	e.mu.Unlock()
+	if len(conns) == 0 {
+		return ErrEndpointDown
+	}
+	var firstErr error
+	for _, c := range conns {
+		if _, err := c.Send(llrp.MsgROAccessReport, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (e *ReaderEndpoint) acceptLoop(ln net.Listener) {
+	defer e.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := llrp.NewConn(nc)
+		e.mu.Lock()
+		if e.conns == nil { // stopped concurrently
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.conns[conn] = false
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.serveConn(conn)
+	}
+}
+
+// serveConn speaks the reader side of the protocol: greeting, then a
+// request/response loop. A parse error (e.g. an injected corrupt or
+// dropped client write desynchronizing the stream) closes the
+// connection, exactly as a real reader would drop a garbled session.
+func (e *ReaderEndpoint) serveConn(conn *llrp.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		if e.conns != nil {
+			delete(e.conns, conn)
+		}
+		e.mu.Unlock()
+	}()
+	// Keepalive probes arrive on the session's cadence, which chaos
+	// tests compress to tens of milliseconds; disable the idle deadline
+	// and rely on Stop closing the conn.
+	conn.SetTimeout(0)
+	ev := llrp.ReaderEvent{Text: "connection established"}
+	if err := conn.SendWithID(llrp.MsgReaderEventNotification, 0, ev.Marshal()); err != nil {
+		return
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case llrp.MsgGetReaderCapabilities:
+			model := e.Model
+			if model == "" {
+				model = "speedway-r420-sim"
+			}
+			caps := llrp.ReaderCapabilities{
+				ReaderID: e.ID,
+				Antennas: uint16(e.Antennas),
+				Model:    model,
+			}
+			if err := conn.SendWithID(llrp.MsgGetReaderCapabilitiesResponse, msg.ID, caps.Marshal()); err != nil {
+				return
+			}
+		case llrp.MsgStartROSpec:
+			if err := conn.SendWithID(llrp.MsgStartROSpecResponse, msg.ID, nil); err != nil {
+				return
+			}
+			e.mu.Lock()
+			if e.conns != nil {
+				e.conns[conn] = true
+				select {
+				case <-e.started:
+				default:
+					close(e.started)
+				}
+			}
+			e.mu.Unlock()
+		case llrp.MsgKeepalive:
+			if err := conn.SendWithID(llrp.MsgKeepaliveAck, msg.ID, nil); err != nil {
+				return
+			}
+		case llrp.MsgCloseConnection:
+			_ = conn.SendWithID(llrp.MsgCloseConnectionResponse, msg.ID, nil)
+			return
+		}
+	}
+}

@@ -21,6 +21,16 @@ fetch() {
     fi
 }
 
+# fetch_body tolerates non-200 responses: /readyz bodies matter even
+# while the plane answers 503.
+fetch_body() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sS --max-time 5 "$1"
+    else
+        wget -q -T 5 -O - "$1" 2>/dev/null || true
+    fi
+}
+
 cleanup() {
     [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
     rm -f "$BIN" "$LOG"
@@ -85,5 +95,64 @@ until fetch "http://$HTTP_ADDR/readyz" >/dev/null 2>&1; do
     sleep 0.2
 done
 echo "ok: /readyz"
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+PID=
+
+# Phase 2: supervised chaos mode. dwatchd dials in-process simulated
+# readers, kills one mid-run, and restarts it; /readyz must report the
+# outage (a reader down, fusion degraded) and then the recovery.
+echo "== starting dwatchd -chaos -http $HTTP_ADDR"
+"$BIN" -env hall -chaos -chaos-flap 3s -rounds 40 -http "$HTTP_ADDR" >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until fetch_body "http://$HTTP_ADDR/readyz" | grep -q '"ready": true'; do
+    i=$((i + 1))
+    if [ "$i" -ge 150 ]; then
+        echo "FAIL: supervised /readyz never turned ready" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "FAIL: dwatchd -chaos exited early" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "ok: supervised /readyz ready"
+
+# Down: the flapped reader shows up as non-up state + degraded flag.
+i=0
+until fetch_body "http://$HTTP_ADDR/readyz" | grep -q '"degraded": true'; do
+    i=$((i + 1))
+    if [ "$i" -ge 150 ]; then
+        echo "FAIL: /readyz never reported the outage" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "ok: /readyz reports outage (degraded quorum)"
+
+# Up again: the supervisor reconnects and the degraded flag clears.
+i=0
+until fetch_body "http://$HTTP_ADDR/readyz" | grep -q '"degraded": false'; do
+    i=$((i + 1))
+    if [ "$i" -ge 200 ]; then
+        echo "FAIL: /readyz never recovered after the flap" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "FAIL: dwatchd -chaos exited before recovery was observed" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "ok: /readyz recovered (reader reconnected)"
 
 echo "serve-smoke: PASS"
