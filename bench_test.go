@@ -21,6 +21,7 @@ import (
 	"dwatch/internal/cmatrix"
 	"dwatch/internal/experiments"
 	"dwatch/internal/geom"
+	"dwatch/internal/health"
 	"dwatch/internal/llrp"
 	"dwatch/internal/loc"
 	"dwatch/internal/music"
@@ -30,6 +31,7 @@ import (
 	"dwatch/internal/reader"
 	"dwatch/internal/rf"
 	"dwatch/internal/sim"
+	"dwatch/internal/tracing"
 )
 
 // benchOpts keeps per-iteration cost moderate; the figures' shapes are
@@ -530,18 +532,21 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			runPipelineThroughput(b, sc, arrays, reports, spectra, workers, nil)
+			runPipelineThroughput(b, sc, arrays, reports, spectra, workers)
 		})
 	}
 }
 
 // BenchmarkPipelineThroughputInstrumented repeats the workers=4 run
-// with an obs.Registry attached — every report, spectrum, and fix also
-// increments the Prometheus-facing counters and the stage-span
-// histograms. Compare against BenchmarkPipelineThroughput/workers=4 in
-// BENCH_hotpath.json: the instrumentation budget is ~5% of the
+// with the full observability stack attached — an obs.Registry (every
+// report, spectrum, and fix increments the Prometheus-facing counters
+// and stage-span histograms), a per-sequence tracer (spans and events
+// on every stage), and the RF-health monitor (EWMA updates per
+// spectrum). Compare against BenchmarkPipelineThroughput/workers=4 in
+// BENCH_hotpath.json: the full instrumentation budget is <10% of the
 // uninstrumented reports/s (labeled children are pre-resolved atomics,
-// so the cost is a handful of atomic adds per snapshot).
+// trace spans append under a short lock, and health EWMAs touch a few
+// floats per path).
 func BenchmarkPipelineThroughputInstrumented(b *testing.B) {
 	sc, err := sim.Build(sim.TableConfig())
 	if err != nil {
@@ -557,15 +562,19 @@ func BenchmarkPipelineThroughputInstrumented(b *testing.B) {
 		spectra += len(rep.Reports)
 	}
 	b.Run("workers=4", func(b *testing.B) {
-		runPipelineThroughput(b, sc, arrays, reports, spectra, 4, obs.NewRegistry())
+		reg := obs.NewRegistry()
+		runPipelineThroughput(b, sc, arrays, reports, spectra, 4,
+			pipeline.WithObs(reg),
+			pipeline.WithTracer(tracing.New()),
+			pipeline.WithHealth(health.New(reg, health.Options{})))
 	})
 }
 
-func runPipelineThroughput(b *testing.B, sc *sim.Scenario, arrays map[string]*rf.Array, reports []*llrp.ROAccessReport, spectra, workers int, reg *obs.Registry) {
+func runPipelineThroughput(b *testing.B, sc *sim.Scenario, arrays map[string]*rf.Array, reports []*llrp.ROAccessReport, spectra, workers int, extra ...pipeline.Option) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
-			pipeline.WithWorkers(workers), pipeline.WithObs(reg))
+		opts := append([]pipeline.Option{pipeline.WithWorkers(workers)}, extra...)
+		p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid}, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}

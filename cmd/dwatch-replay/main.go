@@ -22,19 +22,21 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
 	"dwatch/internal/dwatch"
+	"dwatch/internal/health"
 	"dwatch/internal/llrp"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
 	"dwatch/internal/rf"
 	"dwatch/internal/serve"
 	"dwatch/internal/sim"
+	"dwatch/internal/tracing"
 )
 
 func main() {
@@ -43,7 +45,16 @@ func main() {
 	dropFloor := flag.Float64("drop-floor", 0, "override the per-path drop floor (0 = default)")
 	workers := flag.Int("workers", 0, "spectrum worker pool size (0 = GOMAXPROCS)")
 	httpAddr := flag.String("http", "", "serve the observability plane (metrics, health, positions, pprof) on this address during replay; empty = disabled")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
+	switch *logFormat {
+	case "", "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
@@ -62,14 +73,22 @@ func main() {
 
 	var reg *obs.Registry
 	var broker *serve.Broker
+	var tracer *tracing.Tracer
+	var mon *health.Monitor
 	if *httpAddr != "" {
 		reg = obs.NewRegistry()
 		broker = serve.NewBroker()
+		tracer = tracing.New()
+		mon = health.New(reg, health.Options{})
+		obs.RegisterBuildInfo(reg)
 	}
 	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
 		pipeline.WithWorkers(*workers),
 		pipeline.WithFuser(dwatch.Config{DropFloor: *dropFloor}),
 		pipeline.WithObs(reg),
+		pipeline.WithTracer(tracer),
+		pipeline.WithHealth(mon),
+		pipeline.WithLogger(logger),
 	)
 	if err != nil {
 		fatal(err)
@@ -85,12 +104,15 @@ func main() {
 				X: fix.Pos.X, Y: fix.Pos.Y,
 				Confidence: fix.Confidence, Views: fix.Views,
 				Readers: fix.Readers, Degraded: fix.Degraded,
-				Time: time.Now(),
+				TraceID: fix.TraceID,
+				Time:    time.Now(),
 			})
 		})
 		plane = serve.New(
 			serve.WithRegistry(reg),
 			serve.WithBroker(broker),
+			serve.WithTracer(tracer),
+			serve.WithHealth(mon),
 			serve.WithStats(func() any { return p.Stats() }),
 			serve.WithReady(func() error {
 				if st := p.Stats(); st.BaselinesConfirmed < uint64(len(arrays)) {
@@ -98,13 +120,15 @@ func main() {
 				}
 				return nil
 			}),
-			serve.WithLogf(log.Printf),
+			serve.WithLogf(func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			}),
 		)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("observability plane on http://%s/\n", planeAddr)
+		logger.Info("observability plane up", "url", "http://"+planeAddr.String()+"/")
 	}
 	p.Start()
 
@@ -200,7 +224,11 @@ func preset(name string) (sim.Config, error) {
 	}
 }
 
+// logger is the diagnostic sink; replay results still go to stdout so
+// the tool stays pipeline-friendly.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dwatch-replay:", err)
+	logger.Error("dwatch-replay failed", "error", err)
 	os.Exit(1)
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// logger is the process-wide structured logger; main replaces it per
+// the -log-format flag before any subsystem starts.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// newLogger builds the slog sink selected by -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// fatal logs at error level and exits, the structured replacement for
+// log.Fatal.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// slogf adapts the structured logger to printf-style sinks (the serve
+// plane's Logf hook).
+func slogf(l *slog.Logger) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

@@ -35,16 +35,21 @@
 // -http serves the observability plane (opt-in, off by default):
 // Prometheus /metrics, /healthz, /readyz (ready once every reader's
 // baseline is confirmed), /api/v1/stats, /api/v1/positions (latest fix
-// per environment, or a live SSE stream with ?stream=1), and
-// /debug/pprof/* for profiling the spectrum and fusion hot paths.
-// -pprof is a deprecated alias for -http.
+// per environment, or a live SSE stream with ?stream=1),
+// /api/v1/traces (per-sequence pipeline traces; append /{id} for one
+// trace, ?format=chrome for a chrome://tracing export), /api/v1/health
+// (per-reader RF health: read rates, path power drift, calibration
+// residuals), and /debug/pprof/* for profiling the spectrum and fusion
+// hot paths. -pprof is a deprecated alias for -http.
+//
+// Logs are structured (log/slog); -log-format json switches the sink
+// from human-readable text to JSON lines.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +61,7 @@ import (
 	"dwatch/internal/channel"
 	"dwatch/internal/dwatch"
 	"dwatch/internal/geom"
+	"dwatch/internal/health"
 	"dwatch/internal/llrp"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
@@ -63,6 +69,7 @@ import (
 	"dwatch/internal/rf"
 	"dwatch/internal/serve"
 	"dwatch/internal/sim"
+	"dwatch/internal/tracing"
 )
 
 func main() {
@@ -82,56 +89,66 @@ func main() {
 	chaos := flag.Bool("chaos", false, "supervised chaos demo: dial in-process simulated readers through a fault injector and flap one mid-run")
 	chaosFlap := flag.Duration("chaos-flap", 2*time.Second, "how long the chaos run keeps the flapped reader down")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos fault injector and reconnect jitter")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	l, err := newLogger(*logFormat)
+	if err != nil {
+		fatal("bad flag", "error", err)
+	}
+	logger = l
 
 	if *pprofAddr != "" {
 		if *httpAddr == "" {
 			*httpAddr = *pprofAddr
 		}
-		log.Printf("-pprof is deprecated; use -http (serving full observability plane on %s)", *httpAddr)
+		logger.Warn("-pprof is deprecated; use -http (serving full observability plane)", "addr", *httpAddr)
 	}
 
 	cfg, err := preset(*env)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad environment", "error", err)
 	}
 	sc, err := sim.Build(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("scenario build failed", "error", err)
 	}
 	policy, err := parseOverload(*overload)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad flag", "error", err)
 	}
 
 	srv, err := newServer(sc, pipelineOptions{
 		workers: *workers, queue: *queue, overload: policy, seqTTL: *seqTTL,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("server init failed", "error", err)
 	}
 	if *httpAddr != "" {
 		srv.obs = obs.NewRegistry()
 		srv.broker = serve.NewBroker()
+		srv.tracer = tracing.New()
+		srv.health = health.New(srv.obs, health.Options{})
+		obs.RegisterBuildInfo(srv.obs)
 	}
 	srv.statePath = *statePath
 	if *recordPath != "" {
 		f, err := os.Create(*recordPath)
 		if err != nil {
-			log.Fatalf("record: %v", err)
+			fatal("record file", "path", *recordPath, "error", err)
 		}
 		srv.recorder = llrp.NewRecordWriter(f)
 		defer srv.recorder.Close()
-		log.Printf("recording reports to %s", *recordPath)
+		logger.Info("recording reports", "path", *recordPath)
 	}
 	if *statePath != "" {
 		if f, err := os.Open(*statePath); err == nil {
 			err := srv.loadState(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("load state %s: %v", *statePath, err)
+				fatal("load state failed", "path", *statePath, "error", err)
 			}
-			log.Printf("baseline state restored from %s", *statePath)
+			logger.Info("baseline state restored", "path", *statePath)
 		}
 	}
 	if *chaos || *dial != "" {
@@ -139,7 +156,7 @@ func main() {
 			dial: *dial, chaos: *chaos, chaosSeed: *chaosSeed,
 			flap: *chaosFlap, rounds: *rounds, httpAddr: *httpAddr,
 		}); err != nil {
-			log.Fatal(err)
+			fatal("supervised run failed", "error", err)
 		}
 		return
 	}
@@ -147,25 +164,28 @@ func main() {
 	srv.start()
 	addr, err := srv.llrp.Listen(*listen)
 	if err != nil {
-		log.Fatal(err)
+		fatal("llrp listen failed", "addr", *listen, "error", err)
 	}
-	log.Printf("dwatchd listening on %s (env %s, %d readers expected, %d workers, %s overload)",
-		addr, sc.Name, len(sc.Readers), pipelineWorkers(*workers), policy)
+	logger.Info("dwatchd listening", "addr", addr.String(), "env", sc.Name,
+		"readers", len(sc.Readers), "workers", pipelineWorkers(*workers), "overload", policy.String())
 
 	var plane *serve.Server
 	if *httpAddr != "" {
 		plane = serve.New(
 			serve.WithRegistry(srv.obs),
 			serve.WithBroker(srv.broker),
+			serve.WithTracer(srv.tracer),
+			serve.WithHealth(srv.health),
 			serve.WithStats(func() any { return srv.pipe.Stats() }),
 			serve.WithReady(srv.ready),
-			serve.WithLogf(log.Printf),
+			serve.WithLogf(slogf(logger)),
 		)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {
-			log.Fatalf("observability plane: %v", err)
+			fatal("observability plane failed", "error", err)
 		}
-		log.Printf("observability plane on http://%s/ (metrics, healthz, readyz, api/v1, debug/pprof)", planeAddr)
+		logger.Info("observability plane up", "url", "http://"+planeAddr.String()+"/",
+			"endpoints", "metrics healthz readyz api/v1 debug/pprof")
 	}
 
 	done := make(chan error, 1)
@@ -174,7 +194,7 @@ func main() {
 	if *simulate {
 		go func() {
 			if err := runSimulatedReaders(sc, addr.String(), *rounds); err != nil {
-				log.Printf("simulated readers: %v", err)
+				logger.Error("simulated readers failed", "error", err)
 			}
 			// Give the server a moment to drain, then stop.
 			time.Sleep(300 * time.Millisecond)
@@ -194,7 +214,7 @@ func main() {
 		<-done
 	case err := <-done:
 		if err != nil && err != llrp.ErrServerClosed {
-			log.Fatal(err)
+			fatal("llrp server failed", "error", err)
 		}
 	}
 	srv.shutdown()
@@ -202,7 +222,7 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		if err := plane.Shutdown(ctx); err != nil {
-			log.Printf("observability plane shutdown: %v", err)
+			logger.Warn("observability plane shutdown", "error", err)
 		}
 	}
 }
@@ -257,10 +277,12 @@ type server struct {
 	pipe *pipeline.Pipeline
 	opts pipelineOptions
 
-	// obs and broker are nil unless -http is set; the pipeline and fix
-	// subscription tolerate both being absent.
+	// obs, broker, tracer, and health are nil unless -http is set; the
+	// pipeline and fix subscription tolerate all of them being absent.
 	obs    *obs.Registry
 	broker *serve.Broker
+	tracer *tracing.Tracer
+	health *health.Monitor
 
 	// liveReaders is set in supervised mode before start(): the
 	// assembler's oracle for quorum-degraded fusion when readers die.
@@ -295,6 +317,9 @@ func (s *server) start() {
 		pipeline.WithSeqTTL(s.opts.seqTTL),
 		pipeline.WithOnBaseline(s.onBaseline),
 		pipeline.WithObs(s.obs),
+		pipeline.WithTracer(s.tracer),
+		pipeline.WithHealth(s.health),
+		pipeline.WithLogger(logger),
 	}
 	if s.restored != nil {
 		opts = append(opts, pipeline.WithRestored(s.restored))
@@ -304,7 +329,7 @@ func (s *server) start() {
 	}
 	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: s.sc.Grid}, opts...)
 	if err != nil {
-		log.Fatalf("pipeline: %v", err)
+		fatal("pipeline init failed", "error", err)
 	}
 	s.pipe = p
 	if s.broker != nil {
@@ -317,7 +342,8 @@ func (s *server) start() {
 				X: fix.Pos.X, Y: fix.Pos.Y,
 				Confidence: fix.Confidence, Views: fix.Views,
 				Readers: fix.Readers, Degraded: fix.Degraded,
-				Time: time.Now(),
+				TraceID: fix.TraceID,
+				Time:    time.Now(),
 			})
 		})
 	}
@@ -327,19 +353,22 @@ func (s *server) start() {
 		defer s.fixWG.Done()
 		for fix := range p.Fixes() {
 			if fix.Err != nil {
-				log.Printf("seq %d: no fix (%v)", fix.Seq, fix.Err)
+				logger.Info("no fix", "seq", fix.Seq, "error", fix.Err)
 				continue
 			}
 			s.mu.Lock()
 			s.fixes++
 			n := s.fixes
 			s.mu.Unlock()
-			note := ""
-			if fix.Degraded {
-				note = fmt.Sprintf(" [degraded: %d/%d readers]", fix.Views, len(s.sc.Readers))
+			args := []any{"seq", fix.Seq, "n", n,
+				"x", fix.Pos.X, "y", fix.Pos.Y, "confidence", fix.Confidence}
+			if fix.TraceID != "" {
+				args = append(args, "trace", fix.TraceID)
 			}
-			log.Printf("seq %d: fix #%d (%.2f, %.2f) confidence %.2f%s",
-				fix.Seq, n, fix.Pos.X, fix.Pos.Y, fix.Confidence, note)
+			if fix.Degraded {
+				args = append(args, "degraded", true, "views", fix.Views, "readers", len(s.sc.Readers))
+			}
+			logger.Info("fix", args...)
 		}
 	}()
 }
@@ -355,15 +384,15 @@ func (s *server) handle(conn *llrp.Conn, msg llrp.Message) error {
 		}
 		rd := s.arrayFor(caps.ReaderID)
 		if rd == nil {
-			log.Printf("capabilities from unknown reader %q", caps.ReaderID)
+			logger.Warn("capabilities from unknown reader", "reader", caps.ReaderID)
 			return nil
 		}
 		if int(caps.Antennas) != rd.Array.Elements {
-			log.Printf("reader %q reports %d antennas, deployment expects %d — reports will be rejected",
-				caps.ReaderID, caps.Antennas, rd.Array.Elements)
+			logger.Warn("antenna count mismatch — reports will be rejected",
+				"reader", caps.ReaderID, "reported", caps.Antennas, "expected", rd.Array.Elements)
 			return nil
 		}
-		log.Printf("reader %q online: %s, %d antennas", caps.ReaderID, caps.Model, caps.Antennas)
+		logger.Info("reader online", "reader", caps.ReaderID, "model", caps.Model, "antennas", caps.Antennas)
 		// Control plane: install and start the acquisition spec — the
 		// paper's cadence (0.1 s period, 10 snapshots per tag).
 		spec := llrp.ROSpec{ID: 1, PeriodMs: 100, SnapshotsPerTag: 10}
@@ -379,12 +408,12 @@ func (s *server) handle(conn *llrp.Conn, msg llrp.Message) error {
 		s.mu.Lock()
 		if s.recorder != nil {
 			if err := s.recorder.Record(time.Now(), msg); err != nil {
-				log.Printf("record: %v", err)
+				logger.Error("record failed", "error", err)
 			}
 		}
 		s.mu.Unlock()
 		if err := s.pipe.Ingest(rep); err != nil {
-			log.Printf("ingest: %v", err)
+			logger.Warn("ingest failed", "reader", rep.ReaderID, "seq", rep.Seq, "error", err)
 		}
 	}
 	return nil
@@ -417,7 +446,8 @@ func (s *server) ready() error {
 // baseline — the one moment the fuser is safe to snapshot for state
 // persistence, since the assembler is parked in this callback.
 func (s *server) onBaseline(readerID string, tags int) {
-	log.Printf("baseline confirmed for %s (%d tags)", readerID, tags)
+	// The pipeline already logs "baseline confirmed" per reader; this
+	// callback only tracks readiness and state persistence.
 	s.mu.Lock()
 	s.confirmed[readerID] = true
 	all := len(s.confirmed) == len(s.sc.Readers)
@@ -451,15 +481,15 @@ func (s *server) maybeSaveState() {
 	sys.SetFuser(s.pipe.Fuser())
 	f, err := os.Create(s.statePath)
 	if err != nil {
-		log.Printf("save state: %v", err)
+		logger.Error("save state failed", "path", s.statePath, "error", err)
 		return
 	}
 	defer f.Close()
 	if err := sys.SaveState(f); err != nil {
-		log.Printf("save state: %v", err)
+		logger.Error("save state failed", "path", s.statePath, "error", err)
 		return
 	}
-	log.Printf("baseline state saved to %s", s.statePath)
+	logger.Info("baseline state saved", "path", s.statePath)
 }
 
 // shutdown drains the pipeline and prints the session summary.
@@ -470,15 +500,15 @@ func (s *server) shutdown() {
 	s.mu.Lock()
 	fixes := s.fixes
 	s.mu.Unlock()
-	log.Printf("done: %d fixes emitted", fixes)
-	log.Printf("pipeline: %d reports in, %d snapshots (%d dropped), %d spectra (%d failed), %d sequences fused, %d evicted, %d late",
-		st.ReportsIn, st.SnapshotsIn, st.SnapshotsDropped,
-		st.SpectraComputed, st.SpectraFailed,
-		st.SequencesAssembled, st.SequencesEvicted, st.LateReports)
+	logger.Info("done", "fixes", fixes)
+	logger.Info("pipeline summary",
+		"reports_in", st.ReportsIn, "snapshots", st.SnapshotsIn, "dropped", st.SnapshotsDropped,
+		"spectra", st.SpectraComputed, "failed", st.SpectraFailed,
+		"fused", st.SequencesAssembled, "evicted", st.SequencesEvicted, "late", st.LateReports)
 	if st.ComputeLatency.Count > 0 {
-		log.Printf("latency: compute p50 %.2fms p90 %.2fms, fuse p50 %.2fms p90 %.2fms",
-			1e3*st.ComputeLatency.P50, 1e3*st.ComputeLatency.P90,
-			1e3*st.FuseLatency.P50, 1e3*st.FuseLatency.P90)
+		logger.Info("latency summary",
+			"compute_p50_ms", 1e3*st.ComputeLatency.P50, "compute_p90_ms", 1e3*st.ComputeLatency.P90,
+			"fuse_p50_ms", 1e3*st.FuseLatency.P50, "fuse_p90_ms", 1e3*st.FuseLatency.P90)
 	}
 }
 
@@ -580,7 +610,7 @@ func runSimulatedReaders(sc *sim.Scenario, addr string, rounds int) error {
 	for k := 0; k < rounds; k++ {
 		f := float64(k+1) / float64(rounds+1)
 		pos := geom.Pt(sc.Cfg.Width*(0.25+0.5*f), sc.Cfg.Depth/2, 1.25)
-		log.Printf("simulated target at (%.2f, %.2f)", pos.X, pos.Y)
+		logger.Info("simulated target", "x", pos.X, "y", pos.Y)
 		if err := send([]channel.Target{channel.HumanTarget(pos)}); err != nil {
 			return err
 		}

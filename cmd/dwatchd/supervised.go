@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -78,7 +77,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 			defer e.Stop()
 			sims = append(sims, e)
 			eps = append(eps, session.Endpoint{ID: rd.ID, Addr: addr.String()})
-			log.Printf("simulated reader %s listening on %s", rd.ID, addr)
+			logger.Info("simulated reader listening", "reader", rd.ID, "addr", addr.String())
 		}
 	}
 
@@ -87,7 +86,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 			return srv.pipe.Ingest(rep)
 		}),
 		session.WithObs(srv.obs),
-		session.WithLogf(log.Printf),
+		session.WithLogger(logger),
 	}
 	if opts.chaos {
 		// Compressed fault-handling cadence so a short demo run shows
@@ -111,7 +110,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 	// The state observer logs transitions and pokes the assembler so
 	// pending sequences re-evaluate against the new live set.
 	sopts = append(sopts, session.WithOnState(func(id string, st session.State) {
-		log.Printf("reader %s: %s", id, st)
+		logger.Info("reader state", "reader", id, "state", st.String())
 		srv.pipe.NotifyLiveChange()
 	}))
 	sup, err := session.New(eps, sopts...)
@@ -122,25 +121,28 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 	srv.start()
 	sup.Start()
 	defer sup.Stop()
-	log.Printf("dwatchd supervising %d readers (env %s, %d workers, %s overload)",
-		len(eps), sc.Name, pipelineWorkers(srv.opts.workers), srv.opts.overload)
+	logger.Info("dwatchd supervising", "readers", len(eps), "env", sc.Name,
+		"workers", pipelineWorkers(srv.opts.workers), "overload", srv.opts.overload.String())
 
 	var plane *serve.Server
 	if opts.httpAddr != "" {
 		plane = serve.New(
 			serve.WithRegistry(srv.obs),
 			serve.WithBroker(srv.broker),
+			serve.WithTracer(srv.tracer),
+			serve.WithHealth(srv.health),
 			serve.WithStats(func() any { return srv.pipe.Stats() }),
 			serve.WithReady(srv.ready),
 			serve.WithReaders(readerStatuses(sup)),
 			serve.WithDegraded(sup.Degraded),
-			serve.WithLogf(log.Printf),
+			serve.WithLogf(slogf(logger)),
 		)
 		planeAddr, err := plane.Start(opts.httpAddr)
 		if err != nil {
 			return fmt.Errorf("observability plane: %v", err)
 		}
-		log.Printf("observability plane on http://%s/ (readyz now reports per-reader state)", planeAddr)
+		logger.Info("observability plane up", "url", "http://"+planeAddr.String()+"/",
+			"note", "readyz reports per-reader state")
 	}
 
 	done := make(chan error, 1)
@@ -154,7 +156,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 	case <-sig:
 	case err := <-done:
 		if err != nil {
-			log.Printf("chaos run: %v", err)
+			logger.Error("chaos run failed", "error", err)
 		}
 		// Let the pipeline drain the tail of reports before stopping.
 		time.Sleep(300 * time.Millisecond)
@@ -165,7 +167,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		if err := plane.Shutdown(ctx); err != nil {
-			log.Printf("observability plane shutdown: %v", err)
+			logger.Warn("observability plane shutdown", "error", err)
 		}
 	}
 	return nil
@@ -192,14 +194,14 @@ func runChaos(sc *sim.Scenario, sims []*sim.ReaderEndpoint, opts supervisedOptio
 	const interval = 200 * time.Millisecond
 	for i, rd := range rounds {
 		if i == 3 && len(sims) > 2 { // first walking round delivered; kill one reader
-			log.Printf("chaos: killing reader %s for %s", victim.ID, opts.flap)
+			logger.Info("chaos: killing reader", "reader", victim.ID, "for", opts.flap.String())
 			victim.Stop()
 			time.AfterFunc(opts.flap, func() {
 				if _, err := victim.Start(victim.Addr()); err != nil {
-					log.Printf("chaos: restart %s: %v", victim.ID, err)
+					logger.Error("chaos: restart failed", "reader", victim.ID, "error", err)
 					return
 				}
-				log.Printf("chaos: reader %s restarted", victim.ID)
+				logger.Info("chaos: reader restarted", "reader", victim.ID)
 			})
 		}
 		for _, e := range sims {

@@ -1,0 +1,43 @@
+package obs
+
+import "runtime/debug"
+
+// RegisterBuildInfo exports the dwatch_build_info gauge in the
+// node-exporter idiom: a constant 1 whose labels carry the build
+// identity (module version, Go toolchain, VCS revision), so dashboards
+// can join any series against the version that produced it.
+func RegisterBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	version, goversion, revision := buildIdentity(debug.ReadBuildInfo())
+	r.GaugeVec("dwatch_build_info",
+		"Build identity of the running dwatch binary (value is always 1).",
+		"version", "goversion", "revision").
+		With(version, goversion, revision).Set(1)
+}
+
+// buildIdentity flattens a debug.BuildInfo into the three label values,
+// substituting "unknown" wherever the binary was built without the
+// relevant metadata (e.g. go test binaries have no VCS stamp).
+func buildIdentity(bi *debug.BuildInfo, ok bool) (version, goversion, revision string) {
+	version, goversion, revision = "unknown", "unknown", "unknown"
+	if !ok || bi == nil {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		goversion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"regexp"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// TestRegisterBuildInfo: the gauge lands in the exposition with all
+// three labels populated and a constant value of 1, whatever metadata
+// the test binary carries.
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE dwatch_build_info gauge\n") {
+		t.Fatalf("missing build_info TYPE line:\n%s", out)
+	}
+	re := regexp.MustCompile(`dwatch_build_info\{version="[^"]+",goversion="[^"]+",revision="[^"]+"\} 1\n`)
+	if !re.MatchString(out) {
+		t.Fatalf("build_info sample malformed:\n%s", out)
+	}
+	// nil registry must be a no-op, matching the rest of the obs API.
+	RegisterBuildInfo(nil)
+}
+
+// TestBuildIdentity covers the metadata fallbacks: missing build info,
+// empty fields, and VCS revision truncation to 12 hex chars.
+func TestBuildIdentity(t *testing.T) {
+	v, g, rev := buildIdentity(nil, false)
+	if v != "unknown" || g != "unknown" || rev != "unknown" {
+		t.Fatalf("no build info = %q/%q/%q, want unknowns", v, g, rev)
+	}
+
+	bi := &debug.BuildInfo{GoVersion: "go1.22.0"}
+	bi.Main.Version = "v0.3.1"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+	}
+	v, g, rev = buildIdentity(bi, true)
+	if v != "v0.3.1" || g != "go1.22.0" {
+		t.Fatalf("identity = %q/%q", v, g)
+	}
+	if rev != "0123456789ab" {
+		t.Fatalf("revision = %q, want 12-char truncation", rev)
+	}
+}

@@ -22,6 +22,10 @@ func TestWritePrometheusGolden(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(0.05)
 	h.Observe(5) // overflow bucket
+	// The build-info idiom: constant-1 gauge whose labels carry identity.
+	r.GaugeVec("dwatch_build_info", "Build identity (value is always 1).",
+		"version", "goversion", "revision").
+		With("v1.2.3", "go1.22.0", "abcdef123456").Set(1)
 
 	var sb strings.Builder
 	if err := r.WritePrometheus(&sb); err != nil {
@@ -48,6 +52,9 @@ dwatch_fuse_seconds_bucket{le="1"} 3
 dwatch_fuse_seconds_bucket{le="+Inf"} 4
 dwatch_fuse_seconds_sum 5.105
 dwatch_fuse_seconds_count 4
+# HELP dwatch_build_info Build identity (value is always 1).
+# TYPE dwatch_build_info gauge
+dwatch_build_info{version="v1.2.3",goversion="go1.22.0",revision="abcdef123456"} 1
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -10,6 +10,7 @@ import (
 	"dwatch/internal/loc"
 	"dwatch/internal/pmusic"
 	"dwatch/internal/rf"
+	"dwatch/internal/tracing"
 )
 
 // reportAgg regroups the per-tag spectra of one report as they come
@@ -56,6 +57,11 @@ type assembler struct {
 	// they finished) so late reports are counted instead of
 	// resurrecting a group; pruned by the sweeper.
 	done map[uint32]time.Time
+	// baselineApplied counts baseline-round reports applied per
+	// sequence so the sequence's trace can be finished (outcome
+	// "baseline") once every expected reader's report landed —
+	// baseline sequences never reach fusion, the usual finish point.
+	baselineApplied map[uint32]int
 
 	// gridIdx caches each array's cell→angle-bin table for the search
 	// grid, keyed by array identity plus angle-grid size. Array
@@ -71,14 +77,15 @@ type gridIdxKey struct {
 
 func newAssembler(p *Pipeline, fuser *dwatch.Fuser) *assembler {
 	a := &assembler{
-		p:         p,
-		fuser:     fuser,
-		agg:       map[uint64]*reportAgg{},
-		ready:     map[string]map[int]*reportAgg{},
-		nextRound: map[string]int{},
-		online:    map[uint32]*seqGroup{},
-		done:      map[uint32]time.Time{},
-		gridIdx:   map[gridIdxKey]*loc.GridIndex{},
+		p:               p,
+		fuser:           fuser,
+		agg:             map[uint64]*reportAgg{},
+		ready:           map[string]map[int]*reportAgg{},
+		nextRound:       map[string]int{},
+		online:          map[uint32]*seqGroup{},
+		done:            map[uint32]time.Time{},
+		baselineApplied: map[uint32]int{},
+		gridIdx:         map[gridIdxKey]*loc.GridIndex{},
 	}
 	for id, next := range p.rounds {
 		// Restored-baseline pipelines start every reader past the
@@ -158,8 +165,16 @@ func (a *assembler) add(r result) {
 }
 
 // apply processes one complete report: baseline rounds feed the fuser,
-// online rounds join their sequence group.
+// online rounds join their sequence group. Every applied spectrum also
+// feeds the RF-health monitor — baseline rounds included, since channel
+// statistics accrue regardless of localization phase.
 func (a *assembler) apply(g *reportAgg) {
+	if a.p.cfg.Health != nil && len(g.spectra) > 0 {
+		now := a.p.now()
+		for epc, sp := range g.spectra {
+			a.p.cfg.Health.Observe(g.reader, epc, sp, now)
+		}
+	}
 	if g.round < a.p.cfg.BaselineRounds {
 		for epc, sp := range g.spectra {
 			a.fuser.AddBaseline(g.reader, []byte(epc), sp)
@@ -170,6 +185,18 @@ func (a *assembler) apply(g *reportAgg) {
 			a.p.ins.baselineConfirmed(g.reader)
 			if a.p.cfg.OnBaseline != nil {
 				a.p.cfg.OnBaseline(g.reader, len(g.spectra))
+			}
+			if l := a.p.cfg.Logger; l != nil {
+				l.Info("baseline confirmed", "reader", g.reader, "tags", len(g.spectra))
+			}
+		}
+		// Baseline sequences never fuse; finish their trace once every
+		// expected reader's report for this sequence has been applied.
+		if a.p.cfg.Tracer != nil {
+			a.baselineApplied[g.seq]++
+			if a.baselineApplied[g.seq] >= a.p.cfg.ExpectReaders {
+				delete(a.baselineApplied, g.seq)
+				a.p.cfg.Tracer.Finish(g.seq, tracing.OutcomeBaseline, a.p.now())
 			}
 		}
 		return
@@ -210,6 +237,7 @@ func (a *assembler) tryFuse(seq uint32, grp *seqGroup) {
 	// The assemble span runs from the group's creation (first report
 	// of the sequence) to completion: cross-reader skew, not CPU time.
 	a.p.ins.span(stageAssemble, grp.created).EndAt(now)
+	a.p.cfg.Tracer.Active(seq).Span(tracing.StageAssemble, "", "", grp.created, now, 0)
 	a.fuse(seq, grp, degraded)
 }
 
@@ -284,6 +312,16 @@ func (a *assembler) reevaluate() {
 func (a *assembler) fuse(seq uint32, grp *seqGroup, degraded bool) {
 	start := a.p.now()
 	span := a.p.ins.span(stageFuse, start)
+	trc := a.p.cfg.Tracer.Active(seq)
+	if degraded {
+		trc.MarkDegraded()
+		trc.Event(tracing.EventDegradedQuorum,
+			fmt.Sprintf("%d/%d readers", len(grp.byReader), a.p.cfg.ExpectReaders), start)
+		if l := a.p.cfg.Logger; l != nil {
+			l.Warn("degraded fusion", "seq", seq, "trace", trc.ID(),
+				"reported", len(grp.byReader), "expected", a.p.cfg.ExpectReaders)
+		}
+	}
 	// Deterministic view order: likelihood products are commutative
 	// but not associative in floating point, so a stable order keeps
 	// fixes bit-identical across runs and worker counts.
@@ -298,7 +336,7 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup, degraded bool) {
 			views = append(views, v)
 		}
 	}
-	fix := Fix{Seq: seq, Views: len(views), Readers: ids, Degraded: degraded}
+	fix := Fix{Seq: seq, Views: len(views), Readers: ids, Degraded: degraded, TraceID: trc.ID()}
 	if len(views) < 2 {
 		fix.Err = fmt.Errorf("pipeline: seq %d: evidence from only %d readers", seq, len(views))
 	} else if res, err := a.localize(views); err != nil {
@@ -307,7 +345,15 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup, degraded bool) {
 		fix.Pos = res.Pos
 		fix.Confidence = res.Confidence
 	}
-	a.p.fuseHist.ObserveDuration(span.EndAt(a.p.now()))
+	end := a.p.now()
+	a.p.fuseHist.ObserveDuration(span.EndAt(end))
+	trc.Span(tracing.StageFuse, "", "", start, end, 0)
+	outcome := tracing.OutcomeFix
+	if fix.Err != nil {
+		outcome = tracing.OutcomeMiss
+		trc.Event(tracing.EventMiss, fix.Err.Error(), end)
+	}
+	a.p.cfg.Tracer.Finish(seq, outcome, end)
 	if fix.Err != nil {
 		a.p.c.misses.Add(1)
 	} else {
@@ -360,6 +406,14 @@ func (a *assembler) sweep(now time.Time) int {
 			a.done[seq] = now
 			a.p.c.sequencesEvicted.Add(1)
 			a.p.ins.sequenceEvicted("ttl")
+			trc := a.p.cfg.Tracer.Active(seq)
+			trc.Event(tracing.EventTTLEvicted,
+				fmt.Sprintf("%d/%d readers after %v", len(grp.byReader), a.p.cfg.ExpectReaders, now.Sub(grp.created)), now)
+			a.p.cfg.Tracer.Finish(seq, tracing.OutcomeEvicted, now)
+			if l := a.p.cfg.Logger; l != nil {
+				l.Warn("sequence evicted", "seq", seq, "trace", trc.ID(), "reason", "ttl",
+					"reported", len(grp.byReader), "expected", a.p.cfg.ExpectReaders)
+			}
 			evicted++
 		}
 	}
@@ -385,9 +439,17 @@ func (a *assembler) capPending() {
 		}
 		delete(a.online, oldest)
 		a.pending.Add(-1)
-		a.done[oldest] = a.p.now()
+		now := a.p.now()
+		a.done[oldest] = now
 		a.p.c.sequencesEvicted.Add(1)
 		a.p.ins.sequenceEvicted("cap")
+		trc := a.p.cfg.Tracer.Active(oldest)
+		trc.Event(tracing.EventCapEvicted,
+			fmt.Sprintf("pending over %d", a.p.cfg.MaxPendingSeqs), now)
+		a.p.cfg.Tracer.Finish(oldest, tracing.OutcomeEvicted, now)
+		if l := a.p.cfg.Logger; l != nil {
+			l.Warn("sequence evicted", "seq", oldest, "trace", trc.ID(), "reason", "cap")
+		}
 	}
 }
 

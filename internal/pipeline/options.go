@@ -1,13 +1,16 @@
 package pipeline
 
 import (
+	"log/slog"
 	"time"
 
 	"dwatch/internal/dwatch"
+	"dwatch/internal/health"
 	"dwatch/internal/loc"
 	"dwatch/internal/obs"
 	"dwatch/internal/pmusic"
 	"dwatch/internal/rf"
+	"dwatch/internal/tracing"
 )
 
 // Deployment is the required deployment knowledge a pipeline cannot
@@ -68,6 +71,18 @@ func WithOnBaseline(fn func(readerID string, tags int)) Option {
 
 // WithObs attaches the pipeline to a metrics registry.
 func WithObs(reg *obs.Registry) Option { return func(c *Config) { c.Obs = reg } }
+
+// WithTracer attaches a per-sequence tracer: trace IDs are minted at
+// ingest, every stage records spans, and emitted Fixes carry the ID.
+func WithTracer(tr *tracing.Tracer) Option { return func(c *Config) { c.Tracer = tr } }
+
+// WithHealth attaches the RF-health monitor; every applied tag
+// spectrum is folded into its read-rate and path-power statistics.
+func WithHealth(m *health.Monitor) Option { return func(c *Config) { c.Health = m } }
+
+// WithLogger attaches a structured logger for pipeline transitions
+// (evictions, degraded fusion, baseline confirmation).
+func WithLogger(l *slog.Logger) Option { return func(c *Config) { c.Logger = l } }
 
 // WithLiveReaders supplies the live-reader oracle (typically
 // session.Supervisor.Live) that enables quorum-degraded fusion: a

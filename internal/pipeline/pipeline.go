@@ -34,8 +34,10 @@
 package pipeline
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -43,12 +45,14 @@ import (
 
 	"dwatch/internal/dwatch"
 	"dwatch/internal/geom"
+	"dwatch/internal/health"
 	"dwatch/internal/llrp"
 	"dwatch/internal/loc"
 	"dwatch/internal/obs"
 	"dwatch/internal/pmusic"
 	"dwatch/internal/rf"
 	"dwatch/internal/stats"
+	"dwatch/internal/tracing"
 )
 
 // OverloadPolicy selects what Ingest does when the snapshot queue is
@@ -140,6 +144,27 @@ type Config struct {
 	// pipeline runs. Nil disables instrumentation at zero cost beyond
 	// one nil check per counter site.
 	Obs *obs.Registry
+
+	// Tracer, when set, records a per-sequence trace: a trace ID is
+	// minted at first ingest of each acquisition sequence, every stage
+	// records a span (with the queue-wait vs compute split for spectrum
+	// work), and lifecycle events (drops, evictions, degraded fusion)
+	// attach to the owning trace. The ID is stamped onto the emitted
+	// Fix so a served position resolves back to its trace. Nil disables
+	// tracing — every call site no-ops on the nil receiver.
+	Tracer *tracing.Tracer
+
+	// Health, when set, receives every applied tag spectrum from the
+	// assembler goroutine: per-(reader, tag) read rates, per-path power
+	// baselines with drift detection, and calibration residuals. Nil
+	// disables RF-health monitoring.
+	Health *health.Monitor
+
+	// Logger, when set, receives structured logs for operationally
+	// interesting pipeline transitions (sequence evictions, degraded
+	// fusion, baseline confirmation) with seq / reader / trace fields.
+	// Nil silences them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -177,7 +202,11 @@ type Fix struct {
 	// Degraded marks a fix fused from the live quorum while at least
 	// one expected reader was down.
 	Degraded bool
-	Err      error
+	// TraceID identifies this sequence's trace when a Tracer is
+	// attached ("" otherwise); resolvable via Tracer.Get and the
+	// /api/v1/traces/{id} endpoint.
+	TraceID string
+	Err     error
 }
 
 // Errors returned by Ingest.
@@ -377,12 +406,18 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 	p.repIdx++
 	p.mu.Unlock()
 
+	now := p.now()
+	// The trace for this acquisition sequence starts (or continues —
+	// Begin is idempotent per live sequence) at ingest; each reader's
+	// report contributes its own ingest span.
+	trc := p.cfg.Tracer.Begin(rep.Seq, now)
 	if len(rep.Reports) == 0 {
 		// Tagless report: skip the workers but keep round accounting
 		// and sequence membership alive.
-		return p.deliver(result{reader: rep.ReaderID, round: round, seq: rep.Seq, repIdx: idx})
+		err := p.deliver(result{reader: rep.ReaderID, round: round, seq: rep.Seq, repIdx: idx})
+		trc.Span(tracing.StageIngest, rep.ReaderID, "", now, p.now(), 0)
+		return err
 	}
-	now := p.now()
 	// The ingest span covers validation-to-enqueued, including any
 	// backpressure wait under the Block policy — that wait is the
 	// signal the span exists to surface.
@@ -405,8 +440,12 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 		p.c.snapshotsIn.Add(1)
 		p.ins.snapshotEnqueued()
 	}
-	if p.ins != nil {
-		sp.EndAt(p.now())
+	if p.ins != nil || trc != nil {
+		end := p.now()
+		if p.ins != nil {
+			sp.EndAt(end)
+		}
+		trc.Span(tracing.StageIngest, rep.ReaderID, "", now, end, 0)
 	}
 	return nil
 }
@@ -438,6 +477,8 @@ func (p *Pipeline) enqueue(j job) error {
 		case old := <-p.jobs:
 			p.c.snapshotsDropped.Add(1)
 			p.ins.snapshotDropped()
+			p.cfg.Tracer.Active(old.seq).Event(tracing.EventSnapshotDropped,
+				old.reader+"/"+hex.EncodeToString([]byte(old.epc)), p.now())
 			if err := p.deliver(result{
 				reader: old.reader, round: old.round, seq: old.seq,
 				repIdx: old.repIdx, expect: old.expect, epc: old.epc,
@@ -470,10 +511,18 @@ func (p *Pipeline) worker() {
 		start := p.now()
 		span := p.ins.span(stageSpectrum, start)
 		sp, err := p.computeSnapshot(ws, j)
-		p.decodeHist.ObserveDuration(span.EndAt(p.now()))
+		end := p.now()
+		p.decodeHist.ObserveDuration(span.EndAt(end))
+		// The trace span runs from enqueue to completion with the
+		// queue wait recorded separately, so Compute() isolates the
+		// P-MUSIC cost from backlog-induced latency.
+		trc := p.cfg.Tracer.Active(j.seq)
+		trc.Span(tracing.StageSpectrum, j.reader, hex.EncodeToString([]byte(j.epc)),
+			j.enq, end, start.Sub(j.enq))
 		if err != nil {
 			p.c.spectraFailed.Add(1)
 			p.ins.spectrum(false)
+			trc.Event(tracing.EventSpectrumFailed, j.reader+": "+err.Error(), end)
 			sp = nil
 		} else {
 			p.c.spectraComputed.Add(1)

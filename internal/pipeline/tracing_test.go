@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"dwatch/internal/health"
+	"dwatch/internal/sim"
+	"dwatch/internal/tracing"
+)
+
+// TestTracedEndToEnd runs the simulated acquisition chain through a
+// fully instrumented pipeline and checks the trace and health planes:
+// every fix carries a resolvable trace ID, each fixed sequence retains
+// spans from all four stages with the spectrum queue/compute split, and
+// the RF monitor saw every reader's tags.
+func TestTracedEndToEnd(t *testing.T) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := genReports(t, sc, 3, 6)
+	arrays, _ := testArrays(t)
+
+	tracer := tracing.New(tracing.WithCapacity(64))
+	mon := health.New(nil, health.Options{})
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+
+	p, err := New(Deployment{Arrays: arrays, Grid: sc.Grid},
+		WithWorkers(4), WithTracer(tracer), WithHealth(mon), WithLogger(logger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	wait := drainFixes(p)
+	for _, rep := range reports {
+		if err := p.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	fixes := wait()
+
+	var fixed int
+	for _, f := range fixes {
+		if f.Err != nil {
+			continue
+		}
+		fixed++
+		if f.TraceID == "" {
+			t.Fatalf("seq %d: fix has no trace ID", f.Seq)
+		}
+		d, ok := tracer.Get(f.TraceID)
+		if !ok {
+			t.Fatalf("seq %d: trace %s not retained", f.Seq, f.TraceID)
+		}
+		if d.Seq != f.Seq {
+			t.Fatalf("trace %s: seq %d, want %d", f.TraceID, d.Seq, f.Seq)
+		}
+		if d.Outcome != tracing.OutcomeFix {
+			t.Fatalf("trace %s: outcome %q, want fix", f.TraceID, d.Outcome)
+		}
+		stages := map[string]int{}
+		for _, sp := range d.Spans {
+			stages[sp.Stage]++
+			if sp.End.Before(sp.Start) {
+				t.Fatalf("trace %s: span %s ends before it starts", f.TraceID, sp.Stage)
+			}
+		}
+		for _, st := range []string{tracing.StageIngest, tracing.StageSpectrum, tracing.StageAssemble, tracing.StageFuse} {
+			if stages[st] == 0 {
+				t.Fatalf("trace %s: no %s span (stages: %v)", f.TraceID, st, stages)
+			}
+		}
+		// Two readers ingest each sequence; each spectrum span names
+		// its reader and hex tag.
+		if stages[tracing.StageIngest] != len(arrays) {
+			t.Fatalf("trace %s: %d ingest spans, want %d", f.TraceID, stages[tracing.StageIngest], len(arrays))
+		}
+		for _, sp := range d.Spans {
+			if sp.Stage == tracing.StageSpectrum && (sp.Reader == "" || sp.Tag == "") {
+				t.Fatalf("trace %s: spectrum span missing reader/tag: %+v", f.TraceID, sp)
+			}
+		}
+	}
+	if fixed == 0 {
+		t.Fatal("no fixes produced")
+	}
+
+	// Baseline sequences (the first two) finished with the baseline
+	// outcome rather than leaking as active traces.
+	var baselines int
+	for _, s := range tracer.Traces() {
+		if s.Outcome == tracing.OutcomeBaseline {
+			baselines++
+		}
+	}
+	if baselines != 2 {
+		t.Fatalf("baseline-outcome traces = %d, want 2", baselines)
+	}
+
+	// The RF monitor saw both readers and their tags, with paths
+	// tracked from the computed spectra.
+	hs := mon.Snapshot()
+	if len(hs.Readers) != len(arrays) {
+		t.Fatalf("health readers = %d, want %d", len(hs.Readers), len(arrays))
+	}
+	for _, rh := range hs.Readers {
+		if len(rh.Tags) == 0 {
+			t.Fatalf("reader %s: no tags in health snapshot", rh.ID)
+		}
+		for _, th := range rh.Tags {
+			if th.Reads == 0 || len(th.Paths) == 0 {
+				t.Fatalf("reader %s tag %s: reads=%d paths=%d", rh.ID, th.EPC, th.Reads, len(th.Paths))
+			}
+		}
+	}
+
+	if !strings.Contains(logBuf.String(), `"msg":"baseline confirmed"`) {
+		t.Fatalf("no baseline-confirmed log record in: %s", logBuf.String())
+	}
+}
+
+// TestTracedTTLEviction checks the eviction path: an incomplete
+// sequence swept past its TTL seals its trace with the evicted outcome
+// and a ttl_evicted event, and logs a structured warning.
+func TestTracedTTLEviction(t *testing.T) {
+	cfg, sc := testConfig(t)
+	cfg.SeqTTL = time.Hour // sweep manually for determinism
+	tracer := tracing.New()
+	cfg.Tracer = tracer
+	var logBuf bytes.Buffer
+	cfg.Logger = slog.New(slog.NewJSONHandler(&logBuf, nil))
+	p, err := NewFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	wait := drainFixes(p)
+	alive, dead := sc.Readers[0].ID, sc.Readers[1].ID
+	for round := 0; round < 2; round++ {
+		seq := uint32(round + 1)
+		if err := p.Ingest(taglessReport(alive, seq)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Ingest(taglessReport(dead, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Ingest(taglessReport(alive, 100)); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+	wait()
+	id := tracer.Active(100).ID()
+	if id == "" {
+		t.Fatal("no active trace for the stuck sequence")
+	}
+	if p.asm.sweep(p.now().Add(2*time.Hour)) != 1 {
+		t.Fatal("sweep did not evict the stuck sequence")
+	}
+	d, ok := tracer.Get(id)
+	if !ok {
+		t.Fatal("evicted sequence's trace not retained")
+	}
+	if d.Outcome != tracing.OutcomeEvicted {
+		t.Fatalf("outcome = %q, want evicted", d.Outcome)
+	}
+	found := false
+	for _, ev := range d.Events {
+		if ev.Name == tracing.EventTTLEvicted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ttl_evicted event: %+v", d.Events)
+	}
+	if !strings.Contains(logBuf.String(), `"msg":"sequence evicted"`) {
+		t.Fatalf("no eviction log record in: %s", logBuf.String())
+	}
+}

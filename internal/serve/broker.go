@@ -8,8 +8,9 @@ import (
 
 // PositionSchema is the version stamped on every published Position.
 // v1 was the pre-fault-tolerance shape; v2 adds degraded-mode
-// provenance (degraded flag + contributing readers).
-const PositionSchema = 2
+// provenance (degraded flag + contributing readers); v3 adds the
+// sequence trace ID.
+const PositionSchema = 3
 
 // Position is one localization fix as the API exposes it: flattened
 // coordinates plus provenance, JSON-ready for both the latest-fix
@@ -29,8 +30,11 @@ type Position struct {
 	Readers []string `json:"readers,omitempty"`
 	// Degraded marks a fix fused from a live quorum while at least one
 	// expected reader was down (schema ≥ 2).
-	Degraded bool      `json:"degraded,omitempty"`
-	Time     time.Time `json:"time"`
+	Degraded bool `json:"degraded,omitempty"`
+	// TraceID names the sequence trace behind this fix when tracing is
+	// enabled; resolve it at /api/v1/traces/{id} (schema ≥ 3).
+	TraceID string    `json:"trace_id,omitempty"`
+	Time    time.Time `json:"time"`
 }
 
 // Broker fans localization fixes out to API consumers: it retains the

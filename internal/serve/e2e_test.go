@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,12 +14,14 @@ import (
 	"dwatch/internal/calib"
 	"dwatch/internal/channel"
 	"dwatch/internal/geom"
+	"dwatch/internal/health"
 	"dwatch/internal/llrp"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
 	"dwatch/internal/reader"
 	"dwatch/internal/rf"
 	"dwatch/internal/sim"
+	"dwatch/internal/tracing"
 )
 
 // genReports mirrors the pipeline package's simulated session: two
@@ -79,8 +82,11 @@ func TestServePlaneEndToEnd(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	broker := NewBroker()
+	tracer := tracing.New()
+	mon := health.New(reg, health.Options{})
 	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
-		pipeline.WithWorkers(2), pipeline.WithObs(reg))
+		pipeline.WithWorkers(2), pipeline.WithObs(reg),
+		pipeline.WithTracer(tracer), pipeline.WithHealth(mon))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +96,14 @@ func TestServePlaneEndToEnd(t *testing.T) {
 		}
 		broker.Publish(Position{
 			Env: sc.Name, Seq: f.Seq, X: f.Pos.X, Y: f.Pos.Y,
-			Confidence: f.Confidence, Views: f.Views, Time: time.Now(),
+			Confidence: f.Confidence, Views: f.Views, TraceID: f.TraceID, Time: time.Now(),
 		})
 	})
 	srv := NewFromOptions(Options{
 		Registry: reg,
 		Broker:   broker,
+		Tracer:   tracer,
+		Health:   mon,
 		Stats:    func() any { return p.Stats() },
 		Ready: func() error {
 			if st := p.Stats(); st.BaselinesConfirmed < uint64(len(arrays)) {
@@ -142,9 +150,45 @@ func TestServePlaneEndToEnd(t *testing.T) {
 	if fixes[0].Env != sc.Name || fixes[0].Views < 2 {
 		t.Fatalf("SSE fix = %+v", fixes[0])
 	}
+	if fixes[0].Schema != PositionSchema || fixes[0].TraceID == "" {
+		t.Fatalf("SSE fix schema/trace = %d/%q, want %d/non-empty", fixes[0].Schema, fixes[0].TraceID, PositionSchema)
+	}
 
 	p.Drain()
 	<-done
+
+	// The streamed fix's trace ID resolves over HTTP to a full trace
+	// with spans from every pipeline stage.
+	var td tracing.Data
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/api/v1/traces/"+fixes[0].TraceID)), &td); err != nil {
+		t.Fatal(err)
+	}
+	if td.Outcome != tracing.OutcomeFix || len(td.Spans) < 4 {
+		t.Fatalf("resolved trace: outcome %q, %d spans", td.Outcome, len(td.Spans))
+	}
+	stages := map[string]bool{}
+	for _, sp := range td.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, st := range []string{tracing.StageIngest, tracing.StageSpectrum, tracing.StageAssemble, tracing.StageFuse} {
+		if !stages[st] {
+			t.Fatalf("resolved trace lacks %s span: %v", st, stages)
+		}
+	}
+
+	// The RF-health endpoint reports both readers with live read rates.
+	var hs health.Snapshot
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/api/v1/health")), &hs); err != nil {
+		t.Fatal(err)
+	}
+	if len(hs.Readers) != len(arrays) {
+		t.Fatalf("health readers = %d, want %d", len(hs.Readers), len(arrays))
+	}
+	for _, rh := range hs.Readers {
+		if len(rh.Tags) == 0 || rh.Tags[0].Reads == 0 {
+			t.Fatalf("reader %s health = %+v", rh.ID, rh)
+		}
+	}
 
 	// Baselines confirmed: ready now.
 	if code := getCode(t, ts.URL+"/readyz"); code != http.StatusOK {

@@ -12,7 +12,14 @@
 //	                   (dwatchd/dwatch-replay: pipeline.Stats)
 //	/api/v1/positions  latest fix per environment (JSON), or a live
 //	                   Server-Sent-Events stream of new fixes when the
-//	                   client asks for text/event-stream (or ?stream=1)
+//	                   client asks for text/event-stream (or ?stream=1);
+//	                   idle streams carry ": keepalive" comment frames
+//	/api/v1/traces     retained sequence traces, newest first
+//	/api/v1/traces/{id} one trace's spans and events; ?format=chrome
+//	                   renders Chrome trace_event JSON for chrome://tracing
+//	/api/v1/health     RF-health snapshot: per-(reader, tag) read rates,
+//	                   path-power baselines, drift flags, calibration
+//	                   residuals
 //	/debug/pprof/*     net/http/pprof, absorbed from the old -pprof flag
 //
 // The server is deliberately decoupled from internal/pipeline: it sees
@@ -33,7 +40,9 @@ import (
 	"sync"
 	"time"
 
+	"dwatch/internal/health"
 	"dwatch/internal/obs"
+	"dwatch/internal/tracing"
 )
 
 // Options configures a Server. Every field is optional: endpoints
@@ -56,6 +65,14 @@ type Options struct {
 	Degraded func() bool
 	// Broker feeds /api/v1/positions.
 	Broker *Broker
+	// Tracer feeds /api/v1/traces and /api/v1/traces/{id}.
+	Tracer *tracing.Tracer
+	// Health feeds /api/v1/health.
+	Health *health.Monitor
+	// SSEKeepalive is the idle interval after which a position stream
+	// emits a ": keepalive" comment frame so proxies and clients keep
+	// quiet connections open. 0 = 15 s.
+	SSEKeepalive time.Duration
 	// Logf, when set, receives serve-plane log lines.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +110,16 @@ func WithDegraded(fn func() bool) Option { return func(o *Options) { o.Degraded 
 
 // WithBroker feeds /api/v1/positions from b.
 func WithBroker(b *Broker) Option { return func(o *Options) { o.Broker = b } }
+
+// WithTracer feeds /api/v1/traces from tr.
+func WithTracer(tr *tracing.Tracer) Option { return func(o *Options) { o.Tracer = tr } }
+
+// WithHealth feeds /api/v1/health from m.
+func WithHealth(m *health.Monitor) Option { return func(o *Options) { o.Health = m } }
+
+// WithSSEKeepalive sets the idle keepalive interval for position
+// streams (0 = 15 s).
+func WithSSEKeepalive(d time.Duration) Option { return func(o *Options) { o.SSEKeepalive = d } }
 
 // WithLogf routes serve-plane log lines to fn.
 func WithLogf(fn func(format string, args ...any)) Option { return func(o *Options) { o.Logf = fn } }
@@ -133,6 +160,9 @@ func NewFromOptions(opts Options) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/api/v1/positions", s.handlePositions)
+	s.mux.HandleFunc("/api/v1/traces", s.handleTraces)
+	s.mux.HandleFunc("/api/v1/traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("/api/v1/health", s.handleRFHealth)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -156,8 +186,11 @@ func (s *Server) Handler() http.Handler {
 func endpointLabel(path string) string {
 	switch {
 	case path == "/healthz", path == "/readyz", path == "/metrics",
-		path == "/api/v1/stats", path == "/api/v1/positions":
+		path == "/api/v1/stats", path == "/api/v1/positions",
+		path == "/api/v1/traces", path == "/api/v1/health":
 		return path
+	case strings.HasPrefix(path, "/api/v1/traces/"):
+		return "/api/v1/traces/{id}"
 	case strings.HasPrefix(path, "/debug/pprof/"):
 		return "/debug/pprof/"
 	default:
@@ -279,6 +312,78 @@ func (s *Server) handlePositions(w http.ResponseWriter, r *http.Request) {
 	}{s.opts.Broker.Latest()})
 }
 
+// handleTraces lists retained sequence traces (newest first), or
+// renders every retained trace as one Chrome trace_event document with
+// ?format=chrome.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/traces", r.Method))
+		return
+	}
+	if s.opts.Tracer == nil {
+		writeError(w, http.StatusNotFound, "traces_unavailable",
+			"no tracer configured on this deployment")
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tracing.WriteChrome(w, s.opts.Tracer.Snapshots()); err != nil {
+			s.logf("traces: %v", err)
+		}
+		return
+	}
+	writeJSON(w, struct {
+		Traces []tracing.Summary `json:"traces"`
+	}{s.opts.Tracer.Traces()})
+}
+
+// handleTrace resolves one trace ID to its full span/event record; with
+// ?format=chrome it renders that single trace for chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/traces/{id}", r.Method))
+		return
+	}
+	if s.opts.Tracer == nil {
+		writeError(w, http.StatusNotFound, "traces_unavailable",
+			"no tracer configured on this deployment")
+		return
+	}
+	id := r.PathValue("id")
+	d, ok := s.opts.Tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace_not_found",
+			fmt.Sprintf("trace %q is not retained (expired from the ring, or never existed)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tracing.WriteChrome(w, []tracing.Data{d}); err != nil {
+			s.logf("traces: %v", err)
+		}
+		return
+	}
+	writeJSON(w, d)
+}
+
+// handleRFHealth serves the RF-health snapshot: read rates, path-power
+// baselines, drift flags, and calibration residuals per reader.
+func (s *Server) handleRFHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/health", r.Method))
+		return
+	}
+	if s.opts.Health == nil {
+		writeError(w, http.StatusNotFound, "health_unavailable",
+			"no RF-health monitor configured on this deployment")
+		return
+	}
+	writeJSON(w, s.opts.Health.Snapshot())
+}
+
 func wantsEventStream(r *http.Request) bool {
 	if r.URL.Query().Get("stream") == "1" {
 		return true
@@ -309,10 +414,25 @@ func (s *Server) streamPositions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	fl.Flush()
+	// Comment frames keep idle streams alive through proxies and LB
+	// idle timeouts; the timer rearms on every real event so keepalives
+	// only flow when the fix feed is quiet.
+	keepalive := s.opts.SSEKeepalive
+	if keepalive <= 0 {
+		keepalive = 15 * time.Second
+	}
+	idle := time.NewTimer(keepalive)
+	defer idle.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-idle.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			idle.Reset(keepalive)
 		case p, ok := <-ch:
 			if !ok {
 				return
@@ -321,6 +441,13 @@ func (s *Server) streamPositions(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			fl.Flush()
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(keepalive)
 		}
 	}
 }

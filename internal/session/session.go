@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sort"
@@ -130,7 +131,7 @@ type config struct {
 	onState          func(id string, st State)
 	checkCaps        func(*llrp.ReaderCapabilities) error
 	obs              *obs.Registry
-	logf             func(format string, args ...any)
+	logger           *slog.Logger
 	jitterSeed       int64
 	jitterSeedSet    bool
 }
@@ -203,9 +204,25 @@ func WithObs(reg *obs.Registry) Option {
 	return func(c *config) { c.obs = reg }
 }
 
-// WithLogf sets the log sink (nil discards).
+// WithLogger sets the structured log sink (nil discards). Records
+// carry reader/attempt/error fields.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
+}
+
+// WithLogf sets a printf-style log sink; records are rendered as
+// "msg key=value ..." lines.
+//
+// Deprecated: use WithLogger with a *slog.Logger; this shim remains
+// for callers built around printf-style sinks.
 func WithLogf(fn func(format string, args ...any)) Option {
-	return func(c *config) { c.logf = fn }
+	return func(c *config) {
+		if fn == nil {
+			c.logger = nil
+			return
+		}
+		c.logger = slog.New(logfHandler{fn: fn})
+	}
 }
 
 // WithJitterSeed pins the backoff-jitter random source, making
@@ -373,10 +390,13 @@ func (s *Supervisor) Degraded() bool {
 	return false
 }
 
-func (s *Supervisor) logf(format string, args ...any) {
-	if s.cfg.logf != nil {
-		s.cfg.logf(format, args...)
+// log returns the configured structured logger (a no-op logger when
+// none was set) so call sites log unconditionally.
+func (s *Supervisor) log() *slog.Logger {
+	if s.cfg.logger != nil {
+		return s.cfg.logger
 	}
+	return nopLogger
 }
 
 // Session supervises one reader: connect, probe, reconnect.
@@ -455,9 +475,9 @@ func (s *Session) run(ctx context.Context) {
 			attempts++
 			s.bumpAttempts(attempts)
 			s.setState(StateDown, err)
-			s.sup.logf("session %s: connect attempt %d failed: %v", s.ep.ID, attempts, err)
+			s.sup.log().Warn("connect attempt failed", "reader", s.ep.ID, "attempt", attempts, "error", err)
 			if max := s.sup.cfg.backoff.MaxAttempts; max > 0 && attempts >= max {
-				s.sup.logf("session %s: giving up after %d attempts", s.ep.ID, attempts)
+				s.sup.log().Error("giving up on reader", "reader", s.ep.ID, "attempts", attempts)
 				return
 			}
 			// Backoff sleep, recorded as a span so dashboards can see
@@ -478,14 +498,14 @@ func (s *Session) run(ctx context.Context) {
 		}
 		connectedBefore = true
 		s.setState(StateUp, nil)
-		s.sup.logf("session %s: up (%s)", s.ep.ID, s.ep.Addr)
+		s.sup.log().Info("session up", "reader", s.ep.ID, "addr", s.ep.Addr)
 		err = s.serve(ctx, conn)
 		conn.Close()
 		if ctx.Err() != nil {
 			return
 		}
 		s.setState(StateDown, err)
-		s.sup.logf("session %s: connection lost: %v", s.ep.ID, err)
+		s.sup.log().Warn("connection lost", "reader", s.ep.ID, "error", err)
 		// Loss after a healthy connection retries immediately once; the
 		// breaker and backoff only engage on consecutive failures.
 	}
@@ -565,12 +585,12 @@ func (s *Session) serve(ctx context.Context, conn *llrp.Conn) error {
 					// A malformed report inside a well-framed message:
 					// count and carry on, the stream is still in sync.
 					s.sup.cfg.obs.Event("reader_bad_report")
-					s.sup.logf("session %s: bad report: %v", s.ep.ID, err)
+					s.sup.log().Warn("bad report", "reader", s.ep.ID, "error", err)
 					continue
 				}
 				if h := s.sup.cfg.handler; h != nil {
 					if err := h(rep); err != nil {
-						s.sup.logf("session %s: handler: %v", s.ep.ID, err)
+						s.sup.log().Warn("report handler failed", "reader", s.ep.ID, "error", err)
 					}
 				}
 			case llrp.MsgReaderEventNotification, llrp.MsgStartROSpecResponse,
@@ -578,7 +598,7 @@ func (s *Session) serve(ctx context.Context, conn *llrp.Conn) error {
 				// Informational (readers may also probe us; the server
 				// side answers those at the llrp layer).
 			case llrp.MsgError:
-				s.sup.logf("session %s: reader error message", s.ep.ID)
+				s.sup.log().Warn("reader error message", "reader", s.ep.ID)
 			}
 		}
 	}()

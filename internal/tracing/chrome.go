@@ -1,0 +1,117 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace_event export: renders traces in the JSON object format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// consumed by chrome://tracing and Perfetto. Each D-Watch trace maps to
+// one "process" (pid = a stable per-trace index, process_name = the
+// trace ID); each distinct (stage, reader) pair inside it maps to one
+// "thread", so concurrent per-reader ingest and per-tag spectrum work
+// renders as parallel tracks. Spans become complete ("X") events whose
+// args carry the queue-wait vs compute split; trace events become
+// thread-scoped instant ("i") events.
+
+// chromeEvent is one trace_event entry. Fields are emitted in the
+// conventional order; zero Dur is kept (instant events omit it via the
+// dedicated struct below).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds
+	Dur   *int64         `json:"dur,omitempty"` // microseconds, X events
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the traces as one Chrome trace_event JSON
+// document. Timestamps are absolute microseconds since the Unix epoch,
+// so traces from one process line up on a shared timeline.
+func WriteChrome(w io.Writer, traces []Data) error {
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for pid, d := range traces {
+		file.TraceEvents = append(file.TraceEvents, chromeEvents(pid+1, d)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// chromeEvents renders one trace: process/thread metadata first, then
+// spans in start order, then events.
+func chromeEvents(pid int, d Data) []chromeEvent {
+	out := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": fmt.Sprintf("trace %s (seq %d)", d.ID, d.Seq)},
+	}}
+
+	// Stable thread assignment: one tid per (stage, reader) track, in
+	// first-appearance order over spans sorted by start time.
+	spans := append([]Span(nil), d.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	tids := map[string]int{}
+	trackName := func(sp Span) string {
+		if sp.Reader == "" {
+			return sp.Stage
+		}
+		return sp.Stage + " " + sp.Reader
+	}
+	tidFor := func(name string) int {
+		tid, ok := tids[name]
+		if !ok {
+			tid = len(tids) + 1
+			tids[name] = tid
+			out = append(out, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		return tid
+	}
+
+	for _, sp := range spans {
+		tid := tidFor(trackName(sp))
+		dur := micros(sp.Duration())
+		args := map[string]any{
+			"queue_us":   micros(sp.Queue),
+			"compute_us": micros(sp.Compute()),
+		}
+		if sp.Reader != "" {
+			args["reader"] = sp.Reader
+		}
+		if sp.Tag != "" {
+			args["tag"] = sp.Tag
+		}
+		out = append(out, chromeEvent{
+			Name: sp.Stage, Cat: "stage", Phase: "X",
+			TS: sp.Start.UnixMicro(), Dur: &dur,
+			PID: pid, TID: tid, Args: args,
+		})
+	}
+	for _, ev := range d.Events {
+		e := chromeEvent{
+			Name: ev.Name, Cat: "event", Phase: "i",
+			TS: ev.Time.UnixMicro(), PID: pid, TID: 0, Scope: "p",
+		}
+		if ev.Detail != "" {
+			e.Args = map[string]any{"detail": ev.Detail}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func micros(d time.Duration) int64 { return d.Microseconds() }

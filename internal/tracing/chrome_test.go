@@ -1,0 +1,80 @@
+package tracing
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteChromeGolden pins the exact trace_event bytes for one small
+// trace: process/thread metadata, complete ("X") span events with the
+// queue/compute split in args, and a thread-scoped instant event.
+func TestWriteChromeGolden(t *testing.T) {
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	d := Data{
+		ID: "00000000deadbeef", Seq: 42, Start: base,
+		End: base.Add(30 * time.Millisecond), Outcome: OutcomeFix,
+		Spans: []Span{
+			{Stage: StageIngest, Reader: "reader-1", Start: base, End: base.Add(2 * time.Millisecond)},
+			{Stage: StageSpectrum, Reader: "reader-1", Tag: "aa01", Start: base.Add(2 * time.Millisecond), End: base.Add(12 * time.Millisecond), Queue: 3 * time.Millisecond},
+			{Stage: StageFuse, Start: base.Add(25 * time.Millisecond), End: base.Add(30 * time.Millisecond)},
+		},
+		Events: []Event{{Time: base.Add(20 * time.Millisecond), Name: EventDegradedQuorum, Detail: "2/3 readers"}},
+	}
+	var sb strings.Builder
+	if err := WriteChrome(&sb, []Data{d}); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"trace 00000000deadbeef (seq 42)"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"ingest reader-1"}},` +
+		`{"name":"ingest","cat":"stage","ph":"X","ts":1786017600000000,"dur":2000,"pid":1,"tid":1,"args":{"compute_us":2000,"queue_us":0,"reader":"reader-1"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"spectrum reader-1"}},` +
+		`{"name":"spectrum","cat":"stage","ph":"X","ts":1786017600002000,"dur":10000,"pid":1,"tid":2,"args":{"compute_us":7000,"queue_us":3000,"reader":"reader-1","tag":"aa01"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":3,"args":{"name":"fuse"}},` +
+		`{"name":"fuse","cat":"stage","ph":"X","ts":1786017600025000,"dur":5000,"pid":1,"tid":3,"args":{"compute_us":5000,"queue_us":0}},` +
+		`{"name":"degraded_quorum","cat":"event","ph":"i","ts":1786017600020000,"pid":1,"tid":0,"s":"p","args":{"detail":"2/3 readers"}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("chrome export mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteChromeValidJSON round-trips a multi-trace export through
+// the JSON decoder and sanity-checks the event set.
+func TestWriteChromeValidJSON(t *testing.T) {
+	base := time.Unix(1000, 0).UTC()
+	tr := New(WithIDSeed(7), WithCapacity(8))
+	for seq := uint32(1); seq <= 3; seq++ {
+		h := tr.Begin(seq, base)
+		h.Span(StageIngest, "r1", "", base, base.Add(time.Millisecond), 0)
+		h.Span(StageAssemble, "", "", base, base.Add(5*time.Millisecond), 0)
+		tr.Finish(seq, OutcomeFix, base.Add(5*time.Millisecond))
+	}
+	var sb strings.Builder
+	if err := WriteChrome(&sb, tr.Snapshots()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var spans, meta int
+	for _, ev := range decoded.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 6 {
+		t.Fatalf("exported %d span events, want 6", spans)
+	}
+	if meta == 0 {
+		t.Fatal("no metadata events")
+	}
+}

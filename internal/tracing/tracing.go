@@ -1,0 +1,506 @@
+// Package tracing is the per-sequence control-flow tracer of the
+// D-Watch pipeline: where internal/obs answers "how fast do stages run
+// in aggregate", this package answers "what happened to sequence 1342
+// between ingest and fuse".
+//
+// A Tracer mints one trace per acquisition sequence at ingest and the
+// pipeline threads it through every stage: each report's ingest span,
+// each tag's spectrum span (with the queue-wait vs compute split the
+// aggregate histograms cannot show), the cross-reader assemble span,
+// and the fuse span, plus discrete events (snapshot drops, TTL/cap
+// evictions, degraded-quorum fusion, spectrum failures, misses).
+// Completed traces are retained in a bounded FIFO ring; the slowest N
+// ever completed are pinned past ring eviction so the outliers worth
+// debugging survive high fix rates. Traces export as JSON snapshots
+// (the /api/v1/traces endpoints) and as Chrome trace_event files
+// loadable in chrome://tracing or Perfetto.
+//
+// Like internal/obs, the package is dependency-free and nil-safe: a
+// nil *Tracer hands out nil *Trace handles and every method on both is
+// a no-op, so pipeline code records unconditionally.
+package tracing
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Canonical stage names, matching the obs span-stage labels.
+const (
+	StageIngest   = "ingest"
+	StageSpectrum = "spectrum"
+	StageAssemble = "assemble"
+	StageFuse     = "fuse"
+)
+
+// Outcomes a trace can finish with.
+const (
+	OutcomeFix       = "fix"       // fused into a localization fix
+	OutcomeMiss      = "miss"      // fused but localization failed
+	OutcomeEvicted   = "evicted"   // TTL or cap eviction before fusing
+	OutcomeBaseline  = "baseline"  // a baseline-phase round, never fused
+	OutcomeAbandoned = "abandoned" // force-finished by the active cap
+)
+
+// Event names the pipeline records.
+const (
+	EventSnapshotDropped = "snapshot_dropped"
+	EventSpectrumFailed  = "spectrum_failed"
+	EventTTLEvicted      = "ttl_evicted"
+	EventCapEvicted      = "cap_evicted"
+	EventDegradedQuorum  = "degraded_quorum"
+	EventMiss            = "miss"
+)
+
+// Span is one timed unit of staged work inside a trace. Start..End
+// covers the whole stage residency; Queue is the leading portion spent
+// waiting (in the snapshot queue, or behind backpressure) before
+// compute began, so Compute = (End-Start) - Queue.
+type Span struct {
+	Stage  string        `json:"stage"`
+	Reader string        `json:"reader,omitempty"`
+	Tag    string        `json:"tag,omitempty"`
+	Start  time.Time     `json:"start"`
+	End    time.Time     `json:"end"`
+	Queue  time.Duration `json:"queue_ns"`
+}
+
+// Duration is the span's total residency.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Compute is the residency minus queue wait.
+func (s Span) Compute() time.Duration { return s.Duration() - s.Queue }
+
+// Event is one discrete happening inside a trace.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Trace accumulates one acquisition sequence's spans and events. It is
+// shared across the ingest, worker, and assembler goroutines, so all
+// mutation goes through its lock; a nil *Trace no-ops everywhere.
+type Trace struct {
+	id  string
+	seq uint32
+
+	mu       sync.Mutex
+	start    time.Time
+	end      time.Time
+	outcome  string
+	degraded bool
+	spans    []Span
+	events   []Event
+	done     bool
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Span appends one completed span. No-op on a nil or finished trace
+// (a worker may race a TTL eviction; the late span is dropped so
+// retained traces stay immutable).
+func (t *Trace) Span(stage, reader, tag string, start, end time.Time, queue time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.spans = append(t.spans, Span{
+			Stage: stage, Reader: reader, Tag: tag,
+			Start: start, End: end, Queue: queue,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Event appends one event. No-op on a nil or finished trace.
+func (t *Trace) Event(name, detail string, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.events = append(t.events, Event{Time: now, Name: name, Detail: detail})
+	}
+	t.mu.Unlock()
+}
+
+// MarkDegraded flags the trace as fused from a degraded quorum.
+func (t *Trace) MarkDegraded() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.degraded = true
+	t.mu.Unlock()
+}
+
+// finish seals the trace; returns its total duration.
+func (t *Trace) finish(outcome string, now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.end.Sub(t.start)
+	}
+	t.done = true
+	t.outcome = outcome
+	t.end = now
+	return now.Sub(t.start)
+}
+
+// Data is an immutable snapshot of one trace — the JSON shape the
+// /api/v1/traces/{id} endpoint serves.
+type Data struct {
+	ID       string    `json:"id"`
+	Seq      uint32    `json:"seq"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end,omitempty"`
+	Outcome  string    `json:"outcome,omitempty"`
+	Degraded bool      `json:"degraded,omitempty"`
+	Pinned   bool      `json:"pinned,omitempty"`
+	Spans    []Span    `json:"spans"`
+	Events   []Event   `json:"events,omitempty"`
+}
+
+// Duration is end-start for finished traces, 0 otherwise.
+func (d Data) Duration() time.Duration {
+	if d.End.IsZero() {
+		return 0
+	}
+	return d.End.Sub(d.Start)
+}
+
+// Summary is the list-endpoint row: everything but the span/event
+// bodies.
+type Summary struct {
+	ID       string        `json:"id"`
+	Seq      uint32        `json:"seq"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Outcome  string        `json:"outcome"`
+	Degraded bool          `json:"degraded,omitempty"`
+	Pinned   bool          `json:"pinned,omitempty"`
+	Spans    int           `json:"spans"`
+	Events   int           `json:"events"`
+}
+
+// snapshot copies the trace under its lock.
+func (t *Trace) snapshot(pinned bool) Data {
+	t.mu.Lock()
+	d := Data{
+		ID: t.id, Seq: t.seq, Start: t.start, Outcome: t.outcome,
+		Degraded: t.degraded, Pinned: pinned,
+		Spans:  append([]Span(nil), t.spans...),
+		Events: append([]Event(nil), t.events...),
+	}
+	if t.done {
+		d.End = t.end
+	}
+	t.mu.Unlock()
+	return d
+}
+
+// config holds Tracer tunables.
+type config struct {
+	capacity  int
+	pinCap    int
+	maxActive int
+	seed      uint64
+	seedSet   bool
+}
+
+// Option configures a Tracer.
+type Option func(*config)
+
+// WithCapacity bounds the completed-trace ring (default 256).
+func WithCapacity(n int) Option { return func(c *config) { c.capacity = n } }
+
+// WithPinSlowest keeps the N slowest completed traces past ring
+// eviction (default 16, 0 disables pinning).
+func WithPinSlowest(n int) Option { return func(c *config) { c.pinCap = n } }
+
+// WithMaxActive caps concurrently-active traces; beyond it the oldest
+// is force-finished as abandoned (default 4x capacity). The backstop
+// for sequences that never reach a finishing stage.
+func WithMaxActive(n int) Option { return func(c *config) { c.maxActive = n } }
+
+// WithIDSeed pins the trace-ID sequence, making IDs reproducible in
+// tests. Default: a random process-wide seed.
+func WithIDSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed; c.seedSet = true }
+}
+
+// Tracer mints, indexes, and retains per-sequence traces.
+type Tracer struct {
+	cfg config
+
+	mu     sync.Mutex
+	n      uint64
+	active map[uint32]*Trace
+	// activeOrder is the FIFO the max-active cap evicts from; entries
+	// for already-finished seqs are skipped lazily.
+	activeOrder []uint32
+	ring        []*Trace // completed, oldest first
+	pinned      []*Trace // slowest completed, unordered
+	byID        map[string]*traceRef
+}
+
+// traceRef tracks where a retained trace lives so byID stays exact.
+type traceRef struct {
+	t        *Trace
+	inRing   bool
+	inPinned bool
+	inActive bool
+}
+
+// New creates a Tracer.
+func New(opts ...Option) *Tracer {
+	cfg := config{capacity: 256, pinCap: 16}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.capacity <= 0 {
+		cfg.capacity = 256
+	}
+	if cfg.pinCap < 0 {
+		cfg.pinCap = 0
+	}
+	if cfg.maxActive <= 0 {
+		cfg.maxActive = 4 * cfg.capacity
+	}
+	if !cfg.seedSet {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			cfg.seed = binary.LittleEndian.Uint64(b[:])
+		}
+	}
+	return &Tracer{
+		cfg:    cfg,
+		active: map[uint32]*Trace{},
+		byID:   map[string]*traceRef{},
+	}
+}
+
+// mintID derives the next trace ID from the seed and a counter. The
+// golden-ratio multiply spreads consecutive counters across the hex
+// space so IDs don't look sequential, while staying reproducible for
+// a pinned seed.
+func (tr *Tracer) mintID() string {
+	tr.n++
+	return fmt.Sprintf("%016x", (tr.cfg.seed+tr.n)*0x9e3779b97f4a7c15)
+}
+
+// Begin returns the active trace for seq, creating (and ID-minting)
+// one if none exists. Safe for concurrent use; nil-safe.
+func (tr *Tracer) Begin(seq uint32, now time.Time) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	t := tr.active[seq]
+	if t == nil {
+		t = &Trace{seq: seq, start: now, id: tr.mintID()}
+		tr.active[seq] = t
+		tr.activeOrder = append(tr.activeOrder, seq)
+		tr.byID[t.id] = &traceRef{t: t, inActive: true}
+		tr.capActiveLocked(now)
+	}
+	tr.mu.Unlock()
+	return t
+}
+
+// Active returns the in-flight trace for seq, nil when none (never
+// started, already finished, or nil tracer).
+func (tr *Tracer) Active(seq uint32) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	t := tr.active[seq]
+	tr.mu.Unlock()
+	return t
+}
+
+// Finish seals seq's active trace with the outcome and retains it in
+// the completed ring (and possibly the slowest-N pin set). No-op when
+// seq has no active trace.
+func (tr *Tracer) Finish(seq uint32, outcome string, now time.Time) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.finishLocked(seq, outcome, now)
+	tr.mu.Unlock()
+}
+
+func (tr *Tracer) finishLocked(seq uint32, outcome string, now time.Time) {
+	t := tr.active[seq]
+	if t == nil {
+		return
+	}
+	delete(tr.active, seq)
+	t.finish(outcome, now)
+	ref := tr.byID[t.id]
+	ref.inActive = false
+	ref.inRing = true
+	tr.ring = append(tr.ring, t)
+	if len(tr.ring) > tr.cfg.capacity {
+		old := tr.ring[0]
+		tr.ring = tr.ring[1:]
+		oldRef := tr.byID[old.id]
+		oldRef.inRing = false
+		tr.maybePinLocked(old, oldRef)
+		tr.dropIfGoneLocked(oldRef)
+	}
+}
+
+// maybePinLocked keeps a ring-evicted trace if it ranks among the
+// slowest pinCap completed traces, displacing the current fastest pin.
+func (tr *Tracer) maybePinLocked(t *Trace, ref *traceRef) {
+	if tr.cfg.pinCap == 0 {
+		return
+	}
+	d := t.end.Sub(t.start)
+	if len(tr.pinned) < tr.cfg.pinCap {
+		tr.pinned = append(tr.pinned, t)
+		ref.inPinned = true
+		return
+	}
+	fastest, fi := time.Duration(-1), -1
+	for i, p := range tr.pinned {
+		if pd := p.end.Sub(p.start); fi == -1 || pd < fastest {
+			fastest, fi = pd, i
+		}
+	}
+	if d <= fastest {
+		return
+	}
+	outRef := tr.byID[tr.pinned[fi].id]
+	outRef.inPinned = false
+	tr.dropIfGoneLocked(outRef)
+	tr.pinned[fi] = t
+	ref.inPinned = true
+}
+
+// dropIfGoneLocked removes the ID index entry once a trace is retained
+// nowhere.
+func (tr *Tracer) dropIfGoneLocked(ref *traceRef) {
+	if !ref.inRing && !ref.inPinned && !ref.inActive {
+		delete(tr.byID, ref.t.id)
+	}
+}
+
+// capActiveLocked force-finishes the oldest active traces while the
+// active set exceeds the cap.
+func (tr *Tracer) capActiveLocked(now time.Time) {
+	for len(tr.active) > tr.cfg.maxActive && len(tr.activeOrder) > 0 {
+		seq := tr.activeOrder[0]
+		tr.activeOrder = tr.activeOrder[1:]
+		if _, ok := tr.active[seq]; !ok {
+			continue // finished normally; stale order entry
+		}
+		tr.finishLocked(seq, OutcomeAbandoned, now)
+	}
+	// Compact stale order entries opportunistically so the slice cannot
+	// grow unbounded ahead of the map.
+	if len(tr.activeOrder) > 2*tr.cfg.maxActive {
+		live := tr.activeOrder[:0]
+		for _, seq := range tr.activeOrder {
+			if _, ok := tr.active[seq]; ok {
+				live = append(live, seq)
+			}
+		}
+		tr.activeOrder = live
+	}
+}
+
+// Get returns a snapshot of the trace with the given ID, searching
+// active, ring, and pinned traces.
+func (tr *Tracer) Get(id string) (Data, bool) {
+	if tr == nil {
+		return Data{}, false
+	}
+	tr.mu.Lock()
+	ref := tr.byID[id]
+	var t *Trace
+	var pinned bool
+	if ref != nil {
+		t, pinned = ref.t, ref.inPinned
+	}
+	tr.mu.Unlock()
+	if t == nil {
+		return Data{}, false
+	}
+	return t.snapshot(pinned), true
+}
+
+// Traces lists summaries of every retained completed trace (ring plus
+// pinned), newest first.
+func (tr *Tracer) Traces() []Summary {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	seen := make(map[string]bool, len(tr.ring)+len(tr.pinned))
+	all := make([]*Trace, 0, len(tr.ring)+len(tr.pinned))
+	pinnedSet := make(map[string]bool, len(tr.pinned))
+	for _, t := range tr.pinned {
+		pinnedSet[t.id] = true
+	}
+	for i := len(tr.ring) - 1; i >= 0; i-- {
+		t := tr.ring[i]
+		if !seen[t.id] {
+			seen[t.id] = true
+			all = append(all, t)
+		}
+	}
+	for _, t := range tr.pinned {
+		if !seen[t.id] {
+			seen[t.id] = true
+			all = append(all, t)
+		}
+	}
+	tr.mu.Unlock()
+	out := make([]Summary, len(all))
+	for i, t := range all {
+		t.mu.Lock()
+		out[i] = Summary{
+			ID: t.id, Seq: t.seq, Start: t.start,
+			Duration: t.end.Sub(t.start), Outcome: t.outcome,
+			Degraded: t.degraded, Pinned: pinnedSet[t.id],
+			Spans: len(t.spans), Events: len(t.events),
+		}
+		t.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.After(out[j].Start)
+		}
+		return out[i].Seq > out[j].Seq
+	})
+	return out
+}
+
+// Snapshots returns full Data for every retained completed trace,
+// newest first — the input shape the Chrome exporter takes.
+func (tr *Tracer) Snapshots() []Data {
+	sums := tr.Traces()
+	out := make([]Data, 0, len(sums))
+	for _, s := range sums {
+		if d, ok := tr.Get(s.ID); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}

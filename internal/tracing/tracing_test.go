@@ -1,0 +1,215 @@
+package tracing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+
+// finishAfter completes seq's trace d after its start.
+func finishAfter(tr *Tracer, seq uint32, d time.Duration, outcome string) {
+	tr.Finish(seq, outcome, t0.Add(d))
+}
+
+func TestBeginIsIdempotentPerSeq(t *testing.T) {
+	tr := New(WithIDSeed(1))
+	a := tr.Begin(7, t0)
+	b := tr.Begin(7, t0.Add(time.Millisecond))
+	if a != b {
+		t.Fatal("Begin minted a second trace for the same live seq")
+	}
+	if a.ID() == "" {
+		t.Fatal("empty trace ID")
+	}
+	if got := tr.Active(7); got != a {
+		t.Fatal("Active did not return the live trace")
+	}
+	if got := tr.Active(8); got != nil {
+		t.Fatalf("Active(8) = %v, want nil", got)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := New(WithCapacity(3), WithPinSlowest(0), WithIDSeed(1))
+	ids := make([]string, 5)
+	for i := 0; i < 5; i++ {
+		seq := uint32(i)
+		ids[i] = tr.Begin(seq, t0.Add(time.Duration(i)*time.Second)).ID()
+		tr.Finish(seq, OutcomeFix, t0.Add(time.Duration(i)*time.Second+time.Millisecond))
+	}
+	// Capacity 3, no pinning: traces 0 and 1 must be gone.
+	for i, id := range ids {
+		_, ok := tr.Get(id)
+		if want := i >= 2; ok != want {
+			t.Errorf("Get(trace %d) = %v, want %v", i, ok, want)
+		}
+	}
+	sums := tr.Traces()
+	if len(sums) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(sums))
+	}
+	// Newest first.
+	if sums[0].ID != ids[4] || sums[2].ID != ids[2] {
+		t.Fatalf("list order = %v, want newest first", sums)
+	}
+}
+
+func TestSlowestPinningSurvivesEviction(t *testing.T) {
+	tr := New(WithCapacity(2), WithPinSlowest(1), WithIDSeed(1))
+	// Trace 0 is very slow; it must survive even after the ring cycles.
+	slow := tr.Begin(0, t0).ID()
+	finishAfter(tr, 0, 10*time.Second, OutcomeFix)
+	fastIDs := make([]string, 4)
+	for i := 1; i <= 4; i++ {
+		fastIDs[i-1] = tr.Begin(uint32(i), t0.Add(time.Duration(i)*time.Minute)).ID()
+		tr.Finish(uint32(i), OutcomeFix, t0.Add(time.Duration(i)*time.Minute+time.Millisecond))
+	}
+	d, ok := tr.Get(slow)
+	if !ok {
+		t.Fatal("slowest trace was evicted despite pinning")
+	}
+	if !d.Pinned {
+		t.Fatal("retained slow trace not marked pinned")
+	}
+	// The first two fast traces rolled out of the ring and lost the
+	// pin contest to the slow one.
+	if _, ok := tr.Get(fastIDs[0]); ok {
+		t.Fatal("fast trace should have been evicted unpinned")
+	}
+	// List = ring (last two fast) + pinned slow, no duplicates.
+	sums := tr.Traces()
+	if len(sums) != 3 {
+		t.Fatalf("retained %d traces, want 3 (2 ring + 1 pinned)", len(sums))
+	}
+}
+
+func TestPinReplacesFastestPin(t *testing.T) {
+	tr := New(WithCapacity(1), WithPinSlowest(2), WithIDSeed(1))
+	mk := func(seq uint32, d time.Duration) string {
+		id := tr.Begin(seq, t0.Add(time.Duration(seq)*time.Hour)).ID()
+		tr.Finish(seq, OutcomeFix, t0.Add(time.Duration(seq)*time.Hour+d))
+		return id
+	}
+	a := mk(1, 5*time.Second)  // evicted into pin slot
+	b := mk(2, 1*time.Second)  // evicted into pin slot
+	c := mk(3, 10*time.Second) // evicted: slower than b, displaces it
+	d := mk(4, time.Millisecond)
+	_ = d
+	if _, ok := tr.Get(a); !ok {
+		t.Fatal("5s pin lost")
+	}
+	if _, ok := tr.Get(c); !ok {
+		t.Fatal("10s pin lost")
+	}
+	if _, ok := tr.Get(b); ok {
+		t.Fatal("1s trace kept its pin against a 10s trace")
+	}
+}
+
+func TestMaxActiveAbandonsOldest(t *testing.T) {
+	tr := New(WithCapacity(8), WithMaxActive(2), WithIDSeed(1))
+	first := tr.Begin(1, t0).ID()
+	tr.Begin(2, t0.Add(time.Second))
+	tr.Begin(3, t0.Add(2*time.Second)) // forces seq 1 out
+	if got := tr.Active(1); got != nil {
+		t.Fatal("seq 1 still active past the cap")
+	}
+	d, ok := tr.Get(first)
+	if !ok {
+		t.Fatal("abandoned trace not retained")
+	}
+	if d.Outcome != OutcomeAbandoned {
+		t.Fatalf("outcome = %q, want %q", d.Outcome, OutcomeAbandoned)
+	}
+}
+
+func TestSpansAndEventsAfterFinishDropped(t *testing.T) {
+	tr := New(WithIDSeed(1))
+	h := tr.Begin(1, t0)
+	h.Span(StageIngest, "r1", "", t0, t0.Add(time.Millisecond), 0)
+	tr.Finish(1, OutcomeEvicted, t0.Add(time.Second))
+	// A worker racing the eviction records into a sealed trace: no-op.
+	h.Span(StageSpectrum, "r1", "aa", t0, t0.Add(2*time.Millisecond), time.Millisecond)
+	h.Event("late", "", t0.Add(2*time.Second))
+	d, _ := tr.Get(h.ID())
+	if len(d.Spans) != 1 || len(d.Events) != 0 {
+		t.Fatalf("sealed trace mutated: %d spans, %d events", len(d.Spans), len(d.Events))
+	}
+	if d.Duration() != time.Second {
+		t.Fatalf("duration = %v, want 1s", d.Duration())
+	}
+}
+
+func TestQueueComputeSplit(t *testing.T) {
+	tr := New(WithIDSeed(1))
+	h := tr.Begin(1, t0)
+	h.Span(StageSpectrum, "r1", "ff01", t0, t0.Add(10*time.Millisecond), 4*time.Millisecond)
+	tr.Finish(1, OutcomeFix, t0.Add(10*time.Millisecond))
+	d, _ := tr.Get(h.ID())
+	sp := d.Spans[0]
+	if sp.Queue != 4*time.Millisecond || sp.Compute() != 6*time.Millisecond {
+		t.Fatalf("split = queue %v compute %v", sp.Queue, sp.Compute())
+	}
+}
+
+func TestNilTracerAndTraceNoop(t *testing.T) {
+	var tr *Tracer
+	h := tr.Begin(1, t0)
+	if h != nil {
+		t.Fatal("nil tracer handed out a trace")
+	}
+	h.Span(StageFuse, "", "", t0, t0, 0) // must not panic
+	h.Event("x", "", t0)
+	h.MarkDegraded()
+	if h.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	tr.Finish(1, OutcomeFix, t0)
+	if tr.Traces() != nil {
+		t.Fatal("nil tracer listed traces")
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("nil tracer resolved an ID")
+	}
+}
+
+func TestUniqueIDsAcrossSeqReuse(t *testing.T) {
+	tr := New(WithIDSeed(42), WithCapacity(4))
+	a := tr.Begin(1, t0).ID()
+	tr.Finish(1, OutcomeFix, t0.Add(time.Millisecond))
+	b := tr.Begin(1, t0.Add(time.Second)).ID() // same seq, new acquisition epoch
+	if a == b {
+		t.Fatal("seq reuse minted a duplicate trace ID")
+	}
+	if _, ok := tr.Get(a); !ok {
+		t.Fatal("first epoch's trace lost")
+	}
+}
+
+// TestConcurrentRecording hammers one tracer from many goroutines the
+// way ingest handlers, spectrum workers, and the assembler do. Run
+// under -race this is the synchronization proof.
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(WithCapacity(32), WithPinSlowest(4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				seq := uint32(i % 50)
+				h := tr.Begin(seq, t0.Add(time.Duration(i)*time.Microsecond))
+				h.Span(StageSpectrum, fmt.Sprintf("r%d", g), "ee", t0, t0.Add(time.Millisecond), time.Microsecond)
+				h.Event(EventSnapshotDropped, "", t0)
+				if i%7 == 0 {
+					tr.Finish(seq, OutcomeFix, t0.Add(time.Duration(i)*time.Microsecond))
+				}
+				tr.Traces()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

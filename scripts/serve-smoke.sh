@@ -41,7 +41,7 @@ echo "== building dwatchd"
 go build -o "$BIN" ./cmd/dwatchd
 
 echo "== starting dwatchd -simulate -http $HTTP_ADDR"
-"$BIN" -listen "$LLRP_ADDR" -env table -simulate -rounds 4 -http "$HTTP_ADDR" >"$LOG" 2>&1 &
+"$BIN" -listen "$LLRP_ADDR" -env table -simulate -rounds 200 -http "$HTTP_ADDR" >"$LOG" 2>&1 &
 PID=$!
 
 # Wait for the plane to come up.
@@ -82,6 +82,42 @@ if ! printf '%s\n' "$STATS" | grep -q '"ReportsIn"'; then
     exit 1
 fi
 echo "ok: /api/v1/stats"
+
+# A served position must carry a trace_id (schema 3) that resolves to
+# a full per-sequence trace with a fuse-stage span.
+i=0
+TID=""
+while [ -z "$TID" ]; do
+    TID="$(fetch_body "http://$HTTP_ADDR/api/v1/positions" |
+        tr ',' '\n' | grep '"trace_id"' | head -n 1 |
+        sed 's/.*"trace_id": *"\([^"]*\)".*/\1/')" || true
+    [ -n "$TID" ] && break
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "FAIL: no position with a trace_id appeared" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+TRACE="$(fetch "http://$HTTP_ADDR/api/v1/traces/$TID")"
+for want in '"outcome": "fix"' '"stage": "fuse"' '"stage": "spectrum"'; do
+    if ! printf '%s\n' "$TRACE" | grep -Fq "$want"; then
+        echo "FAIL: trace $TID missing $want: $TRACE" >&2
+        exit 1
+    fi
+done
+echo "ok: /api/v1/traces/{id}"
+
+# RF health must report live read rates per reader.
+HEALTH="$(fetch "http://$HTTP_ADDR/api/v1/health")"
+for want in '"readers"' '"rate_hz"' '"angle_deg"'; do
+    if ! printf '%s\n' "$HEALTH" | grep -Fq "$want"; then
+        echo "FAIL: /api/v1/health missing $want: $HEALTH" >&2
+        exit 1
+    fi
+done
+echo "ok: /api/v1/health"
 
 # Readiness flips once the simulated readers confirm their baselines.
 i=0
