@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race chaos bench bench-figures check serve-smoke clean
+.PHONY: all build fmt vet test race chaos bench bench-figures check serve-smoke replay-smoke fuzz-wal clean
 
 all: check
 
@@ -37,10 +37,12 @@ chaos:
 
 # Hot-path micro-benchmarks with fixed iteration counts so successive
 # runs are benchstat-comparable; output lands in BENCH_hotpath.json for
-# before/after diffing in perf PRs.
-HOTPATH_BENCH = BenchmarkMusicSpectrum|BenchmarkBeamPower|BenchmarkLocalizeGrid|BenchmarkPipelineThroughput
+# before/after diffing in perf PRs. BenchmarkWALAppend rides along
+# because WAL append sits on the ingest hot path when -wal-dir is set —
+# a regression there throttles every accepted report.
+HOTPATH_BENCH = BenchmarkMusicSpectrum|BenchmarkBeamPower|BenchmarkLocalizeGrid|BenchmarkPipelineThroughput|BenchmarkWALAppend
 bench:
-	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 100x -count 3 -benchmem . | tee BENCH_hotpath.json
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 100x -count 3 -benchmem . ./internal/wal/ | tee BENCH_hotpath.json
 
 # The figure benchmarks run one iteration each; they reproduce the
 # paper's evaluation, not machine performance.
@@ -53,6 +55,19 @@ check: fmt vet build test race chaos
 # endpoints a monitoring stack would: liveness, metrics, live stats.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# The durability gate at the binary level: record a simulated run into
+# a WAL, kill -9 dwatchd mid-stream, restart and assert recovery via
+# /api/v1/wal, then replay the WAL unthrottled twice and assert the fix
+# parity hashes agree.
+replay-smoke:
+	./scripts/replay-smoke.sh
+
+# Throw malformed bytes at the WAL segment scanner; it must stop with a
+# damage report, never panic. Run longer locally with FUZZTIME=5m.
+FUZZTIME ?= 20s
+fuzz-wal:
+	$(GO) test -run '^$$' -fuzz FuzzSegmentScanner -fuzztime $(FUZZTIME) ./internal/wal/
 
 clean:
 	$(GO) clean ./...

@@ -1,16 +1,31 @@
-// Command dwatch-replay re-runs localization over a recorded LLRP
-// session (written by dwatchd -record): the offline workflow for tuning
-// detection thresholds against captured traffic without the readers.
+// Command dwatch-replay re-runs localization over recorded LLRP
+// traffic: the offline workflow for tuning detection thresholds
+// against captured deployments, and the throughput regression harness
+// for the streaming pipeline.
 //
-// Replay pumps the recorded reports through the same streaming
-// pipeline dwatchd serves with, so the worker pool parallelizes the
-// spectrum computation: -workers N trades cores for wall time, and the
-// summary reports the achieved report throughput.
+// It replays two capture formats through internal/replay:
+//
+//   - a WAL directory written by dwatchd -wal-dir (-wal-dir here too),
+//     the native segmented, checksummed format — replay stops cleanly
+//     at the first damaged record and reports where;
+//   - a legacy stream written by dwatchd -record (-in), deprecated but
+//     still replayable; -convert graduates one into WAL segments.
+//
+// Replay paces at -speed× real time (0 = unthrottled: the pipeline is
+// fed as fast as it accepts — the regression-harness mode). The run
+// summary reports reports/s, spectra/s, latency digests, and a fix
+// parity hash: SHA-256 over the seq-sorted fixes' raw float bits, so
+// two runs over the same capture with the same configuration can be
+// compared bit for bit. -json emits the summary as one JSON document
+// on stdout for scripts (scripts/replay-smoke.sh diffs parity hashes
+// across a crash/recover cycle).
 //
 // Usage:
 //
-//	dwatch-replay -in session.dwrl [-env hall] [-drop-floor 0.2] [-workers N]
-//	              [-http 127.0.0.1:8080]
+//	dwatch-replay -wal-dir DIR [-env hall] [-speed N] [-workers N] [-json]
+//	dwatch-replay -in session.dwrl [...]
+//	dwatch-replay -convert -in session.dwrl -wal-dir DIR
+//	dwatch-replay ... [-http 127.0.0.1:8080]
 //
 // -http serves the observability plane during the replay — useful for
 // watching /metrics or the /api/v1/positions SSE stream while a long
@@ -19,31 +34,34 @@ package main
 
 import (
 	"context"
-	"errors"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
-	"runtime"
-	"sort"
 	"time"
 
 	"dwatch/internal/dwatch"
 	"dwatch/internal/health"
-	"dwatch/internal/llrp"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
+	"dwatch/internal/replay"
 	"dwatch/internal/rf"
 	"dwatch/internal/serve"
 	"dwatch/internal/sim"
 	"dwatch/internal/tracing"
+	"dwatch/internal/wal"
 )
 
 func main() {
-	in := flag.String("in", "", "record file written by dwatchd -record")
+	in := flag.String("in", "", "legacy record file written by dwatchd -record (deprecated format)")
+	walDir := flag.String("wal-dir", "", "WAL directory written by dwatchd -wal-dir (with -convert: the destination)")
+	convert := flag.Bool("convert", false, "convert -in (legacy) into WAL segments at -wal-dir instead of replaying")
 	env := flag.String("env", "hall", "environment preset (array geometry)")
+	speed := flag.Float64("speed", 0, "real-time multiplier: 1 = original pacing, 10 = 10x, 0 = unthrottled")
 	dropFloor := flag.Float64("drop-floor", 0, "override the per-path drop floor (0 = default)")
 	workers := flag.Int("workers", 0, "spectrum worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the run summary as JSON on stdout")
 	httpAddr := flag.String("http", "", "serve the observability plane (metrics, health, positions, pprof) on this address during replay; empty = disabled")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
@@ -55,9 +73,20 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
 	}
-	if *in == "" {
-		fatal(fmt.Errorf("-in is required"))
+
+	if *convert {
+		if err := runConvert(*in, *walDir); err != nil {
+			fatal(err)
+		}
+		return
 	}
+	if (*in == "") == (*walDir == "") {
+		fatal(fmt.Errorf("exactly one of -wal-dir or -in is required (or -convert with both)"))
+	}
+	if *speed < 0 {
+		fatal(fmt.Errorf("-speed %v: must be >= 0", *speed))
+	}
+
 	cfg, err := preset(*env)
 	if err != nil {
 		fatal(err)
@@ -70,56 +99,47 @@ func main() {
 	for _, r := range sc.Readers {
 		arrays[r.ID] = r.Array
 	}
+	dep := pipeline.Deployment{Arrays: arrays, Grid: sc.Grid}
 
-	var reg *obs.Registry
-	var broker *serve.Broker
-	var tracer *tracing.Tracer
-	var mon *health.Monitor
-	if *httpAddr != "" {
-		reg = obs.NewRegistry()
-		broker = serve.NewBroker()
-		tracer = tracing.New()
-		mon = health.New(reg, health.Options{})
-		obs.RegisterBuildInfo(reg)
+	var src replay.Source
+	if *walDir != "" {
+		s, err := replay.OpenWAL(*walDir)
+		if err != nil {
+			fatal(err)
+		}
+		src = s
+	} else {
+		logger.Warn("-in replays the deprecated legacy format; convert with -convert and use -wal-dir")
+		s, err := replay.OpenLegacy(*in)
+		if err != nil {
+			fatal(err)
+		}
+		src = s
 	}
-	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
+	defer src.Close()
+
+	popts := []pipeline.Option{
 		pipeline.WithWorkers(*workers),
 		pipeline.WithFuser(dwatch.Config{DropFloor: *dropFloor}),
-		pipeline.WithObs(reg),
-		pipeline.WithTracer(tracer),
-		pipeline.WithHealth(mon),
 		pipeline.WithLogger(logger),
-	)
-	if err != nil {
-		fatal(err)
 	}
 	var plane *serve.Server
 	if *httpAddr != "" {
-		p.SubscribeFixes(func(fix pipeline.Fix) {
-			if fix.Err != nil {
-				return
-			}
-			broker.Publish(serve.Position{
-				Env: sc.Name, Seq: fix.Seq,
-				X: fix.Pos.X, Y: fix.Pos.Y,
-				Confidence: fix.Confidence, Views: fix.Views,
-				Readers: fix.Readers, Degraded: fix.Degraded,
-				TraceID: fix.TraceID,
-				Time:    time.Now(),
-			})
-		})
+		reg := obs.NewRegistry()
+		broker := serve.NewBroker()
+		tracer := tracing.New()
+		mon := health.New(reg, health.Options{})
+		obs.RegisterBuildInfo(reg)
+		popts = append(popts,
+			pipeline.WithObs(reg),
+			pipeline.WithTracer(tracer),
+			pipeline.WithHealth(mon),
+		)
 		plane = serve.New(
 			serve.WithRegistry(reg),
 			serve.WithBroker(broker),
 			serve.WithTracer(tracer),
 			serve.WithHealth(mon),
-			serve.WithStats(func() any { return p.Stats() }),
-			serve.WithReady(func() error {
-				if st := p.Stats(); st.BaselinesConfirmed < uint64(len(arrays)) {
-					return fmt.Errorf("baseline: %d/%d readers confirmed", st.BaselinesConfirmed, len(arrays))
-				}
-				return nil
-			}),
 			serve.WithLogf(func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...))
 			}),
@@ -130,83 +150,87 @@ func main() {
 		}
 		logger.Info("observability plane up", "url", "http://"+planeAddr.String()+"/")
 	}
-	p.Start()
 
-	// Collect fixes concurrently; they may complete out of seq order,
-	// so buffer and sort for a stable report.
-	type outcome struct {
-		fix pipeline.Fix
-	}
-	collected := make(chan []outcome, 1)
-	go func() {
-		var out []outcome
-		for fix := range p.Fixes() {
-			out = append(out, outcome{fix})
-		}
-		collected <- out
-	}()
-
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-
-	start := time.Now()
-	reports := 0
-	err = llrp.Replay(f, false, func(rec llrp.RecordedMessage) error {
-		if rec.Message.Type != llrp.MsgROAccessReport {
-			return nil
-		}
-		rep, err := llrp.UnmarshalROAccessReport(rec.Message.Payload)
-		if err != nil {
-			return err
-		}
-		reports++
-		// Unknown readers in a capture are skipped, as before;
-		// anything else is fatal.
-		if err := p.Ingest(rep); err != nil && !errors.Is(err, pipeline.ErrUnknownReader) {
-			return err
-		}
-		return nil
+	sum, err := replay.Run(src, dep, replay.Options{
+		Speed:    *speed,
+		Pipeline: popts,
+		Logger:   logger,
 	})
-	if err != nil {
-		fatal(err)
-	}
-	p.Drain()
-	elapsed := time.Since(start)
-	out := <-collected
 	if plane != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		plane.Shutdown(ctx)
 		cancel()
 	}
+	if err != nil {
+		fatal(err)
+	}
 
-	sort.Slice(out, func(i, j int) bool { return out[i].fix.Seq < out[j].fix.Seq })
-	fixes, misses := 0, 0
-	for _, o := range out {
-		if o.fix.Err != nil {
-			misses++
-			fmt.Printf("seq %d: no fix (%v)\n", o.fix.Seq, o.fix.Err)
-			continue
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatal(err)
 		}
-		fixes++
-		fmt.Printf("seq %d: fix (%.2f, %.2f) confidence %.2f\n",
-			o.fix.Seq, o.fix.Pos.X, o.fix.Pos.Y, o.fix.Confidence)
+	} else {
+		printSummary(sum)
 	}
-	st := p.Stats()
-	w := *workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+	if sum.SourceError != "" || sum.Damage != nil {
+		// The capture ended early (torn tail or damaged segment): the
+		// replay itself is still valid, but scripts should know.
+		os.Exit(2)
 	}
-	fmt.Printf("replay complete: %d fixes, %d misses\n", fixes, misses)
-	fmt.Printf("throughput: %d reports (%d spectra) in %.3fs with %d workers = %.1f reports/s\n",
-		reports, st.SpectraComputed, elapsed.Seconds(), w,
-		float64(reports)/elapsed.Seconds())
-	if st.SequencesEvicted > 0 || st.LateReports > 0 || st.PendingSequences > 0 {
-		fmt.Printf("warning: %d incomplete sequences evicted, %d still incomplete at EOF, %d late reports\n",
-			st.SequencesEvicted, st.PendingSequences, st.LateReports)
+}
+
+func printSummary(sum *replay.Summary) {
+	fmt.Printf("replay complete: %d fixes, %d misses (parity %s)\n",
+		sum.Fixes, sum.Misses, sum.FixParity)
+	fmt.Printf("throughput: %d reports (%d spectra) in %.3fs = %.1f reports/s, %.1f spectra/s\n",
+		sum.Reports, sum.Spectra, sum.WallSeconds, sum.ReportsPerSec, sum.SpectraPerSec)
+	if sum.ComputeLatency.Count > 0 {
+		fmt.Printf("latency: compute p50 %.2fms p99 %.2fms, fuse p50 %.2fms p99 %.2fms\n",
+			1e3*sum.ComputeLatency.P50, 1e3*sum.ComputeLatency.P99,
+			1e3*sum.FuseLatency.P50, 1e3*sum.FuseLatency.P99)
 	}
+	if sum.SkippedType > 0 || sum.SkippedUnknown > 0 || sum.BadReports > 0 {
+		fmt.Printf("skipped: %d non-report messages, %d unknown-reader reports, %d bad payloads\n",
+			sum.SkippedType, sum.SkippedUnknown, sum.BadReports)
+	}
+	if sum.SourceError != "" {
+		fmt.Printf("warning: capture ended early: %s\n", sum.SourceError)
+	}
+	if sum.Damage != nil {
+		fmt.Printf("warning: WAL damage in %s at offset %d: %s\n",
+			sum.Damage.Segment, sum.Damage.Offset, sum.Damage.Reason)
+	}
+}
+
+// runConvert graduates a legacy capture into WAL segments, preserving
+// timestamps so pacing still works.
+func runConvert(in, dir string) error {
+	if in == "" || dir == "" {
+		return fmt.Errorf("-convert needs both -in (legacy source) and -wal-dir (destination)")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := wal.Open(dir, wal.WithLogger(logger))
+	if err != nil {
+		return err
+	}
+	n, err := wal.ConvertLegacy(f, w)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("converted %d records, then: %w", n, err)
+	}
+	st := w.Status()
+	logger.Info("converted legacy capture", "in", in, "wal_dir", dir,
+		"records", n, "segments", st.Segments, "bytes", st.Bytes)
+	fmt.Printf("converted %d records into %s (%d segments, %d bytes)\n", n, dir, st.Segments, st.Bytes)
+	return nil
 }
 
 func preset(name string) (sim.Config, error) {

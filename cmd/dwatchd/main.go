@@ -29,6 +29,7 @@
 //	dwatchd [-listen :5084] [-env hall] [-simulate] [-rounds N]
 //	        [-workers N] [-queue N] [-overload block|drop-oldest]
 //	        [-http 127.0.0.1:8080]
+//	        [-wal-dir DIR] [-wal-fsync interval=1s] [-wal-retention segments=16]
 //	dwatchd -dial reader-1=host:port,reader-2=host:port [...]
 //	dwatchd -chaos [-chaos-flap 2s] [-chaos-seed N] [-env table] [...]
 //
@@ -39,8 +40,17 @@
 // /api/v1/traces (per-sequence pipeline traces; append /{id} for one
 // trace, ?format=chrome for a chrome://tracing export), /api/v1/health
 // (per-reader RF health: read rates, path power drift, calibration
-// residuals), and /debug/pprof/* for profiling the spectrum and fusion
-// hot paths. -pprof is a deprecated alias for -http.
+// residuals), /api/v1/wal (ingest WAL status and recovery outcome),
+// and /debug/pprof/* for profiling the spectrum and fusion hot paths.
+// -pprof is a deprecated alias for -http.
+//
+// -wal-dir enables the durable ingest WAL (internal/wal): every
+// accepted RO_ACCESS_REPORT is appended to a segmented, checksummed
+// log before dispatch, and on restart the surviving records are
+// replayed through the pipeline — a crash mid-run loses at most the
+// torn tail of the final record. -wal-fsync trades throughput for
+// machine-crash durability; -wal-retention bounds the on-disk
+// footprint. Replay or benchmark a WAL offline with dwatch-replay.
 //
 // Logs are structured (log/slog); -log-format json switches the sink
 // from human-readable text to JSON lines.
@@ -48,6 +58,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -70,6 +81,7 @@ import (
 	"dwatch/internal/serve"
 	"dwatch/internal/sim"
 	"dwatch/internal/tracing"
+	"dwatch/internal/wal"
 )
 
 func main() {
@@ -78,7 +90,11 @@ func main() {
 	simulate := flag.Bool("simulate", false, "spawn simulated readers and a walking target")
 	rounds := flag.Int("rounds", 5, "simulated acquisition rounds")
 	statePath := flag.String("state", "", "baseline state file: loaded at start when present, saved after baseline confirmation")
-	recordPath := flag.String("record", "", "append every inbound RO_ACCESS_REPORT to this record file (replay with dwatch-replay)")
+	recordPath := flag.String("record", "", "append every inbound RO_ACCESS_REPORT to this record file (deprecated legacy format; prefer -wal-dir, convert with dwatch-replay -convert)")
+	walDir := flag.String("wal-dir", "", "durable ingest WAL directory: every accepted report is appended before dispatch, and surviving records are replayed through the pipeline on start")
+	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always, never, interval, or interval=DURATION")
+	walRetention := flag.String("wal-retention", "", "WAL retention bounds, e.g. segments=16,bytes=2GiB,age=24h (empty = keep everything)")
+	walSegBytes := flag.String("wal-segment-bytes", "", "WAL segment rotation size, e.g. 64MiB (empty = default)")
 	workers := flag.Int("workers", 0, "spectrum worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "snapshot queue size (0 = default)")
 	overload := flag.String("overload", "block", "full-queue policy: block or drop-oldest")
@@ -132,6 +148,16 @@ func main() {
 		obs.RegisterBuildInfo(srv.obs)
 	}
 	srv.statePath = *statePath
+	if *walDir != "" {
+		w, err := openWAL(*walDir, *walFsync, *walRetention, *walSegBytes, srv.obs)
+		if err != nil {
+			fatal("wal open failed", "dir", *walDir, "error", err)
+		}
+		srv.wal = w
+		st := w.Status()
+		logger.Info("ingest WAL open", "dir", *walDir, "fsync", st.Fsync,
+			"segments", st.Segments, "recovered", st.Recovered, "truncated_tail_bytes", st.Truncated)
+	}
 	if *recordPath != "" {
 		f, err := os.Create(*recordPath)
 		if err != nil {
@@ -139,7 +165,8 @@ func main() {
 		}
 		srv.recorder = llrp.NewRecordWriter(f)
 		defer srv.recorder.Close()
-		logger.Info("recording reports", "path", *recordPath)
+		logger.Warn("-record writes the deprecated legacy format; prefer -wal-dir (convert old captures with dwatch-replay -convert)",
+			"path", *recordPath)
 	}
 	if *statePath != "" {
 		if f, err := os.Open(*statePath); err == nil {
@@ -171,7 +198,7 @@ func main() {
 
 	var plane *serve.Server
 	if *httpAddr != "" {
-		plane = serve.New(
+		planeOpts := []serve.Option{
 			serve.WithRegistry(srv.obs),
 			serve.WithBroker(srv.broker),
 			serve.WithTracer(srv.tracer),
@@ -179,7 +206,11 @@ func main() {
 			serve.WithStats(func() any { return srv.pipe.Stats() }),
 			serve.WithReady(srv.ready),
 			serve.WithLogf(slogf(logger)),
-		)
+		}
+		if srv.wal != nil {
+			planeOpts = append(planeOpts, serve.WithWALStatus(func() any { return srv.wal.Status() }))
+		}
+		plane = serve.New(planeOpts...)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {
 			fatal("observability plane failed", "error", err)
@@ -225,6 +256,38 @@ func main() {
 			logger.Warn("observability plane shutdown", "error", err)
 		}
 	}
+}
+
+// openWAL builds the ingest WAL from the -wal-* flags. reg may be nil
+// (no -http): the WAL then runs uninstrumented.
+func openWAL(dir, fsync, retention, segBytes string, reg *obs.Registry) (*wal.WAL, error) {
+	policy, interval, err := wal.ParseFsyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	opts := []wal.Option{
+		wal.WithFsync(policy),
+		wal.WithLogger(logger),
+		wal.WithObs(reg),
+	}
+	if interval > 0 {
+		opts = append(opts, wal.WithFsyncInterval(interval))
+	}
+	if retention != "" {
+		ret, err := wal.ParseRetention(retention)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, wal.WithRetention(ret))
+	}
+	if segBytes != "" {
+		n, err := wal.ParseBytes(segBytes)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, wal.WithSegmentMaxBytes(n))
+	}
+	return wal.Open(dir, opts...)
 }
 
 func pipelineWorkers(flagVal int) int {
@@ -287,6 +350,12 @@ type server struct {
 	// liveReaders is set in supervised mode before start(): the
 	// assembler's oracle for quorum-degraded fusion when readers die.
 	liveReaders func() []string
+
+	// wal, when set, receives every accepted report before dispatch
+	// (the WAL serializes its own appends; no s.mu involvement), and
+	// its surviving records are replayed through the pipeline by
+	// start().
+	wal *wal.WAL
 
 	mu        sync.Mutex
 	statePath string
@@ -371,6 +440,64 @@ func (s *server) start() {
 			logger.Info("fix", args...)
 		}
 	}()
+	// Recovery replay runs after the fix consumer is live (a large
+	// backlog can emit more fixes than the channel buffers) and before
+	// any listener or supervisor accepts new reports, so replayed and
+	// live rounds never interleave.
+	if s.wal != nil {
+		s.replayWAL()
+	}
+}
+
+// replayWAL re-ingests every record recovery salvaged, rebuilding
+// pipeline state (baselines, rounds, fixes) exactly as the crashed
+// process built it. Reports that no longer match the deployment are
+// skipped, not fatal: a WAL may outlive a reader.
+func (s *server) replayWAL() {
+	start := time.Now()
+	var replayed, skipped int
+	res, err := wal.Scan(s.wal.Dir(), func(rec wal.Record) error {
+		if rec.Type != llrp.MsgROAccessReport {
+			return nil
+		}
+		rep, err := llrp.UnmarshalROAccessReport(rec.Payload)
+		if err != nil {
+			skipped++
+			return nil
+		}
+		if err := s.pipe.Ingest(rep); err != nil {
+			if errors.Is(err, pipeline.ErrUnknownReader) {
+				skipped++
+				return nil
+			}
+			return err
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		fatal("wal recovery replay failed", "error", err)
+	}
+	if res.Records > 0 {
+		logger.Info("wal recovery replayed", "records", res.Records,
+			"ingested", replayed, "skipped", skipped,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
+	}
+}
+
+// walAppendReport is the supervised-mode durability hook: session
+// handlers receive parsed reports, so the payload is re-marshaled for
+// the log. Returns nil when no WAL is configured.
+func (s *server) walAppendReport(rep *llrp.ROAccessReport) error {
+	if s.wal == nil {
+		return nil
+	}
+	payload, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = s.wal.Append(time.Now(), llrp.MsgROAccessReport, payload)
+	return err
 }
 
 func (s *server) handle(conn *llrp.Conn, msg llrp.Message) error {
@@ -412,6 +539,14 @@ func (s *server) handle(conn *llrp.Conn, msg llrp.Message) error {
 			}
 		}
 		s.mu.Unlock()
+		// Durability before dispatch: once the append returns, the
+		// report survives a process crash and will be replayed on
+		// restart — so a fix the operator saw can always be reproduced.
+		if s.wal != nil {
+			if _, err := s.wal.Append(time.Now(), msg.Type, msg.Payload); err != nil {
+				logger.Error("wal append failed", "error", err)
+			}
+		}
 		if err := s.pipe.Ingest(rep); err != nil {
 			logger.Warn("ingest failed", "reader", rep.ReaderID, "seq", rep.Seq, "error", err)
 		}
@@ -496,6 +631,11 @@ func (s *server) maybeSaveState() {
 func (s *server) shutdown() {
 	s.pipe.Drain()
 	s.fixWG.Wait()
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			logger.Warn("wal close", "error", err)
+		}
+	}
 	st := s.pipe.Stats()
 	s.mu.Lock()
 	fixes := s.fixes

@@ -83,6 +83,12 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 
 	sopts := []session.Option{
 		session.WithHandler(func(rep *llrp.ROAccessReport) error {
+			// Durability before dispatch, as in listen mode; session
+			// handlers get parsed reports, so walAppendReport
+			// re-marshals for the log.
+			if err := srv.walAppendReport(rep); err != nil {
+				logger.Error("wal append failed", "reader", rep.ReaderID, "error", err)
+			}
 			return srv.pipe.Ingest(rep)
 		}),
 		session.WithObs(srv.obs),
@@ -126,7 +132,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 
 	var plane *serve.Server
 	if opts.httpAddr != "" {
-		plane = serve.New(
+		planeOpts := []serve.Option{
 			serve.WithRegistry(srv.obs),
 			serve.WithBroker(srv.broker),
 			serve.WithTracer(srv.tracer),
@@ -136,7 +142,11 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 			serve.WithReaders(readerStatuses(sup)),
 			serve.WithDegraded(sup.Degraded),
 			serve.WithLogf(slogf(logger)),
-		)
+		}
+		if srv.wal != nil {
+			planeOpts = append(planeOpts, serve.WithWALStatus(func() any { return srv.wal.Status() }))
+		}
+		plane = serve.New(planeOpts...)
 		planeAddr, err := plane.Start(opts.httpAddr)
 		if err != nil {
 			return fmt.Errorf("observability plane: %v", err)

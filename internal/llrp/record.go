@@ -19,6 +19,15 @@ import (
 //
 // Timestamps preserve inter-report pacing so replays can be run in real
 // time or as fast as possible.
+//
+// Deprecated: this format has no checksums, no sequencing, and no
+// crash-recovery story — a torn tail is indistinguishable from bit
+// rot, and anything after it is unreadable. New captures should use
+// the segmented ingest WAL (internal/wal; dwatchd -wal-dir), which
+// adds per-record CRC32C, monotonic sequence numbers, rotation, and
+// torn-tail-tolerant recovery. Existing captures convert with
+// dwatch-replay -convert. The reader side stays fully supported so
+// old captures never go dark.
 
 // recordMagic identifies a record stream.
 var recordMagic = [4]byte{'D', 'W', 'R', 'L'}
@@ -30,6 +39,16 @@ const recordVersion = 1
 var ErrBadRecord = errors.New("llrp: bad record stream")
 
 // RecordWriter appends timestamped messages to a stream.
+//
+// Records are buffered: Record alone does NOT put bytes on the
+// underlying writer — a record is only durable after Flush (or Close)
+// returns, and a process crash discards everything still buffered.
+// Long-running recorders should Flush on a cadence they can afford to
+// lose; Close before exit for a complete stream.
+//
+// Deprecated: use the internal/wal ingest WAL for new captures (see
+// the package comment); its appends are unbuffered single writes, so
+// a crash never loses an acknowledged record.
 type RecordWriter struct {
 	w      *bufio.Writer
 	closer io.Closer
@@ -68,7 +87,16 @@ func (rw *RecordWriter) Record(at time.Time, msg Message) error {
 	return err
 }
 
+// Flush pushes every buffered record to the underlying writer: the
+// durability seam Record itself does not provide. A record is
+// crash-safe only once Flush (or Close) has returned.
+func (rw *RecordWriter) Flush() error {
+	return rw.w.Flush()
+}
+
 // Close flushes (and closes the underlying writer when it is a Closer).
+// Only a Closed stream is guaranteed complete on disk; see Flush for
+// mid-session durability.
 func (rw *RecordWriter) Close() error {
 	if err := rw.w.Flush(); err != nil {
 		return err

@@ -101,6 +101,79 @@ func TestRecordReaderValidation(t *testing.T) {
 	}
 }
 
+// TestRecordWriterCrashDurability simulates a crash by reading the
+// underlying writer's contents mid-session: whatever bufio has not
+// flushed is exactly what a killed process would lose. It pins the
+// documented contract — Record alone is not durable, Flush makes every
+// record so far readable, and records after the last Flush vanish.
+func TestRecordWriterCrashDurability(t *testing.T) {
+	// disk stands in for the file: its contents are what survives a
+	// kill -9, the bufio buffer in front of it does not.
+	var disk bytes.Buffer
+	w := NewRecordWriter(&disk)
+	msg := func(i int) Message {
+		return Message{Type: MsgKeepalive, Payload: []byte{byte(i)}}
+	}
+	t0 := time.UnixMicro(1_700_000_000_000_000)
+
+	count := func() int {
+		n := 0
+		rr := NewRecordReader(bytes.NewReader(disk.Bytes()))
+		for {
+			_, err := rr.Next()
+			if errors.Is(err, io.EOF) {
+				return n
+			}
+			if err != nil {
+				// A torn tail is expected when the crash lands
+				// mid-buffer; records before it still count.
+				return n
+			}
+			n++
+		}
+	}
+
+	// Three records, no Flush: a crash here loses everything (the
+	// stream header itself is still buffered).
+	for i := 0; i < 3; i++ {
+		if err := w.Record(t0.Add(time.Duration(i)*time.Second), msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if disk.Len() != 0 {
+		t.Fatalf("unflushed writer leaked %d bytes to disk", disk.Len())
+	}
+	if got := count(); got != 0 {
+		t.Fatalf("crash before Flush: %d records survive, want 0", got)
+	}
+
+	// Flush: all three become durable.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 3 {
+		t.Fatalf("crash after Flush: %d records survive, want 3", got)
+	}
+
+	// Two more records, crash before the next Flush: still three.
+	for i := 3; i < 5; i++ {
+		if err := w.Record(t0.Add(time.Duration(i)*time.Second), msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := count(); got != 3 {
+		t.Fatalf("records after last Flush leaked: %d survive, want 3", got)
+	}
+
+	// Close flushes the rest: the complete stream.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 5 {
+		t.Fatalf("after Close: %d records, want 5", got)
+	}
+}
+
 func TestReplayHandlerError(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewRecordWriter(&buf)

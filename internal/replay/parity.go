@@ -1,0 +1,65 @@
+package replay
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"dwatch/internal/pipeline"
+)
+
+// HashFixes digests a run's fusion outcomes into a parity string:
+// SHA-256 over the seq-sorted fixes, hashing positions and confidences
+// as raw IEEE-754 bits so even a 1-ulp drift changes the parity. Two
+// pipelines fed the same reports with the same configuration must
+// agree — this is the invariant the crash-recovery e2e and the replay
+// regression harness assert, and float bits (not formatted decimals)
+// are what make "bit-identical" literal.
+//
+// Misses participate too (as their error strings): a replay that turns
+// a fix into a miss, or vice versa, must not hash equal.
+func HashFixes(fixes []pipeline.Fix) string {
+	sorted := append([]pipeline.Fix(nil), fixes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	h := sha256.New()
+	var buf [8]byte
+	u32 := func(v uint32) {
+		binary.BigEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	f64 := func(v float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u32(uint32(len(s)))
+		h.Write([]byte(s))
+	}
+	for _, f := range sorted {
+		u32(f.Seq)
+		if f.Err != nil {
+			h.Write([]byte{0})
+			str(f.Err.Error())
+			continue
+		}
+		h.Write([]byte{1})
+		f64(f.Pos.X)
+		f64(f.Pos.Y)
+		f64(f.Pos.Z)
+		f64(f.Confidence)
+		u32(uint32(f.Views))
+		if f.Degraded {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+		u32(uint32(len(f.Readers)))
+		for _, id := range f.Readers {
+			str(id)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

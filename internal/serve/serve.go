@@ -20,6 +20,9 @@
 //	/api/v1/health     RF-health snapshot: per-(reader, tag) read rates,
 //	                   path-power baselines, drift flags, calibration
 //	                   residuals
+//	/api/v1/wal        ingest WAL status: segments, bytes, fsync policy,
+//	                   recovery outcome (records recovered, torn-tail
+//	                   bytes truncated, damage location)
 //	/debug/pprof/*     net/http/pprof, absorbed from the old -pprof flag
 //
 // The server is deliberately decoupled from internal/pipeline: it sees
@@ -69,6 +72,11 @@ type Options struct {
 	Tracer *tracing.Tracer
 	// Health feeds /api/v1/health.
 	Health *health.Monitor
+	// WALStatus supplies the /api/v1/wal payload (typically
+	// wal.WAL.Status()); it is re-invoked per request. Kept as an
+	// opaque hook so the serve plane stays decoupled from the WAL
+	// implementation, like Stats.
+	WALStatus func() any
 	// SSEKeepalive is the idle interval after which a position stream
 	// emits a ": keepalive" comment frame so proxies and clients keep
 	// quiet connections open. 0 = 15 s.
@@ -117,6 +125,9 @@ func WithTracer(tr *tracing.Tracer) Option { return func(o *Options) { o.Tracer 
 // WithHealth feeds /api/v1/health from m.
 func WithHealth(m *health.Monitor) Option { return func(o *Options) { o.Health = m } }
 
+// WithWALStatus supplies the /api/v1/wal payload hook.
+func WithWALStatus(fn func() any) Option { return func(o *Options) { o.WALStatus = fn } }
+
 // WithSSEKeepalive sets the idle keepalive interval for position
 // streams (0 = 15 s).
 func WithSSEKeepalive(d time.Duration) Option { return func(o *Options) { o.SSEKeepalive = d } }
@@ -163,6 +174,7 @@ func NewFromOptions(opts Options) *Server {
 	s.mux.HandleFunc("/api/v1/traces", s.handleTraces)
 	s.mux.HandleFunc("/api/v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("/api/v1/health", s.handleRFHealth)
+	s.mux.HandleFunc("/api/v1/wal", s.handleWAL)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -187,7 +199,8 @@ func endpointLabel(path string) string {
 	switch {
 	case path == "/healthz", path == "/readyz", path == "/metrics",
 		path == "/api/v1/stats", path == "/api/v1/positions",
-		path == "/api/v1/traces", path == "/api/v1/health":
+		path == "/api/v1/traces", path == "/api/v1/health",
+		path == "/api/v1/wal":
 		return path
 	case strings.HasPrefix(path, "/api/v1/traces/"):
 		return "/api/v1/traces/{id}"
@@ -382,6 +395,22 @@ func (s *Server) handleRFHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.opts.Health.Snapshot())
+}
+
+// handleWAL serves the ingest WAL status: on-disk footprint, fsync
+// policy, and what recovery found at the last open.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/wal", r.Method))
+		return
+	}
+	if s.opts.WALStatus == nil {
+		writeError(w, http.StatusNotFound, "wal_unavailable",
+			"no ingest WAL configured on this deployment (start dwatchd with -wal-dir)")
+		return
+	}
+	writeJSON(w, s.opts.WALStatus())
 }
 
 func wantsEventStream(r *http.Request) bool {

@@ -279,3 +279,50 @@ func TestStartShutdown(t *testing.T) {
 		t.Fatal("server still serving after Shutdown")
 	}
 }
+
+// TestWALStatusJSON: /api/v1/wal serves whatever the hook returns
+// (dwatchd wires wal.WAL.Status), and 404s with the standard error
+// envelope when no WAL is configured.
+func TestWALStatusJSON(t *testing.T) {
+	type fakeStatus struct {
+		Segments  int    `json:"segments"`
+		Recovered int    `json:"recovered_records"`
+		Fsync     string `json:"fsync"`
+	}
+	s := NewFromOptions(Options{WALStatus: func() any {
+		return fakeStatus{Segments: 2, Recovered: 7, Fsync: "interval"}
+	}})
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/wal", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("wal = %d", rr.Code)
+	}
+	var got fakeStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Segments != 2 || got.Recovered != 7 || got.Fsync != "interval" {
+		t.Fatalf("wal status round-trip = %+v", got)
+	}
+
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/api/v1/wal", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST wal = %d, want 405", rr.Code)
+	}
+
+	none := NewFromOptions(Options{})
+	rr = httptest.NewRecorder()
+	none.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/wal", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("hookless wal = %d, want 404", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "wal_unavailable") {
+		t.Fatalf("error envelope missing code: %s", rr.Body.String())
+	}
+
+	// The endpoint participates in bounded-cardinality request counting.
+	if endpointLabel("/api/v1/wal") != "/api/v1/wal" {
+		t.Fatal("/api/v1/wal not a known endpoint label")
+	}
+}

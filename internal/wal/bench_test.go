@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend measures the append hot path under each fsync
+// policy with a payload sized like a real ROAccessReport (~200 bytes of
+// LLRP framing + EPC + RSSI/phase parameters). This is the number that
+// bounds ingest throughput when durability is on; the always/interval
+// spread is the cost of per-report fsync.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 200)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, bc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"fsync=never", []Option{WithFsync(FsyncNever)}},
+		{"fsync=interval", []Option{WithFsync(FsyncInterval), WithFsyncInterval(50 * time.Millisecond)}},
+		{"fsync=always", []Option{WithFsync(FsyncAlways)}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w, err := Open(b.TempDir(), bc.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			at := time.UnixMicro(1_700_000_000_000_000)
+			b.SetBytes(encodedLen(payload))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(at, 61, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := w.Status()
+			b.ReportMetric(float64(st.Fsyncs)/float64(b.N), "fsyncs/op")
+		})
+	}
+}
+
+// BenchmarkWALAppendPayloadSizes pins the per-byte cost: CRC32C is
+// hardware-accelerated, so append time should stay flat until the
+// write syscall dominates.
+func BenchmarkWALAppendPayloadSizes(b *testing.B) {
+	for _, size := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			w, err := Open(b.TempDir(), WithFsync(FsyncNever))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			payload := make([]byte, size)
+			at := time.UnixMicro(1_700_000_000_000_000)
+			b.SetBytes(encodedLen(payload))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(at, 61, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,34 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dwatch/internal/llrp"
+)
+
+// ConvertLegacy reads a legacy llrp.RecordWriter stream ("DWRL",
+// dwatchd -record before the WAL existed) and appends every message to
+// w, preserving the original timestamps so a converted capture still
+// paces correctly at Nx real time. Returns the number of records
+// converted. The legacy fixtures thereby graduate into the segment
+// format without a flag day: dwatch-replay -convert is a thin wrapper
+// over this.
+func ConvertLegacy(r io.Reader, w *WAL) (int, error) {
+	rr := llrp.NewRecordReader(r)
+	n := 0
+	for {
+		rec, err := rr.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("wal: legacy record %d: %w", n, err)
+		}
+		if _, err := w.Append(rec.At, rec.Message.Type, rec.Message.Payload); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The recovery contract, edge case by edge case: recovery must never
+// fail on anything a crash can produce, must stop cleanly (with a
+// records-before count) on anything it cannot trust, and must lose
+// nothing that was fully written.
+
+func TestRecoverEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	got, res := readAll(t, dir)
+	if len(got) != 0 || res.Damage != nil || res.Segments != 0 {
+		t.Fatalf("empty dir scan: %d records, %+v", len(got), res)
+	}
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Status()
+	if st.Recovered != 0 || st.NextSeq != 1 || st.Segments != 1 {
+		t.Fatalf("fresh open status: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMissingDirScansClean(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "never-created")
+	got, res := readAll(t, dir)
+	if len(got) != 0 || res.Damage != nil {
+		t.Fatalf("missing dir scan: %d records, %+v", len(got), res)
+	}
+}
+
+// TestRecoverMagicOnlySegment: a crash right after segment creation
+// leaves a header and nothing else — a valid, empty log.
+func TestRecoverMagicOnlySegment(t *testing.T) {
+	dir := t.TempDir()
+	name := segmentName(1)
+	if err := os.WriteFile(filepath.Join(dir, name), append([]byte(segMagic), segVersion), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, res := readAll(t, dir)
+	if len(got) != 0 || res.Damage != nil {
+		t.Fatalf("magic-only scan: %d records, damage %v", len(got), res.Damage)
+	}
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if st := w.Status(); st.Recovered != 0 || st.NextSeq != 1 || st.Truncated != 0 {
+		t.Fatalf("magic-only open: %+v", st)
+	}
+	// And it must be appendable right where it left off.
+	if _, err := w.Append(time.Now(), 61, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverTornFinalRecord: kill -9 mid-append leaves a partial
+// record at the tail. Recovery truncates it; every complete record
+// survives; appends resume.
+func TestRecoverTornFinalRecord(t *testing.T) {
+	for _, cut := range []struct {
+		name string
+		keep int64 // bytes of the final record to keep
+	}{
+		{"torn header", 3},
+		{"torn body", recHeaderLen + 5},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := Open(dir, WithFsync(FsyncNever))
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendN(t, w, 5, 40)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			seg := segmentFiles(t, dir)[0]
+			path := filepath.Join(dir, seg)
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recLen := encodedLen(make([]byte, 40))
+			// Shear the final record down to a stub.
+			if err := os.Truncate(path, st.Size()-recLen+cut.keep); err != nil {
+				t.Fatal(err)
+			}
+
+			got, res := readAll(t, dir)
+			if len(got) != 4 {
+				t.Fatalf("scan found %d records before the tear, want 4", len(got))
+			}
+			if res.Damage == nil {
+				t.Fatal("scan did not report the torn tail")
+			}
+
+			w2, err := Open(dir, WithFsync(FsyncNever))
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			stw := w2.Status()
+			if stw.Recovered != 4 || stw.Truncated != cut.keep || stw.NextSeq != 5 {
+				t.Fatalf("recovery status: %+v (want recovered=4 truncated=%d next=5)", stw, cut.keep)
+			}
+			if _, err := w2.Append(time.Now(), 61, bytes.Repeat([]byte{9}, 40)); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, res = readAll(t, dir)
+			if res.Damage != nil || len(got) != 5 {
+				t.Fatalf("post-recovery log: %d records, damage %v", len(got), res.Damage)
+			}
+			if got[4].Seq != 5 {
+				t.Fatalf("resumed record seq %d, want 5", got[4].Seq)
+			}
+		})
+	}
+}
+
+// TestRecoverCRCCorruptMidSegment: a flipped bit in the middle of a
+// segment. The scanner must stop cleanly at the corrupt record,
+// reporting exactly how many records preceded it — not panic, not
+// error, not resync past it.
+func TestRecoverCRCCorruptMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, WithFsync(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 10, 40)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := segmentFiles(t, dir)[0]
+	recLen := encodedLen(make([]byte, 40))
+	// Flip a payload byte inside record 4 (0-indexed 3).
+	off := int64(segHeaderLen) + 3*recLen + recHeaderLen + recFixedLen + 10
+	corruptAt(t, dir, seg, off)
+
+	r, got := readerDrain(t, dir)
+	if len(got) != 3 || r.Records() != 3 {
+		t.Fatalf("reader returned %d records before corruption, want 3", len(got))
+	}
+	dmg := r.Damage()
+	if dmg == nil {
+		t.Fatal("reader did not report damage")
+	}
+	if dmg.Offset != int64(segHeaderLen)+3*recLen {
+		t.Fatalf("damage offset %d, want %d (start of the corrupt record)", dmg.Offset, int64(segHeaderLen)+3*recLen)
+	}
+	if dmg.Segment != seg {
+		t.Fatalf("damage segment %q, want %q", dmg.Segment, seg)
+	}
+
+	// Open treats the same damage in the *final* segment as a torn
+	// tail: truncate and continue with what is provably good.
+	w2, err := Open(dir, WithFsync(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	st := w2.Status()
+	if st.Recovered != 3 || st.NextSeq != 4 {
+		t.Fatalf("open after mid-segment corruption: %+v", st)
+	}
+	if st.Damage == nil || st.Truncated == 0 {
+		t.Fatalf("open did not surface the truncation: %+v", st)
+	}
+}
+
+// TestRecoverCorruptNonFinalSegmentRefusesOpen: damage before the
+// final segment is disk rot, not a crash artifact. Open must refuse
+// (silently truncating would orphan the good segments after it), while
+// the scanner still stops cleanly for replay purposes.
+func TestRecoverCorruptNonFinalSegmentRefusesOpen(t *testing.T) {
+	payload := make([]byte, 60)
+	recLen := encodedLen(payload)
+	dir := t.TempDir()
+	w, err := Open(dir, WithFsync(FsyncNever), WithSegmentMaxBytes(int64(segHeaderLen)+2*recLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 6, 60) // 3 segments, 2 records each
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentFiles(t, dir)
+	if len(segs) != 3 {
+		t.Fatalf("made %d segments, want 3", len(segs))
+	}
+	corruptAt(t, dir, segs[0], int64(segHeaderLen)+recHeaderLen+4)
+
+	if _, err := Open(dir); err == nil {
+		t.Fatal("open accepted a corrupt non-final segment")
+	}
+	got, res := readAll(t, dir)
+	if len(got) != 0 || res.Damage == nil {
+		t.Fatalf("scan past corruption: %d records, damage %v", len(got), res.Damage)
+	}
+}
+
+// TestRecoverSequenceRegression: stale segment bytes that pass the CRC
+// but repeat an old sequence number must read as damage — they are not
+// a valid continuation.
+func TestRecoverSequenceRegression(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, WithFsync(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 3, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a duplicate of record seq=2 at the tail: framing and CRC
+	// valid, ordering not.
+	seg := segmentFiles(t, dir)[0]
+	forged := appendRecord(nil, 2, time.Now(), 61, []byte("stale"))
+	f, err := os.OpenFile(filepath.Join(dir, seg), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(forged); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, res := readAll(t, dir)
+	if len(got) != 3 {
+		t.Fatalf("accepted %d records, want 3", len(got))
+	}
+	if res.Damage == nil || res.Damage.Reason == "" {
+		t.Fatal("sequence regression not reported as damage")
+	}
+	// Open truncates the forgery and resumes at seq 4.
+	w2, err := Open(dir, WithFsync(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if st := w2.Status(); st.NextSeq != 4 {
+		t.Fatalf("next seq %d, want 4", st.NextSeq)
+	}
+}
+
+// TestRecoverEmptyFileSegment: a zero-byte segment file (crash between
+// create and header write) recovers as an empty log tail.
+func TestRecoverEmptyFileSegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, res := readAll(t, dir)
+	if len(got) != 0 || res.Damage == nil {
+		t.Fatalf("zero-byte segment: %d records, damage %v", len(got), res.Damage)
+	}
+	w, err := Open(dir, WithFsync(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(time.Now(), 61, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got, res := readAll(t, dir); len(got) != 1 || res.Damage != nil {
+		t.Fatalf("append after empty-file recovery: %d records, damage %v", len(got), res.Damage)
+	}
+}
+
+// TestRecoverBadMagicIsError: a .wal file that is not a segment is a
+// hard error everywhere — never silently truncated or skipped.
+func TestRecoverBadMagicIsError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), []byte("JUNKJUNKJUNK"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("open accepted a non-segment file")
+	}
+	if _, err := Scan(dir, nil); err == nil {
+		t.Fatal("scan accepted a non-segment file")
+	}
+}
