@@ -410,6 +410,26 @@ func BenchmarkMusicSpectrum(b *testing.B) {
 			}
 		}
 	})
+	// The solver= pair isolates the eigendecomposition backend on the
+	// otherwise-identical workspace path: jacobi replays the pre-PR-7
+	// cyclic sweep, qr is the tridiagonal implicit-shift hot path the
+	// default (auto) resolves to. Their ratio is the single-spectrum
+	// speedup acceptance number.
+	for _, solver := range []music.Eigensolver{music.EigenJacobi, music.EigenQR} {
+		b.Run("solver="+solver.String(), func(b *testing.B) {
+			ws, err := music.NewWorkspace(arr, music.Options{Eigensolver: solver})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.Compute(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkBeamPower measures the Eq. 13 beamformer scan. nocache
@@ -445,6 +465,57 @@ func BenchmarkBeamPower(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := pmusic.BeamPower(x, arr, angles); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPMusicSpectrum measures one full P-MUSIC spectrum (Eq. 13
+// beamformer + MUSIC subspace + Eq. 14 merge) — the per-snapshot unit
+// of work the pipeline's spectrum stage executes. path=pre-qr replays
+// the pre-PR-7 composition from the public primitives: Jacobi
+// eigensolver plus the snapshot-domain beamformer (a second full pass
+// over the snapshots per angle). path=current is today's workspace:
+// tridiagonal-QR subspace stage plus the correlation-domain
+// beamformer reusing the subspace stage's R̂. Their ratio is the
+// single-spectrum speedup acceptance number; solver= under
+// BenchmarkMusicSpectrum isolates just the eigensolver's share.
+func BenchmarkPMusicSpectrum(b *testing.B) {
+	x, arr := benchSnapshotMatrix(b)
+	b.Run("path=pre-qr", func(b *testing.B) {
+		mw, err := music.NewWorkspace(arr, music.Options{Eigensolver: music.EigenJacobi})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nor := make([]float64, 361)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mres, err := mw.Compute(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			beam, err := pmusic.BeamPower(x, arr, mres.Angles)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pmusic.NormalizeInto(nor, mres.Angles, mres.Spectrum, 0.03)
+			power := make([]float64, len(beam))
+			for k := range power {
+				power[k] = beam[k] * nor[k]
+			}
+		}
+	})
+	b.Run("path=current", func(b *testing.B) {
+		ws, err := pmusic.NewWorkspace(arr, pmusic.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Compute(x); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -513,9 +584,13 @@ func BenchmarkLocalizeGrid(b *testing.B) {
 // BenchmarkPipelineThroughput is the scaling baseline for the
 // streaming pipeline: the same report stream pushed through 1, 2, and
 // 4 spectrum workers, reporting end-to-end reports/sec and spectra/sec.
-// On multi-core hardware throughput should scale with the worker count
-// (the spectrum stage dominates); on a single core the worker counts
-// should tie, which is itself the "no pipeline overhead" check.
+// The fusion stage is sharded to match the worker count so both
+// parallel stages widen together; dispatch is batched (one queue op
+// per report). On multi-core hardware throughput should scale
+// near-linearly with the worker count (the spectrum stage dominates);
+// on a single core the worker counts should tie, which is itself the
+// "no pipeline overhead" check — record the core count alongside the
+// numbers when comparing.
 func BenchmarkPipelineThroughput(b *testing.B) {
 	sc, err := sim.Build(sim.TableConfig())
 	if err != nil {
@@ -532,7 +607,8 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			runPipelineThroughput(b, sc, arrays, reports, spectra, workers)
+			runPipelineThroughput(b, sc, arrays, reports, spectra, workers,
+				pipeline.WithAssemblerShards(workers))
 		})
 	}
 }

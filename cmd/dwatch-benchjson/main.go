@@ -1,0 +1,230 @@
+// Command dwatch-benchjson converts `go test -bench` text output into
+// the structured JSON document BENCH_hotpath.json holds, so the perf
+// trajectory is machine-diffable across PRs instead of a pile of raw
+// benchmark lines behind a .json name.
+//
+// It reads the benchmark stream on stdin, echoes every line through to
+// stdout unchanged (so `make bench` still shows live progress), and on
+// success writes the JSON document to -o atomically (temp file +
+// rename — a failing bench run never clobbers the previous numbers).
+// The document records, per benchmark (grouped across -count repeats
+// with the GOMAXPROCS name suffix stripped): every reported metric's
+// per-run values plus min/max/mean. Benchmark time is compared by
+// min-of-N: first iterations on a shared box are wildly noisy (the WAL
+// append benchmarks historically swung 8 µs ↔ 640 µs run to run), so
+// the minimum is the reproducible number and the spread is the noise
+// bound. For throughput-style metrics (reports/s, spectra/s) compare
+// the max instead. The raw text is embedded verbatim under "raw" so
+// nothing the old format carried is lost.
+//
+// Exit status: 0 on success; 1 if the stream contains a test failure
+// or no benchmark lines at all (the output file is left untouched).
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchtime 100x -count 3 | dwatch-benchjson -o BENCH_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metric aggregates one reported unit (ns/op, B/op, allocs/op, or a
+// custom b.ReportMetric unit) across the -count repeats of one
+// benchmark.
+type Metric struct {
+	Unit   string    `json:"unit"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	Values []float64 `json:"values"` // per-run, in input order
+}
+
+// Benchmark is one benchmark's aggregated result.
+type Benchmark struct {
+	Name    string    `json:"name"`  // procs suffix stripped
+	Pkg     string    `json:"pkg"`   // from the preceding pkg: header
+	Procs   int       `json:"procs"` // GOMAXPROCS suffix (1 when absent)
+	Runs    int       `json:"runs"`
+	Metrics []*Metric `json:"metrics"`
+}
+
+// Doc is the BENCH_hotpath.json schema.
+type Doc struct {
+	Schema     string       `json:"schema"` // "dwatch-bench/v1"
+	Generated  time.Time    `json:"generated"`
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	HostCPUs   int          `json:"host_cpus"` // cores visible to this conversion run
+	Benchmarks []*Benchmark `json:"benchmarks"`
+	Raw        string       `json:"raw"`
+}
+
+// benchLine matches one result line: name, iteration count, then the
+// measurement fields handled separately.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// procsSuffix is the trailing -N GOMAXPROCS marker go test appends when
+// running with more than one proc.
+var procsSuffix = regexp.MustCompile(`-(\d+)$`)
+
+func main() {
+	out := flag.String("o", "", "write the JSON document to this file (atomically); empty = stdout after the echoed stream")
+	flag.Parse()
+
+	var (
+		raw    strings.Builder
+		doc    = Doc{Schema: "dwatch-bench/v1", Generated: time.Now().UTC(), HostCPUs: runtime.NumCPU()}
+		byName = map[string]*Benchmark{}
+		pkg    string
+		failed bool
+	)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		raw.WriteString(line)
+		raw.WriteByte('\n')
+
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL"):
+			failed = true
+		}
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			record(&doc, byName, pkg, m[1], m[3])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(fmt.Errorf("reading stdin: %w", err))
+	}
+	if failed {
+		fatal(fmt.Errorf("benchmark stream contains a FAIL; not writing %s", *out))
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+	for _, b := range doc.Benchmarks {
+		for _, met := range b.Metrics {
+			finish(met)
+		}
+	}
+	doc.Raw = raw.String()
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := writeAtomic(*out, enc); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dwatch-benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// record folds one result line into the per-name aggregation. rest is
+// the whitespace-separated "value unit value unit ..." tail after the
+// iteration count.
+func record(doc *Doc, byName map[string]*Benchmark, pkg, name, rest string) {
+	procs := 1
+	if m := procsSuffix.FindStringSubmatch(name); m != nil {
+		if n, err := strconv.Atoi(m[1]); err == nil && n > 0 {
+			procs = n
+			name = strings.TrimSuffix(name, m[0])
+		}
+	}
+	key := pkg + "." + name
+	b := byName[key]
+	if b == nil {
+		b = &Benchmark{Name: name, Pkg: pkg, Procs: procs}
+		byName[key] = b
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	b.Runs++
+	f := strings.Fields(rest)
+	for i := 0; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		met := metricFor(b, f[i+1])
+		met.Values = append(met.Values, v)
+	}
+}
+
+func metricFor(b *Benchmark, unit string) *Metric {
+	for _, m := range b.Metrics {
+		if m.Unit == unit {
+			return m
+		}
+	}
+	m := &Metric{Unit: unit}
+	b.Metrics = append(b.Metrics, m)
+	return m
+}
+
+func finish(m *Metric) {
+	m.Min, m.Max = m.Values[0], m.Values[0]
+	var sum float64
+	for _, v := range m.Values {
+		if v < m.Min {
+			m.Min = v
+		}
+		if v > m.Max {
+			m.Max = v
+		}
+		sum += v
+	}
+	m.Mean = sum / float64(len(m.Values))
+}
+
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".benchjson-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwatch-benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dwatch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineThroughput/workers=1   	     100	  53824172 ns/op	       297.3 reports/s	      7729 spectra/s	 4963889 B/op	    9435 allocs/op
+BenchmarkPipelineThroughput/workers=1   	     100	  43771947 ns/op	       365.5 reports/s	      9504 spectra/s	 4963888 B/op	    9435 allocs/op
+BenchmarkMusicSpectrum/solver=qr-4      	     200	     20419 ns/op	    4200 B/op	       8 allocs/op
+PASS
+ok  	dwatch	12.3s
+`
+
+func parse(t *testing.T, text string) *Doc {
+	t.Helper()
+	doc := &Doc{}
+	byName := map[string]*Benchmark{}
+	pkg := ""
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			record(doc, byName, pkg, m[1], m[3])
+		}
+	}
+	for _, b := range doc.Benchmarks {
+		for _, met := range b.Metrics {
+			finish(met)
+		}
+	}
+	return doc
+}
+
+func TestParseAggregatesRepeats(t *testing.T) {
+	doc := parse(t, sample)
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkPipelineThroughput/workers=1" || b.Runs != 2 {
+		t.Fatalf("first benchmark = %q runs=%d, want the 2-run throughput bench", b.Name, b.Runs)
+	}
+	var ns, rps *Metric
+	for _, m := range b.Metrics {
+		switch m.Unit {
+		case "ns/op":
+			ns = m
+		case "reports/s":
+			rps = m
+		}
+	}
+	if ns == nil || rps == nil {
+		t.Fatal("ns/op or reports/s metric missing")
+	}
+	if ns.Min != 43771947 || ns.Max != 53824172 {
+		t.Fatalf("ns/op min/max = %v/%v", ns.Min, ns.Max)
+	}
+	if rps.Max != 365.5 || len(rps.Values) != 2 {
+		t.Fatalf("reports/s = %+v", rps)
+	}
+}
+
+func TestParseStripsProcsSuffix(t *testing.T) {
+	doc := parse(t, sample)
+	b := doc.Benchmarks[1]
+	// The -4 GOMAXPROCS marker is metadata, not part of the name; the
+	// "qr" in the subbench name must survive the strip.
+	if b.Name != "BenchmarkMusicSpectrum/solver=qr" || b.Procs != 4 {
+		t.Fatalf("got name=%q procs=%d, want solver=qr at 4 procs", b.Name, b.Procs)
+	}
+}
+
+func TestParseEmptyStream(t *testing.T) {
+	doc := parse(t, "PASS\nok \tdwatch\t0.1s\n")
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from a benchless stream", len(doc.Benchmarks))
+	}
+}

@@ -20,9 +20,16 @@
 // on stdout for scripts (scripts/replay-smoke.sh diffs parity hashes
 // across a crash/recover cycle).
 //
+// -eigensolver and -asm-shards pin the pipeline configuration for A/B
+// replays of one capture (scripts/replay-ab.sh): the fusion shard
+// count never moves the parity hash, while jacobi-vs-qr eigensolvers
+// differ inside the documented tolerance (see DESIGN.md "Scaling the
+// hot path").
+//
 // Usage:
 //
-//	dwatch-replay -wal-dir DIR [-env hall] [-speed N] [-workers N] [-json]
+//	dwatch-replay -wal-dir DIR [-env hall] [-speed N] [-workers N]
+//	              [-eigensolver auto|qr|jacobi] [-asm-shards N] [-json]
 //	dwatch-replay -in session.dwrl [...]
 //	dwatch-replay -convert -in session.dwrl -wal-dir DIR
 //	dwatch-replay ... [-http 127.0.0.1:8080]
@@ -43,8 +50,10 @@ import (
 
 	"dwatch/internal/dwatch"
 	"dwatch/internal/health"
+	"dwatch/internal/music"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
+	"dwatch/internal/pmusic"
 	"dwatch/internal/replay"
 	"dwatch/internal/rf"
 	"dwatch/internal/serve"
@@ -61,6 +70,8 @@ func main() {
 	speed := flag.Float64("speed", 0, "real-time multiplier: 1 = original pacing, 10 = 10x, 0 = unthrottled")
 	dropFloor := flag.Float64("drop-floor", 0, "override the per-path drop floor (0 = default)")
 	workers := flag.Int("workers", 0, "spectrum worker pool size (0 = GOMAXPROCS)")
+	eigensolver := flag.String("eigensolver", "", "eigendecomposition backend for A/B replays: auto, qr, or jacobi (empty = auto)")
+	asmShards := flag.Int("asm-shards", 0, "fusion shard count for A/B replays (0 = GOMAXPROCS, 1 = serialized fusion)")
 	jsonOut := flag.Bool("json", false, "emit the run summary as JSON on stdout")
 	httpAddr := flag.String("http", "", "serve the observability plane (metrics, health, positions, pprof) on this address during replay; empty = disabled")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
@@ -118,8 +129,14 @@ func main() {
 	}
 	defer src.Close()
 
+	solver, err := music.ParseEigensolver(*eigensolver)
+	if err != nil {
+		fatal(err)
+	}
 	popts := []pipeline.Option{
 		pipeline.WithWorkers(*workers),
+		pipeline.WithAssemblerShards(*asmShards),
+		pipeline.WithPMusic(pmusic.Options{Music: music.Options{Eigensolver: solver}}),
 		pipeline.WithFuser(dwatch.Config{DropFloor: *dropFloor}),
 		pipeline.WithLogger(logger),
 	}

@@ -1,9 +1,12 @@
 // Package cmatrix implements the dense complex-matrix operations D-Watch
 // needs for subspace processing: construction, products, Hermitian
-// transposes and a Hermitian eigendecomposition based on the classical
-// cyclic Jacobi method. Matrices are small (antenna counts of 4-16), so
-// an O(n^3)-per-sweep Jacobi iteration is more than fast enough and is
-// numerically robust for the Hermitian inputs MUSIC produces.
+// transposes and a Hermitian eigendecomposition. The default solver is
+// Householder tridiagonalization followed by implicit-shift QL/QR on the
+// real tridiagonal (eigenqr.go) — a single O(n³) pass instead of the
+// O(n³)-per-sweep cyclic Jacobi iteration, which remains available as
+// EigenHermitianJacobi and as the automatic fallback if QL ever fails to
+// converge. Matrices are small (antenna counts of 4-16), so both are
+// fast; QR is ~4-5× faster per decomposition at MUSIC sizes.
 package cmatrix
 
 import (
@@ -180,9 +183,15 @@ func (m *Matrix) OuterAdd(v []complex128, s float64) error {
 	if m.Rows != len(v) || m.Cols != len(v) {
 		return fmt.Errorf("%w: outer %dx%d with vec %d", ErrShape, m.Rows, m.Cols, len(v))
 	}
+	// Hoist s·vᵢ per row and walk the row slice directly: identical
+	// arithmetic ((s·vᵢ)·conj(vⱼ), same association) without the
+	// per-element index math — this is the correlation accumulator's
+	// inner loop.
 	for i := range v {
-		for j := range v {
-			m.Data[i*m.Cols+j] += complex(s, 0) * v[i] * cmplx.Conj(v[j])
+		sv := complex(s, 0) * v[i]
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, vj := range v {
+			row[j] += sv * cmplx.Conj(vj)
 		}
 	}
 	return nil
@@ -241,48 +250,68 @@ type Eigen struct {
 // ErrNotHermitian is returned by EigenHermitian for non-Hermitian input.
 var ErrNotHermitian = errors.New("cmatrix: matrix is not Hermitian")
 
-// ErrNoConverge is returned when Jacobi sweeps fail to reduce the
-// off-diagonal mass below tolerance.
+// ErrNoConverge is returned when the eigensolver iteration budget is
+// exhausted before the off-diagonal mass drops below tolerance.
 var ErrNoConverge = errors.New("cmatrix: eigendecomposition did not converge")
 
-// EigenHermitian computes the eigendecomposition of a Hermitian matrix
-// with the cyclic complex Jacobi method. Eigenvalues are returned in
-// descending order — the convention subspace methods want (signal
-// eigenvectors first).
+// EigenHermitian computes the eigendecomposition of a Hermitian matrix.
+// Eigenvalues are returned in descending order — the convention subspace
+// methods want (signal eigenvectors first). The solver is tridiagonal
+// QL/QR with a cyclic-Jacobi fallback; see EigenWorkspace.EigenHermitian.
 func EigenHermitian(a *Matrix) (*Eigen, error) {
 	var ws EigenWorkspace
 	return ws.EigenHermitian(a)
 }
 
-// EigenWorkspace holds the Jacobi scratch matrices so repeated
-// eigendecompositions of same-sized inputs allocate nothing beyond the
-// escaping Eigen result. The zero value is ready to use; a workspace is
-// not safe for concurrent use.
-type EigenWorkspace struct {
-	w, v *Matrix
-	vals []float64
-	idx  []int
+// EigenHermitianQR is EigenHermitian restricted to the tridiagonal
+// QL/QR solver: no Jacobi fallback, ErrNoConverge on failure.
+func EigenHermitianQR(a *Matrix) (*Eigen, error) {
+	var ws EigenWorkspace
+	return ws.EigenHermitianQR(a)
 }
 
-// EigenHermitian is EigenHermitian reusing the workspace's scratch. The
-// returned Eigen owns its memory and stays valid across further calls.
-func (ws *EigenWorkspace) EigenHermitian(a *Matrix) (*Eigen, error) {
+// EigenHermitianJacobi is EigenHermitian restricted to the classical
+// cyclic complex Jacobi solver.
+func EigenHermitianJacobi(a *Matrix) (*Eigen, error) {
+	var ws EigenWorkspace
+	return ws.EigenHermitianJacobi(a)
+}
+
+// EigenWorkspace holds the eigensolver scratch (Householder/QL vectors
+// and the Jacobi matrices) so repeated eigendecompositions of same-sized
+// inputs allocate nothing beyond the escaping Eigen result. The zero
+// value is ready to use; a workspace is not safe for concurrent use.
+type EigenWorkspace struct {
+	w, v   *Matrix
+	vals   []float64
+	idx    []int
+	d, e   []float64    // tridiagonal diagonal / sub-diagonal (QL path)
+	hv, hp []complex128 // Householder reflector and p-vector scratch
+}
+
+// prepare validates a, sizes the scratch, copies a into ws.w with exact
+// Hermitian symmetry forced (so rounding cannot accumulate) and resets
+// ws.v to the identity. Both solver paths start from this state.
+func (ws *EigenWorkspace) prepare(a *Matrix) (int, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("%w: %dx%d", ErrNotHermitian, a.Rows, a.Cols)
+		return 0, fmt.Errorf("%w: %dx%d", ErrNotHermitian, a.Rows, a.Cols)
 	}
 	n := a.Rows
 	if !a.IsHermitian(1e-8 * (1 + a.FrobNorm())) {
-		return nil, ErrNotHermitian
+		return 0, ErrNotHermitian
 	}
 	if ws.w == nil || ws.w.Rows != n {
 		ws.w = New(n, n)
 		ws.v = New(n, n)
 		ws.vals = make([]float64, n)
 		ws.idx = make([]int, n)
+		ws.d = make([]float64, n)
+		ws.e = make([]float64, n)
+		ws.hv = make([]complex128, n)
+		ws.hp = make([]complex128, n)
 	}
 	w, v := ws.w, ws.v
 	copy(w.Data, a.Data)
-	// Force exact Hermitian symmetry so rounding cannot accumulate.
 	for i := 0; i < n; i++ {
 		w.Set(i, i, complex(real(w.At(i, i)), 0))
 		for j := i + 1; j < n; j++ {
@@ -297,7 +326,57 @@ func (ws *EigenWorkspace) EigenHermitian(a *Matrix) (*Eigen, error) {
 	for i := 0; i < n; i++ {
 		v.Set(i, i, 1)
 	}
+	return n, nil
+}
 
+// EigenHermitian is EigenHermitian reusing the workspace's scratch. The
+// returned Eigen owns its memory and stays valid across further calls.
+//
+// The solver is Householder tridiagonalization + implicit-shift QL
+// (eigenqr.go). If the QL iteration budget is ever exhausted — not
+// observed on Hermitian input, but the guard exists — the cyclic Jacobi
+// solver runs as a fallback, so callers keep Jacobi's robustness with
+// QR's speed.
+func (ws *EigenWorkspace) EigenHermitian(a *Matrix) (*Eigen, error) {
+	n, err := ws.prepare(a)
+	if err != nil {
+		return nil, err
+	}
+	eg, err := ws.eigenQL(n)
+	if err == nil {
+		return eg, nil
+	}
+	// eigenQL destroyed ws.w; rebuild it for the fallback.
+	if _, err := ws.prepare(a); err != nil {
+		return nil, err
+	}
+	return ws.eigenJacobi(n)
+}
+
+// EigenHermitianQR runs only the tridiagonal QL/QR solver, returning
+// ErrNoConverge instead of falling back. It exists so the solvers can be
+// A/B-compared (tests, dwatch-replay -eigensolver).
+func (ws *EigenWorkspace) EigenHermitianQR(a *Matrix) (*Eigen, error) {
+	n, err := ws.prepare(a)
+	if err != nil {
+		return nil, err
+	}
+	return ws.eigenQL(n)
+}
+
+// EigenHermitianJacobi runs only the cyclic complex Jacobi solver.
+func (ws *EigenWorkspace) EigenHermitianJacobi(a *Matrix) (*Eigen, error) {
+	n, err := ws.prepare(a)
+	if err != nil {
+		return nil, err
+	}
+	return ws.eigenJacobi(n)
+}
+
+// eigenJacobi diagonalizes the prepared ws.w with cyclic complex Jacobi
+// rotations, accumulating eigenvectors in ws.v.
+func (ws *EigenWorkspace) eigenJacobi(n int) (*Eigen, error) {
+	w, v := ws.w, ws.v
 	const maxSweeps = 100
 	tol := 1e-14 * (1 + w.FrobNorm())
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -399,9 +478,19 @@ func offDiagWithin(m *Matrix, tol float64) bool {
 
 func (ws *EigenWorkspace) finishEigen(w, v *Matrix) *Eigen {
 	n := w.Rows
-	vals, idx := ws.vals, ws.idx
 	for i := 0; i < n; i++ {
-		vals[i] = real(w.At(i, i))
+		ws.vals[i] = real(w.At(i, i))
+	}
+	return ws.finishEigenVals(ws.vals, v)
+}
+
+// finishEigenVals sorts (vals, columns of v) descending by eigenvalue
+// into a freshly allocated Eigen, so results never alias workspace
+// scratch and stay valid across further workspace calls.
+func (ws *EigenWorkspace) finishEigenVals(vals []float64, v *Matrix) *Eigen {
+	n := v.Rows
+	idx := ws.idx
+	for i := 0; i < n; i++ {
 		idx[i] = i
 	}
 	// Sort descending by eigenvalue (insertion sort; n is tiny).

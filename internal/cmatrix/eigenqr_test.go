@@ -1,0 +1,323 @@
+package cmatrix
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// The QL/QR-vs-Jacobi contract: identical eigenvalues within rounding,
+// orthonormal eigenvectors, and equal spectral projectors wherever the
+// spectrum has a gap. Eigenvector columns themselves are NOT compared —
+// each is only defined up to a unit phase (and up to rotation inside a
+// degenerate eigenspace), which is exactly why the pipeline-level
+// invariant is the noise-subspace projector, not the vectors.
+
+// eigTol is the documented cross-solver eigenvalue tolerance: both
+// solvers are backward-stable, so eigenvalues agree to a small multiple
+// of machine epsilon times the matrix scale.
+func eigTol(a *Matrix) float64 { return 1e-12 * (1 + a.FrobNorm()) }
+
+// subspaceProjector returns Σ v_k·v_kᴴ over columns [from, to) of vecs.
+func subspaceProjector(t *testing.T, vecs *Matrix, from, to int) *Matrix {
+	t.Helper()
+	p := New(vecs.Rows, vecs.Rows)
+	for k := from; k < to; k++ {
+		if err := p.OuterAdd(vecs.Col(k), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func projectorDiff(t *testing.T, a, b *Matrix) float64 {
+	t.Helper()
+	d, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.FrobNorm()
+}
+
+func TestEigenQRMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var qr, jac EigenWorkspace
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+		for trial := 0; trial < 8; trial++ {
+			a := randomHermitian(n, rng)
+			eq, err := qr.EigenHermitianQR(a)
+			if err != nil {
+				t.Fatalf("n=%d: QR solver: %v", n, err)
+			}
+			ej, err := jac.EigenHermitianJacobi(a)
+			if err != nil {
+				t.Fatalf("n=%d: Jacobi solver: %v", n, err)
+			}
+			checkEigenPairs(t, a, eq)
+			tol := eigTol(a)
+			for i := range eq.Values {
+				if math.Abs(eq.Values[i]-ej.Values[i]) > tol {
+					t.Fatalf("n=%d trial %d: eigenvalue %d disagrees: qr %v jacobi %v (tol %v)",
+						n, trial, i, eq.Values[i], ej.Values[i], tol)
+				}
+			}
+			// Spectral projectors must agree across every gapped split:
+			// this is the phase- and rotation-invariant comparison.
+			for p := 1; p < n; p++ {
+				gap := eq.Values[p-1] - eq.Values[p]
+				if gap < 1e-3 {
+					continue
+				}
+				pq := subspaceProjector(t, eq.Vectors, 0, p)
+				pj := subspaceProjector(t, ej.Vectors, 0, p)
+				if d := projectorDiff(t, pq, pj); d > 1e-8 {
+					t.Fatalf("n=%d trial %d split %d (gap %v): projector diff %v", n, trial, p, gap, d)
+				}
+			}
+		}
+	}
+}
+
+// TestEigenQRNoiseProjector pins the MUSIC-shaped case directly: a
+// correlation-like matrix with a few strong sources over a noise floor.
+// The noise-subspace projector Uₙ·Uₙᴴ — the quantity the pseudo-spectrum
+// is built from — must be solver-independent.
+func TestEigenQRNoiseProjector(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const n, sources = 8, 2
+	for trial := 0; trial < 10; trial++ {
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, complex(1e-3, 0)) // noise floor σ²·I
+		}
+		for s := 0; s < sources; s++ {
+			v := make([]complex128, n)
+			for i := range v {
+				v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			if err := a.OuterAdd(v, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eq, err := EigenHermitianQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ej, err := EigenHermitianJacobi(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pq := subspaceProjector(t, eq.Vectors, sources, n)
+		pj := subspaceProjector(t, ej.Vectors, sources, n)
+		if d := projectorDiff(t, pq, pj); d > 1e-8 {
+			t.Fatalf("trial %d: noise projector diff %v", trial, d)
+		}
+	}
+}
+
+// TestEigenQRDegenerate builds matrices with exactly repeated
+// eigenvalues via a random unitary. Individual eigenvectors inside a
+// cluster are arbitrary; the per-cluster projectors are not.
+func TestEigenQRDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	// Clusters: 5 (×2), 2 (×3), −1 (×1).
+	vals := []float64{5, 5, 2, 2, 2, -1}
+	clusters := [][2]int{{0, 2}, {2, 5}, {5, 6}}
+	n := len(vals)
+	for trial := 0; trial < 6; trial++ {
+		// A random Hermitian's eigenvector matrix is a random unitary.
+		u, err := EigenHermitian(randomHermitian(n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := New(n, n)
+		for k := 0; k < n; k++ {
+			if err := a.OuterAdd(u.Vectors.Col(k), vals[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eq, err := EigenHermitianQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ej, err := EigenHermitianJacobi(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEigenPairs(t, a, eq)
+		for i, want := range vals {
+			if math.Abs(eq.Values[i]-want) > 1e-10 {
+				t.Fatalf("trial %d: eigenvalue %d = %v, want %v", trial, i, eq.Values[i], want)
+			}
+		}
+		for _, c := range clusters {
+			pq := subspaceProjector(t, eq.Vectors, c[0], c[1])
+			pj := subspaceProjector(t, ej.Vectors, c[0], c[1])
+			if d := projectorDiff(t, pq, pj); d > 1e-8 {
+				t.Fatalf("trial %d cluster %v: projector diff %v", trial, c, d)
+			}
+		}
+	}
+}
+
+// TestEigenQREdgeCases covers shapes the bulge-chase must not trip on.
+func TestEigenQREdgeCases(t *testing.T) {
+	t.Run("zero", func(t *testing.T) {
+		e, err := EigenHermitianQR(New(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range e.Values {
+			if v != 0 {
+				t.Fatalf("zero matrix eigenvalue %v", v)
+			}
+		}
+	})
+	t.Run("one-by-one", func(t *testing.T) {
+		a := New(1, 1)
+		a.Set(0, 0, complex(-3.5, 0))
+		e, err := EigenHermitianQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Values[0] != -3.5 {
+			t.Fatalf("got %v", e.Values[0])
+		}
+	})
+	t.Run("diagonal", func(t *testing.T) {
+		a := New(5, 5)
+		for i, v := range []float64{3, -1, 4, -1, 5} {
+			a.Set(i, i, complex(v, 0))
+		}
+		e, err := EigenHermitianQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{5, 4, 3, -1, -1}
+		for i := range want {
+			if math.Abs(e.Values[i]-want[i]) > 1e-12 {
+				t.Fatalf("eigenvalue %d = %v, want %v", i, e.Values[i], want[i])
+			}
+		}
+		checkEigenPairs(t, a, e)
+	})
+	t.Run("already-tridiagonal", func(t *testing.T) {
+		a := New(6, 6)
+		for i := 0; i < 6; i++ {
+			a.Set(i, i, complex(float64(i), 0))
+			if i+1 < 6 {
+				// Complex sub-diagonal exercises the phase stripping.
+				a.Set(i+1, i, complex(0.5, 0.25))
+				a.Set(i, i+1, complex(0.5, -0.25))
+			}
+		}
+		e, err := EigenHermitianQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEigenPairs(t, a, e)
+	})
+	t.Run("rank-one", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(51))
+		v := make([]complex128, 6)
+		for i := range v {
+			v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		a := New(6, 6)
+		if err := a.OuterAdd(v, 1); err != nil {
+			t.Fatal(err)
+		}
+		e, err := EigenHermitianQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEigenPairs(t, a, e)
+		norm2 := VecNorm(v) * VecNorm(v)
+		if math.Abs(e.Values[0]-norm2) > 1e-10*(1+norm2) {
+			t.Fatalf("top eigenvalue %v, want %v", e.Values[0], norm2)
+		}
+		for _, rest := range e.Values[1:] {
+			if math.Abs(rest) > 1e-10*(1+norm2) {
+				t.Fatalf("rank-one matrix has extra eigenvalue %v", rest)
+			}
+		}
+	})
+}
+
+// TestEigenAutoIsQR pins that the default solver IS the QL/QR path (the
+// auto fallback to Jacobi must be unreachable on healthy input), so the
+// package-level, workspace, and explicit-QR entry points all produce
+// bit-identical results.
+func TestEigenAutoIsQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var ws, wsQR EigenWorkspace
+	for trial := 0; trial < 5; trial++ {
+		a := randomHermitian(8, rng)
+		auto, err := ws.EigenHermitian(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, err := wsQR.EigenHermitianQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range auto.Values {
+			if auto.Values[i] != qr.Values[i] {
+				t.Fatalf("auto and QR eigenvalues differ at %d: %v vs %v", i, auto.Values[i], qr.Values[i])
+			}
+		}
+		for i := range auto.Vectors.Data {
+			if auto.Vectors.Data[i] != qr.Vectors.Data[i] {
+				t.Fatalf("auto and QR eigenvectors differ at flat index %d", i)
+			}
+		}
+	}
+}
+
+// TestEigenQRAllocs pins the zero-steady-state-allocation contract: a
+// warmed workspace allocates only the escaping Eigen result (values
+// slice, vector matrix header + data, Eigen header).
+func TestEigenQRAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	a := randomHermitian(8, rng)
+	var ws EigenWorkspace
+	if _, err := ws.EigenHermitian(a); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ws.EigenHermitian(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("EigenHermitian allocates %v/run, want <= 4 (escaping result only)", allocs)
+	}
+}
+
+func benchmarkEigen(b *testing.B, n int, solve func(*EigenWorkspace, *Matrix) (*Eigen, error)) {
+	rng := rand.New(rand.NewSource(61))
+	a := randomHermitian(n, rng)
+	var ws EigenWorkspace
+	if _, err := solve(&ws, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve(&ws, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenHermitian(b *testing.B) {
+	for _, n := range []int{6, 8, 16} {
+		b.Run("qr/n="+strconv.Itoa(n), func(b *testing.B) {
+			benchmarkEigen(b, n, (*EigenWorkspace).EigenHermitianQR)
+		})
+		b.Run("jacobi/n="+strconv.Itoa(n), func(b *testing.B) {
+			benchmarkEigen(b, n, (*EigenWorkspace).EigenHermitianJacobi)
+		})
+	}
+}

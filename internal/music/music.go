@@ -129,6 +129,9 @@ type Options struct {
 	// runs on the raw correlation matrix, which is rank-deficient for
 	// coherent multipath.
 	NoSmoothing bool
+	// Eigensolver selects the eigendecomposition backend; the zero
+	// value is EigenAuto (tridiagonal QR with Jacobi fallback).
+	Eigensolver Eigensolver
 }
 
 func (o Options) withDefaults(m int) Options {
@@ -175,14 +178,7 @@ func ComputeFromCorrelation(r *cmatrix.Matrix, arr *rf.Array, opts Options) (*Re
 
 // pseudoSpectrum evaluates 1 / (aᴴ·Uₙ·Uₙᴴ·a) for a steering vector a.
 func pseudoSpectrum(a []complex128, noise *cmatrix.Matrix) float64 {
-	var denom float64
-	for j := 0; j < noise.Cols; j++ {
-		var dot complex128
-		for i := 0; i < noise.Rows; i++ {
-			dot += cmplx.Conj(a[i]) * noise.At(i, j)
-		}
-		denom += real(dot)*real(dot) + imag(dot)*imag(dot)
-	}
+	denom := noiseProjection(a, noise)
 	if denom < 1e-18 {
 		denom = 1e-18
 	}
@@ -193,11 +189,26 @@ func pseudoSpectrum(a []complex128, noise *cmatrix.Matrix) float64 {
 // per-tag term (Eq. 10) — for a steering vector already multiplied by
 // any phase-offset correction.
 func ProjectionOntoNoise(a []complex128, noise *cmatrix.Matrix) float64 {
+	return noiseProjection(a, noise)
+}
+
+// noiseProjection computes ‖aᴴ·Uₙ‖² — the pseudo-spectrum grid's inner
+// kernel, evaluated once per scan angle, so it is written for the
+// scalar hot path: each column dot accumulates in a register with
+// direct strided indexing into the subspace data instead of At()
+// calls. The per-column summation order (ascending row) is unchanged,
+// so the result is bit-identical to the naive double loop.
+func noiseProjection(a []complex128, noise *cmatrix.Matrix) float64 {
+	rows, q := noise.Rows, noise.Cols
+	data := noise.Data
+	a = a[:rows]
 	var s float64
-	for j := 0; j < noise.Cols; j++ {
+	for j := 0; j < q; j++ {
 		var dot complex128
-		for i := 0; i < noise.Rows; i++ {
-			dot += cmplx.Conj(a[i]) * noise.At(i, j)
+		idx := j
+		for i := 0; i < rows; i++ {
+			dot += cmplx.Conj(a[i]) * data[idx]
+			idx += q
 		}
 		s += real(dot)*real(dot) + imag(dot)*imag(dot)
 	}

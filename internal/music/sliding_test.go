@@ -1,0 +1,257 @@
+package music
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dwatch/internal/cmatrix"
+)
+
+func randomRow(m int, rng *rand.Rand) []complex128 {
+	row := make([]complex128, m)
+	for i := range row {
+		row[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return row
+}
+
+// windowMatrix collects the last min(pushed, window) rows in
+// chronological order — the reference a full recompute would see.
+func windowMatrix(rows [][]complex128, window int) *cmatrix.Matrix {
+	start := 0
+	if len(rows) > window {
+		start = len(rows) - window
+	}
+	held := rows[start:]
+	m := cmatrix.New(len(held), len(held[0]))
+	for i, r := range held {
+		copy(m.Data[i*len(r):(i+1)*len(r)], r)
+	}
+	return m
+}
+
+func relFrobDiff(t *testing.T, got, want *cmatrix.Matrix) float64 {
+	t.Helper()
+	d, err := got.Sub(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.FrobNorm() / (1 + want.FrobNorm())
+}
+
+func TestSlidingCorrelationMatchesRecompute(t *testing.T) {
+	const m, window = 6, 10
+	rng := rand.New(rand.NewSource(21))
+	s, err := NewSlidingCorrelation(m, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]complex128
+	for push := 0; push < 100; push++ {
+		row := randomRow(m, rng)
+		rows = append(rows, row)
+		if err := s.Push(row); err != nil {
+			t.Fatal(err)
+		}
+		wantLen := len(rows)
+		if wantLen > window {
+			wantLen = window
+		}
+		if s.Len() != wantLen {
+			t.Fatalf("push %d: Len = %d, want %d", push, s.Len(), wantLen)
+		}
+		got, err := s.R()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Correlation(windowMatrix(rows, window))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relFrobDiff(t, got, want); d > 1e-12 {
+			t.Fatalf("push %d: sliding R drifted %v from recompute", push, d)
+		}
+	}
+}
+
+func TestSlidingCorrelationDriftBounded(t *testing.T) {
+	const m, window = 8, 16
+	rng := rand.New(rand.NewSource(23))
+	// A tight refresh and an effectively-never refresh, fed identically.
+	tight, err := NewSlidingCorrelation(m, window, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := NewSlidingCorrelation(m, window, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]complex128
+	for push := 0; push < 5000; push++ {
+		row := randomRow(m, rng)
+		rows = append(rows, row)
+		if err := tight.Push(row); err != nil {
+			t.Fatal(err)
+		}
+		if err := loose.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := Correlation(windowMatrix(rows, window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTight, err := tight.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLoose, err := loose.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relFrobDiff(t, gotTight, want); d > 1e-12 {
+		t.Fatalf("refreshed accumulator drifted %v after 5000 slides", d)
+	}
+	// Even unrefreshed, O(1)-magnitude data stays tolerable — the
+	// refresh exists to make the bound independent of run length.
+	if d := relFrobDiff(t, gotLoose, want); d > 1e-9 {
+		t.Fatalf("unrefreshed accumulator drifted %v after 5000 slides", d)
+	}
+}
+
+func TestSlidingCorrelationSpectrum(t *testing.T) {
+	arr := testArray(t, 8)
+	const window = 12
+	rng := rand.New(rand.NewSource(27))
+	ws, err := NewWorkspace(arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsRef, err := NewWorkspace(arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlidingCorrelation(arr.Elements, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := synthSnapshots(arr, []float64{0.9, 2.2}, []float64{1, 0.5}, 60, 0.05, false, rng)
+	var rows [][]complex128
+	for n := 0; n < x.Rows; n++ {
+		row := x.Data[n*x.Cols : (n+1)*x.Cols]
+		rows = append(rows, row)
+		if err := s.Push(row); err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() < window {
+			continue
+		}
+		r, err := s.R()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ws.ComputeFromCorrelation(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wsRef.Compute(windowMatrix(rows, window))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Sources != want.Sources {
+			t.Fatalf("row %d: sliding sources %d, recompute %d", n, got.Sources, want.Sources)
+		}
+		for i := range want.Spectrum {
+			scale := 1 + math.Abs(want.Spectrum[i])
+			if math.Abs(got.Spectrum[i]-want.Spectrum[i])/scale > 1e-9 {
+				t.Fatalf("row %d angle %d: sliding spectrum %v vs recompute %v",
+					n, i, got.Spectrum[i], want.Spectrum[i])
+			}
+		}
+	}
+}
+
+func TestSlidingCorrelationAllocs(t *testing.T) {
+	const m, window = 8, 10
+	rng := rand.New(rand.NewSource(29))
+	s, err := NewSlidingCorrelation(m, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := randomRow(m, rng)
+	for i := 0; i < window+2; i++ {
+		if err := s.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Push(row); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.R(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push+R allocates %v/run, want 0", allocs)
+	}
+}
+
+func TestSlidingCorrelationErrors(t *testing.T) {
+	if _, err := NewSlidingCorrelation(0, 4, 0); err == nil {
+		t.Fatal("zero-element snapshots accepted")
+	}
+	if _, err := NewSlidingCorrelation(4, 0, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	s, err := NewSlidingCorrelation(4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.R(); err == nil {
+		t.Fatal("R on empty window accepted")
+	}
+	if err := s.Push(make([]complex128, 3)); err == nil {
+		t.Fatal("mis-sized row accepted")
+	}
+}
+
+func BenchmarkSlidingCorrelation(b *testing.B) {
+	const m, window = 8, 10
+	rng := rand.New(rand.NewSource(31))
+	rows := make([][]complex128, 64)
+	for i := range rows {
+		rows[i] = randomRow(m, rng)
+	}
+	b.Run("slide", func(b *testing.B) {
+		s, err := NewSlidingCorrelation(m, window, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < window; i++ {
+			_ = s.Push(rows[i%len(rows)])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Push(rows[i%len(rows)])
+			if _, err := s.R(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		x := cmatrix.New(window, m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < window; k++ {
+				copy(x.Data[k*m:(k+1)*m], rows[(i+k)%len(rows)])
+			}
+			if _, err := Correlation(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -60,6 +60,13 @@ func NewWorkspace(arr *rf.Array, opts Options) (*Workspace, error) {
 // the same precomputed weights.
 func (w *Workspace) Table() *rf.SteeringTable { return w.tab }
 
+// Correlation exposes the M×M correlation accumulator filled by the
+// last Compute call, so P-MUSIC's beamformer can evaluate Eq. 13 in the
+// correlation domain (PB = aᴴ·R̂·a / M²) without a second pass over the
+// snapshots. The matrix is workspace scratch: read-only, valid until
+// the next Compute.
+func (w *Workspace) Correlation() *cmatrix.Matrix { return w.corr }
+
 // Compute runs MUSIC on an N×M snapshot matrix, reusing the workspace
 // for the correlation stage.
 func (w *Workspace) Compute(x *cmatrix.Matrix) (*Result, error) {
@@ -99,7 +106,16 @@ func (w *Workspace) ComputeFromCorrelation(r *cmatrix.Matrix) (*Result, error) {
 		smoothInto(w.sm, r, w.opts.Subarray)
 		sm = w.sm
 	}
-	eig, err := w.eig.EigenHermitian(sm)
+	var eig *cmatrix.Eigen
+	var err error
+	switch w.opts.Eigensolver {
+	case EigenQR:
+		eig, err = w.eig.EigenHermitianQR(sm)
+	case EigenJacobi:
+		eig, err = w.eig.EigenHermitianJacobi(sm)
+	default:
+		eig, err = w.eig.EigenHermitian(sm)
+	}
 	if err != nil {
 		return nil, err
 	}

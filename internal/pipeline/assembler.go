@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,14 +14,14 @@ import (
 	"dwatch/internal/tracing"
 )
 
-// reportAgg regroups the per-tag spectra of one report as they come
-// back from the worker pool in arbitrary order.
-type reportAgg struct {
+// report is one reader's completed acquisition report: every tag's
+// spectrum computed (or failed/shed to nil and omitted), ready for
+// round-ordered application. Workers produce one per job; the ingest
+// path produces them directly for tagless reports.
+type report struct {
 	reader  string
 	round   int
 	seq     uint32
-	expect  int
-	got     int
 	spectra map[string]*pmusic.Spectrum
 }
 
@@ -30,43 +31,59 @@ type seqGroup struct {
 	created  time.Time
 }
 
-// assembler is stage 3+4: it owns the fuser and all grouping state, so
-// everything here runs on one goroutine and needs no locks.
+// readerSeq is one reader's round sequencer: workers finish that
+// reader's reports in arbitrary order, and submit applies them in
+// round order under the per-reader lock — so baselines are built
+// exactly as in the synchronous path, without funneling every reader
+// through one goroutine.
+type readerSeq struct {
+	mu    sync.Mutex
+	next  int
+	ready map[int]*report
+}
+
+// assembler is stages 3+4, sharded: per-reader sequencers feed
+// complete reports to seq%N shard goroutines that own the grouping
+// state, so fusion for independent sequences runs in parallel. The
+// fuser is shared under a read-write lock (baseline writes are rare
+// and confined to startup; BuildView is read-only), and the grid-index
+// cache is shared under its own lock since entries are immutable.
 type assembler struct {
 	p     *Pipeline
 	fuser *dwatch.Fuser
+	// fuserMu orders baseline mutation against concurrent BuildView
+	// reads from the fusion shards. dwatch.Fuser itself is not
+	// synchronized: AddBaseline/FinishBaseline take the write side,
+	// BuildView the read side.
+	fuserMu sync.RWMutex
 
-	// agg collects in-flight reports by report index.
-	agg map[uint64]*reportAgg
-	// ready holds completed reports awaiting their turn in the
-	// per-reader round order; nextRound is the round each reader
-	// applies next. This restores the synchronous path's semantics:
-	// baseline rounds feed AddBaseline in order even when their
-	// spectra finished out of order across the pool.
-	ready     map[string]map[int]*reportAgg
-	nextRound map[string]int
+	// seqs holds one round sequencer per deployed reader; the reader
+	// set is fixed at construction, so the map itself is read-only.
+	seqs map[string]*readerSeq
 
-	// online groups post-baseline reports by acquisition sequence.
-	// pending is an atomic mirror of len(online), updated by the
-	// assembler in the same breath as every map mutation: it is the
-	// *only* assembler state other goroutines may read (via
-	// pendingSequences), so Stats never touches the unlocked maps.
-	online  map[uint32]*seqGroup
+	shards  []*shard
+	shardWG sync.WaitGroup
+	// shardsStopped is closed after every shard goroutine has exited
+	// (teardown); submission then applies reports inline, which keeps
+	// post-Drain test driving and late flushes single-threaded-safe.
+	shardsStopped chan struct{}
+
+	// pending counts sequences mid-assembly across all shards — the
+	// only assembler state Stats reads, and the cap gate for
+	// MaxPendingSeqs (enforced globally, evict-before-insert, so the
+	// count never exceeds the cap).
 	pending atomic.Int64
-	// done records sequences already fused or evicted (with the time
-	// they finished) so late reports are counted instead of
-	// resurrecting a group; pruned by the sweeper.
-	done map[uint32]time.Time
+
 	// baselineApplied counts baseline-round reports applied per
 	// sequence so the sequence's trace can be finished (outcome
-	// "baseline") once every expected reader's report landed —
-	// baseline sequences never reach fusion, the usual finish point.
+	// "baseline") once every expected reader's report landed.
+	baselineMu      sync.Mutex
 	baselineApplied map[uint32]int
 
 	// gridIdx caches each array's cell→angle-bin table for the search
-	// grid, keyed by array identity plus angle-grid size. Array
-	// geometries and the grid are fixed for the pipeline's lifetime, so
-	// entries never invalidate; single-goroutine access, no lock.
+	// grid. GridIndex values are immutable and share-safe; the lock
+	// only guards the map itself.
+	gridMu  sync.Mutex
 	gridIdx map[gridIdxKey]*loc.GridIndex
 }
 
@@ -75,44 +92,174 @@ type gridIdxKey struct {
 	bins int
 }
 
+// shard owns the online/done grouping state for the sequences with
+// seq % shards == index. Its goroutine consumes the shard channel,
+// sweeps its own groups on a timer, and fuses independently of the
+// other shards. The mutex exists for the two cross-shard paths —
+// global cap eviction and post-teardown inline application — plus the
+// Stats-adjacent test accessors.
+type shard struct {
+	a    *assembler
+	ch   chan *report
+	live chan struct{}
+
+	mu     sync.Mutex
+	online map[uint32]*seqGroup
+	// done records sequences already fused or evicted (with the time
+	// they finished) so late reports are counted instead of
+	// resurrecting a group; pruned by the sweeper.
+	done map[uint32]time.Time
+}
+
 func newAssembler(p *Pipeline, fuser *dwatch.Fuser) *assembler {
 	a := &assembler{
 		p:               p,
 		fuser:           fuser,
-		agg:             map[uint64]*reportAgg{},
-		ready:           map[string]map[int]*reportAgg{},
-		nextRound:       map[string]int{},
-		online:          map[uint32]*seqGroup{},
-		done:            map[uint32]time.Time{},
+		seqs:            map[string]*readerSeq{},
+		shardsStopped:   make(chan struct{}),
 		baselineApplied: map[uint32]int{},
 		gridIdx:         map[gridIdxKey]*loc.GridIndex{},
 	}
-	for id, next := range p.rounds {
+	for id := range p.cfg.Arrays {
 		// Restored-baseline pipelines start every reader past the
-		// baseline rounds.
-		a.nextRound[id] = next
+		// baseline rounds (p.rounds is pre-seeded).
+		a.seqs[id] = &readerSeq{next: p.rounds[id], ready: map[int]*report{}}
+	}
+	a.shards = make([]*shard, p.cfg.AssemblerShards)
+	for i := range a.shards {
+		a.shards[i] = &shard{
+			a:      a,
+			ch:     make(chan *report, 64),
+			live:   make(chan struct{}, 1),
+			online: map[uint32]*seqGroup{},
+			done:   map[uint32]time.Time{},
+		}
 	}
 	return a
 }
 
-// run consumes worker results until the channel closes, sweeping stale
-// sequences on a timer.
-func (a *assembler) run() {
-	defer close(a.p.fixes)
-	tick := time.NewTicker(sweepInterval(a.p.cfg.SeqTTL))
+// submit hands one completed report to the assembler. It buffers
+// out-of-order rounds and applies in-order ones immediately, holding
+// the reader's sequencer lock through application so no later round
+// can overtake an earlier one mid-apply. Called from worker goroutines
+// and (for tagless reports) from Ingest.
+func (a *assembler) submit(g *report) error {
+	rs := a.seqs[g.reader]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.ready[g.round] = g
+	for {
+		next, ok := rs.ready[rs.next]
+		if !ok {
+			return nil
+		}
+		delete(rs.ready, rs.next)
+		rs.next++
+		if err := a.apply(next); err != nil {
+			return err
+		}
+	}
+}
+
+// apply processes one in-order report: baseline rounds feed the fuser,
+// online rounds route to their sequence's shard. Every applied
+// spectrum also feeds the RF-health monitor — baseline rounds
+// included, since channel statistics accrue regardless of phase.
+func (a *assembler) apply(g *report) error {
+	if a.p.cfg.Health != nil && len(g.spectra) > 0 {
+		now := a.p.now()
+		for epc, sp := range g.spectra {
+			a.p.cfg.Health.Observe(g.reader, epc, sp, now)
+		}
+	}
+	if g.round < a.p.cfg.BaselineRounds {
+		a.applyBaseline(g)
+		return nil
+	}
+	return a.route(g)
+}
+
+// applyBaseline folds one baseline-round report into the fuser under
+// the write lock. The OnBaseline callback runs inside the critical
+// section: callers (dwatchd state persistence) rely on exclusive fuser
+// access while the callback executes.
+func (a *assembler) applyBaseline(g *report) {
+	confirm := g.round == a.p.cfg.BaselineRounds-1
+	a.fuserMu.Lock()
+	for epc, sp := range g.spectra {
+		a.fuser.AddBaseline(g.reader, []byte(epc), sp)
+	}
+	if confirm {
+		a.fuser.FinishBaseline()
+		if a.p.cfg.OnBaseline != nil {
+			a.p.cfg.OnBaseline(g.reader, len(g.spectra))
+		}
+	}
+	a.fuserMu.Unlock()
+	if confirm {
+		a.p.c.baselinesConfirmed.Add(1)
+		a.p.ins.baselineConfirmed(g.reader)
+		if l := a.p.cfg.Logger; l != nil {
+			l.Info("baseline confirmed", "reader", g.reader, "tags", len(g.spectra))
+		}
+	}
+	// Baseline sequences never fuse; finish their trace once every
+	// expected reader's report for this sequence has been applied.
+	if a.p.cfg.Tracer != nil {
+		a.baselineMu.Lock()
+		a.baselineApplied[g.seq]++
+		finished := a.baselineApplied[g.seq] >= a.p.cfg.ExpectReaders
+		if finished {
+			delete(a.baselineApplied, g.seq)
+		}
+		a.baselineMu.Unlock()
+		if finished {
+			a.p.cfg.Tracer.Finish(g.seq, tracing.OutcomeBaseline, a.p.now())
+		}
+	}
+}
+
+// route delivers an online report to its sequence's shard. After the
+// shards have exited (teardown), the report is applied inline instead —
+// at that point submission is single-threaded (post-Drain tests).
+func (a *assembler) route(g *report) error {
+	s := a.shards[int(g.seq)%len(a.shards)]
+	select {
+	case <-a.shardsStopped:
+		s.accept(g)
+		return nil
+	default:
+	}
+	select {
+	case s.ch <- g:
+		return nil
+	case <-a.shardsStopped:
+		s.accept(g)
+		return nil
+	case <-a.p.stop:
+		return ErrClosed
+	}
+}
+
+// run is one shard goroutine: it consumes routed reports until the
+// channel closes, sweeping its own stale sequences on a timer and
+// re-evaluating the quorum gate when poked.
+func (s *shard) run() {
+	defer s.a.shardWG.Done()
+	tick := time.NewTicker(sweepInterval(s.a.p.cfg.SeqTTL))
 	defer tick.Stop()
 	for {
 		select {
-		case r, ok := <-a.p.results:
+		case g, ok := <-s.ch:
 			if !ok {
 				return
 			}
-			a.add(r)
+			s.accept(g)
 		case <-tick.C:
-			a.sweep(a.p.now())
-		case <-a.p.liveCh:
-			a.reevaluate()
-		case <-a.p.stop:
+			s.sweep(s.a.p.now())
+		case <-s.live:
+			s.reevaluate()
+		case <-s.a.p.stop:
 			return
 		}
 	}
@@ -126,119 +273,72 @@ func sweepInterval(ttl time.Duration) time.Duration {
 	return iv
 }
 
-// add folds one worker result into its report; completed reports are
-// applied in per-reader round order.
-func (a *assembler) add(r result) {
-	g := a.agg[r.repIdx]
-	if g == nil {
-		g = &reportAgg{
-			reader: r.reader, round: r.round, seq: r.seq,
-			expect: r.expect, spectra: map[string]*pmusic.Spectrum{},
-		}
-		a.agg[r.repIdx] = g
-	}
-	if r.expect > 0 {
-		g.got++
-		if r.sp != nil {
-			g.spectra[r.epc] = r.sp
-		}
-	}
-	if g.got < g.expect {
-		return
-	}
-	delete(a.agg, r.repIdx)
-	perReader := a.ready[g.reader]
-	if perReader == nil {
-		perReader = map[int]*reportAgg{}
-		a.ready[g.reader] = perReader
-	}
-	perReader[g.round] = g
-	for {
-		next, ok := perReader[a.nextRound[g.reader]]
-		if !ok {
-			return
-		}
-		delete(perReader, a.nextRound[g.reader])
-		a.nextRound[g.reader]++
-		a.apply(next)
-	}
-}
-
-// apply processes one complete report: baseline rounds feed the fuser,
-// online rounds join their sequence group. Every applied spectrum also
-// feeds the RF-health monitor — baseline rounds included, since channel
-// statistics accrue regardless of localization phase.
-func (a *assembler) apply(g *reportAgg) {
-	if a.p.cfg.Health != nil && len(g.spectra) > 0 {
-		now := a.p.now()
-		for epc, sp := range g.spectra {
-			a.p.cfg.Health.Observe(g.reader, epc, sp, now)
-		}
-	}
-	if g.round < a.p.cfg.BaselineRounds {
-		for epc, sp := range g.spectra {
-			a.fuser.AddBaseline(g.reader, []byte(epc), sp)
-		}
-		if g.round == a.p.cfg.BaselineRounds-1 {
-			a.fuser.FinishBaseline()
-			a.p.c.baselinesConfirmed.Add(1)
-			a.p.ins.baselineConfirmed(g.reader)
-			if a.p.cfg.OnBaseline != nil {
-				a.p.cfg.OnBaseline(g.reader, len(g.spectra))
-			}
-			if l := a.p.cfg.Logger; l != nil {
-				l.Info("baseline confirmed", "reader", g.reader, "tags", len(g.spectra))
-			}
-		}
-		// Baseline sequences never fuse; finish their trace once every
-		// expected reader's report for this sequence has been applied.
-		if a.p.cfg.Tracer != nil {
-			a.baselineApplied[g.seq]++
-			if a.baselineApplied[g.seq] >= a.p.cfg.ExpectReaders {
-				delete(a.baselineApplied, g.seq)
-				a.p.cfg.Tracer.Finish(g.seq, tracing.OutcomeBaseline, a.p.now())
-			}
-		}
-		return
-	}
-	if _, dup := a.done[g.seq]; dup {
+// accept folds one online report into its sequence group and fuses the
+// group once complete. Only this shard creates groups for its
+// sequences, so the unlocked existence probe cannot race an insert —
+// the lock is dropped around cap eviction to keep the cross-shard scan
+// free of nested shard locks.
+func (s *shard) accept(g *report) {
+	a := s.a
+	s.mu.Lock()
+	_, dup := s.done[g.seq]
+	_, exists := s.online[g.seq]
+	s.mu.Unlock()
+	if dup {
 		a.p.c.lateReports.Add(1)
 		a.p.ins.lateReport()
 		return
 	}
-	grp := a.online[g.seq]
+	if !exists {
+		// Evict-before-insert: make room while the global pending
+		// count sits at the cap, so it never exceeds MaxPendingSeqs.
+		a.evictForCap()
+	}
+	s.mu.Lock()
+	if _, dup := s.done[g.seq]; dup {
+		// A cap eviction driven from another shard can have evicted
+		// g.seq's existing group while the lock was dropped — recheck.
+		s.mu.Unlock()
+		a.p.c.lateReports.Add(1)
+		a.p.ins.lateReport()
+		return
+	}
+	grp := s.online[g.seq]
 	if grp == nil {
 		grp = &seqGroup{byReader: map[string]map[string]*pmusic.Spectrum{}, created: a.p.now()}
-		a.online[g.seq] = grp
+		s.online[g.seq] = grp
 		a.pending.Add(1)
-		a.capPending()
 	}
 	grp.byReader[g.reader] = g.spectra
-	a.tryFuse(g.seq, grp)
+	ready, degraded := s.takeIfReady(g.seq, grp)
+	s.mu.Unlock()
+	if ready {
+		a.fuse(g.seq, grp, degraded)
+	}
 }
 
-// tryFuse fuses a sequence when it is complete — or, with a
-// LiveReaders oracle and a reader down, when the live quorum has
-// reported. No-op otherwise (the group stays pending).
-func (a *assembler) tryFuse(seq uint32, grp *seqGroup) {
-	degraded := false
+// takeIfReady checks the fusion gate for a pending group and, when it
+// passes, removes the group and records its assembly — all under the
+// shard lock. The caller fuses outside the lock.
+func (s *shard) takeIfReady(seq uint32, grp *seqGroup) (ready, degraded bool) {
+	a := s.a
 	if len(grp.byReader) < a.p.cfg.ExpectReaders {
 		if !a.quorumReady(grp) {
-			return
+			return false, false
 		}
 		degraded = true
 	}
-	delete(a.online, seq)
+	delete(s.online, seq)
 	a.pending.Add(-1)
 	now := a.p.now()
-	a.done[seq] = now
+	s.done[seq] = now
 	a.p.c.sequencesAssembled.Add(1)
 	a.p.ins.sequenceAssembled()
 	// The assemble span runs from the group's creation (first report
 	// of the sequence) to completion: cross-reader skew, not CPU time.
 	a.p.ins.span(stageAssemble, grp.created).EndAt(now)
 	a.p.cfg.Tracer.Active(seq).Span(tracing.StageAssemble, "", "", grp.created, now, 0)
-	a.fuse(seq, grp, degraded)
+	return true, degraded
 }
 
 // quorumReady reports whether an incomplete sequence may fuse in
@@ -289,26 +389,35 @@ func nonCollinear(a, b *rf.Array) bool {
 	return oz > eps || oz < -eps
 }
 
-// reevaluate re-runs the fusion gate over every pending sequence; run
-// when the live-reader set changes (a reader going down may make
-// already-received evidence sufficient).
-func (a *assembler) reevaluate() {
-	pending := make([]uint32, 0, len(a.online))
-	for seq := range a.online {
+// reevaluate re-runs the fusion gate over this shard's pending
+// sequences; run when the live-reader set changes (a reader going down
+// may make already-received evidence sufficient). Sequence order keeps
+// a burst of unblocked sequences deterministic within the shard.
+func (s *shard) reevaluate() {
+	s.mu.Lock()
+	pending := make([]uint32, 0, len(s.online))
+	for seq := range s.online {
 		pending = append(pending, seq)
 	}
-	// Fuse in sequence order so a burst of unblocked sequences emits
-	// deterministically.
+	s.mu.Unlock()
 	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
 	for _, seq := range pending {
-		if grp := a.online[seq]; grp != nil {
-			a.tryFuse(seq, grp)
+		s.mu.Lock()
+		grp := s.online[seq]
+		var ready, degraded bool
+		if grp != nil {
+			ready, degraded = s.takeIfReady(seq, grp)
+		}
+		s.mu.Unlock()
+		if ready {
+			s.a.fuse(seq, grp, degraded)
 		}
 	}
 }
 
 // fuse builds drop views for one complete (or quorum-degraded)
-// sequence and localizes.
+// sequence and localizes. Runs on the owning shard's goroutine with no
+// shard lock held; the fuser is read-locked for view building only.
 func (a *assembler) fuse(seq uint32, grp *seqGroup, degraded bool) {
 	start := a.p.now()
 	span := a.p.ins.span(stageFuse, start)
@@ -324,18 +433,20 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup, degraded bool) {
 	}
 	// Deterministic view order: likelihood products are commutative
 	// but not associative in floating point, so a stable order keeps
-	// fixes bit-identical across runs and worker counts.
+	// fixes bit-identical across runs, worker counts, and shard counts.
 	ids := make([]string, 0, len(grp.byReader))
 	for id := range grp.byReader {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	a.fuserMu.RLock()
 	var views []*loc.View
 	for _, id := range ids {
 		if v := a.fuser.BuildView(id, grp.byReader[id]); v != nil {
 			views = append(views, v)
 		}
 	}
+	a.fuserMu.RUnlock()
 	fix := Fix{Seq: seq, Views: len(views), Readers: ids, Degraded: degraded, TraceID: trc.ID()}
 	if len(views) < 2 {
 		fix.Err = fmt.Errorf("pipeline: seq %d: evidence from only %d readers", seq, len(views))
@@ -376,85 +487,152 @@ func (a *assembler) fuse(seq uint32, grp *seqGroup, degraded bool) {
 
 // localize runs the grid search through the cached per-array
 // GridIndex tables (bit-identical to loc.Localize), falling back to
-// the direct search if a table cannot be built for some view.
+// the direct search if a table cannot be built for some view. The
+// cache lock covers only the map; the table walk runs unlocked since
+// GridIndex values are immutable.
 func (a *assembler) localize(views []*loc.View) (loc.Result, error) {
 	indexes := make([]*loc.GridIndex, len(views))
 	for i, v := range views {
 		k := gridIdxKey{arr: v.Array, bins: len(v.Angles)}
+		a.gridMu.Lock()
 		g, ok := a.gridIdx[k]
+		a.gridMu.Unlock()
 		if !ok {
 			var err error
 			g, err = loc.NewGridIndex(v.Array, a.p.cfg.Grid, len(v.Angles))
 			if err != nil {
 				return loc.Localize(views, a.p.cfg.Grid, a.p.cfg.Loc)
 			}
+			a.gridMu.Lock()
 			a.gridIdx[k] = g
+			a.gridMu.Unlock()
 		}
 		indexes[i] = g
 	}
 	return loc.LocalizeIndexed(views, indexes, a.p.cfg.Grid, a.p.cfg.Loc)
 }
 
-// sweep evicts sequence groups older than SeqTTL and prunes the done
-// set. Returns how many groups were evicted.
+// sweep evicts sequence groups older than SeqTTL across every shard
+// and prunes the done sets. Returns how many groups were evicted.
+// During normal operation each shard sweeps itself on its own timer;
+// this aggregate exists for drained-pipeline driving (tests, final
+// flush accounting).
 func (a *assembler) sweep(now time.Time) int {
-	evicted := 0
-	for seq, grp := range a.online {
-		if now.Sub(grp.created) >= a.p.cfg.SeqTTL {
-			delete(a.online, seq)
-			a.pending.Add(-1)
-			a.done[seq] = now
-			a.p.c.sequencesEvicted.Add(1)
-			a.p.ins.sequenceEvicted("ttl")
-			trc := a.p.cfg.Tracer.Active(seq)
-			trc.Event(tracing.EventTTLEvicted,
-				fmt.Sprintf("%d/%d readers after %v", len(grp.byReader), a.p.cfg.ExpectReaders, now.Sub(grp.created)), now)
-			a.p.cfg.Tracer.Finish(seq, tracing.OutcomeEvicted, now)
-			if l := a.p.cfg.Logger; l != nil {
-				l.Warn("sequence evicted", "seq", seq, "trace", trc.ID(), "reason", "ttl",
-					"reported", len(grp.byReader), "expected", a.p.cfg.ExpectReaders)
-			}
-			evicted++
-		}
+	n := 0
+	for _, s := range a.shards {
+		n += s.sweep(now)
 	}
-	for seq, t := range a.done {
-		if now.Sub(t) >= 4*a.p.cfg.SeqTTL {
-			delete(a.done, seq)
-		}
-	}
-	return evicted
+	return n
 }
 
-// capPending enforces MaxPendingSeqs by evicting the oldest group —
-// the memory backstop when a reader dies and TTL has not fired yet.
-func (a *assembler) capPending() {
-	for len(a.online) > a.p.cfg.MaxPendingSeqs {
-		var oldest uint32
-		var oldestT time.Time
-		first := true
-		for seq, grp := range a.online {
-			if first || grp.created.Before(oldestT) {
-				oldest, oldestT, first = seq, grp.created, false
-			}
+// sweep evicts this shard's sequence groups older than SeqTTL and
+// prunes its done set. Bookkeeping runs under the shard lock; tracer
+// and logger calls (internally synchronized) run after.
+func (s *shard) sweep(now time.Time) int {
+	a := s.a
+	type evicted struct {
+		seq uint32
+		grp *seqGroup
+	}
+	var evs []evicted
+	s.mu.Lock()
+	for seq, grp := range s.online {
+		if now.Sub(grp.created) >= a.p.cfg.SeqTTL {
+			delete(s.online, seq)
+			a.pending.Add(-1)
+			s.done[seq] = now
+			evs = append(evs, evicted{seq, grp})
 		}
-		delete(a.online, oldest)
-		a.pending.Add(-1)
-		now := a.p.now()
-		a.done[oldest] = now
+	}
+	for seq, t := range s.done {
+		if now.Sub(t) >= 4*a.p.cfg.SeqTTL {
+			delete(s.done, seq)
+		}
+	}
+	s.mu.Unlock()
+	for _, ev := range evs {
 		a.p.c.sequencesEvicted.Add(1)
-		a.p.ins.sequenceEvicted("cap")
-		trc := a.p.cfg.Tracer.Active(oldest)
-		trc.Event(tracing.EventCapEvicted,
-			fmt.Sprintf("pending over %d", a.p.cfg.MaxPendingSeqs), now)
-		a.p.cfg.Tracer.Finish(oldest, tracing.OutcomeEvicted, now)
+		a.p.ins.sequenceEvicted("ttl")
+		trc := a.p.cfg.Tracer.Active(ev.seq)
+		trc.Event(tracing.EventTTLEvicted,
+			fmt.Sprintf("%d/%d readers after %v", len(ev.grp.byReader), a.p.cfg.ExpectReaders, now.Sub(ev.grp.created)), now)
+		a.p.cfg.Tracer.Finish(ev.seq, tracing.OutcomeEvicted, now)
 		if l := a.p.cfg.Logger; l != nil {
-			l.Warn("sequence evicted", "seq", oldest, "trace", trc.ID(), "reason", "cap")
+			l.Warn("sequence evicted", "seq", ev.seq, "trace", trc.ID(), "reason", "ttl",
+				"reported", len(ev.grp.byReader), "expected", a.p.cfg.ExpectReaders)
 		}
+	}
+	return len(evs)
+}
+
+// evictForCap evicts globally-oldest pending groups while the pending
+// count sits at MaxPendingSeqs — the memory backstop when a reader
+// dies and TTL has not fired yet. Shards are scanned one at a time
+// (never two shard locks at once), so there is no lock ordering to
+// violate; losing a race to a concurrent fuse just means re-scanning.
+func (a *assembler) evictForCap() {
+	for int(a.pending.Load()) >= a.p.cfg.MaxPendingSeqs {
+		var victim *shard
+		var vseq uint32
+		var vt time.Time
+		found := false
+		for _, s := range a.shards {
+			s.mu.Lock()
+			for seq, grp := range s.online {
+				if !found || grp.created.Before(vt) {
+					victim, vseq, vt, found = s, seq, grp.created, true
+				}
+			}
+			s.mu.Unlock()
+		}
+		if !found {
+			return
+		}
+		victim.evictCap(vseq)
+	}
+}
+
+// evictCap removes one group by sequence for the pending-cap backstop;
+// a no-op if the group fused or was evicted since the caller's scan.
+func (s *shard) evictCap(seq uint32) {
+	a := s.a
+	s.mu.Lock()
+	grp := s.online[seq]
+	if grp == nil {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.online, seq)
+	a.pending.Add(-1)
+	now := a.p.now()
+	s.done[seq] = now
+	s.mu.Unlock()
+	a.p.c.sequencesEvicted.Add(1)
+	a.p.ins.sequenceEvicted("cap")
+	trc := a.p.cfg.Tracer.Active(seq)
+	trc.Event(tracing.EventCapEvicted,
+		fmt.Sprintf("pending over %d", a.p.cfg.MaxPendingSeqs), now)
+	a.p.cfg.Tracer.Finish(seq, tracing.OutcomeEvicted, now)
+	if l := a.p.cfg.Logger; l != nil {
+		l.Warn("sequence evicted", "seq", seq, "trace", trc.ID(), "reason", "cap")
 	}
 }
 
 // pendingSequences reports how many sequences are mid-assembly from
-// the atomic mirror — a properly synchronized read that may lag the
-// assembler's map by one in-flight mutation, and is exact once the
+// the shared atomic — a properly synchronized read that may lag a
+// shard's map by one in-flight mutation, and is exact once the
 // pipeline is drained.
 func (a *assembler) pendingSequences() int { return int(a.pending.Load()) }
+
+// onlineLen counts pending groups straight from the shard maps — the
+// exact (locked) companion to pendingSequences, for tests and
+// post-drain inspection.
+func (a *assembler) onlineLen() int {
+	n := 0
+	for _, s := range a.shards {
+		s.mu.Lock()
+		n += len(s.online)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -132,12 +132,18 @@ func syncFixes(tb testing.TB, sc *sim.Scenario, reports []*llrp.ROAccessReport) 
 // pipelineFixes pumps the reports through a pipeline with the given
 // worker count and returns the successful fixes by sequence.
 func pipelineFixes(tb testing.TB, sc *sim.Scenario, reports []*llrp.ROAccessReport, workers int) map[uint32]Fix {
+	return pipelineFixesSharded(tb, sc, reports, workers, 0)
+}
+
+// pipelineFixesSharded is pipelineFixes with an explicit fusion shard
+// count (0 = default).
+func pipelineFixesSharded(tb testing.TB, sc *sim.Scenario, reports []*llrp.ROAccessReport, workers, shards int) map[uint32]Fix {
 	tb.Helper()
 	arrays := map[string]*rf.Array{}
 	for _, r := range sc.Readers {
 		arrays[r.ID] = r.Array
 	}
-	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers})
+	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, AssemblerShards: shards})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -211,6 +217,35 @@ func TestWorkerCountIndependence(t *testing.T) {
 		}
 		if a.Pos != b.Pos || a.Confidence != b.Confidence {
 			t.Fatalf("seq %d: 1-worker %+v != 8-worker %+v", seq, a, b)
+		}
+	}
+}
+
+// TestShardCountIndependence: fixes must be bit-identical no matter
+// how many fusion shards split the sequence space — the shard mapping
+// decides only which goroutine fuses a sequence, never the arithmetic
+// (views are built in sorted reader order either way).
+func TestShardCountIndependence(t *testing.T) {
+	sc, err := sim.Build(sim.TableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := genReports(t, sc, 2, 6)
+	one := pipelineFixesSharded(t, sc, reports, 2, 1)
+	many := pipelineFixesSharded(t, sc, reports, 2, 8)
+	if len(one) == 0 {
+		t.Fatal("no fixes to compare")
+	}
+	if len(one) != len(many) {
+		t.Fatalf("fix counts differ: 1 shard %d, 8 shards %d", len(one), len(many))
+	}
+	for seq, a := range one {
+		b, ok := many[seq]
+		if !ok {
+			t.Fatalf("seq %d only fixed with 1 shard", seq)
+		}
+		if a.Pos != b.Pos || a.Confidence != b.Confidence {
+			t.Fatalf("seq %d: 1-shard %+v != 8-shard %+v", seq, a, b)
 		}
 	}
 }

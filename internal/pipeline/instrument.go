@@ -94,7 +94,7 @@ func newInstruments(reg *obs.Registry, p *Pipeline) *instruments {
 	in.fixOK = fixes.With("fix")
 	in.fixDegraded = fixes.With("degraded")
 	in.fixMiss = fixes.With("miss")
-	reg.GaugeFunc(metricQueueDepth, "Instantaneous snapshot-queue occupancy.",
+	reg.GaugeFunc(metricQueueDepth, "Instantaneous report-queue occupancy.",
 		func() float64 { return float64(len(p.jobs)) })
 	reg.GaugeFunc(metricPendingSeqs, "Sequences currently mid-assembly.",
 		func() float64 { return float64(p.asm.pendingSequences()) })
@@ -126,18 +126,21 @@ func (in *instruments) reportRejected() {
 	in.rejected.Inc()
 }
 
-func (in *instruments) snapshotEnqueued() {
+// snapshotsEnqueued counts a whole report's tags in one add — the
+// batched-dispatch ingest path touches the counter once per report.
+func (in *instruments) snapshotsEnqueued(n int) {
 	if in == nil {
 		return
 	}
-	in.snaps.Inc()
+	in.snaps.Add(uint64(n))
 }
 
-func (in *instruments) snapshotDropped() {
+// snapshotsDropped counts every tag of a shed report.
+func (in *instruments) snapshotsDropped(n int) {
 	if in == nil {
 		return
 	}
-	in.snapsDrop.Inc()
+	in.snapsDrop.Add(uint64(n))
 }
 
 func (in *instruments) spectrum(ok bool) {

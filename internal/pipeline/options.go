@@ -36,6 +36,11 @@ func WithQueueSize(n int) Option { return func(c *Config) { c.QueueSize = n } }
 // WithOverload selects the full-queue policy.
 func WithOverload(p OverloadPolicy) Option { return func(c *Config) { c.Overload = p } }
 
+// WithAssemblerShards sizes the sharded fusion stage: sequences are
+// distributed seq%N across N shard goroutines so independent
+// sequences fuse in parallel (0 = GOMAXPROCS, 1 = serialized fusion).
+func WithAssemblerShards(n int) Option { return func(c *Config) { c.AssemblerShards = n } }
+
 // WithExpectReaders overrides how many distinct readers must report a
 // sequence before it is fused (0 = all deployed readers).
 func WithExpectReaders(n int) Option { return func(c *Config) { c.ExpectReaders = n } }

@@ -7,30 +7,35 @@
 // Stages:
 //
 //  1. Ingest — Ingest validates a report against the deployment,
-//     stamps it with the reader's round number, and enqueues one
-//     snapshot job per tag onto a bounded queue. When the queue is
-//     full the configured OverloadPolicy decides: Block applies
+//     stamps it with the reader's round number, and enqueues the whole
+//     report as one job on a bounded queue (one channel operation per
+//     report, however many tags it carries). When the queue is full
+//     the configured OverloadPolicy decides: Block applies
 //     backpressure to the reader connection, DropOldest sheds the
-//     stalest queued snapshot so fresh evidence wins.
+//     stalest queued report so fresh evidence wins.
 //  2. Spectrum workers — a pool of Workers goroutines decodes each
-//     snapshot into a matrix and runs pmusic.Compute in parallel; this
-//     is the dominant cost and the stage that scales with cores.
-//  3. Assembler — a single goroutine regroups per-tag spectra back
-//     into reports (order-independent: jobs may finish in any order),
-//     applies each reader's reports in round order so baselines are
-//     built exactly as in the synchronous path, and groups online
-//     reports by acquisition sequence. Incomplete sequences are
-//     evicted after SeqTTL (and capped at MaxPendingSeqs) so a dead
-//     reader cannot leak memory; reports for evicted sequences are
-//     counted as late, not crashed on.
-//  4. Fusion — when a sequence has evidence from every reader, the
-//     assembler builds drop views and runs loc.Localize, emitting a
-//     Fix on the output channel.
+//     job's snapshots and runs P-MUSIC per tag; this is the dominant
+//     cost and the stage that scales with cores.
+//  3. Sequencing — each worker hands its completed report to the
+//     owning reader's round sequencer (a per-reader lock, no shared
+//     funnel), which applies reports in round order so baselines are
+//     built exactly as in the synchronous path even when spectra
+//     finish out of order across the pool.
+//  4. Sharded fusion — online reports route to seq%N shard goroutines
+//     that own the per-sequence grouping state. When a sequence has
+//     evidence from every reader, its shard builds drop views and
+//     runs the grid search, emitting a Fix — independent sequences
+//     fuse in parallel instead of serializing behind one assembler.
+//     Incomplete sequences are evicted after SeqTTL (and capped
+//     globally at MaxPendingSeqs) so a dead reader cannot leak
+//     memory; reports for evicted sequences are counted as late, not
+//     crashed on.
 //
 // The pipeline exposes a Stats snapshot (counters, queue depth, and
 // per-stage latency histograms) and a Start/Drain/Close lifecycle.
-// Fuser state transitions (baseline → online) are serialized in the
-// assembler, so the un-synchronized dwatch.Fuser needs no lock.
+// The shared dwatch.Fuser is guarded by a read-write lock: baseline
+// construction (startup-only) takes the write side, the shards'
+// read-only BuildView calls the read side.
 package pipeline
 
 import (
@@ -55,7 +60,7 @@ import (
 	"dwatch/internal/tracing"
 )
 
-// OverloadPolicy selects what Ingest does when the snapshot queue is
+// OverloadPolicy selects what Ingest does when the report queue is
 // full.
 type OverloadPolicy int
 
@@ -63,10 +68,10 @@ const (
 	// Block makes Ingest wait for queue space: backpressure propagates
 	// to the reader's TCP connection. The default.
 	Block OverloadPolicy = iota
-	// DropOldest sheds the oldest queued snapshot to make room, so a
-	// burst degrades evidence quality instead of latency. Dropped
-	// snapshots still complete their report (with no spectrum) so
-	// sequence assembly never stalls on a shed job.
+	// DropOldest sheds the oldest queued report to make room, so a
+	// burst degrades evidence quality instead of latency. Shed reports
+	// still complete (with no spectra) so sequence assembly never
+	// stalls on a dropped one.
 	DropOldest
 )
 
@@ -95,10 +100,15 @@ type Config struct {
 
 	// Workers sizes the spectrum worker pool. 0 = GOMAXPROCS.
 	Workers int
-	// QueueSize bounds the snapshot job queue. 0 = 256.
+	// QueueSize bounds the report job queue. 0 = 256.
 	QueueSize int
 	// Overload selects the full-queue policy.
 	Overload OverloadPolicy
+	// AssemblerShards sizes the sharded fusion stage: sequences are
+	// distributed seq%N across N shard goroutines, each owning its
+	// groups' state, so independent sequences fuse in parallel.
+	// 0 = GOMAXPROCS. 1 restores a single serialized fusion stage.
+	AssemblerShards int
 
 	// BaselineRounds is how many initial reports per reader feed the
 	// baseline instead of online localization. 0 = 2 (the paper's
@@ -110,8 +120,9 @@ type Config struct {
 
 	// SeqTTL evicts incomplete sequences older than this. 0 = 30 s.
 	SeqTTL time.Duration
-	// MaxPendingSeqs caps concurrently-assembling sequences; beyond
-	// it the oldest is evicted immediately. 0 = 1024.
+	// MaxPendingSeqs caps concurrently-assembling sequences across all
+	// shards; at the cap the globally-oldest group is evicted before a
+	// new one is admitted. 0 = 1024.
 	MaxPendingSeqs int
 
 	// Fuser tunes the evidence fuser (thresholds, drop floor).
@@ -121,9 +132,11 @@ type Config struct {
 	// Loc tunes the localizer.
 	Loc loc.Options
 
-	// OnBaseline, when set, is called from the assembler goroutine
-	// after a reader's baseline is confirmed, with the number of tags
-	// whose spectra fed the confirmation round.
+	// OnBaseline, when set, is called after a reader's baseline is
+	// confirmed, with the number of tags whose spectra fed the
+	// confirmation round. It runs with the fuser held exclusively —
+	// the fuser is safe to snapshot (state persistence) for the
+	// duration of the callback.
 	OnBaseline func(readerID string, tags int)
 
 	// LiveReaders, when set, supplies the live-reader set (reader IDs,
@@ -154,10 +167,10 @@ type Config struct {
 	// tracing — every call site no-ops on the nil receiver.
 	Tracer *tracing.Tracer
 
-	// Health, when set, receives every applied tag spectrum from the
-	// assembler goroutine: per-(reader, tag) read rates, per-path power
-	// baselines with drift detection, and calibration residuals. Nil
-	// disables RF-health monitoring.
+	// Health, when set, receives every applied tag spectrum: per-
+	// (reader, tag) read rates, per-path power baselines with drift
+	// detection, and calibration residuals. Nil disables RF-health
+	// monitoring.
 	Health *health.Monitor
 
 	// Logger, when set, receives structured logs for operationally
@@ -176,6 +189,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 256
+	}
+	if c.AssemblerShards <= 0 {
+		c.AssemblerShards = runtime.GOMAXPROCS(0)
 	}
 	if c.BaselineRounds == 0 {
 		c.BaselineRounds = 2
@@ -215,30 +231,17 @@ var (
 	ErrUnknownReader = errors.New("pipeline: report from unknown reader")
 )
 
-// job is one tag snapshot heading to the worker pool. Reports with no
-// tags skip the queue as bare markers so round accounting still sees
-// them.
+// job is one whole report heading to the worker pool: batched
+// dispatch, one queue operation per report regardless of tag count.
+// The owning worker computes every tag's spectrum before handing the
+// completed report to the sequencer.
 type job struct {
 	reader string
 	arr    *rf.Array
 	round  int
 	seq    uint32
-	repIdx uint64 // unique per report, groups tags back together
-	expect int    // tags in the report
-	epc    string
-	snap   [][]complex128
+	tags   []llrp.TagReport
 	enq    time.Time
-}
-
-// result is a finished (or shed) job on its way to the assembler.
-type result struct {
-	reader string
-	round  int
-	seq    uint32
-	repIdx uint64
-	expect int
-	epc    string
-	sp     *pmusic.Spectrum // nil: decode/compute failure or shed job
 }
 
 // Pipeline is the streaming localization pipeline. Create with New,
@@ -247,38 +250,34 @@ type result struct {
 type Pipeline struct {
 	cfg Config
 
-	jobs    chan job
-	results chan result
-	fixes   chan Fix
-	stop    chan struct{}
-	// liveCh pokes the assembler when the live-reader set changes so
-	// pending sequences are re-evaluated against the new quorum.
-	liveCh chan struct{}
+	jobs  chan job
+	fixes chan Fix
+	stop  chan struct{}
 
 	workerWG sync.WaitGroup
-	asmWG    sync.WaitGroup
 
 	started atomic.Bool
 	// ingestMu arbitrates shutdown against in-flight Ingest calls:
 	// producers hold it shared while sending, Drain/Close hold it
 	// exclusively to flip closed, so the jobs channel is never closed
 	// under a concurrent send.
-	ingestMu  sync.RWMutex
-	closed    bool
-	closeOnce sync.Once
+	ingestMu     sync.RWMutex
+	closed       bool
+	closeOnce    sync.Once
+	teardownOnce sync.Once
 
-	// ingest-side sequencing: per-reader round numbers and the global
-	// report index that keys re-assembly.
+	// ingest-side sequencing: per-reader round numbers.
 	mu     sync.Mutex
 	rounds map[string]int
-	repIdx uint64
 
 	c counters
 	// ins mirrors the counters onto the attached obs.Registry (nil
 	// when Config.Obs is unset — every method is then a no-op).
 	ins *instruments
-	// fixSubs are invoked from the assembler goroutine for every fix;
-	// registration is only allowed before Start.
+	// fixSubs are invoked for every fix before the channel send;
+	// registration is only allowed before Start. With more than one
+	// assembler shard, callbacks for different sequences may run
+	// concurrently and must be safe for that.
 	fixSubs []func(Fix)
 
 	decodeHist *stats.Histogram
@@ -311,10 +310,8 @@ func NewFromConfig(cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg:        cfg,
 		jobs:       make(chan job, cfg.QueueSize),
-		results:    make(chan result, cfg.QueueSize+cfg.Workers+4),
 		fixes:      make(chan Fix, 64),
 		stop:       make(chan struct{}),
-		liveCh:     make(chan struct{}, 1),
 		rounds:     map[string]int{},
 		decodeHist: stats.NewHistogram(stats.LatencyBounds()),
 		fuseHist:   stats.NewHistogram(stats.LatencyBounds()),
@@ -338,8 +335,10 @@ func NewFromConfig(cfg Config) (*Pipeline, error) {
 // SubscribeFixes registers fn to be invoked for every fusion outcome
 // (fix or miss) before it is placed on the Fixes channel — the seam
 // the observability plane uses for live position streaming without
-// competing with the Fixes consumer. Callbacks run on the assembler
-// goroutine and must not block; they may not be added after Start.
+// competing with the Fixes consumer. Callbacks run on the fusing
+// shard's goroutine and must not block; with more than one shard they
+// may run concurrently for different sequences. They may not be added
+// after Start.
 func (p *Pipeline) SubscribeFixes(fn func(Fix)) {
 	if p.started.Load() {
 		panic("pipeline: SubscribeFixes after Start")
@@ -347,8 +346,8 @@ func (p *Pipeline) SubscribeFixes(fn func(Fix)) {
 	p.fixSubs = append(p.fixSubs, fn)
 }
 
-// Start launches the worker pool and the assembler. It may be called
-// once.
+// Start launches the worker pool and the fusion shards. It may be
+// called once.
 func (p *Pipeline) Start() {
 	if !p.started.CompareAndSwap(false, true) {
 		return
@@ -357,27 +356,28 @@ func (p *Pipeline) Start() {
 		p.workerWG.Add(1)
 		go p.worker()
 	}
-	p.asmWG.Add(1)
-	go func() {
-		defer p.asmWG.Done()
-		p.asm.run()
-	}()
+	for _, s := range p.asm.shards {
+		p.asm.shardWG.Add(1)
+		go s.run()
+	}
 }
 
-// NotifyLiveChange pokes the assembler to re-evaluate pending
+// NotifyLiveChange pokes every fusion shard to re-evaluate its pending
 // sequences against the current LiveReaders set. Cheap, non-blocking,
 // safe from any goroutine (typically a session.Supervisor state
 // callback); a no-op when no LiveReaders oracle is configured.
 func (p *Pipeline) NotifyLiveChange() {
-	select {
-	case p.liveCh <- struct{}{}:
-	default:
+	for _, s := range p.asm.shards {
+		select {
+		case s.live <- struct{}{}:
+		default:
+		}
 	}
 }
 
 // Fixes returns the output channel. It is closed after Drain once all
 // in-flight work has flushed. Consumers should drain it promptly; the
-// channel is buffered but the assembler blocks when it fills.
+// channel is buffered but shards block when it fills.
 func (p *Pipeline) Fixes() <-chan Fix { return p.fixes }
 
 // Ingest feeds one validated report into the pipeline. Safe for
@@ -402,8 +402,6 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 	p.mu.Lock()
 	round := p.rounds[rep.ReaderID]
 	p.rounds[rep.ReaderID] = round + 1
-	idx := p.repIdx
-	p.repIdx++
 	p.mu.Unlock()
 
 	now := p.now()
@@ -414,7 +412,10 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 	if len(rep.Reports) == 0 {
 		// Tagless report: skip the workers but keep round accounting
 		// and sequence membership alive.
-		err := p.deliver(result{reader: rep.ReaderID, round: round, seq: rep.Seq, repIdx: idx})
+		err := p.asm.submit(&report{
+			reader: rep.ReaderID, round: round, seq: rep.Seq,
+			spectra: map[string]*pmusic.Spectrum{},
+		})
 		trc.Span(tracing.StageIngest, rep.ReaderID, "", now, p.now(), 0)
 		return err
 	}
@@ -422,24 +423,19 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 	// backpressure wait under the Block policy — that wait is the
 	// signal the span exists to surface.
 	sp := p.ins.span(stageIngest, now)
-	for _, tr := range rep.Reports {
-		j := job{
-			reader: rep.ReaderID,
-			arr:    arr,
-			round:  round,
-			seq:    rep.Seq,
-			repIdx: idx,
-			expect: len(rep.Reports),
-			epc:    string(tr.EPC),
-			snap:   tr.Snapshot,
-			enq:    now,
-		}
-		if err := p.enqueue(j); err != nil {
-			return err
-		}
-		p.c.snapshotsIn.Add(1)
-		p.ins.snapshotEnqueued()
+	err := p.enqueue(job{
+		reader: rep.ReaderID,
+		arr:    arr,
+		round:  round,
+		seq:    rep.Seq,
+		tags:   rep.Reports,
+		enq:    now,
+	})
+	if err != nil {
+		return err
 	}
+	p.c.snapshotsIn.Add(uint64(len(rep.Reports)))
+	p.ins.snapshotsEnqueued(len(rep.Reports))
 	if p.ins != nil || trc != nil {
 		end := p.now()
 		if p.ins != nil {
@@ -450,7 +446,7 @@ func (p *Pipeline) Ingest(rep *llrp.ROAccessReport) error {
 	return nil
 }
 
-// enqueue places a job on the snapshot queue honouring the overload
+// enqueue places a report job on the queue honouring the overload
 // policy.
 func (p *Pipeline) enqueue(j job) error {
 	if p.cfg.Overload == Block {
@@ -469,19 +465,23 @@ func (p *Pipeline) enqueue(j job) error {
 			return ErrClosed
 		default:
 		}
-		// Queue full: shed the oldest queued snapshot and retry. The
-		// shed job is forwarded as an empty result so its report still
-		// completes. Losing the race to a worker just means space
-		// freed up — the retry will succeed.
+		// Queue full: shed the oldest queued report and retry. The
+		// shed report is forwarded with no spectra so it still
+		// completes round accounting and sequence membership. Losing
+		// the race to a worker just means space freed up — the retry
+		// will succeed.
 		select {
 		case old := <-p.jobs:
-			p.c.snapshotsDropped.Add(1)
-			p.ins.snapshotDropped()
-			p.cfg.Tracer.Active(old.seq).Event(tracing.EventSnapshotDropped,
-				old.reader+"/"+hex.EncodeToString([]byte(old.epc)), p.now())
-			if err := p.deliver(result{
+			p.c.snapshotsDropped.Add(uint64(len(old.tags)))
+			p.ins.snapshotsDropped(len(old.tags))
+			trc := p.cfg.Tracer.Active(old.seq)
+			for _, tr := range old.tags {
+				trc.Event(tracing.EventSnapshotDropped,
+					old.reader+"/"+hex.EncodeToString(tr.EPC), p.now())
+			}
+			if err := p.asm.submit(&report{
 				reader: old.reader, round: old.round, seq: old.seq,
-				repIdx: old.repIdx, expect: old.expect, epc: old.epc,
+				spectra: map[string]*pmusic.Spectrum{},
 			}); err != nil {
 				return err
 			}
@@ -490,91 +490,101 @@ func (p *Pipeline) enqueue(j job) error {
 	}
 }
 
-// deliver hands a result to the assembler, honouring Close.
-func (p *Pipeline) deliver(r result) error {
-	select {
-	case p.results <- r:
-		return nil
-	case <-p.stop:
-		return ErrClosed
-	}
-}
-
-// worker is one spectrum-pool goroutine: decode + P-MUSIC per snapshot.
-// Each worker owns one pmusic.Workspace per array geometry, so the
-// correlation/smoothing/Jacobi scratch is reused across every snapshot
-// it processes while the steering tables stay shared and read-only.
+// worker is one spectrum-pool goroutine: it decodes and runs P-MUSIC
+// for every tag of a report job, then hands the completed report to
+// the reader's round sequencer. Each worker owns one pmusic.Workspace
+// per array geometry, so the correlation/smoothing/eigensolver scratch
+// is reused across every snapshot it processes while the steering
+// tables stay shared and read-only.
 func (p *Pipeline) worker() {
 	defer p.workerWG.Done()
 	ws := map[*rf.Array]*pmusic.Workspace{}
 	for j := range p.jobs {
-		start := p.now()
-		span := p.ins.span(stageSpectrum, start)
-		sp, err := p.computeSnapshot(ws, j)
-		end := p.now()
-		p.decodeHist.ObserveDuration(span.EndAt(end))
-		// The trace span runs from enqueue to completion with the
-		// queue wait recorded separately, so Compute() isolates the
-		// P-MUSIC cost from backlog-induced latency.
-		trc := p.cfg.Tracer.Active(j.seq)
-		trc.Span(tracing.StageSpectrum, j.reader, hex.EncodeToString([]byte(j.epc)),
-			j.enq, end, start.Sub(j.enq))
-		if err != nil {
-			p.c.spectraFailed.Add(1)
-			p.ins.spectrum(false)
-			trc.Event(tracing.EventSpectrumFailed, j.reader+": "+err.Error(), end)
-			sp = nil
-		} else {
-			p.c.spectraComputed.Add(1)
-			p.ins.spectrum(true)
-		}
-		r := result{
-			reader: j.reader, round: j.round, seq: j.seq,
-			repIdx: j.repIdx, expect: j.expect, epc: j.epc, sp: sp,
-		}
-		if p.deliver(r) != nil {
+		if p.asm.submit(p.runJob(ws, j)) != nil {
 			return
 		}
 	}
 }
 
+// runJob computes every tag spectrum of one report job, recording a
+// per-tag spectrum span with the queue-wait vs compute split.
+func (p *Pipeline) runJob(ws map[*rf.Array]*pmusic.Workspace, j job) *report {
+	g := &report{
+		reader: j.reader, round: j.round, seq: j.seq,
+		spectra: make(map[string]*pmusic.Spectrum, len(j.tags)),
+	}
+	trc := p.cfg.Tracer.Active(j.seq)
+	for _, tr := range j.tags {
+		start := p.now()
+		span := p.ins.span(stageSpectrum, start)
+		sp, err := p.computeSnapshot(ws, j.arr, tr.Snapshot)
+		end := p.now()
+		p.decodeHist.ObserveDuration(span.EndAt(end))
+		// The trace span runs from enqueue to completion with the
+		// wait before compute recorded separately, so Compute()
+		// isolates the P-MUSIC cost from backlog-induced latency.
+		trc.Span(tracing.StageSpectrum, j.reader, hex.EncodeToString(tr.EPC),
+			j.enq, end, start.Sub(j.enq))
+		if err != nil {
+			p.c.spectraFailed.Add(1)
+			p.ins.spectrum(false)
+			trc.Event(tracing.EventSpectrumFailed, j.reader+": "+err.Error(), end)
+			continue
+		}
+		p.c.spectraComputed.Add(1)
+		p.ins.spectrum(true)
+		g.spectra[string(tr.EPC)] = sp
+	}
+	return g
+}
+
 // computeSnapshot turns one raw snapshot into a P-MUSIC spectrum,
 // through the test seam when set, otherwise through the worker's
 // reusable workspace for the job's array (created on first use).
-func (p *Pipeline) computeSnapshot(ws map[*rf.Array]*pmusic.Workspace, j job) (*pmusic.Spectrum, error) {
+func (p *Pipeline) computeSnapshot(ws map[*rf.Array]*pmusic.Workspace, arr *rf.Array, snap [][]complex128) (*pmusic.Spectrum, error) {
 	if p.compute != nil {
-		return p.compute(j.snap, j.arr, p.cfg.PMusic)
+		return p.compute(snap, arr, p.cfg.PMusic)
 	}
-	x, err := dwatch.RawSnapshotsToMatrix(j.snap)
+	x, err := dwatch.RawSnapshotsToMatrix(snap)
 	if err != nil {
 		return nil, err
 	}
-	w := ws[j.arr]
+	w := ws[arr]
 	if w == nil {
-		if w, err = pmusic.NewWorkspace(j.arr, p.cfg.PMusic); err != nil {
+		if w, err = pmusic.NewWorkspace(arr, p.cfg.PMusic); err != nil {
 			return nil, err
 		}
-		ws[j.arr] = w
+		ws[arr] = w
 	}
 	return w.Compute(x)
 }
 
-// Drain stops accepting new reports, waits for queued snapshots to
-// compute and assemble, flushes the fusion stage, and closes the Fixes
-// channel. Callers must keep consuming Fixes while draining (or buffer
-// permitting, after).
+// teardown runs the ordered shutdown exactly once: stop the intake,
+// flush the workers, flush the shards, close the output. Safe to call
+// from both Drain and Close; the second caller blocks until the first
+// finishes.
+func (p *Pipeline) teardown() {
+	p.teardownOnce.Do(func() {
+		close(p.jobs)
+		p.workerWG.Wait()
+		for _, s := range p.asm.shards {
+			close(s.ch)
+		}
+		p.asm.shardWG.Wait()
+		close(p.asm.shardsStopped)
+		close(p.fixes)
+	})
+}
+
+// Drain stops accepting new reports, waits for queued work to compute
+// and fuse, and closes the Fixes channel. Callers must keep consuming
+// Fixes while draining (or buffer permitting, after).
 func (p *Pipeline) Drain() {
 	if !p.started.Load() {
 		return
 	}
-	if p.markClosed() {
-		p.asmWG.Wait()
-		return
-	}
-	close(p.jobs)
-	p.workerWG.Wait()
-	close(p.results)
-	p.asmWG.Wait()
+	p.markClosed()
+	p.teardown()
 }
 
 // Close aborts the pipeline immediately: in-flight work is abandoned.
@@ -584,12 +594,9 @@ func (p *Pipeline) Close() {
 		// Unblock parked producers and stages first, then wait for
 		// ingest rights before closing the channels.
 		close(p.stop)
-		already := p.markClosed()
-		if p.started.Load() && !already {
-			close(p.jobs)
-			p.workerWG.Wait()
-			close(p.results)
-			p.asmWG.Wait()
+		p.markClosed()
+		if p.started.Load() {
+			p.teardown()
 		}
 	})
 }

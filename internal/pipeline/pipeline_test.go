@@ -272,7 +272,11 @@ func TestSequenceTTLEviction(t *testing.T) {
 	}
 
 	// A straggler report for an evicted sequence is counted as late.
-	p.asm.add(result{reader: dead, round: p.asm.nextRound[dead], seq: 100})
+	// The shards have exited, so submit applies it inline.
+	p.asm.submit(&report{
+		reader: dead, round: p.asm.seqs[dead].next, seq: 100,
+		spectra: map[string]*pmusic.Spectrum{},
+	})
 	if got := p.Stats().LateReports; got != 1 {
 		t.Fatalf("late reports = %d, want 1", got)
 	}
@@ -319,8 +323,8 @@ func TestDeadReaderBoundedMemory(t *testing.T) {
 	if want := uint64(rounds - cfg.MaxPendingSeqs); st.SequencesEvicted != want {
 		t.Fatalf("evicted = %d, want %d", st.SequencesEvicted, want)
 	}
-	if len(p.asm.online) != cfg.MaxPendingSeqs {
-		t.Fatalf("assembler holds %d groups, want %d", len(p.asm.online), cfg.MaxPendingSeqs)
+	if got := p.asm.onlineLen(); got != cfg.MaxPendingSeqs {
+		t.Fatalf("assembler holds %d groups, want %d", got, cfg.MaxPendingSeqs)
 	}
 }
 

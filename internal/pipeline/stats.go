@@ -31,8 +31,8 @@ type Stats struct {
 	// Ingest stage.
 	ReportsIn        uint64 // reports accepted from known readers
 	ReportsRejected  uint64 // reports from unknown readers
-	SnapshotsIn      uint64 // per-tag snapshot jobs enqueued
-	SnapshotsDropped uint64 // jobs shed by the DropOldest policy
+	SnapshotsIn      uint64 // per-tag snapshots enqueued (batched per report)
+	SnapshotsDropped uint64 // snapshots shed by the DropOldest policy
 
 	// Spectrum worker pool.
 	SpectraComputed uint64 // successful P-MUSIC runs
@@ -47,10 +47,12 @@ type Stats struct {
 	DegradedFixes      uint64 // fixes fused from the live quorum with a reader down
 	Misses             uint64
 
-	// QueueDepth is the instantaneous snapshot-queue occupancy.
+	// QueueDepth is the instantaneous report-queue occupancy (whole
+	// reports — dispatch is batched, one queue slot per report).
 	QueueDepth int
-	// PendingSequences is how many sequences are mid-assembly,
-	// sampled from the assembler's atomic mirror of its group table.
+	// PendingSequences is how many sequences are mid-assembly across
+	// all fusion shards, sampled from the shared atomic mirror of the
+	// shard group tables.
 	PendingSequences int
 
 	// ComputeLatency digests per-snapshot decode+P-MUSIC time (s).
@@ -61,8 +63,8 @@ type Stats struct {
 
 // Stats snapshots the pipeline counters. Safe to call at any time from
 // any goroutine: every field is backed by an atomic or a lock — the
-// assembler publishes its pending-sequence count through an atomic
-// mirror, so there is no unsynchronized read of assembler state
+// fusion shards publish their pending-sequence count through a shared
+// atomic mirror, so there is no unsynchronized read of shard state
 // (TestStatsRaceWithAssembler drives this under the race detector).
 // The snapshot is not a consistent cut across stages: counters are
 // sampled independently while work is in flight, and only settle into
