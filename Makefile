@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race chaos bench bench-smoke bench-figures check serve-smoke replay-smoke replay-ab fuzz-wal clean
+.PHONY: all build fmt vet test race chaos bench bench-smoke bench-figures check serve-smoke replay-smoke replay-ab fleet-smoke corpus fuzz-wal clean
 
 all: check
 
@@ -47,9 +47,13 @@ chaos:
 # machine-diffable across PRs. BenchmarkWALAppend rides along because
 # WAL append sits on the ingest hot path when -wal-dir is set — a
 # regression there throttles every accepted report.
-HOTPATH_BENCH = BenchmarkMusicSpectrum|BenchmarkPMusicSpectrum|BenchmarkBeamPower|BenchmarkLocalizeGrid|BenchmarkPipelineThroughput|BenchmarkWALAppend
+# BenchmarkBrokerFanout sweeps API fan-out (100 → 100k subscribers,
+# deprecated channel broker vs snapshot+delta hub): publish runs on the
+# pipeline's fix callback, so a linear-in-subscribers broker would put
+# fleet fan-out on the fusion hot path.
+HOTPATH_BENCH = BenchmarkMusicSpectrum|BenchmarkPMusicSpectrum|BenchmarkBeamPower|BenchmarkLocalizeGrid|BenchmarkPipelineThroughput|BenchmarkWALAppend|BenchmarkBrokerFanout
 bench:
-	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 100x -count 3 -benchmem . ./internal/wal/ | $(GO) run ./cmd/dwatch-benchjson -o BENCH_hotpath.json
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchtime 100x -count 3 -benchmem . ./internal/wal/ ./internal/serve/ | $(GO) run ./cmd/dwatch-benchjson -o BENCH_hotpath.json
 
 # CI's perf canary: one short fixed-count pass over the spectrum and
 # pipeline benches. Proves the perf path compiles and runs — no timing
@@ -62,12 +66,35 @@ bench-smoke:
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
-check: fmt vet build test race chaos
+check: fmt vet build test race chaos fleet-smoke
 
 # Boots dwatchd -simulate with the observability plane and curls the
 # endpoints a monitoring stack would: liveness, metrics, live stats.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# The multi-tenant gate at the binary level: one dwatchd -env-dir
+# process fronting the two pinned testdata/fleet deployments, with
+# per-env positions/health routes and the /api/v1/envs listing curled
+# and asserted. Part of `make check` — fleet mode is load-bearing.
+fleet-smoke:
+	./scripts/fleet-smoke.sh
+
+# Curated replay corpus: a multi-environment WAL root generated from
+# the pinned testdata/fleet configs (deterministic sim, so the corpus
+# is reproducible bit-for-bit per seed) and cached under
+# testdata/corpus/ — rm -rf it to regenerate. Feed it back with
+# `dwatchd -env-dir testdata/fleet -wal-dir testdata/corpus` (replay on
+# add) or per-env via dwatch-replay -wal-dir testdata/corpus/site-a.
+CORPUS_DIR ?= testdata/corpus
+corpus:
+	@if [ -d "$(CORPUS_DIR)/site-a" ] && [ -d "$(CORPUS_DIR)/site-b" ]; then \
+		echo "corpus cached at $(CORPUS_DIR) (rm -rf to regenerate)"; \
+	else \
+		$(GO) run ./cmd/dwatchd -env-dir testdata/fleet -simulate -rounds 60 -sim-interval 0 -wal-dir "$(CORPUS_DIR)"; \
+		echo "corpus generated at $(CORPUS_DIR):"; \
+		du -sh "$(CORPUS_DIR)"/*/; \
+	fi
 
 # The durability gate at the binary level: record a simulated run into
 # a WAL, kill -9 dwatchd mid-stream, restart and assert recovery via

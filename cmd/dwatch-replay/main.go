@@ -32,6 +32,7 @@
 //	              [-eigensolver auto|qr|jacobi] [-asm-shards N] [-json]
 //	dwatch-replay -in session.dwrl [...]
 //	dwatch-replay -convert -in session.dwrl -wal-dir DIR
+//	dwatch-replay -convert -in CORPUS_DIR -wal-dir ROOT   (batch: each *.dwrl → ROOT/<stem>/)
 //	dwatch-replay ... [-http 127.0.0.1:8080]
 //
 // -http serves the observability plane during the replay — useful for
@@ -63,7 +64,7 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "legacy record file written by dwatchd -record (deprecated format)")
+	in := flag.String("in", "", "legacy record file written by dwatchd -record (deprecated format); with -convert, may be a directory of *.dwrl fixtures")
 	walDir := flag.String("wal-dir", "", "WAL directory written by dwatchd -wal-dir (with -convert: the destination)")
 	convert := flag.Bool("convert", false, "convert -in (legacy) into WAL segments at -wal-dir instead of replaying")
 	env := flag.String("env", "hall", "environment preset (array geometry)")
@@ -141,9 +142,10 @@ func main() {
 		pipeline.WithLogger(logger),
 	}
 	var plane *serve.Server
+	var onFix func(pipeline.Fix)
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()
-		broker := serve.NewBroker()
+		hub := serve.NewHub(serve.WithHubObs(reg))
 		tracer := tracing.New()
 		mon := health.New(reg, health.Options{})
 		obs.RegisterBuildInfo(reg)
@@ -152,9 +154,20 @@ func main() {
 			pipeline.WithTracer(tracer),
 			pipeline.WithHealth(mon),
 		)
+		envName := sc.Name
+		onFix = func(fix pipeline.Fix) {
+			hub.Publish(serve.Position{
+				Env: envName, Seq: fix.Seq,
+				X: fix.Pos.X, Y: fix.Pos.Y,
+				Confidence: fix.Confidence, Views: fix.Views,
+				Readers: fix.Readers, Degraded: fix.Degraded,
+				TraceID: fix.TraceID,
+				Time:    time.Now(),
+			})
+		}
 		plane = serve.New(
 			serve.WithRegistry(reg),
-			serve.WithBroker(broker),
+			serve.WithHub(hub),
 			serve.WithTracer(tracer),
 			serve.WithHealth(mon),
 			serve.WithLogf(func(format string, args ...any) {
@@ -172,6 +185,7 @@ func main() {
 		Speed:    *speed,
 		Pipeline: popts,
 		Logger:   logger,
+		OnFix:    onFix,
 	})
 	if plane != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
@@ -222,10 +236,26 @@ func printSummary(sum *replay.Summary) {
 }
 
 // runConvert graduates a legacy capture into WAL segments, preserving
-// timestamps so pacing still works.
+// timestamps so pacing still works. When -in is a directory, every
+// *.dwrl fixture inside becomes its own WAL at <wal-dir>/<stem>/ — the
+// per-environment layout dwatchd -env-dir expects, so a corpus of
+// legacy captures converts into a fleet-replayable root in one pass.
 func runConvert(in, dir string) error {
 	if in == "" || dir == "" {
 		return fmt.Errorf("-convert needs both -in (legacy source) and -wal-dir (destination)")
+	}
+	if st, err := os.Stat(in); err == nil && st.IsDir() {
+		counts, err := wal.ConvertLegacyDir(in, dir, wal.WithLogger(logger))
+		for stem, n := range counts {
+			logger.Info("converted legacy capture", "in", stem+".dwrl",
+				"wal_dir", dir+"/"+stem, "records", n)
+			fmt.Printf("converted %s.dwrl: %d records into %s/%s\n", stem, n, dir, stem)
+		}
+		if err != nil {
+			return fmt.Errorf("batch convert: %w", err)
+		}
+		fmt.Printf("converted %d fixtures into %s\n", len(counts), dir)
+		return nil
 	}
 	f, err := os.Open(in)
 	if err != nil {

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"dwatch/internal/fleet"
+	"dwatch/internal/obs"
+	"dwatch/internal/pipeline"
+	"dwatch/internal/serve"
+)
+
+// Fleet mode (-env-dir): one dwatchd process fronting N deployments.
+// Every *.json deployment config in the directory becomes an
+// environment with its own pipeline, tracer, health monitor, and WAL
+// subdirectory (-wal-dir is the root: <root>/<env>/), all behind one
+// observability plane with per-env routes (/api/v1/{env}/...) and one
+// snapshot+delta position hub. -simulate drives every environment
+// concurrently with generated LLRP rounds; afterwards the process
+// keeps serving (when -http is set) until SIGINT/SIGTERM so the fleet
+// can be inspected. Ingest from real LLRP readers is not routed in
+// fleet mode yet — environments are fed by simulation or WAL replay.
+
+type fleetRunOptions struct {
+	envDir      string
+	simulate    bool
+	rounds      int
+	simInterval time.Duration
+	httpAddr    string
+
+	walDir       string
+	walFsync     string
+	walRetention string
+	walSegBytes  string
+
+	workers  int
+	queue    int
+	overload pipeline.OverloadPolicy
+	seqTTL   time.Duration
+}
+
+func runFleet(opts fleetRunOptions) error {
+	reg := obs.NewRegistry()
+	hub := serve.NewHub(serve.WithHubObs(reg))
+	obs.RegisterBuildInfo(reg)
+
+	fopts := []fleet.Option{
+		fleet.WithObs(reg),
+		fleet.WithHub(hub),
+		fleet.WithLogger(logger),
+		fleet.WithPipelineOptions(func(string) []pipeline.Option {
+			return []pipeline.Option{
+				pipeline.WithWorkers(opts.workers),
+				pipeline.WithQueueSize(opts.queue),
+				pipeline.WithOverload(opts.overload),
+				pipeline.WithSeqTTL(opts.seqTTL),
+			}
+		}),
+	}
+	if opts.walDir != "" {
+		wopts, err := walOptions(opts.walFsync, opts.walRetention, opts.walSegBytes, reg)
+		if err != nil {
+			return err
+		}
+		fopts = append(fopts, fleet.WithWALRoot(opts.walDir, wopts...))
+	}
+	f := fleet.New(fopts...)
+	defer f.Close()
+
+	ids, err := f.LoadDir(opts.envDir)
+	if err != nil {
+		return err
+	}
+	logger.Info("fleet up", "envs", len(ids), "dir", opts.envDir,
+		"workers", pipelineWorkers(opts.workers), "overload", opts.overload.String(),
+		"wal_root", opts.walDir)
+
+	var plane *serve.Server
+	if opts.httpAddr != "" {
+		plane = serve.New(
+			serve.WithRegistry(reg),
+			serve.WithHub(hub),
+			serve.WithEnvs(f.Infos),
+			serve.WithEnvLookup(f.EnvHandle),
+			serve.WithReady(f.Ready),
+			serve.WithStats(func() any { return fleetStats(f) }),
+			serve.WithLogf(slogf(logger)),
+		)
+		planeAddr, err := plane.Start(opts.httpAddr)
+		if err != nil {
+			return err
+		}
+		logger.Info("observability plane up", "url", "http://"+planeAddr.String()+"/",
+			"endpoints", "metrics healthz readyz api/v1/envs api/v1/{env}")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	simDone := make(chan struct{})
+	if opts.simulate {
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if err := f.Simulate(ctx, id, opts.rounds, 0, opts.simInterval); err != nil && ctx.Err() == nil {
+					logger.Error("simulate failed", "env", id, "error", err)
+				}
+			}(id)
+		}
+		go func() {
+			wg.Wait()
+			close(simDone)
+			logger.Info("fleet simulation complete", "envs", len(ids), "rounds", opts.rounds)
+		}()
+	} else {
+		close(simDone)
+	}
+
+	if plane == nil {
+		// Nothing to serve: run the simulation (if any) to completion
+		// and exit.
+		<-simDone
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	cancel()
+	<-simDone
+	f.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer scancel()
+	return plane.Shutdown(sctx)
+}
+
+// fleetStats is the aggregate /api/v1/stats body in fleet mode: one
+// pipeline snapshot per environment.
+func fleetStats(f *fleet.Fleet) map[string]any {
+	out := map[string]any{}
+	for _, id := range f.IDs() {
+		if e, ok := f.Env(id); ok && e.Pipeline() != nil {
+			out[id] = e.Pipeline().Stats()
+		}
+	}
+	return out
+}
+
+// legacyFleetOptions registers the legacy single-deployment server as
+// a one-environment fleet, so /api/v1/envs and the env-scoped routes
+// serve identically whether dwatchd fronts one deployment or many.
+func legacyFleetOptions(srv *server) []serve.Option {
+	f := fleet.New(fleet.WithObs(srv.obs), fleet.WithHub(srv.hub), fleet.WithLogger(logger))
+	a := fleet.Adopted{
+		Name:    srv.sc.Name,
+		Readers: len(srv.sc.Readers),
+		Tags:    srv.sc.Cfg.Tags,
+		Stats:   func() any { return srv.pipe.Stats() },
+		Tracer:  srv.tracer,
+		Health:  srv.health,
+	}
+	if srv.wal != nil {
+		a.WALStatus = func() any { return srv.wal.Status() }
+	}
+	if _, err := f.Adopt(srv.sc.Name, a); err != nil {
+		logger.Warn("legacy env adoption failed; env-scoped routes disabled", "error", err)
+		return nil
+	}
+	return []serve.Option{
+		serve.WithEnvs(f.Infos),
+		serve.WithEnvLookup(f.EnvHandle),
+	}
+}

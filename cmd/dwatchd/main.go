@@ -105,6 +105,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "supervised chaos demo: dial in-process simulated readers through a fault injector and flap one mid-run")
 	chaosFlap := flag.Duration("chaos-flap", 2*time.Second, "how long the chaos run keeps the flapped reader down")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos fault injector and reconnect jitter")
+	envDir := flag.String("env-dir", "", "multi-environment fleet mode: boot every *.json deployment config in this directory (file stem = environment ID) behind one serve plane; -simulate drives them all")
+	simInterval := flag.Duration("sim-interval", 100*time.Millisecond, "fleet mode: pacing between simulated acquisition rounds")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
 
@@ -119,6 +121,26 @@ func main() {
 			*httpAddr = *pprofAddr
 		}
 		logger.Warn("-pprof is deprecated; use -http (serving full observability plane)", "addr", *httpAddr)
+	}
+
+	if *envDir != "" {
+		if *dial != "" || *chaos {
+			fatal("bad flags", "error", errors.New("-env-dir (fleet mode) is incompatible with -dial and -chaos"))
+		}
+		policy, err := parseOverload(*overload)
+		if err != nil {
+			fatal("bad flag", "error", err)
+		}
+		if err := runFleet(fleetRunOptions{
+			envDir: *envDir, simulate: *simulate, rounds: *rounds,
+			simInterval: *simInterval, httpAddr: *httpAddr,
+			walDir: *walDir, walFsync: *walFsync,
+			walRetention: *walRetention, walSegBytes: *walSegBytes,
+			workers: *workers, queue: *queue, overload: policy, seqTTL: *seqTTL,
+		}); err != nil {
+			fatal("fleet run failed", "error", err)
+		}
+		return
 	}
 
 	cfg, err := preset(*env)
@@ -142,7 +164,7 @@ func main() {
 	}
 	if *httpAddr != "" {
 		srv.obs = obs.NewRegistry()
-		srv.broker = serve.NewBroker()
+		srv.hub = serve.NewHub(serve.WithHubObs(srv.obs))
 		srv.tracer = tracing.New()
 		srv.health = health.New(srv.obs, health.Options{})
 		obs.RegisterBuildInfo(srv.obs)
@@ -200,7 +222,7 @@ func main() {
 	if *httpAddr != "" {
 		planeOpts := []serve.Option{
 			serve.WithRegistry(srv.obs),
-			serve.WithBroker(srv.broker),
+			serve.WithHub(srv.hub),
 			serve.WithTracer(srv.tracer),
 			serve.WithHealth(srv.health),
 			serve.WithStats(func() any { return srv.pipe.Stats() }),
@@ -210,6 +232,7 @@ func main() {
 		if srv.wal != nil {
 			planeOpts = append(planeOpts, serve.WithWALStatus(func() any { return srv.wal.Status() }))
 		}
+		planeOpts = append(planeOpts, legacyFleetOptions(srv)...)
 		plane = serve.New(planeOpts...)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {
@@ -258,9 +281,9 @@ func main() {
 	}
 }
 
-// openWAL builds the ingest WAL from the -wal-* flags. reg may be nil
+// walOptions builds WAL options from the -wal-* flags. reg may be nil
 // (no -http): the WAL then runs uninstrumented.
-func openWAL(dir, fsync, retention, segBytes string, reg *obs.Registry) (*wal.WAL, error) {
+func walOptions(fsync, retention, segBytes string, reg *obs.Registry) ([]wal.Option, error) {
 	policy, interval, err := wal.ParseFsyncPolicy(fsync)
 	if err != nil {
 		return nil, err
@@ -286,6 +309,15 @@ func openWAL(dir, fsync, retention, segBytes string, reg *obs.Registry) (*wal.WA
 			return nil, err
 		}
 		opts = append(opts, wal.WithSegmentMaxBytes(n))
+	}
+	return opts, nil
+}
+
+// openWAL builds the ingest WAL from the -wal-* flags.
+func openWAL(dir, fsync, retention, segBytes string, reg *obs.Registry) (*wal.WAL, error) {
+	opts, err := walOptions(fsync, retention, segBytes, reg)
+	if err != nil {
+		return nil, err
 	}
 	return wal.Open(dir, opts...)
 }
@@ -340,10 +372,10 @@ type server struct {
 	pipe *pipeline.Pipeline
 	opts pipelineOptions
 
-	// obs, broker, tracer, and health are nil unless -http is set; the
+	// obs, hub, tracer, and health are nil unless -http is set; the
 	// pipeline and fix subscription tolerate all of them being absent.
 	obs    *obs.Registry
-	broker *serve.Broker
+	hub    *serve.Hub
 	tracer *tracing.Tracer
 	health *health.Monitor
 
@@ -401,12 +433,12 @@ func (s *server) start() {
 		fatal("pipeline init failed", "error", err)
 	}
 	s.pipe = p
-	if s.broker != nil {
+	if s.hub != nil {
 		p.SubscribeFixes(func(fix pipeline.Fix) {
 			if fix.Err != nil {
 				return
 			}
-			s.broker.Publish(serve.Position{
+			s.hub.Publish(serve.Position{
 				Env: s.sc.Name, Seq: fix.Seq,
 				X: fix.Pos.X, Y: fix.Pos.Y,
 				Confidence: fix.Confidence, Views: fix.Views,

@@ -134,7 +134,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 	if opts.httpAddr != "" {
 		planeOpts := []serve.Option{
 			serve.WithRegistry(srv.obs),
-			serve.WithBroker(srv.broker),
+			serve.WithHub(srv.hub),
 			serve.WithTracer(srv.tracer),
 			serve.WithHealth(srv.health),
 			serve.WithStats(func() any { return srv.pipe.Stats() }),
@@ -146,6 +146,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 		if srv.wal != nil {
 			planeOpts = append(planeOpts, serve.WithWALStatus(func() any { return srv.wal.Status() }))
 		}
+		planeOpts = append(planeOpts, legacyFleetOptions(srv)...)
 		plane = serve.New(planeOpts...)
 		planeAddr, err := plane.Start(opts.httpAddr)
 		if err != nil {

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dwatch/internal/obs"
+	"dwatch/internal/serve"
+)
+
+// TestFleetServeEndToEnd is the multi-tenant acceptance test: one
+// process, one serve plane, two simulated environments driven
+// concurrently — each env's routes serve its own data, a third env is
+// added and a second removed at runtime, and the survivor keeps fusing
+// fixes throughout.
+func TestFleetServeEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := serve.NewHub(serve.WithHubObs(reg))
+	f := New(WithObs(reg), WithHub(hub), WithWALRoot(t.TempDir()))
+	defer f.Close()
+
+	plane := serve.New(
+		serve.WithRegistry(reg),
+		serve.WithHub(hub),
+		serve.WithEnvs(f.Infos),
+		serve.WithEnvLookup(f.EnvHandle),
+		serve.WithReady(f.Ready),
+	)
+	ts := httptest.NewServer(plane.Handler())
+	defer ts.Close()
+
+	for i, id := range []string{"room-a", "room-b"} {
+		if _, err := f.Add(id, tableCfg(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drive both environments concurrently — the single-daemon,
+	// N-deployment mode of the fleet.
+	var wg sync.WaitGroup
+	for _, id := range []string{"room-a", "room-b"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := f.Simulate(context.Background(), id, 2, 4, 0); err != nil {
+				t.Errorf("simulate %s: %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	for _, id := range []string{"room-a", "room-b"} {
+		waitFor(t, id+" fix", func() bool { _, ok := hub.LatestForEnv(id); return ok })
+	}
+
+	getJSON := func(path string, into any) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if into != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// The listing covers both envs with live counters and ring slots.
+	var listing struct {
+		Envs []serve.EnvInfo `json:"envs"`
+	}
+	if code := getJSON("/api/v1/envs", &listing); code != 200 {
+		t.Fatalf("/api/v1/envs = %d", code)
+	}
+	if len(listing.Envs) != 2 {
+		t.Fatalf("envs = %+v", listing.Envs)
+	}
+	for _, info := range listing.Envs {
+		if info.Fixes == 0 || info.Reports == 0 {
+			t.Fatalf("env %s has no traffic: %+v", info.ID, info)
+		}
+	}
+
+	// Per-env routes serve per-env data.
+	for _, id := range []string{"room-a", "room-b"} {
+		var body struct {
+			Positions []serve.Position `json:"positions"`
+		}
+		if code := getJSON("/api/v1/"+id+"/positions", &body); code != 200 {
+			t.Fatalf("%s positions = %d", id, code)
+		}
+		if len(body.Positions) != 1 || body.Positions[0].Env != id {
+			t.Fatalf("%s positions = %+v", id, body.Positions)
+		}
+		var st struct {
+			Fixes uint64 `json:"Fixes"`
+		}
+		if code := getJSON("/api/v1/"+id+"/stats", &st); code != 200 {
+			t.Fatalf("%s stats = %d", id, code)
+		}
+		if st.Fixes == 0 {
+			t.Fatalf("%s pipeline stats show no fixes", id)
+		}
+		if code := getJSON("/api/v1/"+id+"/health", nil); code != 200 {
+			t.Fatalf("%s health = %d", id, code)
+		}
+		if code := getJSON("/api/v1/"+id+"/wal", nil); code != 200 {
+			t.Fatalf("%s wal = %d", id, code)
+		}
+	}
+	if code := getJSON("/readyz", nil); code != 200 {
+		t.Fatalf("/readyz = %d after all baselines", code)
+	}
+
+	// Runtime add: a third environment joins the running fleet and
+	// serves immediately.
+	if _, err := f.Add("room-c", tableCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Simulate(context.Background(), "room-c", 1, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "room-c fix", func() bool { _, ok := hub.LatestForEnv("room-c"); return ok })
+	if code := getJSON("/api/v1/room-c/positions", nil); code != 200 {
+		t.Fatalf("room-c positions after runtime add = %d", code)
+	}
+
+	// Runtime remove: drain room-b while room-a keeps ingesting.
+	aFixes := func() uint64 { e, _ := f.Env("room-a"); return e.Fixes() }
+	before := aFixes()
+	done := make(chan error, 1)
+	go func() { done <- f.Simulate(context.Background(), "room-a", 2, 4, 0) }()
+	if err := f.Remove("room-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("room-a simulate during room-b removal: %v", err)
+	}
+	waitFor(t, "room-a fixes after removal", func() bool { return aFixes() > before })
+
+	// The removed env 404s with the uniform envelope; the others serve.
+	resp, err := http.Get(ts.URL + "/api/v1/room-b/positions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&envelope)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 404 || envelope.Error.Code != "env_not_found" {
+		t.Fatalf("removed env: %d %+v (%v)", resp.StatusCode, envelope, err)
+	}
+	if code := getJSON("/api/v1/envs", &listing); code != 200 || len(listing.Envs) != 2 {
+		t.Fatalf("post-remove listing = %+v", listing.Envs)
+	}
+	if listing.Envs[0].ID != "room-a" || listing.Envs[1].ID != "room-c" {
+		t.Fatalf("post-remove listing = %+v", listing.Envs)
+	}
+
+	// Fleet and broker metrics are exposed on the shared registry.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"dwatch_fleet_environments 2",
+		`dwatch_fleet_fixes_total{env="room-a"}`,
+		"dwatch_broker_publishes_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring mapping environment IDs onto a fixed
+// set of slots. A slot is the fleet's placement unit: today every slot
+// lives in one process and the slot number is purely informational
+// (surfaced on /api/v1/envs), but the hash is the contract that lets a
+// future multi-process fleet shard environments across daemons without
+// re-homing everything — growing the slot count from n to n+1 moves
+// only ~1/(n+1) of the environments (TestRingStability pins this).
+//
+// Each slot projects vnodesPerSlot virtual points onto the 64-bit FNV-1a
+// ring; an environment lands on the slot owning the first point at or
+// after its own hash, wrapping at the top.
+type Ring struct {
+	slots  int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	slot int
+}
+
+// defaultVnodes is the virtual-node multiplier per slot. 64 keeps the
+// per-slot load imbalance in the few-percent range while the ring stays
+// small enough to rebuild on every resize.
+const defaultVnodes = 64
+
+// NewRing builds a ring over `slots` slots (minimum 1) with the default
+// virtual-node count.
+func NewRing(slots int) *Ring { return NewRingVnodes(slots, defaultVnodes) }
+
+// NewRingVnodes builds a ring with an explicit virtual-node multiplier.
+func NewRingVnodes(slots, vnodesPerSlot int) *Ring {
+	if slots < 1 {
+		slots = 1
+	}
+	if vnodesPerSlot < 1 {
+		vnodesPerSlot = 1
+	}
+	r := &Ring{slots: slots, points: make([]ringPoint, 0, slots*vnodesPerSlot)}
+	for s := 0; s < slots; s++ {
+		for v := 0; v < vnodesPerSlot; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64("slot-" + strconv.Itoa(s) + "#" + strconv.Itoa(v)),
+				slot: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Slots reports the slot count.
+func (r *Ring) Slots() int { return r.slots }
+
+// Slot maps a key (an environment ID) to its home slot.
+func (r *Ring) Slot(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the ring
+	}
+	return r.points[i].slot
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

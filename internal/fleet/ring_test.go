@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: placement is a pure function of the key and
+// the ring shape.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("env-%d", i)
+		if a.Slot(key) != b.Slot(key) {
+			t.Fatalf("ring placement not deterministic for %q", key)
+		}
+	}
+}
+
+// TestRingCoverage: with enough keys every slot receives some, and no
+// slot hoards the ring (loose bound — vnodes keep imbalance small, but
+// this is a statistical property, not an exact one).
+func TestRingCoverage(t *testing.T) {
+	const slots, keys = 8, 4000
+	r := NewRing(slots)
+	counts := make([]int, slots)
+	for i := 0; i < keys; i++ {
+		counts[r.Slot(fmt.Sprintf("env-%d", i))]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("slot %d received no keys", s)
+		}
+		if n > keys/2 {
+			t.Fatalf("slot %d hoards %d/%d keys", s, n, keys)
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing contract: growing the
+// ring from n to n+1 slots re-homes roughly 1/(n+1) of the keys, not
+// all of them (modulo hashing would move ~n/(n+1)).
+func TestRingStability(t *testing.T) {
+	const keys = 4000
+	small, big := NewRing(8), NewRing(9)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("env-%d", i)
+		if small.Slot(key) != big.Slot(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac == 0 {
+		t.Fatal("no keys moved when a slot was added — ring ignores slot count")
+	}
+	// Ideal is 1/9 ≈ 0.11; allow generous statistical slack but stay
+	// far below the ~0.89 a mod-N scheme would show.
+	if frac > 0.3 {
+		t.Fatalf("adding one slot moved %.0f%% of keys, want ~11%%", frac*100)
+	}
+}
+
+// TestRingDegenerate: slot counts below 1 clamp to a single slot.
+func TestRingDegenerate(t *testing.T) {
+	r := NewRing(0)
+	if r.Slots() != 1 {
+		t.Fatalf("Slots() = %d, want 1", r.Slots())
+	}
+	if s := r.Slot("anything"); s != 0 {
+		t.Fatalf("Slot = %d, want 0", s)
+	}
+}

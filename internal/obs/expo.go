@@ -49,13 +49,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case KindCounter:
 				writeSample(bw, f.name, f.labels, ch.values, "", "", strconv.FormatUint(ch.c.Value(), 10))
 			case KindGauge:
-				v := 0.0
-				if ch.gfn != nil {
-					v = ch.gfn()
-				} else {
-					v = ch.g.Value()
-				}
-				writeSample(bw, f.name, f.labels, ch.values, "", "", formatFloat(v))
+				writeSample(bw, f.name, f.labels, ch.values, "", "", formatFloat(ch.gaugeValue()))
 			case KindHistogram:
 				b := ch.h.Buckets()
 				var cum uint64

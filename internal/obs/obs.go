@@ -153,13 +153,47 @@ func (h *Histogram) Buckets() stats.Buckets {
 	return h.h.Buckets()
 }
 
+// gfnList is the set of collection-time value funcs attached to one
+// gauge child. Held behind an atomic pointer so registration (rare)
+// never races collection (frequent) without a per-sample lock.
+type gfnList []func() float64
+
 // child is one (label values → metric) instance inside a family.
 type child struct {
 	values []string
 	c      *Counter
 	g      *Gauge
-	gfn    func() float64
+	gfns   atomic.Pointer[gfnList]
 	h      *Histogram
+}
+
+// addGaugeFunc attaches fn to the child's collection-time funcs.
+func (ch *child) addGaugeFunc(fn func() float64) {
+	for {
+		old := ch.gfns.Load()
+		var next gfnList
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, fn)
+		if ch.gfns.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// gaugeValue reads the child's current value: the sum of every
+// attached gauge func, or the stored gauge when none are attached.
+func (ch *child) gaugeValue() float64 {
+	fns := ch.gfns.Load()
+	if fns == nil || len(*fns) == 0 {
+		return ch.g.Value()
+	}
+	var v float64
+	for _, fn := range *fns {
+		v += fn()
+	}
+	return v
 }
 
 // family is one named metric family: a kind, a help string, a label
@@ -299,13 +333,17 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 
 // GaugeFunc registers a gauge whose value is computed by fn at
 // collection time — the right shape for instantaneous readings like
-// queue depth that already have an owner.
+// queue depth that already have an owner. Registering the same name
+// again *adds* another func: collection reports the sum, so N
+// identical subsystems sharing one registry (a fleet of per-env
+// pipelines, say) expose a meaningful aggregate instead of whichever
+// registration happened last.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.family(name, help, KindGauge, nil, nil)
 	if f == nil {
 		return
 	}
-	f.childFor(nil).gfn = fn
+	f.childFor(nil).addGaugeFunc(fn)
 }
 
 // Histogram registers (idempotently) an unlabeled histogram with the
@@ -360,6 +398,16 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.childFor(values).g
 }
 
+// Func attaches a collection-time value func to the child for the
+// given label values — GaugeFunc with label dimensions. Like
+// GaugeFunc, repeated attachment to one child sums at collection.
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	v.f.childFor(values).addGaugeFunc(fn)
+}
+
 // HistogramVec is a histogram family with label dimensions.
 type HistogramVec struct{ f *family }
 
@@ -409,11 +457,7 @@ func (r *Registry) Snapshot() Snapshot {
 			case KindCounter:
 				s[id] = float64(ch.c.Value())
 			case KindGauge:
-				if ch.gfn != nil {
-					s[id] = ch.gfn()
-				} else {
-					s[id] = ch.g.Value()
-				}
+				s[id] = ch.gaugeValue()
 			case KindHistogram:
 				b := ch.h.Buckets()
 				s[metricID(f.name+"_count", f.labels, ch.values)] = float64(b.Count)

@@ -27,6 +27,9 @@ type Options struct {
 	Pipeline []pipeline.Option
 	// Logger, when set, receives per-run progress logs.
 	Logger *slog.Logger
+	// OnFix, when set, receives every successful fix as it fuses —
+	// dwatch-replay feeds the serve plane's position hub through it.
+	OnFix func(pipeline.Fix)
 
 	// now and sleep are test seams; nil uses the real clock.
 	now   func() time.Time
@@ -97,6 +100,9 @@ func Run(src Source, dep pipeline.Deployment, opts Options) (*Summary, error) {
 		defer close(done)
 		for f := range p.Fixes() {
 			fixes = append(fixes, f)
+			if opts.OnFix != nil && f.Err == nil {
+				opts.OnFix(f)
+			}
 		}
 	}()
 	p.Start()

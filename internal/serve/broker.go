@@ -41,6 +41,13 @@ type Position struct {
 // latest fix per environment (the /api/v1/positions GET body) and
 // feeds every live SSE subscriber. Publishers are never blocked — a
 // slow subscriber loses its oldest undelivered fix, not the stream.
+//
+// Deprecated: use Hub. Publish here costs one (possibly shedding)
+// channel send per subscriber — O(subscribers) on the publisher — and
+// falls over at fleet fan-outs; the Hub's snapshot+delta ring costs
+// O(frame bytes) regardless of watcher count (BenchmarkBrokerFanout
+// quantifies the gap). The type remains as the benchmark's baseline
+// and for external callers not yet migrated.
 type Broker struct {
 	mu     sync.Mutex
 	latest map[string]Position

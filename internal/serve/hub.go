@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"dwatch/internal/obs"
+)
+
+// Hub is the multi-tenant position broadcast plane: the successor to
+// Broker for fleets where one publish must not cost O(subscribers).
+//
+// Design — snapshot + delta over a shared ring:
+//
+//   - Publish marshals the Position once, appends the pre-serialized
+//     frame to a fixed-size shared delta ring, records it as its
+//     environment's latest snapshot, and wakes every waiting watcher
+//     by closing one notify channel. Publisher work is O(frame bytes),
+//     independent of how many watchers are attached — the old Broker
+//     did one (possibly shedding) channel send per subscriber.
+//   - Each Watcher owns only a cursor into the shared ring. On wake it
+//     drains the frames it has not yet seen (filtered to its
+//     environment), on its own goroutine — delivery work lands on the
+//     consumer that needs it, never on the publisher.
+//   - A watcher that falls more than one ring length behind has lost
+//     deltas; it resynchronizes from the latest-per-environment
+//     snapshot and continues from the current head. Clients therefore
+//     always converge on the newest fix per environment (the only
+//     state that matters for a localization feed) even through stalls.
+//
+// Frames are immutable once published, so watchers share the byte
+// slices; the hub never copies a payload after Publish.
+type Hub struct {
+	mu     sync.RWMutex
+	ring   []hubFrame
+	size   uint64
+	head   uint64 // frames ever published; next write at ring[head%size]
+	latest map[string]hubFrame
+	notify chan struct{}
+
+	publishes  *obs.Counter
+	frameBytes *obs.Counter
+	delivered  *obs.Counter
+	resyncs    *obs.Counter
+	watchers   *obs.Gauge
+}
+
+// hubFrame is one published fix: its ring position, environment, the
+// decoded Position (for JSON GET bodies) and the pre-marshaled payload
+// every watcher shares.
+type hubFrame struct {
+	seq  uint64
+	env  string
+	pos  Position
+	data []byte
+}
+
+// HubOptions configures a Hub.
+type HubOptions struct {
+	// Ring is the shared delta-ring length: how many fixes a stalled
+	// watcher may fall behind before it must resync from the snapshot.
+	// 0 = 1024.
+	Ring int
+	// Registry, when set, backs the dwatch_broker_* metric families.
+	Registry *obs.Registry
+}
+
+// HubOption configures a Hub at construction.
+type HubOption func(*HubOptions)
+
+// WithHubRing sets the delta-ring length (0 = 1024).
+func WithHubRing(n int) HubOption { return func(o *HubOptions) { o.Ring = n } }
+
+// WithHubObs backs the hub's dwatch_broker_* metrics with reg.
+func WithHubObs(reg *obs.Registry) HubOption { return func(o *HubOptions) { o.Registry = reg } }
+
+// NewHub creates an empty hub.
+func NewHub(opts ...HubOption) *Hub {
+	var o HubOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Ring <= 0 {
+		o.Ring = 1024
+	}
+	h := &Hub{
+		ring:   make([]hubFrame, o.Ring),
+		size:   uint64(o.Ring),
+		latest: map[string]hubFrame{},
+		notify: make(chan struct{}),
+	}
+	if reg := o.Registry; reg != nil {
+		h.publishes = reg.Counter("dwatch_broker_publishes_total",
+			"Position fixes published into the broadcast hub.")
+		h.frameBytes = reg.Counter("dwatch_broker_frame_bytes_total",
+			"Bytes of pre-marshaled position frames published.")
+		h.delivered = reg.Counter("dwatch_broker_frames_delivered_total",
+			"Frames handed to watchers (every watcher counts its own copies).")
+		h.resyncs = reg.Counter("dwatch_broker_resyncs_total",
+			"Watchers that lagged past the delta ring and resynced from the snapshot.")
+		h.watchers = reg.Gauge("dwatch_broker_watchers",
+			"Currently attached position watchers.")
+	}
+	return h
+}
+
+// Publish records p as its environment's latest fix and appends it to
+// the delta ring, waking every waiting watcher. Cost is one JSON
+// marshal plus O(1) bookkeeping regardless of watcher count; it never
+// blocks on slow consumers. Returns the marshal error, if any (the
+// only way a Position fails to publish). Safe on a nil hub.
+func (h *Hub) Publish(p Position) error {
+	if h == nil {
+		return nil
+	}
+	p.Schema = PositionSchema
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	fr := hubFrame{seq: h.head, env: p.Env, pos: p, data: data}
+	h.ring[h.head%h.size] = fr
+	h.head++
+	h.latest[p.Env] = fr
+	close(h.notify)
+	h.notify = make(chan struct{})
+	h.mu.Unlock()
+	h.publishes.Inc()
+	h.frameBytes.Add(uint64(len(data)))
+	return nil
+}
+
+// Forget drops env's latest-fix snapshot — called when an environment
+// leaves the fleet so /api/v1/positions stops advertising it. Frames
+// already in the delta ring simply age out.
+func (h *Hub) Forget(env string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	delete(h.latest, env)
+	h.mu.Unlock()
+}
+
+// Latest returns the most recent fix per environment, sorted by
+// environment name for deterministic output.
+func (h *Hub) Latest() []Position {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	out := make([]Position, 0, len(h.latest))
+	for _, fr := range h.latest {
+		out = append(out, fr.pos)
+	}
+	h.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Env < out[j].Env })
+	return out
+}
+
+// LatestForEnv returns env's most recent fix, if any.
+func (h *Hub) LatestForEnv(env string) (Position, bool) {
+	if h == nil {
+		return Position{}, false
+	}
+	h.mu.RLock()
+	fr, ok := h.latest[env]
+	h.mu.RUnlock()
+	return fr.pos, ok
+}
+
+// Watcher is one consumer's cursor into the hub: it sees every frame
+// published after Watch (for its environment), or the snapshot when it
+// falls behind. Not safe for concurrent use by multiple goroutines.
+type Watcher struct {
+	h   *Hub
+	env string // "" = all environments
+
+	cursor  uint64
+	resyncs uint64
+}
+
+// Watch attaches a watcher from the current head: it will observe only
+// frames published after this call. env == "" watches every
+// environment. Close must be called when the consumer goes away.
+func (h *Hub) Watch(env string) *Watcher {
+	h.mu.RLock()
+	cur := h.head
+	h.mu.RUnlock()
+	h.watchers.Add(1)
+	return &Watcher{h: h, env: env, cursor: cur}
+}
+
+// Close detaches the watcher. Idempotence is the caller's problem —
+// call it exactly once.
+func (w *Watcher) Close() { w.h.watchers.Add(-1) }
+
+// Resyncs reports how often this watcher lagged past the delta ring
+// and was jumped forward to the snapshot.
+func (w *Watcher) Resyncs() uint64 { return w.resyncs }
+
+// Snapshot returns the pre-marshaled latest frame per environment the
+// watcher covers (sorted by environment) — the initial backlog an SSE
+// stream writes so late joiners render immediately.
+func (w *Watcher) Snapshot() [][]byte {
+	w.h.mu.RLock()
+	frames := make([]hubFrame, 0, len(w.h.latest))
+	for env, fr := range w.h.latest {
+		if w.env == "" || env == w.env {
+			frames = append(frames, fr)
+		}
+	}
+	w.h.mu.RUnlock()
+	sort.Slice(frames, func(i, j int) bool { return frames[i].env < frames[j].env })
+	out := make([][]byte, len(frames))
+	for i, fr := range frames {
+		out[i] = fr.data
+	}
+	return out
+}
+
+// Next blocks until at least one frame for the watcher's environment
+// is published past its cursor, then returns the pre-marshaled frames
+// in publish order. If the watcher lagged more than one ring length
+// behind, the missed deltas are gone: Next resyncs — returns the
+// latest snapshot per environment and jumps the cursor to head — so a
+// stalled consumer converges on current state instead of erroring.
+// Returns ctx.Err when the context ends first.
+func (w *Watcher) Next(ctx context.Context) ([][]byte, error) {
+	for {
+		w.h.mu.RLock()
+		head := w.h.head
+		if w.cursor == head {
+			notify := w.h.notify
+			w.h.mu.RUnlock()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-notify:
+				continue
+			}
+		}
+		if head-w.cursor > w.h.size {
+			w.h.mu.RUnlock()
+			w.resyncs++
+			w.h.resyncs.Inc()
+			out := w.Snapshot()
+			w.h.mu.RLock()
+			w.cursor = w.h.head
+			w.h.mu.RUnlock()
+			if len(out) == 0 {
+				continue
+			}
+			w.h.delivered.Add(uint64(len(out)))
+			return out, nil
+		}
+		var out [][]byte
+		for s := w.cursor; s < head; s++ {
+			fr := &w.h.ring[s%w.h.size]
+			if w.env == "" || fr.env == w.env {
+				out = append(out, fr.data)
+			}
+		}
+		w.cursor = head
+		w.h.mu.RUnlock()
+		if len(out) == 0 {
+			continue // nothing for this environment; keep waiting
+		}
+		w.h.delivered.Add(uint64(len(out)))
+		return out, nil
+	}
+}

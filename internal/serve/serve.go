@@ -66,7 +66,20 @@ type Options struct {
 	// Degraded reports whether the deployment is localizing from a
 	// quorum with a reader down; surfaced on /readyz.
 	Degraded func() bool
+	// Hub feeds /api/v1/positions and the env-scoped
+	// /api/v1/{env}/positions from the snapshot+delta broadcast plane;
+	// preferred over Broker when both are set.
+	Hub *Hub
+	// Envs lists the fleet's environments for /api/v1/envs.
+	Envs func() []EnvInfo
+	// Env resolves one environment's handle for the /api/v1/{env}/*
+	// routes (typically fleet.Fleet.EnvHandle).
+	Env func(id string) (EnvHandle, bool)
 	// Broker feeds /api/v1/positions.
+	//
+	// Deprecated: use Hub — the per-subscriber-channel broker costs
+	// O(subscribers) per publish. Kept as a fallback for callers not
+	// yet migrated; ignored when Hub is set.
 	Broker *Broker
 	// Tracer feeds /api/v1/traces and /api/v1/traces/{id}.
 	Tracer *tracing.Tracer
@@ -175,6 +188,13 @@ func NewFromOptions(opts Options) *Server {
 	s.mux.HandleFunc("/api/v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("/api/v1/health", s.handleRFHealth)
 	s.mux.HandleFunc("/api/v1/wal", s.handleWAL)
+	// Multi-tenant routes. One catch-all wildcard dispatches the
+	// env-scoped endpoints (ServeMux cannot rank /api/v1/{env}/stats
+	// against /api/v1/traces/{id}, but every literal pattern above
+	// matches a strict subset of this one and therefore wins), so the
+	// legacy single-deployment API is untouched by the fleet surface.
+	s.mux.HandleFunc("/api/v1/envs", s.handleEnvs)
+	s.mux.HandleFunc("/api/v1/{env}/{rest...}", s.handleEnvRoutes)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -200,15 +220,27 @@ func endpointLabel(path string) string {
 	case path == "/healthz", path == "/readyz", path == "/metrics",
 		path == "/api/v1/stats", path == "/api/v1/positions",
 		path == "/api/v1/traces", path == "/api/v1/health",
-		path == "/api/v1/wal":
+		path == "/api/v1/wal", path == "/api/v1/envs":
 		return path
 	case strings.HasPrefix(path, "/api/v1/traces/"):
 		return "/api/v1/traces/{id}"
 	case strings.HasPrefix(path, "/debug/pprof/"):
 		return "/debug/pprof/"
-	default:
-		return "other"
 	}
+	// Env-scoped routes collapse onto their patterns: env IDs are
+	// client-supplied path data, so they must not become label values.
+	if rest, ok := strings.CutPrefix(path, "/api/v1/"); ok {
+		if env, tail, ok := strings.Cut(rest, "/"); ok && env != "" {
+			switch {
+			case tail == "positions", tail == "stats", tail == "health",
+				tail == "wal", tail == "traces":
+				return "/api/v1/{env}/" + tail
+			case strings.HasPrefix(tail, "traces/"):
+				return "/api/v1/{env}/traces/{id}"
+			}
+		}
+	}
+	return "other"
 }
 
 // Start listens on addr and serves in a background goroutine,
@@ -311,9 +343,19 @@ func (s *Server) handlePositions(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%s not allowed on /api/v1/positions", r.Method))
 		return
 	}
-	if s.opts.Broker == nil {
+	if s.opts.Hub == nil && s.opts.Broker == nil {
 		writeError(w, http.StatusNotFound, "positions_unavailable",
 			"no position broker configured on this deployment")
+		return
+	}
+	if s.opts.Hub != nil {
+		if wantsEventStream(r) {
+			s.streamHub(w, r, "") // whole-fleet stream
+			return
+		}
+		writeJSON(w, struct {
+			Positions []Position `json:"positions"`
+		}{s.opts.Hub.Latest()})
 		return
 	}
 	if wantsEventStream(r) {

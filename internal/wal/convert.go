@@ -4,6 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"dwatch/internal/llrp"
 )
@@ -31,4 +35,57 @@ func ConvertLegacy(r io.Reader, w *WAL) (int, error) {
 		}
 		n++
 	}
+}
+
+// ConvertLegacyDir batch-converts a corpus of legacy captures: every
+// *.dwrl file in srcDir becomes its own WAL at dstRoot/<stem>/ (the
+// per-environment layout fleet mode's -wal-dir expects, when fixtures
+// are named after their environments). Files are processed in name
+// order; non-.dwrl entries are ignored. Returns per-fixture record
+// counts keyed by stem. The first failure aborts the batch — already
+// converted fixtures are left in place, the failed fixture's partial
+// WAL is not cleaned up (re-running after fixing the input resumes by
+// appending, so point dstRoot at a fresh directory per attempt).
+func ConvertLegacyDir(srcDir, dstRoot string, opts ...Option) (map[string]int, error) {
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".dwrl") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("wal: no *.dwrl legacy captures in %s", srcDir)
+	}
+	out := make(map[string]int, len(names))
+	for _, name := range names {
+		stem := strings.TrimSuffix(name, ".dwrl")
+		n, err := convertOne(filepath.Join(srcDir, name), filepath.Join(dstRoot, stem), opts...)
+		if err != nil {
+			return out, fmt.Errorf("wal: convert %s: %w", name, err)
+		}
+		out[stem] = n
+	}
+	return out, nil
+}
+
+func convertOne(src, dst string, opts ...Option) (int, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	w, err := Open(dst, opts...)
+	if err != nil {
+		return 0, err
+	}
+	n, err := ConvertLegacy(f, w)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
 }

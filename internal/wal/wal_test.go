@@ -545,3 +545,63 @@ func TestRecordEncodingGolden(t *testing.T) {
 		t.Fatalf("payload %x", body[18:])
 	}
 }
+
+// TestConvertLegacyDir batch-converts a corpus of legacy fixtures into
+// per-stem WAL directories — the fleet-shaped layout dwatch-replay
+// -convert produces when -in is a directory.
+func TestConvertLegacyDir(t *testing.T) {
+	src := t.TempDir()
+	base := time.UnixMicro(1_650_000_000_000_000)
+	write := func(name string, payloads ...string) {
+		f, err := os.Create(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw := llrp.NewRecordWriter(f)
+		for i, p := range payloads {
+			m := llrp.Message{Type: llrp.MsgROAccessReport, Payload: []byte(p)}
+			if err := rw.Record(base.Add(time.Duration(i)*time.Second), m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("site-a.dwrl", "a1", "a2", "a3")
+	write("site-b.dwrl", "b1")
+	if err := os.WriteFile(filepath.Join(src, "notes.txt"), []byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := t.TempDir()
+	counts, err := ConvertLegacyDir(src, dst, WithFsync(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 || counts["site-a"] != 3 || counts["site-b"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	for stem, want := range map[string][]string{
+		"site-a": {"a1", "a2", "a3"},
+		"site-b": {"b1"},
+	} {
+		recs, res := readAll(t, filepath.Join(dst, stem))
+		if res.Damage != nil || len(recs) != len(want) {
+			t.Fatalf("%s: read %d records (damage %v)", stem, len(recs), res.Damage)
+		}
+		for i, p := range want {
+			if string(recs[i].Payload) != p {
+				t.Fatalf("%s record %d = %q, want %q", stem, i, recs[i].Payload, p)
+			}
+			if !recs[i].At.Equal(base.Add(time.Duration(i) * time.Second)) {
+				t.Fatalf("%s record %d timestamp not preserved", stem, i)
+			}
+		}
+	}
+
+	// An empty corpus is an explicit error, not a silent no-op.
+	if _, err := ConvertLegacyDir(t.TempDir(), t.TempDir()); err == nil {
+		t.Fatal("empty corpus converted without error")
+	}
+}

@@ -1,0 +1,138 @@
+#!/bin/sh
+# fleet-smoke: boot one dwatchd -env-dir process fronting the two
+# pinned testdata/fleet deployments and verify the multi-tenant plane
+# over real TCP: the /api/v1/envs listing, each environment's scoped
+# positions and health routes, and the per-env fleet metrics. The
+# curl-level counterpart to internal/fleet's e2e httptest coverage.
+#
+# The testdata/fleet seeds are pinned to layouts known to produce
+# fixes (see testdata/fleet/README.md) — with -http set, fleet mode
+# keeps serving after the simulation completes and the hub answers
+# plain GETs from its latest-per-env snapshots, so the assertions
+# below are deterministic, not racy.
+set -eu
+
+HTTP_ADDR="${HTTP_ADDR:-127.0.0.1:18081}"
+ENV_DIR="${ENV_DIR:-testdata/fleet}"
+BIN="$(mktemp -d)/dwatchd"
+LOG="$(mktemp)"
+WAL_ROOT="$(mktemp -d)"
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 5 "$1"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -q -T 5 -O - "$1"
+    else
+        echo "fleet-smoke: neither curl nor wget available" >&2
+        exit 1
+    fi
+}
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$BIN" "$LOG"
+    rm -rf "$WAL_ROOT"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building dwatchd"
+go build -o "$BIN" ./cmd/dwatchd
+
+echo "== starting dwatchd -env-dir $ENV_DIR -simulate -http $HTTP_ADDR"
+"$BIN" -env-dir "$ENV_DIR" -simulate -rounds 40 -sim-interval 10ms \
+    -wal-dir "$WAL_ROOT" -http "$HTTP_ADDR" >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until fetch "http://$HTTP_ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "FAIL: plane never served /healthz" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "FAIL: dwatchd exited early" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "ok: /healthz"
+
+# Both environments must appear in the fleet listing.
+ENVS="$(fetch "http://$HTTP_ADDR/api/v1/envs")"
+for env in site-a site-b; do
+    if ! printf '%s\n' "$ENVS" | grep -Fq "\"$env\""; then
+        echo "FAIL: /api/v1/envs missing $env: $ENVS" >&2
+        exit 1
+    fi
+done
+echo "ok: /api/v1/envs lists site-a and site-b"
+
+# Each env must eventually serve a position fix through its own scoped
+# route (the pinned seeds guarantee fixes; the hub snapshot answers
+# plain GETs even after the simulation finishes).
+for env in site-a site-b; do
+    i=0
+    until fetch "http://$HTTP_ADDR/api/v1/$env/positions" | grep -q '"seq"'; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "FAIL: no position appeared for $env" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        if ! kill -0 "$PID" 2>/dev/null; then
+            echo "FAIL: dwatchd exited before $env produced a position" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    echo "ok: /api/v1/$env/positions"
+
+    HEALTH="$(fetch "http://$HTTP_ADDR/api/v1/$env/health")"
+    # Reader IDs are env-prefixed so tenants never collide in metrics,
+    # health state, or WAL records.
+    if ! printf '%s\n' "$HEALTH" | grep -Fq "\"$env/"; then
+        echo "FAIL: /api/v1/$env/health lacks env-prefixed readers: $HEALTH" >&2
+        exit 1
+    fi
+    echo "ok: /api/v1/$env/health"
+done
+
+# Per-env WAL subdirectories must exist and hold segments.
+for env in site-a site-b; do
+    if ! ls "$WAL_ROOT/$env/"*.wal >/dev/null 2>&1; then
+        echo "FAIL: no WAL segments under $WAL_ROOT/$env/" >&2
+        ls -R "$WAL_ROOT" >&2
+        exit 1
+    fi
+done
+echo "ok: per-env WAL subdirectories"
+
+# Fleet metrics: per-env fix counters plus the aggregate env gauge.
+METRICS="$(fetch "http://$HTTP_ADDR/metrics")"
+for want in \
+    'dwatch_fleet_environments 2' \
+    'dwatch_fleet_fixes_total{env="site-a"}' \
+    'dwatch_fleet_fixes_total{env="site-b"}' \
+    'dwatch_broker_publishes_total'; do
+    if ! printf '%s\n' "$METRICS" | grep -Fq "$want"; then
+        echo "FAIL: /metrics missing: $want" >&2
+        exit 1
+    fi
+done
+echo "ok: /metrics fleet families"
+
+# An unknown environment must 404 with the structured envelope, not
+# fall through to a panic or an empty 200.
+NOTFOUND="$(fetch "http://$HTTP_ADDR/api/v1/no-such-env/positions" 2>/dev/null || true)"
+if [ -n "$NOTFOUND" ] && ! printf '%s\n' "$NOTFOUND" | grep -Fq 'env_not_found'; then
+    echo "FAIL: unknown env did not return env_not_found: $NOTFOUND" >&2
+    exit 1
+fi
+echo "ok: unknown env 404s"
+
+echo "fleet-smoke: PASS"
