@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race chaos bench bench-smoke bench-figures check serve-smoke replay-smoke replay-ab fleet-smoke corpus fuzz-wal clean
+.PHONY: all build fmt vet test race chaos bench bench-smoke bench-figures check serve-smoke replay-smoke replay-ab fleet-smoke cluster-smoke corpus fuzz-wal clean
 
 all: check
 
@@ -66,7 +66,7 @@ bench-smoke:
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
-check: fmt vet build test race chaos fleet-smoke
+check: fmt vet build test race chaos fleet-smoke cluster-smoke
 
 # Boots dwatchd -simulate with the observability plane and curls the
 # endpoints a monitoring stack would: liveness, metrics, live stats.
@@ -79,6 +79,13 @@ serve-smoke:
 # and asserted. Part of `make check` — fleet mode is load-bearing.
 fleet-smoke:
 	./scripts/fleet-smoke.sh
+
+# The cluster-plane gate at the binary level: a dwatch-gateway plus two
+# dwatchd -cluster nodes sharing one WAL root, queried through the
+# typed dwatch-api CLI; one node is SIGKILLed and the survivor must
+# adopt its environments via WAL replay. Part of `make check`.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # Curated replay corpus: a multi-environment WAL root generated from
 # the pinned testdata/fleet configs (deterministic sim, so the corpus

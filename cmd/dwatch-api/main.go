@@ -1,0 +1,152 @@
+// dwatch-api is a thin CLI over the typed /api/v1 client — the way
+// smoke scripts and operators query a dwatchd node or a dwatch-gateway
+// without hand-rolling curl+jq against response shapes. Every command
+// decodes into the internal/api contract structs (strict by default,
+// so shape drift fails loudly) and re-marshals the typed value to
+// stdout as JSON.
+//
+//	dwatch-api -base http://127.0.0.1:8080 envs
+//	dwatch-api -base ... positions <env>
+//	dwatch-api -base ... stats [env]          # fleet stats when env omitted
+//	dwatch-api -base ... health|wal|traces <env>
+//	dwatch-api -base ... trace <env> <id>
+//	dwatch-api -base ... cluster
+//	dwatch-api -base ... ready
+//	dwatch-api -base ... watch <env> -n 3     # stream N position frames
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dwatch/internal/api"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "node or gateway base URL")
+	lax := flag.Bool("lax", false, "tolerate unknown fields in responses (default: strict contract decoding)")
+	timeout := flag.Duration("timeout", 10*time.Second, "request deadline (watch: total stream time)")
+	count := flag.Int("n", 1, "watch: exit after this many position frames")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := api.NewClient(*base)
+	c.Strict = !*lax
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	out, err := run(ctx, c, flag.Arg(0), flag.Args()[1:], *count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwatch-api:", err)
+		if code := api.ErrorCode(err); code != "" {
+			os.Exit(4) // the server answered with a typed error envelope
+		}
+		os.Exit(1)
+	}
+	if out != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dwatch-api:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(ctx context.Context, c *api.Client, cmd string, args []string, count int) (any, error) {
+	need := func(n int, usage string) error {
+		if len(args) != n {
+			return fmt.Errorf("usage: dwatch-api %s", usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "envs":
+		if err := need(0, "envs"); err != nil {
+			return nil, err
+		}
+		return c.Envs(ctx)
+	case "positions":
+		if err := need(1, "positions <env>"); err != nil {
+			return nil, err
+		}
+		return c.Positions(ctx, args[0])
+	case "stats":
+		switch len(args) {
+		case 0:
+			return c.FleetStats(ctx)
+		case 1:
+			return c.EnvStats(ctx, args[0])
+		default:
+			return nil, errors.New("usage: dwatch-api stats [env]")
+		}
+	case "health":
+		if err := need(1, "health <env>"); err != nil {
+			return nil, err
+		}
+		return c.Health(ctx, args[0])
+	case "wal":
+		if err := need(1, "wal <env>"); err != nil {
+			return nil, err
+		}
+		return c.WAL(ctx, args[0])
+	case "traces":
+		if err := need(1, "traces <env>"); err != nil {
+			return nil, err
+		}
+		return c.Traces(ctx, args[0])
+	case "trace":
+		if err := need(2, "trace <env> <id>"); err != nil {
+			return nil, err
+		}
+		return c.Trace(ctx, args[0], args[1])
+	case "cluster":
+		if err := need(0, "cluster"); err != nil {
+			return nil, err
+		}
+		return c.Cluster(ctx)
+	case "ready":
+		if err := need(0, "ready"); err != nil {
+			return nil, err
+		}
+		return c.Ready(ctx)
+	case "watch":
+		if err := need(1, "watch <env> [-n COUNT]"); err != nil {
+			return nil, err
+		}
+		return nil, watch(ctx, c, args[0], count)
+	default:
+		return nil, fmt.Errorf("unknown command %q (envs, positions, stats, health, wal, traces, trace, cluster, ready, watch)", cmd)
+	}
+}
+
+// watch streams position frames, one raw JSON frame per stdout line,
+// and returns once count frames arrived — the smoke-script shape for
+// asserting SSE delivery through node or gateway.
+func watch(ctx context.Context, c *api.Client, env string, count int) error {
+	seen := 0
+	done := errors.New("done")
+	err := c.WatchPositions(ctx, env, func(raw []byte, _ api.Position) error {
+		fmt.Printf("%s\n", raw)
+		seen++
+		if seen >= count {
+			return done
+		}
+		return nil
+	})
+	if errors.Is(err, done) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended after %d/%d frames", seen, count)
+}

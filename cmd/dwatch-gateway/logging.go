@@ -6,10 +6,6 @@ import (
 	"os"
 )
 
-// logger is the process-wide structured logger; main replaces it per
-// the -log-format flag before any subsystem starts.
-var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
-
 // newLogger builds the slog sink selected by -log-format.
 func newLogger(format string) (*slog.Logger, error) {
 	switch format {
@@ -20,11 +16,4 @@ func newLogger(format string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
-}
-
-// fatal logs at error level and exits, the structured replacement for
-// log.Fatal.
-func fatal(msg string, args ...any) {
-	logger.Error(msg, args...)
-	os.Exit(1)
 }

@@ -1,0 +1,65 @@
+// dwatch-gateway is the fan-in front of a dwatchd cluster: one process
+// hosting the membership directory (join / heartbeat / leave) and the
+// /api/v1 proxy that routes every environment-scoped request — the
+// positions SSE stream included — to the node currently owning that
+// environment. Nodes join with `dwatchd -env-dir ... -cluster <url>`.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dwatch/internal/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "gateway listen address")
+	slots := flag.Int("slots", 16, "environment slot count for the placement ring (must match across restarts)")
+	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeat, "node heartbeat cadence; nodes missing 3 beats are expired")
+	retries := flag.Int("proxy-retries", 5, "re-resolve attempts for a request landing mid-handoff")
+	retryDelay := flag.Duration("proxy-retry-delay", 100*time.Millisecond, "pause between mid-handoff retries")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwatch-gateway:", err)
+		os.Exit(1)
+	}
+
+	dir := cluster.NewDirectory(
+		cluster.WithSlots(*slots),
+		cluster.WithHeartbeat(*heartbeat),
+		cluster.WithDirLogger(logger),
+	)
+	gw := cluster.NewGateway(dir,
+		cluster.WithGatewayLogger(logger),
+		cluster.WithRetry(*retries, *retryDelay),
+	)
+
+	srv := &http.Server{Addr: *listen, Handler: gw.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("gateway up", "addr", *listen, "slots", *slots, "heartbeat", *heartbeat)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Error("gateway listener failed", "error", err)
+		os.Exit(1)
+	case <-sig:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Error("shutdown", "error", err)
+		os.Exit(1)
+	}
+}

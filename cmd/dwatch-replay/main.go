@@ -170,9 +170,7 @@ func main() {
 			serve.WithHub(hub),
 			serve.WithTracer(tracer),
 			serve.WithHealth(mon),
-			serve.WithLogf(func(format string, args ...any) {
-				logger.Info(fmt.Sprintf(format, args...))
-			}),
+			serve.WithLogger(logger),
 		)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dwatch/internal/api"
+	"dwatch/internal/cluster"
+	"dwatch/internal/fleet"
+	"dwatch/internal/obs"
+	"dwatch/internal/serve"
+)
+
+// Clustered fleet mode (-env-dir plus -cluster): the env directory is
+// a *catalog* of deployments this node can host, not a set it owns.
+// Ownership comes from the gateway's directory — the agent joins,
+// heartbeats, and reconciles the fleet against each response, adopting
+// (WAL replay included) and draining environments as slot assignments
+// move. -simulate starts traffic on each environment when this node
+// adopts it and stops when the environment drains away.
+func runFleetClustered(opts fleetRunOptions, reg *obs.Registry, hub *serve.Hub, f *fleet.Fleet) error {
+	if opts.httpAddr == "" {
+		return errors.New("-cluster requires -http: the gateway proxies environment requests to this node")
+	}
+	catalog, ids, err := fleet.ReadConfigDir(opts.envDir)
+	if err != nil {
+		return err
+	}
+
+	nodeID := opts.nodeID
+	if nodeID == "" {
+		if nodeID, err = os.Hostname(); err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	plane := serve.New(
+		serve.WithRegistry(reg),
+		serve.WithHub(hub),
+		serve.WithEnvs(f.Infos),
+		serve.WithEnvLookup(f.EnvHandle),
+		serve.WithReady(f.Ready),
+		serve.WithFleetStats(func() api.FleetStats { return fleetStats(f) }),
+		serve.WithCluster(func() api.ClusterStatus {
+			st := api.ClusterStatus{Role: "node", Node: nodeID, Assignments: map[string]string{}}
+			for _, id := range f.IDs() {
+				st.Assignments[id] = nodeID
+			}
+			return st
+		}),
+		serve.WithLogger(logger),
+	)
+	planeAddr, err := plane.Start(opts.httpAddr)
+	if err != nil {
+		return err
+	}
+	advertise := opts.advertise
+	if advertise == "" {
+		advertise = "http://" + planeAddr.String()
+	}
+
+	var aopts []cluster.AgentOption
+	aopts = append(aopts, cluster.WithAgentLogger(logger))
+	if opts.simulate {
+		aopts = append(aopts, cluster.WithOnAdopt(func(id string) {
+			go func() {
+				if err := f.Simulate(ctx, id, opts.rounds, 0, opts.simInterval); err != nil && ctx.Err() == nil {
+					logger.Error("simulate failed", "env", id, "error", err)
+				}
+			}()
+		}))
+	}
+	agent := cluster.NewAgent(nodeID, advertise, opts.clusterURL, f, catalog, aopts...)
+
+	logger.Info("cluster node up", "node", nodeID, "gateway", opts.clusterURL,
+		"advertise", advertise, "catalog", len(ids), "wal_root", opts.walDir)
+
+	runDone := make(chan error, 1)
+	go func() { runDone <- agent.Run(ctx) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case err := <-runDone:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			logger.Error("cluster agent stopped", "error", err)
+		}
+	}
+	agent.Close() // leaves the directory (waits for the Run loop)
+	cancel()
+	f.Close() // graceful drain: pipeline flush, WAL close
+	sctx, scancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer scancel()
+	return plane.Shutdown(sctx)
+}

@@ -8,6 +8,8 @@ import (
 	"syscall"
 	"time"
 
+	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/fleet"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
@@ -31,6 +33,10 @@ type fleetRunOptions struct {
 	rounds      int
 	simInterval time.Duration
 	httpAddr    string
+
+	clusterURL string // gateway base URL; non-empty switches to cluster mode
+	nodeID     string
+	advertise  string // base URL the gateway proxies to (default: the -http listener)
 
 	walDir       string
 	walFsync     string
@@ -71,6 +77,10 @@ func runFleet(opts fleetRunOptions) error {
 	f := fleet.New(fopts...)
 	defer f.Close()
 
+	if opts.clusterURL != "" {
+		return runFleetClustered(opts, reg, hub, f)
+	}
+
 	ids, err := f.LoadDir(opts.envDir)
 	if err != nil {
 		return err
@@ -87,8 +97,8 @@ func runFleet(opts fleetRunOptions) error {
 			serve.WithEnvs(f.Infos),
 			serve.WithEnvLookup(f.EnvHandle),
 			serve.WithReady(f.Ready),
-			serve.WithStats(func() any { return fleetStats(f) }),
-			serve.WithLogf(slogf(logger)),
+			serve.WithFleetStats(func() api.FleetStats { return fleetStats(f) }),
+			serve.WithLogger(logger),
 		)
 		planeAddr, err := plane.Start(opts.httpAddr)
 		if err != nil {
@@ -141,11 +151,11 @@ func runFleet(opts fleetRunOptions) error {
 
 // fleetStats is the aggregate /api/v1/stats body in fleet mode: one
 // pipeline snapshot per environment.
-func fleetStats(f *fleet.Fleet) map[string]any {
-	out := map[string]any{}
+func fleetStats(f *fleet.Fleet) api.FleetStats {
+	out := api.FleetStats{}
 	for _, id := range f.IDs() {
 		if e, ok := f.Env(id); ok && e.Pipeline() != nil {
-			out[id] = e.Pipeline().Stats()
+			out[id] = adapt.PipelineStats(e.Pipeline().Stats())
 		}
 	}
 	return out
@@ -160,12 +170,12 @@ func legacyFleetOptions(srv *server) []serve.Option {
 		Name:    srv.sc.Name,
 		Readers: len(srv.sc.Readers),
 		Tags:    srv.sc.Cfg.Tags,
-		Stats:   func() any { return srv.pipe.Stats() },
+		Stats:   func() api.PipelineStats { return adapt.PipelineStats(srv.pipe.Stats()) },
 		Tracer:  srv.tracer,
 		Health:  srv.health,
 	}
 	if srv.wal != nil {
-		a.WALStatus = func() any { return srv.wal.Status() }
+		a.WALStatus = func() api.WALStatus { return adapt.WALStatus(srv.wal.Status()) }
 	}
 	if _, err := f.Adopt(srv.sc.Name, a); err != nil {
 		logger.Warn("legacy env adoption failed; env-scoped routes disabled", "error", err)

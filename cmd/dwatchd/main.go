@@ -68,6 +68,8 @@ import (
 	"syscall"
 	"time"
 
+	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/calib"
 	"dwatch/internal/channel"
 	"dwatch/internal/dwatch"
@@ -107,6 +109,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos fault injector and reconnect jitter")
 	envDir := flag.String("env-dir", "", "multi-environment fleet mode: boot every *.json deployment config in this directory (file stem = environment ID) behind one serve plane; -simulate drives them all")
 	simInterval := flag.Duration("sim-interval", 100*time.Millisecond, "fleet mode: pacing between simulated acquisition rounds")
+	clusterURL := flag.String("cluster", "", "fleet mode: join the dwatch-gateway directory at this base URL; the env dir becomes a catalog and ownership follows slot assignment")
+	nodeID := flag.String("node-id", "", "cluster mode: node name announced to the directory (default: hostname)")
+	advertise := flag.String("advertise", "", "cluster mode: base URL the gateway proxies to (default: the -http listener address)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
 
@@ -123,6 +128,9 @@ func main() {
 		logger.Warn("-pprof is deprecated; use -http (serving full observability plane)", "addr", *httpAddr)
 	}
 
+	if *clusterURL != "" && *envDir == "" {
+		fatal("bad flags", "error", errors.New("-cluster requires -env-dir (the catalog of deployments this node can host)"))
+	}
 	if *envDir != "" {
 		if *dial != "" || *chaos {
 			fatal("bad flags", "error", errors.New("-env-dir (fleet mode) is incompatible with -dial and -chaos"))
@@ -134,6 +142,7 @@ func main() {
 		if err := runFleet(fleetRunOptions{
 			envDir: *envDir, simulate: *simulate, rounds: *rounds,
 			simInterval: *simInterval, httpAddr: *httpAddr,
+			clusterURL: *clusterURL, nodeID: *nodeID, advertise: *advertise,
 			walDir: *walDir, walFsync: *walFsync,
 			walRetention: *walRetention, walSegBytes: *walSegBytes,
 			workers: *workers, queue: *queue, overload: policy, seqTTL: *seqTTL,
@@ -225,12 +234,12 @@ func main() {
 			serve.WithHub(srv.hub),
 			serve.WithTracer(srv.tracer),
 			serve.WithHealth(srv.health),
-			serve.WithStats(func() any { return srv.pipe.Stats() }),
+			serve.WithStats(func() api.PipelineStats { return adapt.PipelineStats(srv.pipe.Stats()) }),
 			serve.WithReady(srv.ready),
-			serve.WithLogf(slogf(logger)),
+			serve.WithLogger(logger),
 		}
 		if srv.wal != nil {
-			planeOpts = append(planeOpts, serve.WithWALStatus(func() any { return srv.wal.Status() }))
+			planeOpts = append(planeOpts, serve.WithWALStatus(func() api.WALStatus { return adapt.WALStatus(srv.wal.Status()) }))
 		}
 		planeOpts = append(planeOpts, legacyFleetOptions(srv)...)
 		plane = serve.New(planeOpts...)

@@ -9,6 +9,8 @@ import (
 	"syscall"
 	"time"
 
+	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/llrp"
 	"dwatch/internal/serve"
 	"dwatch/internal/session"
@@ -137,14 +139,14 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 			serve.WithHub(srv.hub),
 			serve.WithTracer(srv.tracer),
 			serve.WithHealth(srv.health),
-			serve.WithStats(func() any { return srv.pipe.Stats() }),
+			serve.WithStats(func() api.PipelineStats { return adapt.PipelineStats(srv.pipe.Stats()) }),
 			serve.WithReady(srv.ready),
 			serve.WithReaders(readerStatuses(sup)),
 			serve.WithDegraded(sup.Degraded),
-			serve.WithLogf(slogf(logger)),
+			serve.WithLogger(logger),
 		}
 		if srv.wal != nil {
-			planeOpts = append(planeOpts, serve.WithWALStatus(func() any { return srv.wal.Status() }))
+			planeOpts = append(planeOpts, serve.WithWALStatus(func() api.WALStatus { return adapt.WALStatus(srv.wal.Status()) }))
 		}
 		planeOpts = append(planeOpts, legacyFleetOptions(srv)...)
 		plane = serve.New(planeOpts...)

@@ -1,0 +1,122 @@
+// Package adapt converts the internal producer types (pipeline stats,
+// RF health, WAL status, traces) into their internal/api wire mirrors.
+// It is the one place the contract package's stdlib-only rule is
+// bridged: package api never imports the DSP graph, so the daemons and
+// the serve plane import adapt to produce api values from live
+// subsystems. Every conversion is a field-by-field copy; the compat
+// tests in internal/api pin both sides to identical JSON.
+package adapt
+
+import (
+	"dwatch/internal/api"
+	"dwatch/internal/health"
+	"dwatch/internal/pipeline"
+	"dwatch/internal/stats"
+	"dwatch/internal/tracing"
+	"dwatch/internal/wal"
+)
+
+// Latency mirrors a histogram digest.
+func Latency(h stats.HistogramSummary) api.LatencySummary {
+	return api.LatencySummary{Count: h.Count, Mean: h.Mean, Min: h.Min, Max: h.Max,
+		P50: h.P50, P90: h.P90, P99: h.P99}
+}
+
+// PipelineStats mirrors a pipeline snapshot.
+func PipelineStats(s pipeline.Stats) api.PipelineStats {
+	return api.PipelineStats{
+		ReportsIn:          s.ReportsIn,
+		ReportsRejected:    s.ReportsRejected,
+		SnapshotsIn:        s.SnapshotsIn,
+		SnapshotsDropped:   s.SnapshotsDropped,
+		SpectraComputed:    s.SpectraComputed,
+		SpectraFailed:      s.SpectraFailed,
+		BaselinesConfirmed: s.BaselinesConfirmed,
+		SequencesAssembled: s.SequencesAssembled,
+		SequencesEvicted:   s.SequencesEvicted,
+		LateReports:        s.LateReports,
+		Fixes:              s.Fixes,
+		DegradedFixes:      s.DegradedFixes,
+		Misses:             s.Misses,
+		QueueDepth:         s.QueueDepth,
+		PendingSequences:   s.PendingSequences,
+		ComputeLatency:     Latency(s.ComputeLatency),
+		FuseLatency:        Latency(s.FuseLatency),
+	}
+}
+
+// RFHealth mirrors an RF-health snapshot.
+func RFHealth(s health.Snapshot) api.RFHealth {
+	out := api.RFHealth{Readers: make([]api.ReaderHealth, len(s.Readers))}
+	for i, r := range s.Readers {
+		rh := api.ReaderHealth{ID: r.ID, CalibrationResidual: r.CalibrationResidual,
+			Drifting: r.Drifting, Tags: make([]api.TagHealth, len(r.Tags))}
+		for j, tg := range r.Tags {
+			th := api.TagHealth{EPC: tg.EPC, Reads: tg.Reads, RateHz: tg.RateHz, LastSeen: tg.LastSeen}
+			if len(tg.Paths) > 0 {
+				th.Paths = make([]api.PathHealth, len(tg.Paths))
+				for k, p := range tg.Paths {
+					th.Paths[k] = api.PathHealth{AngleDeg: p.AngleDeg, Power: p.Power,
+						Baseline: p.Baseline, Drift: p.Drift, LastSeen: p.LastSeen}
+				}
+			}
+			rh.Tags[j] = th
+		}
+		out.Readers[i] = rh
+	}
+	return out
+}
+
+// WALStatus mirrors a WAL status snapshot.
+func WALStatus(s wal.Status) api.WALStatus {
+	out := api.WALStatus{
+		Dir:           s.Dir,
+		Fsync:         s.Fsync,
+		Segments:      s.Segments,
+		ActiveSegment: s.ActiveSegment,
+		Bytes:         s.Bytes,
+		NextSeq:       s.NextSeq,
+		Appended:      s.Appended,
+		AppendedBytes: s.AppendedBytes,
+		Fsyncs:        s.Fsyncs,
+		Rotations:     s.Rotations,
+		Deleted:       s.Deleted,
+		Recovered:     s.Recovered,
+		Truncated:     s.Truncated,
+		LastAppend:    s.LastAppend,
+	}
+	if s.Damage != nil {
+		out.Damage = &api.WALDamage{Segment: s.Damage.Segment, Offset: s.Damage.Offset,
+			Reason: s.Damage.Reason}
+	}
+	return out
+}
+
+// Trace mirrors one full trace record.
+func Trace(d tracing.Data) api.Trace {
+	out := api.Trace{ID: d.ID, Seq: d.Seq, Start: d.Start, End: d.End,
+		Outcome: d.Outcome, Degraded: d.Degraded, Pinned: d.Pinned,
+		Spans: make([]api.TraceSpan, len(d.Spans))}
+	for i, sp := range d.Spans {
+		out.Spans[i] = api.TraceSpan{Stage: sp.Stage, Reader: sp.Reader, Tag: sp.Tag,
+			Start: sp.Start, End: sp.End, QueueNS: int64(sp.Queue)}
+	}
+	if len(d.Events) > 0 {
+		out.Events = make([]api.TraceEvent, len(d.Events))
+		for i, ev := range d.Events {
+			out.Events[i] = api.TraceEvent{Time: ev.Time, Name: ev.Name, Detail: ev.Detail}
+		}
+	}
+	return out
+}
+
+// TraceSummaries mirrors a trace listing.
+func TraceSummaries(ss []tracing.Summary) []api.TraceSummary {
+	out := make([]api.TraceSummary, len(ss))
+	for i, s := range ss {
+		out[i] = api.TraceSummary{ID: s.ID, Seq: s.Seq, Start: s.Start,
+			DurationNS: int64(s.Duration), Outcome: s.Outcome, Degraded: s.Degraded,
+			Pinned: s.Pinned, Spans: s.Spans, Events: s.Events}
+	}
+	return out
+}

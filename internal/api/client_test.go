@@ -1,0 +1,125 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestClientDecodesErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"env_not_found","message":"unknown environment"}}`)
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).Positions(context.Background(), "nope")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if ae.Status != http.StatusNotFound || ae.Code != CodeEnvNotFound {
+		t.Fatalf("bad APIError: %+v", ae)
+	}
+	if ErrorCode(err) != CodeEnvNotFound {
+		t.Fatalf("ErrorCode = %q", ErrorCode(err))
+	}
+}
+
+func TestClientStrictRejectsUnknownFields(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"envs":[],"bogus":1}`)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	if _, err := c.Envs(context.Background()); err != nil {
+		t.Fatalf("lenient decode should tolerate extra fields: %v", err)
+	}
+	c.Strict = true
+	if _, err := c.Envs(context.Background()); err == nil {
+		t.Fatal("strict decode accepted an unknown field")
+	}
+}
+
+func TestClientEnvPathScoping(t *testing.T) {
+	var paths []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		paths = append(paths, r.URL.Path)
+		fmt.Fprint(w, `{"positions":[]}`)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+	if _, err := c.Positions(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Positions(ctx, "site-a"); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"/api/v1/positions", "/api/v1/site-a/positions"}; len(paths) != 2 || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestWatchPositionsParsesSSE(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Accept") != "text/event-stream" {
+			t.Errorf("missing Accept header")
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Two position frames separated by a keepalive comment, the
+		// exact framing the serve plane emits.
+		fmt.Fprint(w, "event: position\ndata: {\"schema\":3,\"env\":\"a\",\"seq\":1,\"x\":1,\"y\":2,\"confidence\":0.5,\"views\":2,\"time\":\"2026-08-08T12:00:00Z\"}\n\n")
+		fmt.Fprint(w, ": keepalive\n\n")
+		fmt.Fprint(w, "event: position\ndata: {\"schema\":3,\"env\":\"a\",\"seq\":2,\"x\":3,\"y\":4,\"confidence\":0.5,\"views\":2,\"time\":\"2026-08-08T12:00:01Z\"}\n\n")
+	}))
+	defer srv.Close()
+
+	var seqs []uint32
+	var raws []string
+	err := NewClient(srv.URL).WatchPositions(context.Background(), "a", func(raw []byte, p Position) error {
+		seqs = append(seqs, p.Seq)
+		raws = append(raws, string(raw))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WatchPositions: %v", err)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("seqs = %v", seqs)
+	}
+	if raws[0] == "" || raws[0][0] != '{' {
+		t.Fatalf("raw frame not passed through: %q", raws[0])
+	}
+}
+
+func TestWatchPositionsCallbackErrorStops(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 1; i <= 10; i++ {
+			fmt.Fprintf(w, "event: position\ndata: {\"schema\":3,\"env\":\"a\",\"seq\":%d,\"x\":0,\"y\":0,\"confidence\":0,\"views\":0,\"time\":\"2026-08-08T12:00:00Z\"}\n\n", i)
+		}
+	}))
+	defer srv.Close()
+
+	stop := errors.New("enough")
+	n := 0
+	err := NewClient(srv.URL).WatchPositions(context.Background(), "a", func(raw []byte, p Position) error {
+		n++
+		if n == 3 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("want callback error back, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times", n)
+	}
+}

@@ -1,0 +1,93 @@
+package api
+
+import "time"
+
+// The cluster control surface. Nodes (dwatchd -cluster) announce
+// themselves to the gateway over three POST endpoints and learn their
+// assigned environments from the responses; GET /api/v1/cluster on
+// either side reports the current view.
+//
+//	POST /api/v1/cluster/join       JoinRequest      → HeartbeatResponse
+//	POST /api/v1/cluster/heartbeat  HeartbeatRequest → HeartbeatResponse
+//	POST /api/v1/cluster/leave      LeaveRequest     → LeaveResponse
+//	GET  /api/v1/cluster                             → ClusterStatus
+
+// NodeInfo is one cluster node as the directory sees it.
+type NodeInfo struct {
+	ID string `json:"id"`
+	// Addr is the base URL of the node's serve plane, e.g.
+	// "http://127.0.0.1:8081" — where the gateway proxies to.
+	Addr string `json:"addr"`
+	// Envs is the node's environment catalog: every deployment it is
+	// able to host (the shared -env-dir contents).
+	Envs []string `json:"envs,omitempty"`
+	// Owned is the set of environments the node is actively serving.
+	Owned    []string  `json:"owned,omitempty"`
+	LastSeen time.Time `json:"last_seen,omitempty"`
+}
+
+// ClusterStatus is the GET /api/v1/cluster body. The gateway reports
+// the whole directory; a node reports itself plus its last-known
+// assignment.
+type ClusterStatus struct {
+	// Role is "gateway" or "node".
+	Role string `json:"role"`
+	// Node is the reporting node's own ID (role "node" only).
+	Node string `json:"node,omitempty"`
+	// Epoch increments on every membership or assignment change.
+	Epoch uint64 `json:"epoch"`
+	// Slots is the consistent-hash ring size environments map onto.
+	Slots int        `json:"slots"`
+	Nodes []NodeInfo `json:"nodes"`
+	// Assignments maps environment ID → owning node ID.
+	Assignments map[string]string `json:"assignments,omitempty"`
+}
+
+// JoinRequest announces a node to the gateway. Joining is idempotent:
+// a restarted node re-joins under its ID and the directory replaces
+// the stale entry.
+type JoinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Envs is the node's environment catalog (IDs only).
+	Envs []string `json:"envs,omitempty"`
+	// Owned is what the node is already serving (rejoin after a
+	// gateway restart keeps ownership stable).
+	Owned []string `json:"owned,omitempty"`
+}
+
+// HeartbeatRequest reports liveness and current ownership; the
+// response is the node's marching orders.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+	// Owned is the set of environments the node is actively serving —
+	// the directory's ground truth for the two-phase handoff: an env is
+	// granted to its new owner only after the old owner stops
+	// reporting it here.
+	Owned []string `json:"owned,omitempty"`
+}
+
+// HeartbeatResponse tells the node which environments it should be
+// serving. The node reconciles: drains owned-but-unassigned envs,
+// adopts assigned-but-unowned ones (WAL replay).
+type HeartbeatResponse struct {
+	Epoch uint64 `json:"epoch"`
+	// Assigned is the full set of environments this node should own.
+	// Envs mid-handoff (still reported owned by another node) are
+	// withheld until the release completes.
+	Assigned []string `json:"assigned"`
+	// IntervalMS is the heartbeat cadence the gateway wants, in
+	// milliseconds.
+	IntervalMS int64 `json:"interval_ms"`
+}
+
+// LeaveRequest removes a node from the directory; its environments are
+// reassigned to the survivors.
+type LeaveRequest struct {
+	ID string `json:"id"`
+}
+
+// LeaveResponse acknowledges a leave.
+type LeaveResponse struct {
+	Epoch uint64 `json:"epoch"`
+}

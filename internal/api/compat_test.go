@@ -1,0 +1,119 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dwatch/internal/health"
+	"dwatch/internal/pipeline"
+	"dwatch/internal/stats"
+	"dwatch/internal/tracing"
+	"dwatch/internal/wal"
+)
+
+// These tests pin the stdlib-only mirror types against their internal
+// producers: a producer value marshaled to JSON must strict-decode
+// (unknown fields rejected) into the api mirror, and the mirror must
+// strict-decode back into the producer. They live here — not in the
+// producer packages — so package api itself never imports the DSP
+// graph, only its tests do.
+
+// pins asserts a and b marshal to byte-identical JSON, and that each
+// side's JSON strict-decodes into the other type.
+func pins(t *testing.T, producer, mirror any) {
+	t.Helper()
+	pj, err := json.Marshal(producer)
+	if err != nil {
+		t.Fatalf("marshal producer: %v", err)
+	}
+	mj, err := json.Marshal(mirror)
+	if err != nil {
+		t.Fatalf("marshal mirror: %v", err)
+	}
+	if !bytes.Equal(pj, mj) {
+		t.Fatalf("wire shapes diverged:\nproducer: %s\n  mirror: %s", pj, mj)
+	}
+	strict := func(data []byte, into any) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(into); err != nil {
+			t.Fatalf("strict decode into %T: %v", into, err)
+		}
+	}
+	strict(pj, mirror)
+	strict(mj, producer)
+}
+
+var compatTime = time.Date(2026, 8, 8, 9, 30, 0, 0, time.UTC)
+
+func TestPipelineStatsCompat(t *testing.T) {
+	hs := stats.HistogramSummary{Count: 5, Mean: 1, Min: 0.5, Max: 2, P50: 1, P90: 1.5, P99: 2}
+	pins(t,
+		&pipeline.Stats{
+			ReportsIn: 1, ReportsRejected: 2, SnapshotsIn: 3, SnapshotsDropped: 4,
+			SpectraComputed: 5, SpectraFailed: 6, BaselinesConfirmed: 7,
+			SequencesAssembled: 8, SequencesEvicted: 9, LateReports: 10,
+			Fixes: 11, DegradedFixes: 12, Misses: 13,
+			QueueDepth: 14, PendingSequences: 15,
+			ComputeLatency: hs, FuseLatency: hs,
+		},
+		&PipelineStats{
+			ReportsIn: 1, ReportsRejected: 2, SnapshotsIn: 3, SnapshotsDropped: 4,
+			SpectraComputed: 5, SpectraFailed: 6, BaselinesConfirmed: 7,
+			SequencesAssembled: 8, SequencesEvicted: 9, LateReports: 10,
+			Fixes: 11, DegradedFixes: 12, Misses: 13,
+			QueueDepth: 14, PendingSequences: 15,
+			ComputeLatency: LatencySummary{Count: 5, Mean: 1, Min: 0.5, Max: 2, P50: 1, P90: 1.5, P99: 2},
+			FuseLatency:    LatencySummary{Count: 5, Mean: 1, Min: 0.5, Max: 2, P50: 1, P90: 1.5, P99: 2},
+		})
+}
+
+func TestRFHealthCompat(t *testing.T) {
+	pins(t,
+		&health.Snapshot{Readers: []health.ReaderHealth{{
+			ID: "r1", CalibrationResidual: 0.04, Drifting: 2,
+			Tags: []health.TagHealth{{EPC: "e280", Reads: 9, RateHz: 3.5, LastSeen: compatTime,
+				Paths: []health.PathHealth{{AngleDeg: 30, Power: 0.6, Baseline: 0.4, Drift: true, LastSeen: compatTime}}}},
+		}}},
+		&RFHealth{Readers: []ReaderHealth{{
+			ID: "r1", CalibrationResidual: 0.04, Drifting: 2,
+			Tags: []TagHealth{{EPC: "e280", Reads: 9, RateHz: 3.5, LastSeen: compatTime,
+				Paths: []PathHealth{{AngleDeg: 30, Power: 0.6, Baseline: 0.4, Drift: true, LastSeen: compatTime}}}},
+		}}})
+}
+
+func TestWALStatusCompat(t *testing.T) {
+	pins(t,
+		&wal.Status{Dir: "/w", Fsync: "always", Segments: 1, ActiveSegment: "000001.wal",
+			Bytes: 10, NextSeq: 2, Appended: 1, AppendedBytes: 9, Fsyncs: 1, Rotations: 0,
+			Deleted: 0, Recovered: 0, Truncated: 0,
+			Damage:     &wal.Damage{Segment: "000001.wal", Offset: 4, Reason: "short record"},
+			LastAppend: compatTime},
+		&WALStatus{Dir: "/w", Fsync: "always", Segments: 1, ActiveSegment: "000001.wal",
+			Bytes: 10, NextSeq: 2, Appended: 1, AppendedBytes: 9, Fsyncs: 1, Rotations: 0,
+			Deleted: 0, Recovered: 0, Truncated: 0,
+			Damage:     &WALDamage{Segment: "000001.wal", Offset: 4, Reason: "short record"},
+			LastAppend: compatTime})
+}
+
+func TestTraceCompat(t *testing.T) {
+	pins(t,
+		&tracing.Data{ID: "t-1", Seq: 1, Start: compatTime, End: compatTime.Add(time.Millisecond),
+			Outcome: "fix", Degraded: true, Pinned: true,
+			Spans: []tracing.Span{{Stage: "fuse", Reader: "r1", Tag: "e280",
+				Start: compatTime, End: compatTime.Add(time.Millisecond), Queue: 500 * time.Microsecond}},
+			Events: []tracing.Event{{Time: compatTime, Name: "n", Detail: "d"}}},
+		&Trace{ID: "t-1", Seq: 1, Start: compatTime, End: compatTime.Add(time.Millisecond),
+			Outcome: "fix", Degraded: true, Pinned: true,
+			Spans: []TraceSpan{{Stage: "fuse", Reader: "r1", Tag: "e280",
+				Start: compatTime, End: compatTime.Add(time.Millisecond), QueueNS: 500000}},
+			Events: []TraceEvent{{Time: compatTime, Name: "n", Detail: "d"}}})
+
+	pins(t,
+		&tracing.Summary{ID: "t-1", Seq: 1, Start: compatTime, Duration: time.Millisecond,
+			Outcome: "fix", Degraded: true, Pinned: true, Spans: 2, Events: 1},
+		&TraceSummary{ID: "t-1", Seq: 1, Start: compatTime, DurationNS: 1000000,
+			Outcome: "fix", Degraded: true, Pinned: true, Spans: 2, Events: 1})
+}

@@ -1,0 +1,200 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// roundTrip marshals v, pins the bytes against want (insignificant
+// whitespace normalized via compaction), then unmarshals back into a
+// fresh value with unknown fields rejected and asserts equality. Any
+// field rename, tag change, or type change in the contract breaks one
+// of the three legs.
+func roundTrip(t *testing.T, v any, want string) {
+	t.Helper()
+	got, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var wb bytes.Buffer
+	if err := json.Compact(&wb, []byte(want)); err != nil {
+		t.Fatalf("bad golden JSON: %v", err)
+	}
+	if string(got) != wb.String() {
+		t.Fatalf("wire shape drifted:\n got: %s\nwant: %s", got, wb.String())
+	}
+	back := reflect.New(reflect.TypeOf(v))
+	dec := json.NewDecoder(bytes.NewReader(got))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(back.Interface()); err != nil {
+		t.Fatalf("decode back: %v", err)
+	}
+	if !reflect.DeepEqual(back.Elem().Interface(), v) {
+		t.Fatalf("round trip changed value:\n got: %#v\nwant: %#v", back.Elem().Interface(), v)
+	}
+}
+
+var goldenTime = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func TestGoldenErrorEnvelope(t *testing.T) {
+	roundTrip(t, Error{Error: ErrorBody{Code: "env_not_found", Message: "unknown environment \"lab\""}},
+		`{"error":{"code":"env_not_found","message":"unknown environment \"lab\""}}`)
+}
+
+// TestGoldenPosition pins the schema-3 Position: the one shape the SSE
+// stream, the latest-fix endpoint, and every downstream consumer agree
+// on. Changing it requires bumping PositionSchema.
+func TestGoldenPosition(t *testing.T) {
+	if PositionSchema != 3 {
+		t.Fatalf("PositionSchema = %d; this golden pins schema 3 — add a new golden instead of editing this one", PositionSchema)
+	}
+	full := Position{
+		Schema: 3, Env: "site-a", Seq: 42, X: 1.5, Y: -2.25, Confidence: 0.875,
+		Views: 3, Readers: []string{"site-a/r1", "site-a/r2"}, Degraded: true,
+		TraceID: "t-000042", Time: goldenTime,
+	}
+	roundTrip(t, full,
+		`{"schema":3,"env":"site-a","seq":42,"x":1.5,"y":-2.25,"confidence":0.875,
+		  "views":3,"readers":["site-a/r1","site-a/r2"],"degraded":true,
+		  "trace_id":"t-000042","time":"2026-08-08T12:00:00Z"}`)
+
+	// Minimal fix: the schema ≥2/≥3 provenance fields must omit, not
+	// emit zero values, so schema-1-era consumers see an unchanged body.
+	min := Position{Schema: 3, Env: "site-a", Seq: 1, X: 1, Y: 2, Confidence: 0.5, Views: 2, Time: goldenTime}
+	roundTrip(t, min,
+		`{"schema":3,"env":"site-a","seq":1,"x":1,"y":2,"confidence":0.5,"views":2,
+		  "time":"2026-08-08T12:00:00Z"}`)
+}
+
+func TestGoldenPositionsResponse(t *testing.T) {
+	roundTrip(t, PositionsResponse{Positions: []Position{
+		{Schema: 3, Env: "a", Seq: 7, X: 0.5, Y: 0.5, Confidence: 1, Views: 2, Time: goldenTime},
+	}},
+		`{"positions":[{"schema":3,"env":"a","seq":7,"x":0.5,"y":0.5,"confidence":1,
+		  "views":2,"time":"2026-08-08T12:00:00Z"}]}`)
+}
+
+func TestGoldenEnvs(t *testing.T) {
+	roundTrip(t, EnvsResponse{Envs: []EnvInfo{{
+		ID: "site-a", Name: "office", Slot: 11, Readers: 3, Tags: 12,
+		Fixes: 40, Reports: 120, Added: goldenTime, Node: "node-1",
+	}}},
+		`{"envs":[{"id":"site-a","name":"office","slot":11,"readers":3,"tags":12,
+		  "fixes":40,"reports":120,"added":"2026-08-08T12:00:00Z","node":"node-1"}]}`)
+}
+
+func TestGoldenReady(t *testing.T) {
+	roundTrip(t, ReadyResponse{Ready: false, Reason: "1/2 readers up", Degraded: true,
+		Readers: []ReaderStatus{{ID: "r1", Addr: "127.0.0.1:5084", State: "down",
+			Since: goldenTime, Reconnects: 2, LastError: "dial refused"}}},
+		`{"ready":false,"reason":"1/2 readers up","degraded":true,
+		  "readers":[{"id":"r1","addr":"127.0.0.1:5084","state":"down",
+		  "since":"2026-08-08T12:00:00Z","reconnects":2,"last_error":"dial refused"}]}`)
+}
+
+func TestGoldenPipelineStats(t *testing.T) {
+	roundTrip(t, PipelineStats{
+		ReportsIn: 10, ReportsRejected: 1, SnapshotsIn: 30, SnapshotsDropped: 2,
+		SpectraComputed: 28, SpectraFailed: 0, BaselinesConfirmed: 3,
+		SequencesAssembled: 9, SequencesEvicted: 1, LateReports: 2,
+		Fixes: 8, DegradedFixes: 1, Misses: 1, QueueDepth: 4, PendingSequences: 2,
+		ComputeLatency: LatencySummary{Count: 28, Mean: 0.001, Min: 0.0005, Max: 0.002, P50: 0.001, P90: 0.0015, P99: 0.002},
+		FuseLatency:    LatencySummary{Count: 9},
+	},
+		`{"ReportsIn":10,"ReportsRejected":1,"SnapshotsIn":30,"SnapshotsDropped":2,
+		  "SpectraComputed":28,"SpectraFailed":0,"BaselinesConfirmed":3,
+		  "SequencesAssembled":9,"SequencesEvicted":1,"LateReports":2,
+		  "Fixes":8,"DegradedFixes":1,"Misses":1,"QueueDepth":4,"PendingSequences":2,
+		  "ComputeLatency":{"Count":28,"Mean":0.001,"Min":0.0005,"Max":0.002,"P50":0.001,"P90":0.0015,"P99":0.002},
+		  "FuseLatency":{"Count":9,"Mean":0,"Min":0,"Max":0,"P50":0,"P90":0,"P99":0}}`)
+}
+
+func TestGoldenRFHealth(t *testing.T) {
+	roundTrip(t, RFHealth{Readers: []ReaderHealth{{
+		ID: "site-a/r1", CalibrationResidual: 0.05, Drifting: 1,
+		Tags: []TagHealth{{EPC: "e280", Reads: 100, RateHz: 12.5, LastSeen: goldenTime,
+			Paths: []PathHealth{{AngleDeg: 45, Power: 0.75, Baseline: 0.5, Drift: true, LastSeen: goldenTime}}}},
+	}}},
+		`{"readers":[{"id":"site-a/r1","calibration_residual_rad":0.05,"drifting_paths":1,
+		  "tags":[{"epc":"e280","reads":100,"rate_hz":12.5,"last_seen":"2026-08-08T12:00:00Z",
+		  "paths":[{"angle_deg":45,"power":0.75,"baseline":0.5,"drift":true,
+		  "last_seen":"2026-08-08T12:00:00Z"}]}]}]}`)
+}
+
+func TestGoldenTraces(t *testing.T) {
+	roundTrip(t, Trace{
+		ID: "t-000007", Seq: 7, Start: goldenTime, End: goldenTime.Add(time.Millisecond),
+		Outcome: "fix", Degraded: true, Pinned: true,
+		Spans: []TraceSpan{{Stage: "compute", Reader: "r1", Tag: "e280",
+			Start: goldenTime, End: goldenTime.Add(time.Millisecond), QueueNS: 250000}},
+		Events: []TraceEvent{{Time: goldenTime, Name: "evict", Detail: "ttl"}},
+	},
+		`{"id":"t-000007","seq":7,"start":"2026-08-08T12:00:00Z",
+		  "end":"2026-08-08T12:00:00.001Z","outcome":"fix","degraded":true,"pinned":true,
+		  "spans":[{"stage":"compute","reader":"r1","tag":"e280",
+		  "start":"2026-08-08T12:00:00Z","end":"2026-08-08T12:00:00.001Z","queue_ns":250000}],
+		  "events":[{"time":"2026-08-08T12:00:00Z","name":"evict","detail":"ttl"}]}`)
+
+	roundTrip(t, TracesResponse{Traces: []TraceSummary{{
+		ID: "t-000007", Seq: 7, Start: goldenTime, DurationNS: 1000000,
+		Outcome: "fix", Spans: 3, Events: 1,
+	}}},
+		`{"traces":[{"id":"t-000007","seq":7,"start":"2026-08-08T12:00:00Z",
+		  "duration_ns":1000000,"outcome":"fix","spans":3,"events":1}]}`)
+}
+
+func TestGoldenWALStatus(t *testing.T) {
+	roundTrip(t, WALStatus{
+		Dir: "/tmp/wal", Fsync: "interval", Segments: 2, ActiveSegment: "000002.wal",
+		Bytes: 4096, NextSeq: 101, Appended: 100, AppendedBytes: 3900, Fsyncs: 10,
+		Rotations: 1, Deleted: 0, Recovered: 50, Truncated: 12,
+		Damage:     &WALDamage{Segment: "000001.wal", Offset: 512, Reason: "crc mismatch"},
+		LastAppend: goldenTime,
+	},
+		`{"dir":"/tmp/wal","fsync":"interval","segments":2,"active_segment":"000002.wal",
+		  "bytes":4096,"next_seq":101,"appended_records":100,"appended_bytes":3900,
+		  "fsyncs":10,"rotations":1,"retention_deleted_segments":0,"recovered_records":50,
+		  "truncated_tail_bytes":12,
+		  "damage":{"segment":"000001.wal","offset":512,"reason":"crc mismatch"},
+		  "last_append":"2026-08-08T12:00:00Z"}`)
+}
+
+func TestGoldenCluster(t *testing.T) {
+	roundTrip(t, ClusterStatus{
+		Role: "gateway", Epoch: 4, Slots: 16,
+		Nodes: []NodeInfo{{ID: "node-1", Addr: "http://127.0.0.1:8081",
+			Envs: []string{"site-a", "site-b"}, Owned: []string{"site-a"}, LastSeen: goldenTime}},
+		Assignments: map[string]string{"site-a": "node-1"},
+	},
+		`{"role":"gateway","epoch":4,"slots":16,
+		  "nodes":[{"id":"node-1","addr":"http://127.0.0.1:8081",
+		  "envs":["site-a","site-b"],"owned":["site-a"],"last_seen":"2026-08-08T12:00:00Z"}],
+		  "assignments":{"site-a":"node-1"}}`)
+
+	roundTrip(t, JoinRequest{ID: "node-1", Addr: "http://127.0.0.1:8081",
+		Envs: []string{"site-a"}, Owned: []string{"site-a"}},
+		`{"id":"node-1","addr":"http://127.0.0.1:8081","envs":["site-a"],"owned":["site-a"]}`)
+	roundTrip(t, HeartbeatRequest{ID: "node-1", Owned: []string{"site-a"}},
+		`{"id":"node-1","owned":["site-a"]}`)
+	roundTrip(t, HeartbeatResponse{Epoch: 5, Assigned: []string{"site-a", "site-b"}, IntervalMS: 200},
+		`{"epoch":5,"assigned":["site-a","site-b"],"interval_ms":200}`)
+	roundTrip(t, LeaveRequest{ID: "node-1"}, `{"id":"node-1"}`)
+	roundTrip(t, LeaveResponse{Epoch: 6}, `{"epoch":6}`)
+}
+
+// TestGoldenFleetStats pins the map-of-env shape fleet-mode /api/v1/stats serves.
+func TestGoldenFleetStats(t *testing.T) {
+	got, err := json.Marshal(FleetStats{"site-a": {Fixes: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"site-a":{`, `"Fixes":3`} {
+		if !strings.Contains(string(got), want) {
+			t.Fatalf("FleetStats JSON missing %s: %s", want, got)
+		}
+	}
+}

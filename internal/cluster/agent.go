@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dwatch/internal/api"
+	"dwatch/internal/fleet"
+	"dwatch/internal/pipeline"
+	"dwatch/internal/sim"
+)
+
+// Agent is the node side of the cluster plane: it joins the gateway's
+// directory, heartbeats its owned-environment set, and reconciles its
+// fleet against the Assigned set in every response — fleet.Add (WAL
+// replay included) for gained environments, fleet.Remove (graceful
+// drain, WAL close) for lost ones. The drain-before-adopt ordering of
+// the two-phase handoff falls out of the heartbeat protocol: the agent
+// removes first, then its *next* heartbeat stops reporting the env
+// owned, and only then does the directory assign it to the gaining
+// node.
+type Agent struct {
+	id      string
+	addr    string
+	client  *api.Client
+	fleet   *fleet.Fleet
+	catalog map[string]sim.Config
+	logger  *slog.Logger
+	popts   func(envID string) []pipeline.Option
+	onAdopt func(envID string)
+
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	running  atomic.Bool
+}
+
+// AgentOption configures NewAgent.
+type AgentOption func(*Agent)
+
+// WithAgentLogger sets the agent's log sink.
+func WithAgentLogger(l *slog.Logger) AgentOption { return func(a *Agent) { a.logger = l } }
+
+// WithPipelineOptions supplies per-environment pipeline options used
+// when the agent adopts an environment.
+func WithPipelineOptions(fn func(envID string) []pipeline.Option) AgentOption {
+	return func(a *Agent) { a.popts = fn }
+}
+
+// WithOnAdopt registers a hook called after each successful adoption —
+// the seam a driver uses to start traffic (e.g. fleet.Simulate) on the
+// environments this node currently owns.
+func WithOnAdopt(fn func(envID string)) AgentOption { return func(a *Agent) { a.onAdopt = fn } }
+
+// NewAgent builds an agent for one node. id names the node in the
+// directory, addr is the node's serve-plane base URL (what the gateway
+// proxies to), gatewayURL locates the directory, and catalog maps
+// every environment this node can host to its deployment config.
+func NewAgent(id, addr, gatewayURL string, f *fleet.Fleet, catalog map[string]sim.Config, opts ...AgentOption) *Agent {
+	a := &Agent{
+		id: id, addr: addr,
+		client:  api.NewClient(gatewayURL),
+		fleet:   f,
+		catalog: catalog,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.logger == nil {
+		a.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return a
+}
+
+// CatalogIDs lists the environments the agent can host, sorted.
+func (a *Agent) CatalogIDs() []string {
+	ids := make([]string, 0, len(a.catalog))
+	for id := range a.catalog {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Owned lists the environments the node's fleet is actively serving.
+func (a *Agent) Owned() []string { return a.fleet.IDs() }
+
+// Join announces the node and applies the directory's first orders.
+func (a *Agent) Join(ctx context.Context) error {
+	resp, err := a.client.Join(ctx, api.JoinRequest{
+		ID: a.id, Addr: a.addr,
+		Envs:  a.CatalogIDs(),
+		Owned: a.Owned(),
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: join: %w", err)
+	}
+	a.apply(resp)
+	return nil
+}
+
+// Sync performs one heartbeat + reconcile step — the deterministic
+// unit the Run loop repeats and tests drive directly. An "unknown
+// node" rejection (gateway restarted, or this node expired) re-joins.
+func (a *Agent) Sync(ctx context.Context) error {
+	resp, err := a.client.Heartbeat(ctx, api.HeartbeatRequest{ID: a.id, Owned: a.Owned()})
+	if err != nil {
+		if api.ErrorCode(err) == "" && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		a.logger.Warn("heartbeat rejected, re-joining", "node", a.id, "error", err)
+		return a.Join(ctx)
+	}
+	a.apply(resp)
+	return nil
+}
+
+// apply reconciles the fleet against the Assigned set: drains first
+// (release shows up in the next heartbeat), then adopts.
+func (a *Agent) apply(resp api.HeartbeatResponse) {
+	if ms := resp.IntervalMS; ms > 0 {
+		a.interval = time.Duration(ms) * time.Millisecond
+	}
+	assigned := toSet(resp.Assigned)
+	for _, id := range a.Owned() {
+		if !assigned[id] {
+			a.logger.Info("draining environment", "env", id, "node", a.id, "epoch", resp.Epoch)
+			if err := a.fleet.Remove(id); err != nil {
+				a.logger.Error("drain failed", "env", id, "error", err)
+			}
+		}
+	}
+	owned := toSet(a.Owned())
+	for _, id := range resp.Assigned {
+		if owned[id] {
+			continue
+		}
+		cfg, ok := a.catalog[id]
+		if !ok {
+			a.logger.Error("assigned an environment outside the catalog", "env", id, "node", a.id)
+			continue
+		}
+		var popts []pipeline.Option
+		if a.popts != nil {
+			popts = a.popts(id)
+		}
+		a.logger.Info("adopting environment", "env", id, "node", a.id, "epoch", resp.Epoch)
+		if _, err := a.fleet.Add(id, cfg, popts...); err != nil {
+			a.logger.Error("adoption failed", "env", id, "error", err)
+			continue
+		}
+		if a.onAdopt != nil {
+			a.onAdopt(id)
+		}
+	}
+}
+
+// Run joins and then heartbeats at the directory's cadence until ctx
+// ends or Close is called, then leaves. Errors inside the loop are
+// logged and retried on the next beat — a gateway blip must not take
+// the node's environments down with it.
+func (a *Agent) Run(ctx context.Context) error {
+	a.running.Store(true)
+	defer close(a.done)
+	if err := a.Join(ctx); err != nil {
+		a.logger.Warn("initial join failed, will retry", "error", err)
+	}
+	for {
+		interval := a.interval
+		if interval <= 0 {
+			interval = DefaultHeartbeat
+		}
+		select {
+		case <-ctx.Done():
+			a.leave()
+			return ctx.Err()
+		case <-a.stop:
+			a.leave()
+			return nil
+		case <-time.After(interval):
+			if err := a.Sync(ctx); err != nil && ctx.Err() == nil {
+				a.logger.Warn("sync failed", "node", a.id, "error", err)
+			}
+		}
+	}
+}
+
+// Close stops a Run loop (waiting for it to leave the directory); on
+// an agent driven purely through Join/Sync it just sends the leave.
+func (a *Agent) Close() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	if a.running.Load() {
+		<-a.done
+		return
+	}
+	a.leave()
+}
+
+func (a *Agent) leave() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := a.client.Leave(ctx, api.LeaveRequest{ID: a.id}); err != nil {
+		a.logger.Warn("leave failed", "node", a.id, "error", err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package cluster is the multi-process fleet plane: a Directory that
+// tracks dwatchd nodes and assigns environment slots to them, an Agent
+// that runs inside each node and reconciles its fleet against the
+// directory's orders, and a Gateway that fans /api/v1 requests in
+// across the node set through the typed api.Client.
+//
+// Placement composes two hashes. An environment maps to a slot on the
+// fleet's consistent-hash ring (fleet.Ring — the same slot surfaced on
+// /api/v1/envs since the single-process fleet), and a slot maps to a
+// node by rendezvous hashing over the live node set. Ring stability
+// bounds churn when the slot count grows; rendezvous stability bounds
+// churn when nodes come and go — losing one node moves only that
+// node's slots, and every survivor keeps exactly what it had.
+package cluster
+
+import (
+	"hash/fnv"
+	"strconv"
+
+	"dwatch/internal/fleet"
+)
+
+// AssignSlot picks the owning node for a slot by rendezvous (highest
+// random weight) hashing: every node scores the slot and the highest
+// score wins. Deterministic in the node *set* — order does not matter
+// — and minimal-churn: removing a node reassigns only its own slots.
+// Returns "" for an empty node set.
+func AssignSlot(slot int, nodes []string) string {
+	var best string
+	var bestScore uint64
+	for _, n := range nodes {
+		h := fnv.New64a()
+		h.Write([]byte("slot-" + strconv.Itoa(slot) + "@" + n))
+		score := h.Sum64()
+		// Tie-break on the node ID so equal scores (vanishingly rare
+		// but possible) still resolve identically everywhere.
+		if best == "" || score > bestScore || (score == bestScore && n > best) {
+			best, bestScore = n, score
+		}
+	}
+	return best
+}
+
+// Assignments maps every environment to its owning node: env → slot
+// via the ring, slot → node via rendezvous. Returns nil for an empty
+// node set.
+func Assignments(envs []string, nodes []string, ring *fleet.Ring) map[string]string {
+	if len(nodes) == 0 || len(envs) == 0 {
+		return nil
+	}
+	// Slots repeat across envs; resolve each slot's owner once.
+	slotOwner := map[int]string{}
+	out := make(map[string]string, len(envs))
+	for _, e := range envs {
+		slot := ring.Slot(e)
+		owner, ok := slotOwner[slot]
+		if !ok {
+			owner = AssignSlot(slot, nodes)
+			slotOwner[slot] = owner
+		}
+		out[e] = owner
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"dwatch/internal/api"
+	"dwatch/internal/fleet"
+)
+
+// DefaultHeartbeat is the cadence the directory asks nodes to report
+// at; a node is expired after missing DefaultTTLBeats of them.
+const (
+	DefaultHeartbeat = 2 * time.Second
+	DefaultTTLBeats  = 3
+)
+
+// DirOption configures NewDirectory.
+type DirOption func(*Directory)
+
+// WithSlots sets the environment hash-ring size (default 16, matching
+// the in-process fleet).
+func WithSlots(n int) DirOption { return func(d *Directory) { d.ring = fleet.NewRing(n) } }
+
+// WithHeartbeat sets the heartbeat interval handed to nodes and the
+// base of the expiry TTL (interval × DefaultTTLBeats).
+func WithHeartbeat(interval time.Duration) DirOption {
+	return func(d *Directory) { d.interval = interval }
+}
+
+// WithDirLogger sets the directory's log sink.
+func WithDirLogger(l *slog.Logger) DirOption { return func(d *Directory) { d.logger = l } }
+
+// WithClock pins the directory's time source — the test seam for TTL
+// expiry.
+func WithClock(now func() time.Time) DirOption { return func(d *Directory) { d.now = now } }
+
+// member is one node's directory entry.
+type member struct {
+	id       string
+	addr     string
+	catalog  map[string]bool // envs the node can host
+	owned    map[string]bool // envs the node reports actively serving
+	lastSeen time.Time
+}
+
+// Directory is the cluster's membership and assignment authority,
+// embedded in the gateway. Nodes Join, then Heartbeat; each heartbeat
+// response carries the full set of environments the node should own.
+//
+// Handoff is two-phase through the Owned sets nodes report: when the
+// desired owner of an environment changes (a node joined, left, or
+// expired), the losing node sees the env missing from its Assigned
+// set and drains it, while the gaining node is *not* told to adopt
+// until no other live node reports the env owned. The WAL on shared
+// storage is therefore never open in two processes at once.
+type Directory struct {
+	ring     *fleet.Ring
+	interval time.Duration
+	logger   *slog.Logger
+	now      func() time.Time
+
+	mu      sync.Mutex
+	epoch   uint64
+	members map[string]*member
+}
+
+// NewDirectory builds an empty directory.
+func NewDirectory(opts ...DirOption) *Directory {
+	d := &Directory{
+		interval: DefaultHeartbeat,
+		now:      time.Now,
+		members:  map[string]*member{},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.ring == nil {
+		d.ring = fleet.NewRing(16)
+	}
+	if d.logger == nil {
+		d.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return d
+}
+
+// Join registers (or re-registers) a node and returns its marching
+// orders. Idempotent: a restarted node re-joins under its ID and the
+// stale entry is replaced, keeping whatever ownership it reports.
+func (d *Directory) Join(req api.JoinRequest) (api.HeartbeatResponse, error) {
+	if req.ID == "" || req.Addr == "" {
+		return api.HeartbeatResponse{}, fmt.Errorf("cluster: join needs id and addr")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	m := &member{
+		id: req.ID, addr: req.Addr,
+		catalog:  toSet(req.Envs),
+		owned:    toSet(req.Owned),
+		lastSeen: d.now(),
+	}
+	d.members[req.ID] = m
+	d.epoch++
+	d.logger.Info("node joined", "node", req.ID, "addr", req.Addr,
+		"envs", len(m.catalog), "epoch", d.epoch)
+	return d.ordersLocked(m), nil
+}
+
+// Heartbeat refreshes a node's liveness and ownership report and
+// returns its current orders. An unknown ID (expired, or the gateway
+// restarted) is an error; the node should re-Join.
+func (d *Directory) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	m := d.members[req.ID]
+	if m == nil {
+		return api.HeartbeatResponse{}, fmt.Errorf("cluster: unknown node %q (re-join)", req.ID)
+	}
+	m.lastSeen = d.now()
+	owned := toSet(req.Owned)
+	if !sameSet(m.owned, owned) {
+		// Ownership moved — a drain completed or an adoption landed.
+		m.owned = owned
+		d.epoch++
+	}
+	return d.ordersLocked(m), nil
+}
+
+// Leave removes a node; its environments fall to the survivors on
+// their next heartbeat.
+func (d *Directory) Leave(req api.LeaveRequest) (api.LeaveResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.members[req.ID]; ok {
+		delete(d.members, req.ID)
+		d.epoch++
+		d.logger.Info("node left", "node", req.ID, "epoch", d.epoch)
+	}
+	return api.LeaveResponse{Epoch: d.epoch}, nil
+}
+
+// Status reports the directory view for GET /api/v1/cluster.
+func (d *Directory) Status() api.ClusterStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	st := api.ClusterStatus{
+		Role:        "gateway",
+		Epoch:       d.epoch,
+		Slots:       d.ring.Slots(),
+		Assignments: d.assignmentsLocked(),
+	}
+	for _, id := range d.sortedIDsLocked() {
+		m := d.members[id]
+		st.Nodes = append(st.Nodes, api.NodeInfo{
+			ID: m.id, Addr: m.addr,
+			Envs:     sortedKeys(m.catalog),
+			Owned:    sortedKeys(m.owned),
+			LastSeen: m.lastSeen,
+		})
+	}
+	return st
+}
+
+// Owner resolves the node to route an environment's requests to:
+// whichever live node currently reports it owned, else the desired
+// assignee (mid-adoption), else "". The bool reports whether the env
+// exists in any node's catalog at all.
+func (d *Directory) Owner(env string) (id, addr string, known bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	for _, m := range d.members {
+		if m.catalog[env] || m.owned[env] {
+			known = true
+		}
+		if m.owned[env] {
+			return m.id, m.addr, true
+		}
+	}
+	if !known {
+		return "", "", false
+	}
+	if m := d.members[d.assignmentsLocked()[env]]; m != nil {
+		return m.id, m.addr, true
+	}
+	return "", "", true
+}
+
+// Nodes lists the live members as (id, addr) pairs, sorted by ID.
+func (d *Directory) Nodes() []api.NodeInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	var out []api.NodeInfo
+	for _, id := range d.sortedIDsLocked() {
+		m := d.members[id]
+		out = append(out, api.NodeInfo{ID: m.id, Addr: m.addr})
+	}
+	return out
+}
+
+// Interval returns the configured heartbeat cadence.
+func (d *Directory) Interval() time.Duration { return d.interval }
+
+// ordersLocked computes one node's Assigned set under the two-phase
+// rule: desired envs minus those another live node still reports owned.
+func (d *Directory) ordersLocked(m *member) api.HeartbeatResponse {
+	assigned := []string{}
+	desired := d.assignmentsLocked()
+	for env, owner := range desired {
+		if owner != m.id {
+			continue
+		}
+		if o := d.ownedElsewhereLocked(env, m.id); o != "" {
+			d.logger.Debug("withholding env mid-handoff", "env", env,
+				"to", m.id, "still_owned_by", o)
+			continue
+		}
+		assigned = append(assigned, env)
+	}
+	sort.Strings(assigned)
+	return api.HeartbeatResponse{
+		Epoch:      d.epoch,
+		Assigned:   assigned,
+		IntervalMS: d.interval.Milliseconds(),
+	}
+}
+
+// assignmentsLocked maps every cataloged environment to its desired
+// owner. Candidates for an environment are only the live nodes whose
+// catalog (or current ownership) includes it — a node is never
+// assigned a deployment it has no config for.
+func (d *Directory) assignmentsLocked() map[string]string {
+	candidates := map[string]map[string]bool{}
+	for id, m := range d.members {
+		for e := range m.catalog {
+			if candidates[e] == nil {
+				candidates[e] = map[string]bool{}
+			}
+			candidates[e][id] = true
+		}
+		for e := range m.owned {
+			if candidates[e] == nil {
+				candidates[e] = map[string]bool{}
+			}
+			candidates[e][id] = true
+		}
+	}
+	out := make(map[string]string, len(candidates))
+	for env, nodes := range candidates {
+		out[env] = AssignSlot(d.ring.Slot(env), sortedKeys(nodes))
+	}
+	return out
+}
+
+// ownedElsewhereLocked reports which live node other than `except`
+// claims env, or "".
+func (d *Directory) ownedElsewhereLocked(env, except string) string {
+	for id, m := range d.members {
+		if id != except && m.owned[env] {
+			return id
+		}
+	}
+	return ""
+}
+
+// expireLocked prunes members whose heartbeats stopped. An expired
+// node's envs become adoptable immediately: a dead process cannot hold
+// its WAL, and the two-phase rule only defers to *live* claimants.
+func (d *Directory) expireLocked() {
+	ttl := d.interval * DefaultTTLBeats
+	cut := d.now().Add(-ttl)
+	for id, m := range d.members {
+		if m.lastSeen.Before(cut) {
+			delete(d.members, id)
+			d.epoch++
+			d.logger.Warn("node expired", "node", id, "last_seen", m.lastSeen, "epoch", d.epoch)
+		}
+	}
+}
+
+func (d *Directory) sortedIDsLocked() []string {
+	ids := make([]string, 0, len(d.members))
+	for id := range d.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

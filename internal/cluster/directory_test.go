@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dwatch/internal/api"
+	"dwatch/internal/fleet"
+)
+
+// TestAssignSlotDeterministic: rendezvous assignment depends on the
+// node *set*, not the order it is presented in.
+func TestAssignSlotDeterministic(t *testing.T) {
+	nodes := []string{"node-a", "node-b", "node-c"}
+	perms := [][]string{
+		{"node-a", "node-b", "node-c"},
+		{"node-c", "node-a", "node-b"},
+		{"node-b", "node-c", "node-a"},
+	}
+	for slot := 0; slot < 16; slot++ {
+		want := AssignSlot(slot, nodes)
+		for _, p := range perms {
+			if got := AssignSlot(slot, p); got != want {
+				t.Fatalf("slot %d: order %v gives %q, want %q", slot, p, got, want)
+			}
+		}
+	}
+	if AssignSlot(3, nil) != "" {
+		t.Fatal("empty node set must assign nothing")
+	}
+}
+
+// TestAssignSlotMinimalChurn: removing one node reassigns only that
+// node's slots; every surviving node keeps exactly what it had.
+func TestAssignSlotMinimalChurn(t *testing.T) {
+	all := []string{"node-a", "node-b", "node-c", "node-d"}
+	without := []string{"node-a", "node-b", "node-d"} // node-c gone
+	for slot := 0; slot < 64; slot++ {
+		before := AssignSlot(slot, all)
+		after := AssignSlot(slot, without)
+		if before != "node-c" && after != before {
+			t.Errorf("slot %d moved %q → %q though its owner survived", slot, before, after)
+		}
+		if before == "node-c" && after == "node-c" {
+			t.Errorf("slot %d still assigned to the removed node", slot)
+		}
+	}
+}
+
+// TestAssignments: every environment lands on some node, via its ring
+// slot.
+func TestAssignments(t *testing.T) {
+	ring := fleet.NewRing(16)
+	envs := []string{"hall", "atrium", "dock", "lab-3"}
+	nodes := []string{"node-a", "node-b"}
+	got := Assignments(envs, nodes, ring)
+	if len(got) != len(envs) {
+		t.Fatalf("assignments = %v, want one per env", got)
+	}
+	for env, owner := range got {
+		if owner != AssignSlot(ring.Slot(env), nodes) {
+			t.Errorf("env %s: owner %q does not match its slot's rendezvous winner", env, owner)
+		}
+	}
+}
+
+// handoffPair returns (first, second) node IDs such that env's slot
+// belongs to `second` when both are live — so starting `first` alone
+// and then adding `second` forces a handoff of env.
+func handoffPair(env string) (first, second string) {
+	ring := fleet.NewRing(16)
+	n1, n2 := "node-a", "node-b"
+	if AssignSlot(ring.Slot(env), []string{n1, n2}) == n1 {
+		return n2, n1
+	}
+	return n1, n2
+}
+
+// TestDirectoryTwoPhaseHandoff drives the join/heartbeat protocol
+// directly: when a new node becomes the desired owner of an env, the
+// directory withholds the assignment until the old owner's heartbeat
+// stops reporting it owned — the invariant that keeps the shared WAL
+// single-writer.
+func TestDirectoryTwoPhaseHandoff(t *testing.T) {
+	const env = "hall"
+	loser, winner := handoffPair(env)
+	d := NewDirectory()
+
+	// Loser joins alone: it is the only candidate, env is assigned.
+	resp, err := d.Join(api.JoinRequest{ID: loser, Addr: "http://loser", Envs: []string{env}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assigned) != 1 || resp.Assigned[0] != env {
+		t.Fatalf("solo node assigned %v, want [%s]", resp.Assigned, env)
+	}
+	// Loser adopts and reports ownership.
+	if _, err := d.Heartbeat(api.HeartbeatRequest{ID: loser, Owned: []string{env}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Winner joins: it is now the desired owner, but the env is still
+	// owned by the loser — the join orders must withhold it.
+	resp, err = d.Join(api.JoinRequest{ID: winner, Addr: "http://winner", Envs: []string{env}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assigned) != 0 {
+		t.Fatalf("winner assigned %v before the old owner released", resp.Assigned)
+	}
+
+	// Loser's next heartbeat: env no longer in its Assigned set → it
+	// drains. Still reporting owned this beat (drain not done yet).
+	resp, err = d.Heartbeat(api.HeartbeatRequest{ID: loser, Owned: []string{env}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assigned) != 0 {
+		t.Fatalf("loser still assigned %v after the winner joined", resp.Assigned)
+	}
+	// Winner polls again: still withheld.
+	resp, err = d.Heartbeat(api.HeartbeatRequest{ID: winner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assigned) != 0 {
+		t.Fatalf("winner granted %v while the loser still owns", resp.Assigned)
+	}
+
+	// Loser finishes the drain and stops reporting ownership; the very
+	// next winner heartbeat grants the env.
+	if _, err := d.Heartbeat(api.HeartbeatRequest{ID: loser}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = d.Heartbeat(api.HeartbeatRequest{ID: winner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assigned) != 1 || resp.Assigned[0] != env {
+		t.Fatalf("winner assigned %v after release, want [%s]", resp.Assigned, env)
+	}
+
+	// Ownership routes requests.
+	if _, err := d.Heartbeat(api.HeartbeatRequest{ID: winner, Owned: []string{env}}); err != nil {
+		t.Fatal(err)
+	}
+	id, addr, known := d.Owner(env)
+	if !known || id != winner || addr != "http://winner" {
+		t.Fatalf("Owner(%s) = %q %q %v, want the winner", env, id, addr, known)
+	}
+}
+
+// TestDirectoryExpiry: a node that stops heartbeating is pruned after
+// the TTL and its environments fall to the survivors — including the
+// two-phase gate, which only defers to *live* claimants.
+func TestDirectoryExpiry(t *testing.T) {
+	const env = "hall"
+	dead, survivor := handoffPair(env) // dead will be the initial owner
+	now := time.Unix(1700000000, 0)
+	d := NewDirectory(WithClock(func() time.Time { return now }))
+
+	for _, n := range []struct{ id, addr string }{{dead, "http://dead"}, {survivor, "http://live"}} {
+		if _, err := d.Join(api.JoinRequest{ID: n.id, Addr: n.addr, Envs: []string{env}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force ownership onto the node that will die, regardless of the
+	// desired assignment, by reporting it owned there.
+	if _, err := d.Heartbeat(api.HeartbeatRequest{ID: dead, Owned: []string{env}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance past the TTL with only the survivor heartbeating.
+	for i := 0; i < DefaultTTLBeats+1; i++ {
+		now = now.Add(DefaultHeartbeat)
+		if _, err := d.Heartbeat(api.HeartbeatRequest{ID: survivor}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = now.Add(DefaultHeartbeat)
+
+	st := d.Status()
+	if len(st.Nodes) != 1 || st.Nodes[0].ID != survivor {
+		t.Fatalf("nodes after expiry = %+v, want only %s", st.Nodes, survivor)
+	}
+	// The dead node's ownership claim died with it: the survivor is
+	// granted the env immediately.
+	resp, err := d.Heartbeat(api.HeartbeatRequest{ID: survivor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assigned) != 1 || resp.Assigned[0] != env {
+		t.Fatalf("survivor assigned %v after expiry, want [%s]", resp.Assigned, env)
+	}
+	// The expired node's heartbeat is rejected — it must re-join.
+	if _, err := d.Heartbeat(api.HeartbeatRequest{ID: dead}); err == nil ||
+		!strings.Contains(err.Error(), "re-join") {
+		t.Fatalf("expired node heartbeat = %v, want re-join error", err)
+	}
+}
+
+// TestDirectoryStatus: epoch moves on membership and ownership
+// changes, and the status carries assignments.
+func TestDirectoryStatus(t *testing.T) {
+	d := NewDirectory()
+	if _, err := d.Join(api.JoinRequest{ID: "node-a", Addr: "http://a", Envs: []string{"hall"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Status()
+	if st.Role != "gateway" || st.Epoch == 0 || st.Slots != 16 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Assignments["hall"] != "node-a" {
+		t.Fatalf("assignments = %v", st.Assignments)
+	}
+	before := st.Epoch
+	if _, err := d.Heartbeat(api.HeartbeatRequest{ID: "node-a", Owned: []string{"hall"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Status().Epoch; got <= before {
+		t.Fatalf("epoch %d did not advance on ownership change (was %d)", got, before)
+	}
+	if _, err := d.Leave(api.LeaveRequest{ID: "node-a"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.Status().Nodes); n != 0 {
+		t.Fatalf("%d nodes after leave, want 0", n)
+	}
+	// Join validation.
+	if _, err := d.Join(api.JoinRequest{ID: "", Addr: ""}); err == nil {
+		t.Fatal("empty join accepted")
+	}
+}

@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dwatch/internal/api"
+)
+
+// Gateway is the fan-in front of a dwatchd cluster: one address that
+// serves the whole /api/v1 surface by routing each request to the node
+// that owns the environment. It embeds the Directory (so nodes join
+// and heartbeat against the same process) and talks to nodes
+// exclusively through the typed api.Client — the gateway never
+// hand-assembles a node URL or parses a response shape of its own.
+//
+// Routing is ownership-first: requests go to the node currently
+// reporting the environment owned. A request that lands mid-handoff
+// (the old owner already drained, the new owner not yet adopted) is
+// retried against the freshly-resolved owner a few times before the
+// node's 404 is passed through.
+type Gateway struct {
+	dir    *Directory
+	logger *slog.Logger
+
+	// retry caps the re-resolve attempts for a request that hits a
+	// node which no longer serves the environment.
+	retries    int
+	retryDelay time.Duration
+
+	mu      sync.Mutex
+	clients map[string]*api.Client // node addr → client
+}
+
+// GatewayOption configures NewGateway.
+type GatewayOption func(*Gateway)
+
+// WithGatewayLogger sets the gateway's log sink.
+func WithGatewayLogger(l *slog.Logger) GatewayOption { return func(g *Gateway) { g.logger = l } }
+
+// WithRetry tunes the mid-handoff retry policy (default 5 attempts,
+// 100ms apart).
+func WithRetry(attempts int, delay time.Duration) GatewayOption {
+	return func(g *Gateway) { g.retries = attempts; g.retryDelay = delay }
+}
+
+// NewGateway builds a gateway around a directory.
+func NewGateway(dir *Directory, opts ...GatewayOption) *Gateway {
+	g := &Gateway{
+		dir:        dir,
+		retries:    5,
+		retryDelay: 100 * time.Millisecond,
+		clients:    map[string]*api.Client{},
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	if g.logger == nil {
+		g.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return g
+}
+
+// client returns (building once) the typed client for a node address.
+func (g *Gateway) client(addr string) *api.Client {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.clients[addr]
+	if c == nil {
+		c = api.NewClient(addr)
+		g.clients[addr] = c
+	}
+	return c
+}
+
+// Handler returns the gateway's HTTP surface.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/cluster", g.handleCluster)
+	mux.HandleFunc("/api/v1/cluster/", g.handleClusterControl)
+	mux.HandleFunc("/api/v1/envs", g.handleEnvs)
+	mux.HandleFunc("/api/v1/", g.handleEnvRoutes)
+	return mux
+}
+
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/cluster", r.Method))
+		return
+	}
+	writeJSON(w, g.dir.Status())
+}
+
+// handleClusterControl is the node-facing control surface: join,
+// heartbeat, leave.
+func (g *Gateway) handleClusterControl(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on %s", r.Method, r.URL.Path))
+		return
+	}
+	op := strings.TrimPrefix(r.URL.Path, "/api/v1/cluster/")
+	switch op {
+	case "join":
+		var req api.JoinRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := g.dir.Join(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_join", err.Error())
+			return
+		}
+		writeJSON(w, resp)
+	case "heartbeat":
+		var req api.HeartbeatRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := g.dir.Heartbeat(req)
+		if err != nil {
+			writeError(w, http.StatusConflict, "unknown_node", err.Error())
+			return
+		}
+		writeJSON(w, resp)
+	case "leave":
+		var req api.LeaveRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := g.dir.Leave(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_leave", err.Error())
+			return
+		}
+		writeJSON(w, resp)
+	default:
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no cluster operation %q", op))
+	}
+}
+
+// handleEnvs unions every live node's environment listing, stamping
+// each entry with the serving node's ID.
+func (g *Gateway) handleEnvs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/envs", r.Method))
+		return
+	}
+	var envs []api.EnvInfo
+	for _, n := range g.dir.Nodes() {
+		resp, err := g.client(n.Addr).Envs(r.Context())
+		if err != nil {
+			g.logger.Warn("envs fan-in: node unreachable", "node", n.ID, "error", err)
+			continue
+		}
+		for _, e := range resp.Envs {
+			e.Node = n.ID
+			envs = append(envs, e)
+		}
+	}
+	sort.Slice(envs, func(i, j int) bool { return envs[i].ID < envs[j].ID })
+	writeJSON(w, api.EnvsResponse{Envs: envs})
+}
+
+// handleEnvRoutes routes /api/v1/{env}/{endpoint} to the owning node.
+func (g *Gateway) handleEnvRoutes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on %s", r.Method, r.URL.Path))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/")
+	env, endpoint, ok := strings.Cut(rest, "/")
+	if !ok || env == "" || endpoint == "" {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no route %s on the gateway", r.URL.Path))
+		return
+	}
+	if endpoint == "positions" && wantsEventStream(r) {
+		g.streamPositions(w, r, env)
+		return
+	}
+	g.proxyTyped(w, r, env, endpoint)
+}
+
+// proxyTyped resolves the owner and relays one env-scoped GET through
+// the typed client, retrying on mid-handoff misses.
+func (g *Gateway) proxyTyped(w http.ResponseWriter, r *http.Request, env, endpoint string) {
+	var lastErr error
+	for attempt := 0; attempt <= g.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(g.retryDelay):
+			}
+		}
+		nodeID, addr, known := g.dir.Owner(env)
+		if !known {
+			writeError(w, http.StatusNotFound, api.CodeEnvNotFound,
+				fmt.Sprintf("no environment %q in the cluster", env))
+			return
+		}
+		if addr == "" {
+			lastErr = fmt.Errorf("environment %q has no live owner", env)
+			continue
+		}
+		v, err := g.callTyped(r.Context(), g.client(addr), env, endpoint)
+		if err == nil {
+			writeJSON(w, v)
+			return
+		}
+		var apiErr *api.APIError
+		if errors.As(err, &apiErr) {
+			if apiErr.Code == api.CodeEnvNotFound {
+				// The node we reached no longer (or does not yet)
+				// serve this env — a handoff is in flight. Re-resolve.
+				g.logger.Debug("retrying mid-handoff request", "env", env,
+					"node", nodeID, "attempt", attempt)
+				lastErr = err
+				continue
+			}
+			// Any other API error (trace_not_found, wal_unavailable,
+			// ...) is the node's real answer: pass it through.
+			writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+			return
+		}
+		lastErr = err
+	}
+	if apiErr := (*api.APIError)(nil); errors.As(lastErr, &apiErr) {
+		writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "bad_gateway",
+		fmt.Sprintf("environment %q: %v", env, lastErr))
+}
+
+// callTyped dispatches one env-scoped endpoint through the typed
+// client. Adding an endpoint to the API surface means adding an arm
+// here — the compiler keeps the gateway and the contract in lockstep.
+func (g *Gateway) callTyped(ctx context.Context, c *api.Client, env, endpoint string) (any, error) {
+	switch {
+	case endpoint == "positions":
+		return c.Positions(ctx, env)
+	case endpoint == "stats":
+		return c.EnvStats(ctx, env)
+	case endpoint == "health":
+		return c.Health(ctx, env)
+	case endpoint == "wal":
+		return c.WAL(ctx, env)
+	case endpoint == "traces":
+		return c.Traces(ctx, env)
+	case strings.HasPrefix(endpoint, "traces/") && !strings.Contains(endpoint[len("traces/"):], "/"):
+		return c.Trace(ctx, env, endpoint[len("traces/"):])
+	default:
+		return nil, &api.APIError{Status: http.StatusNotFound, Code: "not_found",
+			Message: fmt.Sprintf("no endpoint %q under an environment", endpoint)}
+	}
+}
+
+// streamPositions relays an environment's SSE feed. Frames arrive
+// through the typed client's watcher and are re-emitted byte-for-byte,
+// so a consumer sees the same stream it would reading the node
+// directly. The relay follows ownership: when the directory re-homes
+// the environment mid-stream the gateway drops the old node's feed,
+// attaches to the new owner, and resumes with its snapshot — the
+// WAL-replayed prefix re-delivers under the same sequence numbers
+// (identical payloads apart from the publish timestamp), exactly like
+// a single node restarting, so consumers key on seq.
+func (g *Gateway) streamPositions(w http.ResponseWriter, r *http.Request, env string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "stream_unsupported",
+			"response writer does not support streaming")
+		return
+	}
+	if _, _, known := g.dir.Owner(env); !known {
+		writeError(w, http.StatusNotFound, api.CodeEnvNotFound,
+			fmt.Sprintf("no environment %q in the cluster", env))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for r.Context().Err() == nil {
+		_, addr, known := g.dir.Owner(env)
+		if !known || addr == "" {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(g.retryDelay):
+			}
+			continue
+		}
+		g.relayOnce(w, r, fl, env, addr)
+		// Reattach (ownership moved, or the node went away) after a
+		// beat, unless the client hung up.
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(g.retryDelay):
+		}
+	}
+}
+
+// relayOnce streams from one owner until the client hangs up, the node
+// drops the stream, or the directory re-homes the environment. The
+// ownership watch runs beside the blocking SSE read and cancels it the
+// moment addr stops being the owner.
+func (g *Gateway) relayOnce(w http.ResponseWriter, r *http.Request, fl http.Flusher, env, addr string) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		tick := time.NewTicker(g.retryDelay)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if _, cur, _ := g.dir.Owner(env); cur != addr {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	err := g.client(addr).WatchPositions(ctx, env, func(raw []byte, p api.Position) error {
+		if _, werr := fmt.Fprintf(w, "event: position\ndata: %s\n\n", raw); werr != nil {
+			return werr
+		}
+		fl.Flush()
+		return nil
+	})
+	if err != nil && r.Context().Err() == nil {
+		g.logger.Debug("position stream interrupted", "env", env, "node_addr", addr, "error", err)
+	}
+}
+
+// decodeBody strict-decodes a JSON request body, writing the uniform
+// envelope on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return false
+	}
+	return true
+}
+
+func wantsEventStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the same api.Error envelope the nodes use, so a
+// client cannot tell (nor needs to) whether an error came from the
+// gateway or the node behind it.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(api.Error{Error: api.ErrorBody{Code: code, Message: message}})
+}

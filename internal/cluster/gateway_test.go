@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"dwatch/internal/api"
+	"dwatch/internal/fleet"
+	"dwatch/internal/obs"
+	"dwatch/internal/serve"
+	"dwatch/internal/sim"
+)
+
+// tableCfg is the cheap two-reader deployment the fleet tests use.
+func tableCfg(seed int64) sim.Config {
+	cfg := sim.TableConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// testNode is one in-process dwatchd: fleet + serve plane + cluster
+// agent, the same wiring cmd/dwatchd -cluster assembles.
+type testNode struct {
+	id    string
+	fleet *fleet.Fleet
+	hub   *serve.Hub
+	reg   *obs.Registry
+	ts    *httptest.Server
+	agent *Agent
+}
+
+func newTestNode(t *testing.T, id, gatewayURL, walRoot string, catalog map[string]sim.Config) *testNode {
+	t.Helper()
+	reg := obs.NewRegistry()
+	hub := serve.NewHub(serve.WithHubObs(reg))
+	fopts := []fleet.Option{fleet.WithObs(reg), fleet.WithHub(hub)}
+	if walRoot != "" {
+		fopts = append(fopts, fleet.WithWALRoot(walRoot))
+	}
+	f := fleet.New(fopts...)
+	plane := serve.New(
+		serve.WithRegistry(reg),
+		serve.WithHub(hub),
+		serve.WithEnvs(f.Infos),
+		serve.WithEnvLookup(f.EnvHandle),
+		serve.WithReady(f.Ready),
+	)
+	ts := httptest.NewServer(plane.Handler())
+	n := &testNode{
+		id: id, fleet: f, hub: hub, reg: reg, ts: ts,
+		agent: NewAgent(id, ts.URL, gatewayURL, f, catalog),
+	}
+	t.Cleanup(func() {
+		ts.Close()
+		f.Close()
+	})
+	return n
+}
+
+// newTestGateway boots a directory + gateway over httptest.
+func newTestGateway(t *testing.T, opts ...GatewayOption) (*Gateway, *httptest.Server) {
+	t.Helper()
+	dir := NewDirectory(WithHeartbeat(100 * time.Millisecond))
+	gw := NewGateway(dir, append([]GatewayOption{WithRetry(10, 20*time.Millisecond)}, opts...)...)
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	return gw, ts
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGatewayRouting: two nodes with disjoint catalogs behind one
+// gateway — union listing, env-scoped routing to the owner, and the
+// three 404 flavors (gateway's unknown-env, node's trace-not-found
+// pass-through, unknown endpoint).
+func TestGatewayRouting(t *testing.T) {
+	ctx := context.Background()
+	_, gts := newTestGateway(t)
+	a := newTestNode(t, "node-a", gts.URL, "", map[string]sim.Config{"env-a": tableCfg(1)})
+	b := newTestNode(t, "node-b", gts.URL, "", map[string]sim.Config{"env-b": tableCfg(2)})
+
+	// Join adopts immediately: each node is its env's only candidate.
+	for _, n := range []*testNode{a, b} {
+		if err := n.agent.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.agent.Sync(ctx); err != nil { // report ownership
+			t.Fatal(err)
+		}
+	}
+	if got := a.fleet.IDs(); len(got) != 1 || got[0] != "env-a" {
+		t.Fatalf("node-a owns %v, want [env-a]", got)
+	}
+	if got := b.fleet.IDs(); len(got) != 1 || got[0] != "env-b" {
+		t.Fatalf("node-b owns %v, want [env-b]", got)
+	}
+
+	// Traffic on both environments.
+	for _, n := range []struct {
+		node *testNode
+		env  string
+	}{{a, "env-a"}, {b, "env-b"}} {
+		if err := n.node.fleet.Simulate(ctx, n.env, 1, 4, 0); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, n.env+" fix", func() bool {
+			_, ok := n.node.hub.LatestForEnv(n.env)
+			return ok
+		})
+	}
+
+	client := api.NewClient(gts.URL)
+	client.Strict = true
+
+	// Union listing, stamped with the serving node.
+	envs, err := client.Envs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs.Envs) != 2 {
+		t.Fatalf("gateway envs = %+v, want 2", envs.Envs)
+	}
+	gotNodes := map[string]string{}
+	for _, e := range envs.Envs {
+		gotNodes[e.ID] = e.Node
+	}
+	if gotNodes["env-a"] != "node-a" || gotNodes["env-b"] != "node-b" {
+		t.Fatalf("env→node stamping = %v", gotNodes)
+	}
+
+	// Env-scoped GETs route to the owner.
+	pos, err := client.Positions(ctx, "env-a")
+	if err != nil || len(pos.Positions) == 0 {
+		t.Fatalf("positions via gateway = %+v, %v", pos, err)
+	}
+	if pos.Positions[0].Env != "env-a" {
+		t.Fatalf("routed to the wrong env: %+v", pos.Positions[0])
+	}
+	stats, err := client.EnvStats(ctx, "env-b")
+	if err != nil || stats.ReportsIn == 0 {
+		t.Fatalf("stats via gateway = %+v, %v", stats, err)
+	}
+	if _, err := client.Health(ctx, "env-a"); err != nil {
+		t.Fatalf("health via gateway: %v", err)
+	}
+	traces, err := client.Traces(ctx, "env-b")
+	if err != nil || len(traces.Traces) == 0 {
+		t.Fatalf("traces via gateway = %+v, %v", traces, err)
+	}
+
+	// Gateway 404: the env exists nowhere in the cluster.
+	_, err = client.Positions(ctx, "no-such-env")
+	if api.ErrorCode(err) != api.CodeEnvNotFound {
+		t.Fatalf("unknown env error = %v, want %s", err, api.CodeEnvNotFound)
+	}
+
+	// Node 404 pass-through: the env resolves and routes, and the
+	// node's own trace_not_found comes back verbatim.
+	_, err = client.Trace(ctx, "env-a", "no-such-trace")
+	if api.ErrorCode(err) != "trace_not_found" {
+		t.Fatalf("missing trace error = %v, want trace_not_found", err)
+	}
+
+	// Unknown endpoint under a known env.
+	_, err = client.EnvStats(ctx, "env-a/bogus")
+	if api.ErrorCode(err) != "not_found" {
+		t.Fatalf("unknown endpoint error = %v, want not_found", err)
+	}
+
+	// Cluster status through the gateway surface.
+	st, err := client.Cluster(ctx)
+	if err != nil || st.Role != "gateway" || len(st.Nodes) != 2 {
+		t.Fatalf("cluster status = %+v, %v", st, err)
+	}
+	owners := []string{st.Assignments["env-a"], st.Assignments["env-b"]}
+	sort.Strings(owners)
+	if owners[0] != "node-a" || owners[1] != "node-b" {
+		t.Fatalf("assignments = %v", st.Assignments)
+	}
+}
+
+// TestGatewaySSEPassThrough: the position frame relayed through the
+// gateway is byte-identical to the frame the node serves directly.
+func TestGatewaySSEPassThrough(t *testing.T) {
+	ctx := context.Background()
+	_, gts := newTestGateway(t)
+	n := newTestNode(t, "node-a", gts.URL, "", map[string]sim.Config{"hall": tableCfg(3)})
+	if err := n.agent.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.agent.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.fleet.Simulate(ctx, "hall", 1, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "hall fix", func() bool { _, ok := n.hub.LatestForEnv("hall"); return ok })
+
+	firstFrame := func(baseURL string) []byte {
+		t.Helper()
+		c := api.NewClient(baseURL)
+		sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		var frame []byte
+		stop := context.Canceled
+		err := c.WatchPositions(sctx, "hall", func(raw []byte, _ api.Position) error {
+			frame = append([]byte(nil), raw...)
+			return stop
+		})
+		if err != stop {
+			t.Fatalf("watch %s: %v", baseURL, err)
+		}
+		return frame
+	}
+
+	direct := firstFrame(n.ts.URL)
+	viaGateway := firstFrame(gts.URL)
+	if string(direct) != string(viaGateway) {
+		t.Fatalf("gateway frame differs from the node's:\nnode:    %s\ngateway: %s", direct, viaGateway)
+	}
+}

@@ -151,14 +151,6 @@ func New(sc *sim.Scenario, opts ...Option) *System {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return NewFromConfig(sc, cfg)
-}
-
-// NewFromConfig binds a pipeline to a scenario with a filled Config.
-//
-// Deprecated: use New with functional options; this shim remains for
-// callers constructed around the Config struct.
-func NewFromConfig(sc *sim.Scenario, cfg Config) *System {
 	return &System{Scenario: sc, cfg: cfg.withDefaults()}
 }
 

@@ -19,7 +19,7 @@ func buildSystem(t testing.TB, cfg sim.Config, dcfg Config) *System {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewFromConfig(sc, dcfg)
+	s := New(sc, WithConfig(dcfg))
 	if err := s.Calibrate(); err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/health"
 	"dwatch/internal/llrp"
 	"dwatch/internal/obs"
@@ -106,11 +108,15 @@ type Env struct {
 	// single-deployment path), so Remove unregisters without draining.
 	adopted        bool
 	adoptedReaders int
-	stats          func() any
-	walStatus      func() any
+	stats          func() api.PipelineStats
+	walStatus      func() api.WALStatus
 
 	fixes   atomic.Uint64
 	reports atomic.Uint64
+	// reportCtr is the env's dwatch_fleet_reports_total child, resolved
+	// once at Add time: resolving by label in Ingest would resurrect
+	// the series after Remove drops it.
+	reportCtr *obs.Counter
 	// nextSeq offsets generated acquisition sequences across Simulate
 	// runs, so a later run's rounds are new sequences to the assembler
 	// instead of late duplicates of already-fused ones.
@@ -247,7 +253,7 @@ func (f *Fleet) Add(id string, cfg sim.Config, popts ...pipeline.Option) (*Env, 
 			return nil, fmt.Errorf("fleet: wal %s: %w", id, err)
 		}
 		e.wal = w
-		e.walStatus = func() any { return w.Status() }
+		e.walStatus = func() api.WALStatus { return adapt.WALStatus(w.Status()) }
 	}
 
 	arrays := map[string]*rf.Array{}
@@ -272,8 +278,9 @@ func (f *Fleet) Add(id string, cfg sim.Config, popts ...pipeline.Option) (*Env, 
 		return nil, fmt.Errorf("fleet: pipeline %s: %w", id, err)
 	}
 	e.pipe = p
-	e.stats = func() any { return p.Stats() }
+	e.stats = func() api.PipelineStats { return adapt.PipelineStats(p.Stats()) }
 
+	e.reportCtr = f.reportsVec.With(id)
 	hub, fixCtr := f.o.hub, f.fixesVec.With(id)
 	p.SubscribeFixes(func(fix pipeline.Fix) {
 		if fix.Err != nil {
@@ -347,11 +354,11 @@ type Adopted struct {
 	Name    string
 	Readers int
 	Tags    int
-	Stats   func() any
+	Stats   func() api.PipelineStats
 	Tracer  *tracing.Tracer
 	Health  *health.Monitor
 	// WALStatus backs /api/v1/{env}/wal when set.
-	WALStatus func() any
+	WALStatus func() api.WALStatus
 }
 
 // Adopt registers an environment whose pipeline is owned elsewhere —
@@ -440,6 +447,15 @@ func (f *Fleet) Remove(id string) error {
 		delete(f.envs, id)
 		f.removes.Add(1)
 		f.envsGauge.Set(float64(len(f.envs)))
+		// Per-env series die with the environment, inside the lock so
+		// a concurrent re-Add starts fresh children (and fresh gauge
+		// closures) instead of inheriting stale ones. The ownership
+		// guards on the queue/pending closures keep the old closures
+		// silent in the window before the old children are dropped.
+		f.fixesVec.Remove(id)
+		f.reportsVec.Remove(id)
+		f.queueVec.Remove(id)
+		f.pendingVec.Remove(id)
 	}
 	f.mu.Unlock()
 	if !ok {
@@ -476,15 +492,17 @@ func (f *Fleet) Reload(id string, cfg sim.Config, popts ...pipeline.Option) (*En
 	return f.Add(id, cfg, popts...)
 }
 
-// LoadDir registers every *.json deployment config in dir; the file
-// stem is the environment ID ("warehouse-a.json" → "warehouse-a").
-// Returns the IDs added, sorted by filename. The first failure aborts
-// the load with earlier environments left running.
-func (f *Fleet) LoadDir(dir string, popts ...pipeline.Option) ([]string, error) {
+// ReadConfigDir parses every *.json deployment config in dir without
+// registering anything; the file stem is the environment ID
+// ("warehouse-a.json" → "warehouse-a"). Returns the catalog plus the
+// IDs sorted by filename — the shape a cluster agent announces to the
+// directory before it owns anything.
+func ReadConfigDir(dir string) (map[string]sim.Config, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: %w", err)
+		return nil, nil, fmt.Errorf("fleet: %w", err)
 	}
+	catalog := map[string]sim.Config{}
 	var ids []string
 	for _, ent := range entries {
 		name := ent.Name()
@@ -494,22 +512,39 @@ func (f *Fleet) LoadDir(dir string, popts ...pipeline.Option) ([]string, error) 
 		id := strings.TrimSuffix(name, ".json")
 		file, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
-			return ids, fmt.Errorf("fleet: %w", err)
+			return nil, nil, fmt.Errorf("fleet: %w", err)
 		}
 		cfg, err := sim.LoadConfig(file)
 		file.Close()
 		if err != nil {
-			return ids, fmt.Errorf("fleet: %s: %w", name, err)
+			return nil, nil, fmt.Errorf("fleet: %s: %w", name, err)
 		}
-		if _, err := f.Add(id, cfg, popts...); err != nil {
-			return ids, err
-		}
+		catalog[id] = cfg
 		ids = append(ids, id)
 	}
 	if len(ids) == 0 {
-		return nil, fmt.Errorf("fleet: no *.json deployment configs in %s", dir)
+		return nil, nil, fmt.Errorf("fleet: no *.json deployment configs in %s", dir)
 	}
-	return ids, nil
+	return catalog, ids, nil
+}
+
+// LoadDir registers every *.json deployment config in dir (see
+// ReadConfigDir for the naming convention). Returns the IDs added,
+// sorted by filename. The first failure aborts the load with earlier
+// environments left running.
+func (f *Fleet) LoadDir(dir string, popts ...pipeline.Option) ([]string, error) {
+	catalog, ids, err := ReadConfigDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	added := ids[:0]
+	for _, id := range ids {
+		if _, err := f.Add(id, catalog[id], popts...); err != nil {
+			return added, err
+		}
+		added = append(added, id)
+	}
+	return added, nil
 }
 
 // Ingest appends a report to the environment's WAL (when configured)
@@ -536,7 +571,7 @@ func (f *Fleet) Ingest(id string, payload []byte) error {
 		return fmt.Errorf("fleet: %s: %w", id, err)
 	}
 	e.reports.Add(1)
-	f.reportsVec.With(id).Add(1)
+	e.reportCtr.Add(1)
 	return nil
 }
 

@@ -3,12 +3,16 @@ package fleet
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"dwatch/internal/api"
 	"dwatch/internal/obs"
 	"dwatch/internal/serve"
 	"dwatch/internal/sim"
@@ -230,7 +234,7 @@ func TestFleetLoadDir(t *testing.T) {
 func TestFleetAdopt(t *testing.T) {
 	f := New()
 	defer f.Close()
-	stats := func() any { return "owner stats" }
+	stats := func() api.PipelineStats { return api.PipelineStats{ReportsIn: 7} }
 	e, err := f.Adopt("legacy", Adopted{Name: "hall", Readers: 4, Tags: 30, Stats: stats})
 	if err != nil {
 		t.Fatal(err)
@@ -264,4 +268,89 @@ func TestFleetClosed(t *testing.T) {
 	if _, err := f.Adopt("x", Adopted{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Adopt after Close = %v, want ErrClosed", err)
 	}
+}
+
+// TestRemoveDropsEnvMetricSeries: the remove→re-add→remove seam. Every
+// per-env series (fixes, reports, queue depth, pending sequences) must
+// vanish from /metrics when its environment is removed — a re-added
+// environment starts fresh series instead of inheriting counts or
+// stale gauge closures from the previous incarnation.
+func TestRemoveDropsEnvMetricSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := serve.NewHub()
+	f := New(WithObs(reg), WithHub(hub))
+	defer f.Close()
+
+	s := serve.New(serve.WithRegistry(reg), serve.WithHub(hub))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	assertNoEnvSeries := func(metrics, env string) {
+		t.Helper()
+		needle := `env="` + env + `"`
+		for _, line := range strings.Split(metrics, "\n") {
+			if strings.Contains(line, needle) {
+				t.Errorf("stale series survived removal: %s", line)
+			}
+		}
+	}
+
+	drive := func() {
+		t.Helper()
+		if _, err := f.Add("room-a", tableCfg(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Simulate(context.Background(), "room-a", 1, 4, 0); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "room-a fix", func() bool {
+			e, ok := f.Env("room-a")
+			return ok && e.Fixes() > 0
+		})
+	}
+
+	drive()
+	metrics := scrape()
+	for _, want := range []string{
+		`dwatch_fleet_fixes_total{env="room-a"}`,
+		`dwatch_fleet_reports_total{env="room-a"}`,
+		`dwatch_fleet_queue_depth{env="room-a"}`,
+		`dwatch_fleet_pending_sequences{env="room-a"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q while env registered", want)
+		}
+	}
+
+	if err := f.Remove("room-a"); err != nil {
+		t.Fatal(err)
+	}
+	assertNoEnvSeries(scrape(), "room-a")
+
+	// Re-add: series come back, and come back from zero — the fresh
+	// incarnation's counts must not include the first run's fixes.
+	drive()
+	snap := reg.Snapshot()
+	e, _ := f.Env("room-a")
+	if got := snap[`dwatch_fleet_fixes_total{env="room-a"}`]; got != float64(e.Fixes()) {
+		t.Errorf("re-added fixes series = %v, want %d (fresh count)", got, e.Fixes())
+	}
+
+	if err := f.Remove("room-a"); err != nil {
+		t.Fatal(err)
+	}
+	assertNoEnvSeries(scrape(), "room-a")
 }

@@ -313,6 +313,32 @@ func (f *family) childFor(values []string) *child {
 	return ch
 }
 
+// remove drops the child for the given label values; the series
+// disappears from collection and a later childFor for the same values
+// starts a fresh child (zeroed counters, no attached gauge funcs).
+// Removing an absent child is a no-op.
+func (f *family) remove(values []string) {
+	if f == nil {
+		return
+	}
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[key]; !ok {
+		return
+	}
+	delete(f.children, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Counter registers (idempotently) an unlabeled counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	f := r.family(name, help, KindCounter, nil, nil)
@@ -378,6 +404,16 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.childFor(values).c
 }
 
+// Remove deletes the child counter for the given label values, ending
+// the series. Callers holding the old *Counter keep a working but
+// uncollected counter; With after Remove starts from zero.
+func (v *CounterVec) Remove(values ...string) {
+	if v == nil {
+		return
+	}
+	v.f.remove(values)
+}
+
 // GaugeVec is a gauge family with label dimensions.
 type GaugeVec struct{ f *family }
 
@@ -408,6 +444,15 @@ func (v *GaugeVec) Func(fn func() float64, values ...string) {
 	v.f.childFor(values).addGaugeFunc(fn)
 }
 
+// Remove deletes the child gauge for the given label values, ending
+// the series and dropping any gauge funcs attached to it.
+func (v *GaugeVec) Remove(values ...string) {
+	if v == nil {
+		return
+	}
+	v.f.remove(values)
+}
+
 // HistogramVec is a histogram family with label dimensions.
 type HistogramVec struct{ f *family }
 
@@ -426,6 +471,15 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		return nil
 	}
 	return v.f.childFor(values).h
+}
+
+// Remove deletes the child histogram for the given label values,
+// ending the series.
+func (v *HistogramVec) Remove(values ...string) {
+	if v == nil {
+		return
+	}
+	v.f.remove(values)
 }
 
 // Snapshot is a flat point-in-time view of a registry for tests and

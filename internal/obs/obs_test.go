@@ -181,3 +181,54 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("lat count = %v", s["lat_count"])
 	}
 }
+
+// TestVecRemove: Remove ends a labeled series — it disappears from
+// Snapshot and exposition, attached gauge funcs die with the child,
+// and a later With for the same values starts a fresh child.
+func TestVecRemove(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("jobs_total", "jobs", "env")
+	gv := r.GaugeVec("depth", "depth", "env")
+	hv := r.HistogramVec("lat", "lat", []float64{0.01}, "env")
+
+	cv.With("a").Add(5)
+	cv.With("b").Add(7)
+	gv.Func(func() float64 { return 42 }, "a")
+	hv.With("a").Observe(0.005)
+
+	cv.Remove("a")
+	gv.Remove("a")
+	hv.Remove("a")
+
+	s := r.Snapshot()
+	for _, id := range []string{`jobs_total{env="a"}`, `depth{env="a"}`, `lat_count{env="a"}`} {
+		if _, ok := s[id]; ok {
+			t.Errorf("%s survived Remove: %v", id, s[id])
+		}
+	}
+	if s[`jobs_total{env="b"}`] != 7 {
+		t.Errorf("sibling series disturbed: %v", s[`jobs_total{env="b"}`])
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `env="a"`) {
+		t.Errorf("exposition still mentions removed series:\n%s", sb.String())
+	}
+
+	// Re-With starts from zero with no inherited gauge funcs.
+	if v := cv.With("a").Value(); v != 0 {
+		t.Errorf("recreated counter = %v, want 0", v)
+	}
+	if v := r.Snapshot()[`depth{env="a"}`]; v != 0 {
+		t.Errorf("recreated gauge child inherited funcs: %v", v)
+	}
+
+	// Removing an absent child is a no-op.
+	cv.Remove("never-existed")
+
+	// A nil vec ignores Remove like every other method.
+	var nilCV *CounterVec
+	nilCV.Remove("x")
+}

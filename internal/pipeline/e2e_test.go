@@ -143,7 +143,7 @@ func pipelineFixesSharded(tb testing.TB, sc *sim.Scenario, reports []*llrp.ROAcc
 	for _, r := range sc.Readers {
 		arrays[r.ID] = r.Array
 	}
-	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, AssemblerShards: shards})
+	p, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, AssemblerShards: shards})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestRestoredBaselineSkipsBaselineRounds(t *testing.T) {
 	}
 
 	// First pipeline: full run, keep its fuser and fixes.
-	p1, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid})
+	p1, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestRestoredBaselineSkipsBaselineRounds(t *testing.T) {
 	}
 
 	// Second pipeline: restored fuser, online reports only.
-	p2, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Restored: p1.Fuser()})
+	p2, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Restored: p1.Fuser()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func instrumentedRun(t *testing.T, workers int) (*Pipeline, *obs.Registry, []Fix
 		arrays[r.ID] = r.Array
 	}
 	reg := obs.NewRegistry()
-	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, Obs: reg})
+	p, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: workers, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestSubscribeFixes(t *testing.T) {
 	for _, r := range sc.Readers {
 		arrays[r.ID] = r.Array
 	}
-	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: 2})
+	p, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestSubscribeAfterStartPanics(t *testing.T) {
 	for _, r := range sc.Readers {
 		arrays[r.ID] = r.Array
 	}
-	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid})
+	p, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestStatsRaceWithAssembler(t *testing.T) {
 		arrays[r.ID] = r.Array
 	}
 	reg := obs.NewRegistry()
-	p, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: 4, Obs: reg})
+	p, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid, Workers: 4, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}

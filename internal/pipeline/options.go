@@ -106,5 +106,5 @@ func New(dep Deployment, opts ...Option) (*Pipeline, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return NewFromConfig(cfg)
+	return newFromConfig(cfg)
 }

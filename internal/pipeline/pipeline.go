@@ -294,12 +294,10 @@ type Pipeline struct {
 	asm *assembler
 }
 
-// NewFromConfig validates a full Config and builds a pipeline. Start
-// must be called before Ingest.
-//
-// Deprecated: use New with a Deployment and functional options; this
-// shim remains for callers constructed around the Config struct.
-func NewFromConfig(cfg Config) (*Pipeline, error) {
+// newFromConfig validates a full Config and builds a pipeline. Start
+// must be called before Ingest. New is the public construction path;
+// this is the shared validation core.
+func newFromConfig(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Arrays) == 0 {
 		return nil, errors.New("pipeline: no reader arrays configured")

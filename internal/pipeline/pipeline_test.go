@@ -66,21 +66,21 @@ func drainFixes(p *Pipeline) func() []Fix {
 }
 
 func TestNewValidates(t *testing.T) {
-	if _, err := NewFromConfig(Config{}); err == nil {
+	if _, err := newFromConfig(Config{}); err == nil {
 		t.Fatal("New accepted empty config")
 	}
 	arrays, sc := testArrays(t)
-	if _, err := NewFromConfig(Config{Arrays: arrays}); err == nil {
+	if _, err := newFromConfig(Config{Arrays: arrays}); err == nil {
 		t.Fatal("New accepted zero grid")
 	}
-	if _, err := NewFromConfig(Config{Arrays: arrays, Grid: sc.Grid}); err != nil {
+	if _, err := newFromConfig(Config{Arrays: arrays, Grid: sc.Grid}); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
 }
 
 func TestIngestUnknownReaderRejected(t *testing.T) {
 	cfg, _ := testConfig(t)
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestIngestUnknownReaderRejected(t *testing.T) {
 
 func TestIngestAfterDrainFails(t *testing.T) {
 	cfg, sc := testConfig(t)
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestOverloadDropOldest(t *testing.T) {
 	cfg.QueueSize = 2
 	cfg.Overload = DropOldest
 	cfg.ExpectReaders = 1
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestOverloadBlock(t *testing.T) {
 	cfg.QueueSize = 1
 	cfg.Overload = Block
 	cfg.ExpectReaders = 1
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestOverloadBlock(t *testing.T) {
 func TestSequenceTTLEviction(t *testing.T) {
 	cfg, sc := testConfig(t)
 	cfg.SeqTTL = time.Hour // sweep manually for determinism
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestDeadReaderBoundedMemory(t *testing.T) {
 	cfg, sc := testConfig(t)
 	cfg.SeqTTL = time.Hour // the cap, not the TTL, must bound memory
 	cfg.MaxPendingSeqs = 10
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestCloseAborts(t *testing.T) {
 	cfg, sc := testConfig(t)
 	cfg.Workers = 1
 	cfg.QueueSize = 1
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -135,7 +135,7 @@ func TestTracedTTLEviction(t *testing.T) {
 	cfg.Tracer = tracer
 	var logBuf bytes.Buffer
 	cfg.Logger = slog.New(slog.NewJSONHandler(&logBuf, nil))
-	p, err := NewFromConfig(cfg)
+	p, err := newFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

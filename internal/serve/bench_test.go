@@ -7,22 +7,15 @@ import (
 )
 
 // BenchmarkBrokerFanout measures the publisher-side cost of one fix
-// delivery at fleet fan-outs, old plane vs new:
+// delivery at fleet fan-outs on the snapshot+delta Hub: every Publish
+// marshals the frame once, writes one ring slot, and closes one notify
+// channel — O(1) regardless of watcher count; watchers copy shared
+// bytes on their own goroutines. (The deprecated per-subscriber-channel
+// Broker this benchmark originally baselined — O(subscribers) per
+// publish — is gone; the hub line should stay flat across the sweep.)
 //
-//   - impl=channel is the deprecated Broker: every Publish walks the
-//     subscriber table and performs a (possibly shedding) channel send
-//     per subscriber — O(subscribers) work on the publisher's
-//     goroutine, the pipeline's fix callback.
-//   - impl=hub is the snapshot+delta Hub: every Publish marshals the
-//     frame once, writes one ring slot, and closes one notify channel —
-//     O(1) regardless of watcher count; watchers copy shared bytes on
-//     their own goroutines.
-//
-// Watchers/subscribers are attached but idle, which is the broker's
-// best case (a drained subscriber costs the same send; a full one costs
-// shed+retry) and irrelevant to the hub (publish never touches
-// watchers). The sweep runs 100 → 100k consumers; the hub's line should
-// stay flat while the channel broker's grows linearly.
+// Watchers are attached but idle, which is irrelevant to the hub:
+// publish never touches watchers.
 func BenchmarkBrokerFanout(b *testing.B) {
 	fix := Position{
 		Env: "hall", Seq: 7, X: 3.25, Y: 4.5,
@@ -31,22 +24,6 @@ func BenchmarkBrokerFanout(b *testing.B) {
 		Time:    time.Unix(1700000000, 0),
 	}
 	for _, subs := range []int{100, 1000, 10000, 100000} {
-		b.Run(fmt.Sprintf("impl=channel/subs=%d", subs), func(b *testing.B) {
-			br := NewBroker()
-			cancels := make([]func(), subs)
-			for i := range cancels {
-				_, cancels[i] = br.Subscribe()
-			}
-			defer func() {
-				for _, c := range cancels {
-					c()
-				}
-			}()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				br.Publish(fix)
-			}
-		})
 		b.Run(fmt.Sprintf("impl=hub/subs=%d", subs), func(b *testing.B) {
 			h := NewHub()
 			watchers := make([]*Watcher, subs)

@@ -2,7 +2,7 @@ package serve
 
 import (
 	"bufio"
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/calib"
 	"dwatch/internal/channel"
 	"dwatch/internal/geom"
@@ -81,7 +83,7 @@ func TestServePlaneEndToEnd(t *testing.T) {
 	}
 
 	reg := obs.NewRegistry()
-	broker := NewBroker()
+	hub := NewHub(WithHubObs(reg))
 	tracer := tracing.New()
 	mon := health.New(reg, health.Options{})
 	p, err := pipeline.New(pipeline.Deployment{Arrays: arrays, Grid: sc.Grid},
@@ -94,24 +96,24 @@ func TestServePlaneEndToEnd(t *testing.T) {
 		if f.Err != nil {
 			return
 		}
-		broker.Publish(Position{
+		hub.Publish(Position{
 			Env: sc.Name, Seq: f.Seq, X: f.Pos.X, Y: f.Pos.Y,
 			Confidence: f.Confidence, Views: f.Views, TraceID: f.TraceID, Time: time.Now(),
 		})
 	})
-	srv := NewFromOptions(Options{
-		Registry: reg,
-		Broker:   broker,
-		Tracer:   tracer,
-		Health:   mon,
-		Stats:    func() any { return p.Stats() },
-		Ready: func() error {
+	srv := New(
+		WithRegistry(reg),
+		WithHub(hub),
+		WithTracer(tracer),
+		WithHealth(mon),
+		WithStats(func() api.PipelineStats { return adapt.PipelineStats(p.Stats()) }),
+		WithReady(func() error {
 			if st := p.Stats(); st.BaselinesConfirmed < uint64(len(arrays)) {
 				return fmt.Errorf("baseline: %d/%d readers confirmed", st.BaselinesConfirmed, len(arrays))
 			}
 			return nil
-		},
-	})
+		}),
+	)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -157,10 +159,12 @@ func TestServePlaneEndToEnd(t *testing.T) {
 	p.Drain()
 	<-done
 
-	// The streamed fix's trace ID resolves over HTTP to a full trace
-	// with spans from every pipeline stage.
-	var td tracing.Data
-	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/api/v1/traces/"+fixes[0].TraceID)), &td); err != nil {
+	// The streamed fix's trace ID resolves through the typed client to
+	// a full trace with spans from every pipeline stage.
+	client := api.NewClient(ts.URL)
+	client.Strict = true
+	td, err := client.Trace(context.Background(), "", fixes[0].TraceID)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if td.Outcome != tracing.OutcomeFix || len(td.Spans) < 4 {
@@ -176,9 +180,10 @@ func TestServePlaneEndToEnd(t *testing.T) {
 		}
 	}
 
-	// The RF-health endpoint reports both readers with live read rates.
-	var hs health.Snapshot
-	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/api/v1/health")), &hs); err != nil {
+	// The RF-health endpoint reports both readers with live read rates,
+	// strict-decoded against the contract type.
+	hs, err := client.Health(context.Background(), "")
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hs.Readers) != len(arrays) {
@@ -212,11 +217,14 @@ func TestServePlaneEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Live stats JSON agrees with the pipeline.
-	stats := getBody(t, ts.URL+"/api/v1/stats")
+	// Live stats agree with the pipeline through the typed client.
+	stats, err := client.EnvStats(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := p.Stats()
-	if !strings.Contains(stats, `"ReportsIn"`) {
-		t.Fatalf("stats body lacks ReportsIn: %s", stats)
+	if stats.ReportsIn == 0 || stats.ReportsIn != st.ReportsIn {
+		t.Fatalf("client stats ReportsIn = %d, pipeline %d", stats.ReportsIn, st.ReportsIn)
 	}
 	if st.Fixes == 0 {
 		t.Fatal("pipeline produced no fixes")

@@ -9,15 +9,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dwatch/internal/api"
 )
 
-func decodeError(t *testing.T, resp *http.Response) apiError {
+func decodeError(t *testing.T, resp *http.Response) api.Error {
 	t.Helper()
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("error response Content-Type = %q, want application/json", ct)
 	}
-	var e apiError
+	var e api.Error
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatalf("error body is not the envelope: %v", err)
 	}
@@ -82,13 +84,13 @@ func TestReadyzJSON(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	get := func() (int, readyResponse) {
+	get := func() (int, api.ReadyResponse) {
 		resp, err := http.Get(ts.URL + "/readyz")
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var rr readyResponse
+		var rr api.ReadyResponse
 		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 			t.Fatalf("readyz body: %v", err)
 		}
@@ -119,13 +121,15 @@ func TestReadyzJSON(t *testing.T) {
 // TestPositionSchema: Publish stamps the schema version, and the JSON
 // carries the degraded flag and contributing readers.
 func TestPositionSchema(t *testing.T) {
-	b := NewBroker()
-	b.Publish(Position{
+	h := NewHub()
+	if err := h.Publish(Position{
 		Env: "hall", Seq: 7, X: 1, Y: 2,
 		Readers: []string{"reader-1", "reader-2"}, Degraded: true,
 		Time: time.Now(),
-	})
-	srv := New(WithBroker(b))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(WithHub(h))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/health"
 	"dwatch/internal/tracing"
 )
@@ -23,31 +25,15 @@ import (
 // the process-wide stats hook), so a one-env fleet is indistinguishable
 // from the pre-fleet daemon.
 
-// EnvInfo is one environment's listing entry on /api/v1/envs.
-type EnvInfo struct {
-	ID string `json:"id"`
-	// Name is the scenario/deployment name when it differs from ID.
-	Name string `json:"name,omitempty"`
-	// Slot is the environment's home slot on the fleet's consistent
-	// hash ring (stable under env add/remove; the placement unit for
-	// future multi-process sharding).
-	Slot    int       `json:"slot"`
-	Readers int       `json:"readers"`
-	Tags    int       `json:"tags,omitempty"`
-	Fixes   uint64    `json:"fixes"`
-	Reports uint64    `json:"reports"`
-	Added   time.Time `json:"added"`
-}
-
 // EnvHandle bundles one environment's per-deployment hooks for the
 // env-scoped routes. Absent fields degrade exactly like the
 // process-wide Options fields (404 envelope with the matching code).
 type EnvHandle struct {
 	Info      EnvInfo
-	Stats     func() any
+	Stats     func() api.PipelineStats
 	Tracer    *tracing.Tracer
 	Health    *health.Monitor
-	WALStatus func() any
+	WALStatus func() api.WALStatus
 }
 
 // WithEnvs supplies the /api/v1/envs listing hook.
@@ -97,9 +83,7 @@ func (s *Server) handleEnvs(w http.ResponseWriter, r *http.Request) {
 			"no environment registry configured on this deployment")
 		return
 	}
-	writeJSON(w, struct {
-		Envs []EnvInfo `json:"envs"`
-	}{s.opts.Envs()})
+	writeJSON(w, api.EnvsResponse{Envs: s.opts.Envs()})
 }
 
 // lookupEnv resolves the {env} path value, writing the uniform error
@@ -144,9 +128,7 @@ func (s *Server) handleEnvPositions(w http.ResponseWriter, r *http.Request) {
 	if p, ok := s.opts.Hub.LatestForEnv(id); ok {
 		positions = append(positions, p)
 	}
-	writeJSON(w, struct {
-		Positions []Position `json:"positions"`
-	}{positions})
+	writeJSON(w, api.PositionsResponse{Positions: positions})
 }
 
 func (s *Server) handleEnvStats(w http.ResponseWriter, r *http.Request) {
@@ -172,7 +154,7 @@ func (s *Server) handleEnvHealth(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("no RF-health monitor configured for environment %q", id))
 		return
 	}
-	writeJSON(w, h.Health.Snapshot())
+	writeJSON(w, adapt.RFHealth(h.Health.Snapshot()))
 }
 
 func (s *Server) handleEnvWAL(w http.ResponseWriter, r *http.Request) {
@@ -205,9 +187,7 @@ func (s *Server) handleEnvTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, struct {
-		Traces []tracing.Summary `json:"traces"`
-	}{h.Tracer.Traces()})
+	writeJSON(w, api.TracesResponse{Traces: adapt.TraceSummaries(h.Tracer.Traces())})
 }
 
 func (s *Server) handleEnvTrace(w http.ResponseWriter, r *http.Request, id string) {
@@ -233,7 +213,7 @@ func (s *Server) handleEnvTrace(w http.ResponseWriter, r *http.Request, id strin
 		}
 		return
 	}
-	writeJSON(w, d)
+	writeJSON(w, adapt.Trace(d))
 }
 
 // streamHub serves an SSE position feed from the hub: the latest fix

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dwatch/internal/api"
 )
 
 // fleetFixture builds a two-env serve plane the way internal/fleet
@@ -19,11 +21,11 @@ func fleetFixture(t *testing.T) (*Server, *Hub) {
 	envs := map[string]EnvHandle{
 		"room-a": {
 			Info:  EnvInfo{ID: "room-a", Readers: 3},
-			Stats: func() any { return map[string]string{"env": "room-a"} },
+			Stats: func() api.PipelineStats { return api.PipelineStats{ReportsIn: 101} },
 		},
 		"room-b": {
 			Info:  EnvInfo{ID: "room-b", Readers: 4},
-			Stats: func() any { return map[string]string{"env": "room-b"} },
+			Stats: func() api.PipelineStats { return api.PipelineStats{ReportsIn: 202} },
 		},
 	}
 	srv := New(
@@ -131,19 +133,20 @@ func TestEnvStatsIsolation(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
+	want := map[string]uint64{"room-a": 101, "room-b": 202}
 	for _, env := range []string{"room-a", "room-b"} {
 		resp, err := http.Get(ts.URL + "/api/v1/" + env + "/stats")
 		if err != nil {
 			t.Fatal(err)
 		}
-		var body map[string]string
+		var body api.PipelineStats
 		err = json.NewDecoder(resp.Body).Decode(&body)
 		resp.Body.Close()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if body["env"] != env {
-			t.Fatalf("stats for %s = %v", env, body)
+		if body.ReportsIn != want[env] {
+			t.Fatalf("stats for %s = %+v", env, body)
 		}
 	}
 }

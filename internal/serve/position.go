@@ -1,0 +1,20 @@
+package serve
+
+import "dwatch/internal/api"
+
+// The serve plane's wire types are the internal/api contract types;
+// the aliases keep the historical serve.Position / serve.EnvInfo names
+// working for the daemons and the fleet registry while guaranteeing
+// the handlers and every API consumer marshal the same structs.
+
+// PositionSchema is the version stamped on every published Position.
+const PositionSchema = api.PositionSchema
+
+// Position is one localization fix as the API exposes it.
+type Position = api.Position
+
+// EnvInfo is one environment's listing entry on /api/v1/envs.
+type EnvInfo = api.EnvInfo
+
+// ReaderStatus is one reader's supervision state as /readyz exposes it.
+type ReaderStatus = api.ReaderStatus

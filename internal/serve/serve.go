@@ -9,7 +9,7 @@
 //	/readyz            readiness: 503 until the Ready hook passes
 //	                   (dwatchd: every reader's baseline confirmed)
 //	/api/v1/stats      JSON snapshot from the Stats hook
-//	                   (dwatchd/dwatch-replay: pipeline.Stats)
+//	                   (api.PipelineStats, or api.FleetStats in fleet mode)
 //	/api/v1/positions  latest fix per environment (JSON), or a live
 //	                   Server-Sent-Events stream of new fixes when the
 //	                   client asks for text/event-stream (or ?stream=1);
@@ -23,10 +23,16 @@
 //	/api/v1/wal        ingest WAL status: segments, bytes, fsync policy,
 //	                   recovery outcome (records recovered, torn-tail
 //	                   bytes truncated, damage location)
+//	/api/v1/cluster    cluster view (api.ClusterStatus) when this node
+//	                   runs in cluster mode
 //	/debug/pprof/*     net/http/pprof, absorbed from the old -pprof flag
 //
+// Every JSON body is a type from internal/api — the versioned wire
+// contract shared with the gateway, the typed client, and the smoke
+// scripts — so a handler cannot drift from what consumers decode.
+//
 // The server is deliberately decoupled from internal/pipeline: it sees
-// a registry, a couple of hooks, and a position broker, so any future
+// a registry, a few typed hooks, and a position hub, so any future
 // subsystem (sharded fusers, multi-site aggregators) can mount the
 // same plane.
 package serve
@@ -36,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -43,6 +50,8 @@ import (
 	"sync"
 	"time"
 
+	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/health"
 	"dwatch/internal/obs"
 	"dwatch/internal/tracing"
@@ -55,9 +64,12 @@ type Options struct {
 	// Registry backs /metrics; the server also registers its own
 	// request counters on it when present.
 	Registry *obs.Registry
-	// Stats supplies the /api/v1/stats payload (typically
-	// pipeline.Stats()); it is re-invoked per request.
-	Stats func() any
+	// Stats supplies the /api/v1/stats payload for a single-deployment
+	// daemon; it is re-invoked per request.
+	Stats func() api.PipelineStats
+	// FleetStats supplies the /api/v1/stats payload for a multi-env
+	// fleet (one snapshot per environment); wins over Stats when set.
+	FleetStats func() api.FleetStats
 	// Ready gates /readyz: nil error (or a nil hook) means ready.
 	Ready func() error
 	// Readers supplies per-reader session status for the /readyz body
@@ -67,48 +79,29 @@ type Options struct {
 	// quorum with a reader down; surfaced on /readyz.
 	Degraded func() bool
 	// Hub feeds /api/v1/positions and the env-scoped
-	// /api/v1/{env}/positions from the snapshot+delta broadcast plane;
-	// preferred over Broker when both are set.
+	// /api/v1/{env}/positions from the snapshot+delta broadcast plane.
 	Hub *Hub
 	// Envs lists the fleet's environments for /api/v1/envs.
 	Envs func() []EnvInfo
 	// Env resolves one environment's handle for the /api/v1/{env}/*
 	// routes (typically fleet.Fleet.EnvHandle).
 	Env func(id string) (EnvHandle, bool)
-	// Broker feeds /api/v1/positions.
-	//
-	// Deprecated: use Hub — the per-subscriber-channel broker costs
-	// O(subscribers) per publish. Kept as a fallback for callers not
-	// yet migrated; ignored when Hub is set.
-	Broker *Broker
 	// Tracer feeds /api/v1/traces and /api/v1/traces/{id}.
 	Tracer *tracing.Tracer
 	// Health feeds /api/v1/health.
 	Health *health.Monitor
-	// WALStatus supplies the /api/v1/wal payload (typically
-	// wal.WAL.Status()); it is re-invoked per request. Kept as an
-	// opaque hook so the serve plane stays decoupled from the WAL
-	// implementation, like Stats.
-	WALStatus func() any
+	// WALStatus supplies the /api/v1/wal payload (typically adapted
+	// from wal.WAL.Status()); it is re-invoked per request.
+	WALStatus func() api.WALStatus
+	// Cluster supplies the /api/v1/cluster payload when the daemon runs
+	// as a cluster node (or gateway); absent = 404.
+	Cluster func() api.ClusterStatus
 	// SSEKeepalive is the idle interval after which a position stream
 	// emits a ": keepalive" comment frame so proxies and clients keep
 	// quiet connections open. 0 = 15 s.
 	SSEKeepalive time.Duration
-	// Logf, when set, receives serve-plane log lines.
-	Logf func(format string, args ...any)
-}
-
-// ReaderStatus is one reader's supervision state as /readyz exposes
-// it. Defined here (not imported from internal/session) so the serve
-// plane stays decoupled from any one supervisor implementation.
-type ReaderStatus struct {
-	ID   string `json:"id"`
-	Addr string `json:"addr,omitempty"`
-	// State is "up", "down", "connecting", or "half-open".
-	State      string    `json:"state"`
-	Since      time.Time `json:"since,omitempty"`
-	Reconnects uint64    `json:"reconnects,omitempty"`
-	LastError  string    `json:"last_error,omitempty"`
+	// Logger, when set, receives serve-plane log records.
+	Logger *slog.Logger
 }
 
 // Option configures a Server at construction.
@@ -117,8 +110,13 @@ type Option func(*Options)
 // WithRegistry backs /metrics (and request counting) with reg.
 func WithRegistry(reg *obs.Registry) Option { return func(o *Options) { o.Registry = reg } }
 
-// WithStats supplies the /api/v1/stats payload hook.
-func WithStats(fn func() any) Option { return func(o *Options) { o.Stats = fn } }
+// WithStats supplies the single-deployment /api/v1/stats payload hook.
+func WithStats(fn func() api.PipelineStats) Option { return func(o *Options) { o.Stats = fn } }
+
+// WithFleetStats supplies the fleet-mode /api/v1/stats payload hook.
+func WithFleetStats(fn func() api.FleetStats) Option {
+	return func(o *Options) { o.FleetStats = fn }
+}
 
 // WithReady gates /readyz on fn (nil error = ready).
 func WithReady(fn func() error) Option { return func(o *Options) { o.Ready = fn } }
@@ -129,9 +127,6 @@ func WithReaders(fn func() []ReaderStatus) Option { return func(o *Options) { o.
 // WithDegraded supplies the degraded-mode flag for /readyz.
 func WithDegraded(fn func() bool) Option { return func(o *Options) { o.Degraded = fn } }
 
-// WithBroker feeds /api/v1/positions from b.
-func WithBroker(b *Broker) Option { return func(o *Options) { o.Broker = b } }
-
 // WithTracer feeds /api/v1/traces from tr.
 func WithTracer(tr *tracing.Tracer) Option { return func(o *Options) { o.Tracer = tr } }
 
@@ -139,14 +134,21 @@ func WithTracer(tr *tracing.Tracer) Option { return func(o *Options) { o.Tracer 
 func WithHealth(m *health.Monitor) Option { return func(o *Options) { o.Health = m } }
 
 // WithWALStatus supplies the /api/v1/wal payload hook.
-func WithWALStatus(fn func() any) Option { return func(o *Options) { o.WALStatus = fn } }
+func WithWALStatus(fn func() api.WALStatus) Option {
+	return func(o *Options) { o.WALStatus = fn }
+}
+
+// WithCluster supplies the /api/v1/cluster payload hook.
+func WithCluster(fn func() api.ClusterStatus) Option {
+	return func(o *Options) { o.Cluster = fn }
+}
 
 // WithSSEKeepalive sets the idle keepalive interval for position
 // streams (0 = 15 s).
 func WithSSEKeepalive(d time.Duration) Option { return func(o *Options) { o.SSEKeepalive = d } }
 
-// WithLogf routes serve-plane log lines to fn.
-func WithLogf(fn func(format string, args ...any)) Option { return func(o *Options) { o.Logf = fn } }
+// WithLogger routes serve-plane log records to l.
+func WithLogger(l *slog.Logger) Option { return func(o *Options) { o.Logger = l } }
 
 // Server wraps an http.Server with the observability mux and a
 // graceful lifecycle: New → Start → Shutdown.
@@ -168,16 +170,8 @@ func New(opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return NewFromOptions(o)
-}
-
-// NewFromOptions builds the mux from a filled Options struct.
-//
-// Deprecated: use New with functional options; this shim remains for
-// callers constructed around the Options struct.
-func NewFromOptions(opts Options) *Server {
-	s := &Server{opts: opts, mux: http.NewServeMux()}
-	s.requests = opts.Registry.CounterVec("dwatch_http_requests_total",
+	s := &Server{opts: o, mux: http.NewServeMux()}
+	s.requests = o.Registry.CounterVec("dwatch_http_requests_total",
 		"Observability-plane HTTP requests by endpoint.", "path")
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -188,6 +182,7 @@ func NewFromOptions(opts Options) *Server {
 	s.mux.HandleFunc("/api/v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("/api/v1/health", s.handleRFHealth)
 	s.mux.HandleFunc("/api/v1/wal", s.handleWAL)
+	s.mux.HandleFunc("/api/v1/cluster", s.handleCluster)
 	// Multi-tenant routes. One catch-all wildcard dispatches the
 	// env-scoped endpoints (ServeMux cannot rank /api/v1/{env}/stats
 	// against /api/v1/traces/{id}, but every literal pattern above
@@ -220,10 +215,13 @@ func endpointLabel(path string) string {
 	case path == "/healthz", path == "/readyz", path == "/metrics",
 		path == "/api/v1/stats", path == "/api/v1/positions",
 		path == "/api/v1/traces", path == "/api/v1/health",
-		path == "/api/v1/wal", path == "/api/v1/envs":
+		path == "/api/v1/wal", path == "/api/v1/envs",
+		path == "/api/v1/cluster":
 		return path
 	case strings.HasPrefix(path, "/api/v1/traces/"):
 		return "/api/v1/traces/{id}"
+	case strings.HasPrefix(path, "/api/v1/cluster/"):
+		return "/api/v1/cluster/"
 	case strings.HasPrefix(path, "/debug/pprof/"):
 		return "/debug/pprof/"
 	}
@@ -275,8 +273,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
+	if s.opts.Logger != nil {
+		s.opts.Logger.Info(fmt.Sprintf(format, args...))
 	}
 }
 
@@ -285,18 +283,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// readyResponse is the /readyz body: overall readiness plus the
-// per-reader session states and degraded-mode flag the fault-tolerant
-// deployment exposes.
-type readyResponse struct {
-	Ready    bool           `json:"ready"`
-	Reason   string         `json:"reason,omitempty"`
-	Degraded bool           `json:"degraded"`
-	Readers  []ReaderStatus `json:"readers,omitempty"`
-}
-
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	resp := readyResponse{Ready: true}
+	resp := api.ReadyResponse{Ready: true}
 	if s.opts.Ready != nil {
 		if err := s.opts.Ready(); err != nil {
 			resp.Ready = false
@@ -329,12 +317,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%s not allowed on /api/v1/stats", r.Method))
 		return
 	}
-	if s.opts.Stats == nil {
+	switch {
+	case s.opts.FleetStats != nil:
+		writeJSON(w, s.opts.FleetStats())
+	case s.opts.Stats != nil:
+		writeJSON(w, s.opts.Stats())
+	default:
 		writeError(w, http.StatusNotFound, "stats_unavailable",
 			"no stats hook configured on this deployment")
-		return
 	}
-	writeJSON(w, s.opts.Stats())
 }
 
 func (s *Server) handlePositions(w http.ResponseWriter, r *http.Request) {
@@ -343,28 +334,16 @@ func (s *Server) handlePositions(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%s not allowed on /api/v1/positions", r.Method))
 		return
 	}
-	if s.opts.Hub == nil && s.opts.Broker == nil {
+	if s.opts.Hub == nil {
 		writeError(w, http.StatusNotFound, "positions_unavailable",
-			"no position broker configured on this deployment")
-		return
-	}
-	if s.opts.Hub != nil {
-		if wantsEventStream(r) {
-			s.streamHub(w, r, "") // whole-fleet stream
-			return
-		}
-		writeJSON(w, struct {
-			Positions []Position `json:"positions"`
-		}{s.opts.Hub.Latest()})
+			"no position hub configured on this deployment")
 		return
 	}
 	if wantsEventStream(r) {
-		s.streamPositions(w, r)
+		s.streamHub(w, r, "") // whole-fleet stream
 		return
 	}
-	writeJSON(w, struct {
-		Positions []Position `json:"positions"`
-	}{s.opts.Broker.Latest()})
+	writeJSON(w, api.PositionsResponse{Positions: s.opts.Hub.Latest()})
 }
 
 // handleTraces lists retained sequence traces (newest first), or
@@ -388,9 +367,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, struct {
-		Traces []tracing.Summary `json:"traces"`
-	}{s.opts.Tracer.Traces()})
+	writeJSON(w, api.TracesResponse{Traces: adapt.TraceSummaries(s.opts.Tracer.Traces())})
 }
 
 // handleTrace resolves one trace ID to its full span/event record; with
@@ -420,7 +397,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, d)
+	writeJSON(w, adapt.Trace(d))
 }
 
 // handleRFHealth serves the RF-health snapshot: read rates, path-power
@@ -436,7 +413,7 @@ func (s *Server) handleRFHealth(w http.ResponseWriter, r *http.Request) {
 			"no RF-health monitor configured on this deployment")
 		return
 	}
-	writeJSON(w, s.opts.Health.Snapshot())
+	writeJSON(w, adapt.RFHealth(s.opts.Health.Snapshot()))
 }
 
 // handleWAL serves the ingest WAL status: on-disk footprint, fsync
@@ -455,81 +432,27 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.opts.WALStatus())
 }
 
+// handleCluster serves the cluster view: membership and assignments on
+// a gateway, the node's own identity and assignment on a node.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/cluster", r.Method))
+		return
+	}
+	if s.opts.Cluster == nil {
+		writeError(w, http.StatusNotFound, "cluster_unavailable",
+			"this daemon is not running in cluster mode")
+		return
+	}
+	writeJSON(w, s.opts.Cluster())
+}
+
 func wantsEventStream(r *http.Request) bool {
 	if r.URL.Query().Get("stream") == "1" {
 		return true
 	}
 	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
-}
-
-// streamPositions serves the SSE feed: each environment's current fix
-// first (so a late joiner renders immediately), then every new fix as
-// it is published, until the client hangs up or the server shuts down.
-func (s *Server) streamPositions(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, "stream_unsupported",
-			"response writer does not support streaming")
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-
-	ch, cancel := s.opts.Broker.Subscribe()
-	defer cancel()
-	for _, p := range s.opts.Broker.Latest() {
-		if err := writeEvent(w, p); err != nil {
-			return
-		}
-	}
-	fl.Flush()
-	// Comment frames keep idle streams alive through proxies and LB
-	// idle timeouts; the timer rearms on every real event so keepalives
-	// only flow when the fix feed is quiet.
-	keepalive := s.opts.SSEKeepalive
-	if keepalive <= 0 {
-		keepalive = 15 * time.Second
-	}
-	idle := time.NewTimer(keepalive)
-	defer idle.Stop()
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-idle.C:
-			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
-				return
-			}
-			fl.Flush()
-			idle.Reset(keepalive)
-		case p, ok := <-ch:
-			if !ok {
-				return
-			}
-			if err := writeEvent(w, p); err != nil {
-				return
-			}
-			fl.Flush()
-			if !idle.Stop() {
-				select {
-				case <-idle.C:
-				default:
-				}
-			}
-			idle.Reset(keepalive)
-		}
-	}
-}
-
-func writeEvent(w http.ResponseWriter, p Position) error {
-	data, err := json.Marshal(p)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "event: position\ndata: %s\n\n", data)
-	return err
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -546,21 +469,8 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// apiError is the structured error envelope every /api/v1/* endpoint
-// (and the serve plane's JSON handlers generally) returns on failure:
-//
-//	{"error": {"code": "stats_unavailable", "message": "..."}}
-//
-// Code is a stable machine-readable identifier; Message is for humans.
-type apiError struct {
-	Error apiErrorBody `json:"error"`
-}
-
-type apiErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
+// writeError emits the uniform api.Error envelope every /api/v1/*
+// endpoint returns on failure.
 func writeError(w http.ResponseWriter, status int, code, message string) {
-	writeJSONStatus(w, status, apiError{Error: apiErrorBody{Code: code, Message: message}})
+	writeJSONStatus(w, status, api.Error{Error: api.ErrorBody{Code: code, Message: message}})
 }

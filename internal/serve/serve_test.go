@@ -12,11 +12,12 @@ import (
 	"testing"
 	"time"
 
+	"dwatch/internal/api"
 	"dwatch/internal/obs"
 )
 
 func TestHealthz(t *testing.T) {
-	s := NewFromOptions(Options{})
+	s := New()
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
 	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "ok") {
@@ -28,12 +29,12 @@ func TestHealthz(t *testing.T) {
 // passes — the baseline-confirmation gate as dwatchd wires it.
 func TestReadyzFlips(t *testing.T) {
 	ready := false
-	s := NewFromOptions(Options{Ready: func() error {
+	s := New(WithReady(func() error {
 		if !ready {
 			return errors.New("baseline: 0/2 readers confirmed")
 		}
 		return nil
-	}})
+	}))
 	h := s.Handler()
 
 	rr := httptest.NewRecorder()
@@ -56,7 +57,7 @@ func TestReadyzFlips(t *testing.T) {
 func TestMetricsExposition(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("dwatch_test_total", "A test counter.").Add(3)
-	s := NewFromOptions(Options{Registry: reg})
+	s := New(WithRegistry(reg))
 	h := s.Handler()
 
 	rr := httptest.NewRecorder()
@@ -86,12 +87,12 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestStatsJSON: the single-deployment stats hook serves an
+// api.PipelineStats, decodable by the typed client's contract.
 func TestStatsJSON(t *testing.T) {
-	type fakeStats struct {
-		ReportsIn uint64
-		Fixes     uint64
-	}
-	s := NewFromOptions(Options{Stats: func() any { return fakeStats{ReportsIn: 12, Fixes: 3} }})
+	s := New(WithStats(func() api.PipelineStats {
+		return api.PipelineStats{ReportsIn: 12, Fixes: 3}
+	}))
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
 	if rr.Code != http.StatusOK {
@@ -100,7 +101,7 @@ func TestStatsJSON(t *testing.T) {
 	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("content type %q", ct)
 	}
-	var got fakeStats
+	var got api.PipelineStats
 	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
 		t.Fatal(err)
 	}
@@ -108,8 +109,25 @@ func TestStatsJSON(t *testing.T) {
 		t.Fatalf("stats round-trip = %+v", got)
 	}
 
+	// Fleet mode: the FleetStats hook wins and serves the per-env map.
+	fs := New(
+		WithStats(func() api.PipelineStats { return api.PipelineStats{} }),
+		WithFleetStats(func() api.FleetStats {
+			return api.FleetStats{"site-a": {Fixes: 9}}
+		}),
+	)
+	rr = httptest.NewRecorder()
+	fs.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
+	var fleet api.FleetStats
+	if err := json.Unmarshal(rr.Body.Bytes(), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet["site-a"].Fixes != 9 {
+		t.Fatalf("fleet stats = %+v", fleet)
+	}
+
 	// No hook: 404, not a panic.
-	none := NewFromOptions(Options{})
+	none := New()
 	rr = httptest.NewRecorder()
 	none.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
 	if rr.Code != http.StatusNotFound {
@@ -118,20 +136,18 @@ func TestStatsJSON(t *testing.T) {
 }
 
 func TestPositionsJSON(t *testing.T) {
-	b := NewBroker()
-	b.Publish(Position{Env: "hall", Seq: 7, X: 1.5, Y: 2.5, Confidence: 40, Views: 2})
-	b.Publish(Position{Env: "hall", Seq: 8, X: 1.6, Y: 2.4, Confidence: 42, Views: 2})
-	b.Publish(Position{Env: "lab", Seq: 3, X: 0.5, Y: 0.5, Confidence: 10, Views: 2})
-	s := NewFromOptions(Options{Broker: b})
+	h := NewHub()
+	mustPublish(t, h, Position{Env: "hall", Seq: 7, X: 1.5, Y: 2.5, Confidence: 40, Views: 2})
+	mustPublish(t, h, Position{Env: "hall", Seq: 8, X: 1.6, Y: 2.4, Confidence: 42, Views: 2})
+	mustPublish(t, h, Position{Env: "lab", Seq: 3, X: 0.5, Y: 0.5, Confidence: 10, Views: 2})
+	s := New(WithHub(h))
 
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/positions", nil))
 	if rr.Code != http.StatusOK {
 		t.Fatalf("positions = %d", rr.Code)
 	}
-	var got struct {
-		Positions []Position `json:"positions"`
-	}
+	var got api.PositionsResponse
 	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
 		t.Fatal(err)
 	}
@@ -142,8 +158,15 @@ func TestPositionsJSON(t *testing.T) {
 	}
 }
 
+func mustPublish(t *testing.T, h *Hub, p Position) {
+	t.Helper()
+	if err := h.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPprofMounted(t *testing.T) {
-	s := NewFromOptions(Options{})
+	s := New()
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
 	if rr.Code != http.StatusOK {
@@ -200,9 +223,9 @@ func readSSE(t *testing.T, body *bufio.Reader, n int, deadline time.Duration) []
 // TestPositionsSSE: a live subscriber receives the backlog (latest per
 // env) and then every newly published fix.
 func TestPositionsSSE(t *testing.T) {
-	b := NewBroker()
-	b.Publish(Position{Env: "hall", Seq: 1, X: 1, Y: 1})
-	s := NewFromOptions(Options{Broker: b})
+	h := NewHub()
+	mustPublish(t, h, Position{Env: "hall", Seq: 1, X: 1, Y: 1})
+	s := New(WithHub(h))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -226,8 +249,8 @@ func TestPositionsSSE(t *testing.T) {
 	// prove the stream stays open.
 	go func() {
 		time.Sleep(50 * time.Millisecond)
-		b.Publish(Position{Env: "hall", Seq: 2, X: 2, Y: 2})
-		b.Publish(Position{Env: "hall", Seq: 3, X: 3, Y: 3})
+		h.Publish(Position{Env: "hall", Seq: 2, X: 2, Y: 2})
+		h.Publish(Position{Env: "hall", Seq: 3, X: 3, Y: 3})
 	}()
 	got := readSSE(t, rd, 2, 5*time.Second)
 	if got[0].Seq != 2 || got[1].Seq != 3 {
@@ -235,29 +258,8 @@ func TestPositionsSSE(t *testing.T) {
 	}
 }
 
-func TestBrokerSlowSubscriberKeepsNewest(t *testing.T) {
-	b := NewBroker()
-	ch, cancel := b.Subscribe()
-	defer cancel()
-	// Overfill: the buffer holds subBuffer fixes; the oldest get shed.
-	n := subBuffer + 8
-	for i := 1; i <= n; i++ {
-		b.Publish(Position{Env: "hall", Seq: uint32(i)})
-	}
-	var last Position
-	for i := 0; i < subBuffer; i++ {
-		last = <-ch
-	}
-	if last.Seq != uint32(n) {
-		t.Fatalf("last buffered seq = %d, want newest %d", last.Seq, n)
-	}
-	if lat := b.Latest(); len(lat) != 1 || lat[0].Seq != uint32(n) {
-		t.Fatalf("latest = %+v", lat)
-	}
-}
-
 func TestStartShutdown(t *testing.T) {
-	s := NewFromOptions(Options{})
+	s := New()
 	addr, err := s.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -280,24 +282,19 @@ func TestStartShutdown(t *testing.T) {
 	}
 }
 
-// TestWALStatusJSON: /api/v1/wal serves whatever the hook returns
-// (dwatchd wires wal.WAL.Status), and 404s with the standard error
-// envelope when no WAL is configured.
+// TestWALStatusJSON: /api/v1/wal serves the api.WALStatus the hook
+// returns (dwatchd adapts wal.WAL.Status), and 404s with the standard
+// error envelope when no WAL is configured.
 func TestWALStatusJSON(t *testing.T) {
-	type fakeStatus struct {
-		Segments  int    `json:"segments"`
-		Recovered int    `json:"recovered_records"`
-		Fsync     string `json:"fsync"`
-	}
-	s := NewFromOptions(Options{WALStatus: func() any {
-		return fakeStatus{Segments: 2, Recovered: 7, Fsync: "interval"}
-	}})
+	s := New(WithWALStatus(func() api.WALStatus {
+		return api.WALStatus{Segments: 2, Recovered: 7, Fsync: "interval"}
+	}))
 	rr := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/wal", nil))
 	if rr.Code != http.StatusOK {
 		t.Fatalf("wal = %d", rr.Code)
 	}
-	var got fakeStatus
+	var got api.WALStatus
 	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +308,7 @@ func TestWALStatusJSON(t *testing.T) {
 		t.Fatalf("POST wal = %d, want 405", rr.Code)
 	}
 
-	none := NewFromOptions(Options{})
+	none := New()
 	rr = httptest.NewRecorder()
 	none.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/wal", nil))
 	if rr.Code != http.StatusNotFound {
@@ -324,5 +321,36 @@ func TestWALStatusJSON(t *testing.T) {
 	// The endpoint participates in bounded-cardinality request counting.
 	if endpointLabel("/api/v1/wal") != "/api/v1/wal" {
 		t.Fatal("/api/v1/wal not a known endpoint label")
+	}
+}
+
+// TestClusterEndpoint: /api/v1/cluster serves the hook's view and 404s
+// with cluster_unavailable when the daemon is not clustered.
+func TestClusterEndpoint(t *testing.T) {
+	s := New(WithCluster(func() api.ClusterStatus {
+		return api.ClusterStatus{Role: "node", Node: "n1", Epoch: 3, Slots: 16,
+			Nodes: []api.NodeInfo{{ID: "n1", Addr: "http://127.0.0.1:1"}}}
+	}))
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/cluster", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("cluster = %d", rr.Code)
+	}
+	var got api.ClusterStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Role != "node" || got.Node != "n1" || got.Epoch != 3 {
+		t.Fatalf("cluster round-trip = %+v", got)
+	}
+
+	none := New()
+	rr = httptest.NewRecorder()
+	none.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/cluster", nil))
+	if rr.Code != http.StatusNotFound || !strings.Contains(rr.Body.String(), "cluster_unavailable") {
+		t.Fatalf("unclustered /api/v1/cluster = %d %s", rr.Code, rr.Body.String())
+	}
+	if endpointLabel("/api/v1/cluster") != "/api/v1/cluster" {
+		t.Fatal("/api/v1/cluster not a known endpoint label")
 	}
 }

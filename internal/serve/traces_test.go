@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dwatch/internal/api"
 	"dwatch/internal/health"
 	"dwatch/internal/pmusic"
 	"dwatch/internal/tracing"
@@ -71,7 +72,7 @@ func TestTracesListAndDetail(t *testing.T) {
 	if rr.Code != http.StatusNotFound {
 		t.Fatalf("missing trace status = %d", rr.Code)
 	}
-	var env apiError
+	var env api.Error
 	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil || env.Error.Code != "trace_not_found" {
 		t.Fatalf("missing trace envelope: %s (err %v)", rr.Body.String(), err)
 	}
@@ -137,8 +138,8 @@ func TestRFHealthEndpoint(t *testing.T) {
 // TestSSEKeepalive: an idle position stream emits ": keepalive" comment
 // frames at the configured interval without fabricating events.
 func TestSSEKeepalive(t *testing.T) {
-	b := NewBroker()
-	s := New(WithBroker(b), WithSSEKeepalive(20*time.Millisecond))
+	h := NewHub()
+	s := New(WithHub(h), WithSSEKeepalive(20*time.Millisecond))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -177,7 +178,9 @@ func TestSSEKeepalive(t *testing.T) {
 	}
 
 	// A real fix still flows after keepalives.
-	b.Publish(Position{Env: "hall", Seq: 9, X: 1, Y: 2, TraceID: "abc"})
+	if err := h.Publish(Position{Env: "hall", Seq: 9, X: 1, Y: 2, TraceID: "abc"}); err != nil {
+		t.Fatal(err)
+	}
 	ps := readSSE(t, rd, 1, 5*time.Second)
 	if ps[0].Seq != 9 || ps[0].TraceID != "abc" {
 		t.Fatalf("post-keepalive event = %+v", ps[0])

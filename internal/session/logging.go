@@ -2,9 +2,7 @@ package session
 
 import (
 	"context"
-	"fmt"
 	"log/slog"
-	"strings"
 )
 
 // nopLogger swallows everything; the supervisor logs through it when no
@@ -17,43 +15,3 @@ func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
 func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
 func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
 func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
-
-// logfHandler adapts a printf-style sink to slog for WithLogf callers:
-// each record renders as "msg key=value ..." through the legacy fn.
-type logfHandler struct {
-	fn     func(format string, args ...any)
-	prefix string // accumulated group prefix ("grp.")
-	attrs  []slog.Attr
-}
-
-func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
-
-func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
-	var sb strings.Builder
-	sb.WriteString(r.Message)
-	for _, a := range h.attrs {
-		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value)
-	}
-	r.Attrs(func(a slog.Attr) bool {
-		fmt.Fprintf(&sb, " %s%s=%v", h.prefix, a.Key, a.Value)
-		return true
-	})
-	h.fn("%s", sb.String())
-	return nil
-}
-
-func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
-	// The group prefix applies at bind time, so attrs bound before a
-	// WithGroup keep their bare keys.
-	bound := append([]slog.Attr(nil), h.attrs...)
-	for _, a := range attrs {
-		bound = append(bound, slog.Attr{Key: h.prefix + a.Key, Value: a.Value})
-	}
-	h.attrs = bound
-	return h
-}
-
-func (h logfHandler) WithGroup(name string) slog.Handler {
-	h.prefix = h.prefix + name + "."
-	return h
-}

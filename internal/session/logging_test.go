@@ -1,33 +1,8 @@
 package session
 
 import (
-	"fmt"
-	"log/slog"
-	"strings"
 	"testing"
 )
-
-// TestLogfHandlerRendersRecords: the WithLogf shim renders structured
-// records as "msg key=value ..." lines through the legacy sink,
-// including bound attrs and group prefixes.
-func TestLogfHandlerRendersRecords(t *testing.T) {
-	var lines []string
-	l := slog.New(logfHandler{fn: func(format string, args ...any) {
-		lines = append(lines, fmt.Sprintf(format, args...))
-	}})
-	l.Warn("connection lost", "reader", "r1", "error", "EOF")
-	l.With("reader", "r2").WithGroup("backoff").Info("retry", "attempt", 3)
-	if len(lines) != 2 {
-		t.Fatalf("lines = %v", lines)
-	}
-	if lines[0] != "connection lost reader=r1 error=EOF" {
-		t.Fatalf("line 0 = %q", lines[0])
-	}
-	if !strings.Contains(lines[1], "retry") || !strings.Contains(lines[1], "reader=r2") ||
-		!strings.Contains(lines[1], "backoff.attempt=3") {
-		t.Fatalf("line 1 = %q", lines[1])
-	}
-}
 
 // TestSupervisorDefaultLoggerIsNop: with no sink configured, logging
 // goes to the silent logger rather than panicking on nil.

@@ -210,21 +210,6 @@ func WithLogger(l *slog.Logger) Option {
 	return func(c *config) { c.logger = l }
 }
 
-// WithLogf sets a printf-style log sink; records are rendered as
-// "msg key=value ..." lines.
-//
-// Deprecated: use WithLogger with a *slog.Logger; this shim remains
-// for callers built around printf-style sinks.
-func WithLogf(fn func(format string, args ...any)) Option {
-	return func(c *config) {
-		if fn == nil {
-			c.logger = nil
-			return
-		}
-		c.logger = slog.New(logfHandler{fn: fn})
-	}
-}
-
 // WithJitterSeed pins the backoff-jitter random source, making
 // reconnect schedules reproducible in tests.
 func WithJitterSeed(seed int64) Option {

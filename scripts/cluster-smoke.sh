@@ -1,0 +1,148 @@
+#!/bin/sh
+# cluster-smoke: the failure-mode counterpart to fleet-smoke. Boot a
+# dwatch-gateway and two dwatchd nodes that share one WAL root and
+# catalog the same pinned testdata/fleet deployments, verify the
+# fan-in surface through the typed dwatch-api CLI (strict contract
+# decoding — shape drift fails loudly), then SIGKILL the node owning
+# site-a and assert the survivor adopts its environments via WAL
+# replay and keeps answering through the gateway.
+set -eu
+
+GW_ADDR="${GW_ADDR:-127.0.0.1:18090}"
+NODE_A_ADDR="${NODE_A_ADDR:-127.0.0.1:18091}"
+NODE_B_ADDR="${NODE_B_ADDR:-127.0.0.1:18092}"
+ENV_DIR="${ENV_DIR:-testdata/fleet}"
+BIN_DIR="$(mktemp -d)"
+LOG_DIR="$(mktemp -d)"
+WAL_ROOT="$(mktemp -d)"
+GW="http://$GW_ADDR"
+
+cleanup() {
+    [ -n "${PID_A:-}" ] && kill "$PID_A" 2>/dev/null || true
+    [ -n "${PID_B:-}" ] && kill "$PID_B" 2>/dev/null || true
+    [ -n "${PID_GW:-}" ] && kill "$PID_GW" 2>/dev/null || true
+    rm -rf "$BIN_DIR" "$LOG_DIR" "$WAL_ROOT"
+}
+trap cleanup EXIT INT TERM
+
+api() { "$BIN_DIR/dwatch-api" -base "$GW" "$@"; }
+
+echo "== building dwatchd, dwatch-gateway, dwatch-api"
+go build -o "$BIN_DIR/dwatchd" ./cmd/dwatchd
+go build -o "$BIN_DIR/dwatch-gateway" ./cmd/dwatch-gateway
+go build -o "$BIN_DIR/dwatch-api" ./cmd/dwatch-api
+
+echo "== starting gateway on $GW_ADDR"
+"$BIN_DIR/dwatch-gateway" -listen "$GW_ADDR" -heartbeat 200ms \
+    >"$LOG_DIR/gateway.log" 2>&1 &
+PID_GW=$!
+
+i=0
+until api cluster >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "FAIL: gateway never served /api/v1/cluster" >&2
+        cat "$LOG_DIR/gateway.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "ok: gateway up"
+
+echo "== starting node-a and node-b (shared WAL root, shared catalog)"
+"$BIN_DIR/dwatchd" -env-dir "$ENV_DIR" -cluster "$GW" -node-id node-a \
+    -http "$NODE_A_ADDR" -wal-dir "$WAL_ROOT" \
+    -simulate -rounds 40 -sim-interval 10ms \
+    >"$LOG_DIR/node-a.log" 2>&1 &
+PID_A=$!
+"$BIN_DIR/dwatchd" -env-dir "$ENV_DIR" -cluster "$GW" -node-id node-b \
+    -http "$NODE_B_ADDR" -wal-dir "$WAL_ROOT" \
+    -simulate -rounds 40 -sim-interval 10ms \
+    >"$LOG_DIR/node-b.log" 2>&1 &
+PID_B=$!
+
+fail() {
+    echo "FAIL: $1" >&2
+    for f in "$LOG_DIR"/*.log; do
+        echo "---- $f" >&2
+        tail -30 "$f" >&2
+    done
+    exit 1
+}
+
+# Both environments must surface through the gateway's union listing
+# once the nodes join and adopt their slot assignments.
+i=0
+until api envs 2>/dev/null | grep -Fq '"site-a"' &&
+    api envs 2>/dev/null | grep -Fq '"site-b"'; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && fail "/api/v1/envs never listed both sites"
+    kill -0 "$PID_A" 2>/dev/null || fail "node-a exited early"
+    kill -0 "$PID_B" 2>/dev/null || fail "node-b exited early"
+    sleep 0.2
+done
+echo "ok: gateway lists site-a and site-b"
+
+CLUSTER="$(api cluster)"
+printf '%s\n' "$CLUSTER" | grep -Fq '"node-a"' || fail "cluster status missing node-a: $CLUSTER"
+printf '%s\n' "$CLUSTER" | grep -Fq '"node-b"' || fail "cluster status missing node-b: $CLUSTER"
+echo "ok: both nodes in the directory"
+
+# Positions for both environments through the fan-in proxy (the pinned
+# seeds guarantee fixes; strict decoding proves the contract shape).
+for env in site-a site-b; do
+    i=0
+    until api positions "$env" 2>/dev/null | grep -q '"seq"'; do
+        i=$((i + 1))
+        [ "$i" -ge 150 ] && fail "no position for $env through the gateway"
+        sleep 0.2
+    done
+    echo "ok: positions for $env via gateway"
+done
+
+# Kill the node owning site-a (rendezvous decides which one that is)
+# and watch the survivor adopt its environments from the shared WAL.
+OWNER="$(api cluster | grep -o '"site-a": *"[^"]*"' | grep -o 'node-[ab]' | head -1)"
+[ -n "$OWNER" ] || fail "could not resolve site-a's owner from cluster status"
+if [ "$OWNER" = node-a ]; then
+    VICTIM_PID=$PID_A SURVIVOR=node-b
+else
+    VICTIM_PID=$PID_B SURVIVOR=node-a
+fi
+echo "== killing $OWNER (owner of site-a), survivor is $SURVIVOR"
+kill -9 "$VICTIM_PID"
+if [ "$OWNER" = node-a ]; then PID_A=""; else PID_B=""; fi
+
+# The directory expires the dead node after 3 missed beats; the
+# survivor's next heartbeat adopts everything via WAL replay.
+i=0
+until api cluster 2>/dev/null | grep -c '"id"' | grep -qx 1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && fail "dead node never expired from the directory"
+    sleep 0.2
+done
+echo "ok: $OWNER expired from the directory"
+
+for env in site-a site-b; do
+    i=0
+    until api cluster 2>/dev/null | grep -Fq "\"$env\": \"$SURVIVOR\""; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && fail "$env never reassigned to $SURVIVOR"
+        sleep 0.2
+    done
+    i=0
+    until api positions "$env" 2>/dev/null | grep -q '"seq"'; do
+        i=$((i + 1))
+        [ "$i" -ge 150 ] && fail "no position for $env after adoption by $SURVIVOR"
+        sleep 0.2
+    done
+    echo "ok: $env adopted by $SURVIVOR and serving through the gateway"
+done
+
+# The adopted environments replayed the dead node's WAL: the survivor
+# reports ingest progress for both sites.
+STATS="$(api stats site-a)" || fail "stats for site-a after adoption"
+printf '%s\n' "$STATS" | grep -q '"ReportsIn"' || fail "adopted stats lack ReportsIn: $STATS"
+echo "ok: adopted site-a serves pipeline stats"
+
+echo "cluster-smoke: PASS"

@@ -14,9 +14,15 @@ set -eu
 
 HTTP_ADDR="${HTTP_ADDR:-127.0.0.1:18081}"
 ENV_DIR="${ENV_DIR:-testdata/fleet}"
-BIN="$(mktemp -d)/dwatchd"
+BIN_DIR="$(mktemp -d)"
+BIN="$BIN_DIR/dwatchd"
 LOG="$(mktemp)"
 WAL_ROOT="$(mktemp -d)"
+
+# JSON assertions go through the typed dwatch-api CLI: every body is
+# strict-decoded into the internal/api contract structs before the
+# greps below ever see it.
+api() { "$BIN_DIR/dwatch-api" -base "http://$HTTP_ADDR" "$@"; }
 
 fetch() {
     if command -v curl >/dev/null 2>&1; then
@@ -31,13 +37,14 @@ fetch() {
 
 cleanup() {
     [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
-    rm -f "$BIN" "$LOG"
-    rm -rf "$WAL_ROOT"
+    rm -rf "$BIN_DIR" "$WAL_ROOT"
+    rm -f "$LOG"
 }
 trap cleanup EXIT INT TERM
 
-echo "== building dwatchd"
+echo "== building dwatchd and dwatch-api"
 go build -o "$BIN" ./cmd/dwatchd
+go build -o "$BIN_DIR/dwatch-api" ./cmd/dwatch-api
 
 echo "== starting dwatchd -env-dir $ENV_DIR -simulate -http $HTTP_ADDR"
 "$BIN" -env-dir "$ENV_DIR" -simulate -rounds 40 -sim-interval 10ms \
@@ -62,7 +69,7 @@ done
 echo "ok: /healthz"
 
 # Both environments must appear in the fleet listing.
-ENVS="$(fetch "http://$HTTP_ADDR/api/v1/envs")"
+ENVS="$(api envs)"
 for env in site-a site-b; do
     if ! printf '%s\n' "$ENVS" | grep -Fq "\"$env\""; then
         echo "FAIL: /api/v1/envs missing $env: $ENVS" >&2
@@ -76,7 +83,7 @@ echo "ok: /api/v1/envs lists site-a and site-b"
 # plain GETs even after the simulation finishes).
 for env in site-a site-b; do
     i=0
-    until fetch "http://$HTTP_ADDR/api/v1/$env/positions" | grep -q '"seq"'; do
+    until api positions "$env" 2>/dev/null | grep -q '"seq"'; do
         i=$((i + 1))
         if [ "$i" -ge 150 ]; then
             echo "FAIL: no position appeared for $env" >&2
@@ -92,7 +99,7 @@ for env in site-a site-b; do
     done
     echo "ok: /api/v1/$env/positions"
 
-    HEALTH="$(fetch "http://$HTTP_ADDR/api/v1/$env/health")"
+    HEALTH="$(api health "$env")"
     # Reader IDs are env-prefixed so tenants never collide in metrics,
     # health state, or WAL records.
     if ! printf '%s\n' "$HEALTH" | grep -Fq "\"$env/"; then
@@ -102,15 +109,20 @@ for env in site-a site-b; do
     echo "ok: /api/v1/$env/health"
 done
 
-# Per-env WAL subdirectories must exist and hold segments.
+# Per-env WAL subdirectories must exist and hold segments, and the
+# env-scoped WAL status must strict-decode as api.WALStatus.
 for env in site-a site-b; do
     if ! ls "$WAL_ROOT/$env/"*.wal >/dev/null 2>&1; then
         echo "FAIL: no WAL segments under $WAL_ROOT/$env/" >&2
         ls -R "$WAL_ROOT" >&2
         exit 1
     fi
+    if ! api wal "$env" | grep -q '"appended_records"'; then
+        echo "FAIL: /api/v1/$env/wal lacks appended_records" >&2
+        exit 1
+    fi
 done
-echo "ok: per-env WAL subdirectories"
+echo "ok: per-env WAL subdirectories and status"
 
 # Fleet metrics: per-env fix counters plus the aggregate env gauge.
 METRICS="$(fetch "http://$HTTP_ADDR/metrics")"
@@ -128,8 +140,8 @@ echo "ok: /metrics fleet families"
 
 # An unknown environment must 404 with the structured envelope, not
 # fall through to a panic or an empty 200.
-NOTFOUND="$(fetch "http://$HTTP_ADDR/api/v1/no-such-env/positions" 2>/dev/null || true)"
-if [ -n "$NOTFOUND" ] && ! printf '%s\n' "$NOTFOUND" | grep -Fq 'env_not_found'; then
+NOTFOUND="$(api positions no-such-env 2>&1 >/dev/null || true)"
+if ! printf '%s\n' "$NOTFOUND" | grep -Fq 'env_not_found'; then
     echo "FAIL: unknown env did not return env_not_found: $NOTFOUND" >&2
     exit 1
 fi

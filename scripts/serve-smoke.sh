@@ -7,8 +7,14 @@ set -eu
 
 HTTP_ADDR="${HTTP_ADDR:-127.0.0.1:18080}"
 LLRP_ADDR="${LLRP_ADDR:-127.0.0.1:15084}"
-BIN="$(mktemp -d)/dwatchd"
+BIN_DIR="$(mktemp -d)"
+BIN="$BIN_DIR/dwatchd"
 LOG="$(mktemp)"
+
+# The JSON assertions below go through the typed dwatch-api CLI, which
+# strict-decodes every body into the internal/api contract structs —
+# the smoke consumes the same shapes the Go clients do.
+api() { "$BIN_DIR/dwatch-api" -base "http://$HTTP_ADDR" "$@"; }
 
 fetch() {
     if command -v curl >/dev/null 2>&1; then
@@ -33,12 +39,14 @@ fetch_body() {
 
 cleanup() {
     [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
-    rm -f "$BIN" "$LOG"
+    rm -rf "$BIN_DIR"
+    rm -f "$LOG"
 }
 trap cleanup EXIT INT TERM
 
-echo "== building dwatchd"
+echo "== building dwatchd and dwatch-api"
 go build -o "$BIN" ./cmd/dwatchd
+go build -o "$BIN_DIR/dwatch-api" ./cmd/dwatch-api
 
 echo "== starting dwatchd -simulate -http $HTTP_ADDR"
 "$BIN" -listen "$LLRP_ADDR" -env table -simulate -rounds 200 -http "$HTTP_ADDR" >"$LOG" 2>&1 &
@@ -75,20 +83,22 @@ for want in \
 done
 echo "ok: /metrics"
 
-# Stats JSON must carry the pipeline snapshot.
-STATS="$(fetch "http://$HTTP_ADDR/api/v1/stats")"
+# Stats must strict-decode as the api.PipelineStats contract (the
+# single-deployment server registers itself as the one-env fleet
+# "table", so the env-scoped route serves it).
+STATS="$(api stats table)"
 if ! printf '%s\n' "$STATS" | grep -q '"ReportsIn"'; then
-    echo "FAIL: /api/v1/stats lacks ReportsIn: $STATS" >&2
+    echo "FAIL: stats lack ReportsIn: $STATS" >&2
     exit 1
 fi
-echo "ok: /api/v1/stats"
+echo "ok: /api/v1/table/stats (strict api.PipelineStats)"
 
 # A served position must carry a trace_id (schema 3) that resolves to
 # a full per-sequence trace with a fuse-stage span.
 i=0
 TID=""
 while [ -z "$TID" ]; do
-    TID="$(fetch_body "http://$HTTP_ADDR/api/v1/positions" |
+    TID="$(api positions table 2>/dev/null |
         tr ',' '\n' | grep '"trace_id"' | head -n 1 |
         sed 's/.*"trace_id": *"\([^"]*\)".*/\1/')" || true
     [ -n "$TID" ] && break
@@ -100,24 +110,24 @@ while [ -z "$TID" ]; do
     fi
     sleep 0.1
 done
-TRACE="$(fetch "http://$HTTP_ADDR/api/v1/traces/$TID")"
+TRACE="$(api trace table "$TID")"
 for want in '"outcome": "fix"' '"stage": "fuse"' '"stage": "spectrum"'; do
     if ! printf '%s\n' "$TRACE" | grep -Fq "$want"; then
         echo "FAIL: trace $TID missing $want: $TRACE" >&2
         exit 1
     fi
 done
-echo "ok: /api/v1/traces/{id}"
+echo "ok: /api/v1/table/traces/{id} (strict api.Trace)"
 
 # RF health must report live read rates per reader.
-HEALTH="$(fetch "http://$HTTP_ADDR/api/v1/health")"
+HEALTH="$(api health table)"
 for want in '"readers"' '"rate_hz"' '"angle_deg"'; do
     if ! printf '%s\n' "$HEALTH" | grep -Fq "$want"; then
-        echo "FAIL: /api/v1/health missing $want: $HEALTH" >&2
+        echo "FAIL: health missing $want: $HEALTH" >&2
         exit 1
     fi
 done
-echo "ok: /api/v1/health"
+echo "ok: /api/v1/table/health (strict api.RFHealth)"
 
 # Readiness flips once the simulated readers confirm their baselines.
 i=0
