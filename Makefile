@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race chaos bench bench-smoke bench-figures check serve-smoke replay-smoke replay-ab fleet-smoke cluster-smoke corpus fuzz-wal clean
+.PHONY: all build fmt vet test race chaos bench bench-smoke bench-figures check serve-smoke replay-smoke replay-ab fleet-smoke cluster-smoke corpus perf-gate fuzz-wal clean
 
 all: check
 
@@ -102,6 +102,17 @@ corpus:
 		echo "corpus generated at $(CORPUS_DIR):"; \
 		du -sh "$(CORPUS_DIR)"/*/; \
 	fi
+
+# The replay-driven perf regression gate: replay the pinned corpus
+# through a fresh pipeline per environment (best-of-3 repeats, same
+# min/max-of-N methodology as `make bench`) and compare against the
+# committed BENCH_baseline.json under the DESIGN.md three-tier policy:
+# fix parity must match bit-for-bit (warn-only cross-arch), throughput
+# may not halve, p50/p99 latency may not double. Non-zero exit on
+# regression. Re-record after an intentional perf change with
+# `go run ./cmd/dwatch-perfgate -update` on a quiet box.
+perf-gate: corpus
+	$(GO) run ./cmd/dwatch-perfgate
 
 # The durability gate at the binary level: record a simulated run into
 # a WAL, kill -9 dwatchd mid-stream, restart and assert recovery via

@@ -11,6 +11,10 @@
 //	dwatch-api -base ... health|wal|traces <env>
 //	dwatch-api -base ... trace <env> <id>
 //	dwatch-api -base ... cluster
+//	dwatch-api -base ... cluster-health       # gateway worst-of rollup
+//	dwatch-api -base ... metrics [-node N]    # raw exposition (gateway: federated; -node: one node's page)
+//	dwatch-api -base ... profiles [-node N]   # continuous-profiling ring listing
+//	dwatch-api -base ... profile <name> [-node N] [-o FILE]
 //	dwatch-api -base ... ready
 //	dwatch-api -base ... watch <env> -n 3     # stream N position frames
 package main
@@ -32,6 +36,8 @@ func main() {
 	lax := flag.Bool("lax", false, "tolerate unknown fields in responses (default: strict contract decoding)")
 	timeout := flag.Duration("timeout", 10*time.Second, "request deadline (watch: total stream time)")
 	count := flag.Int("n", 1, "watch: exit after this many position frames")
+	node := flag.String("node", "", "metrics/profiles/profile: target one cluster node through the gateway's /api/v1/nodes proxy")
+	outPath := flag.String("o", "", "profile: write the raw pprof bytes to this file instead of stdout")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -43,7 +49,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	out, err := run(ctx, c, flag.Arg(0), flag.Args()[1:], *count)
+	out, err := run(ctx, c, flag.Arg(0), flag.Args()[1:], *count, *node, *outPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwatch-api:", err)
 		if code := api.ErrorCode(err); code != "" {
@@ -61,7 +67,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, c *api.Client, cmd string, args []string, count int) (any, error) {
+func run(ctx context.Context, c *api.Client, cmd string, args []string, count int, node, outPath string) (any, error) {
 	need := func(n int, usage string) error {
 		if len(args) != n {
 			return fmt.Errorf("usage: dwatch-api %s", usage)
@@ -113,6 +119,42 @@ func run(ctx context.Context, c *api.Client, cmd string, args []string, count in
 			return nil, err
 		}
 		return c.Cluster(ctx)
+	case "cluster-health":
+		if err := need(0, "cluster-health"); err != nil {
+			return nil, err
+		}
+		return c.ClusterHealth(ctx)
+	case "metrics":
+		if err := need(0, "metrics [-node N]"); err != nil {
+			return nil, err
+		}
+		page, err := fetchMetrics(ctx, c, node)
+		if err != nil {
+			return nil, err
+		}
+		_, err = os.Stdout.Write(page)
+		return nil, err
+	case "profiles":
+		if err := need(0, "profiles [-node N]"); err != nil {
+			return nil, err
+		}
+		if node != "" {
+			return c.NodeProfiles(ctx, node)
+		}
+		return c.Profiles(ctx)
+	case "profile":
+		if err := need(1, "profile <name> [-node N] [-o FILE]"); err != nil {
+			return nil, err
+		}
+		data, err := fetchProfile(ctx, c, node, args[0])
+		if err != nil {
+			return nil, err
+		}
+		if outPath != "" {
+			return nil, os.WriteFile(outPath, data, 0o644)
+		}
+		_, err = os.Stdout.Write(data)
+		return nil, err
 	case "ready":
 		if err := need(0, "ready"); err != nil {
 			return nil, err
@@ -124,8 +166,27 @@ func run(ctx context.Context, c *api.Client, cmd string, args []string, count in
 		}
 		return nil, watch(ctx, c, args[0], count)
 	default:
-		return nil, fmt.Errorf("unknown command %q (envs, positions, stats, health, wal, traces, trace, cluster, ready, watch)", cmd)
+		return nil, fmt.Errorf("unknown command %q (envs, positions, stats, health, wal, traces, trace, cluster, cluster-health, metrics, profiles, profile, ready, watch)", cmd)
 	}
+}
+
+// fetchMetrics pulls a raw exposition page: the base target's own
+// (federated, on a gateway), or one node's un-federated page through
+// the gateway proxy.
+func fetchMetrics(ctx context.Context, c *api.Client, node string) ([]byte, error) {
+	if node != "" {
+		return c.NodeMetrics(ctx, node)
+	}
+	return c.Metrics(ctx)
+}
+
+// fetchProfile resolves one stored pprof capture, optionally through
+// the gateway's node proxy.
+func fetchProfile(ctx context.Context, c *api.Client, node, name string) ([]byte, error) {
+	if node != "" {
+		return c.NodeProfile(ctx, node, name)
+	}
+	return c.Profile(ctx, name)
 }
 
 // watch streams position frames, one raw JSON frame per stdout line,

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dwatch/internal/cluster"
+	"dwatch/internal/obs"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeat, "node heartbeat cadence; nodes missing 3 beats are expired")
 	retries := flag.Int("proxy-retries", 5, "re-resolve attempts for a request landing mid-handoff")
 	retryDelay := flag.Duration("proxy-retry-delay", 100*time.Millisecond, "pause between mid-handoff retries")
+	scrapeInterval := flag.Duration("scrape-interval", 5*time.Second, "federation scrape cadence for node metrics/health pulls")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
 
@@ -38,10 +40,18 @@ func main() {
 		cluster.WithHeartbeat(*heartbeat),
 		cluster.WithDirLogger(logger),
 	)
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
+	obs.RegisterRuntime(reg)
 	gw := cluster.NewGateway(dir,
 		cluster.WithGatewayLogger(logger),
 		cluster.WithRetry(*retries, *retryDelay),
+		cluster.WithGatewayObs(reg),
+		cluster.WithScrapeInterval(*scrapeInterval),
 	)
+	fedCtx, fedCancel := context.WithCancel(context.Background())
+	defer fedCancel()
+	go gw.RunFederation(fedCtx)
 
 	srv := &http.Server{Addr: *listen, Handler: gw.Handler()}
 	errc := make(chan error, 1)

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func healthyEnv() EnvResult {
+	return EnvResult{
+		FixParity:     "abc123",
+		Fixes:         40,
+		Spectra:       480,
+		SpectraPerSec: 1000,
+		ComputeP50:    0.001,
+		ComputeP99:    0.004,
+		FuseP50:       0.0005,
+		FuseP99:       0.002,
+		WallSeconds:   0.5,
+	}
+}
+
+func baselineOf(envs map[string]EnvResult) Baseline {
+	return Baseline{Arch: "linux/amd64", Repeats: 3, Envs: envs}
+}
+
+// A run identical to the baseline passes every tier.
+func TestEvaluateClean(t *testing.T) {
+	cur := map[string]EnvResult{"site-a": healthyEnv(), "site-b": healthyEnv()}
+	base := baselineOf(map[string]EnvResult{"site-a": healthyEnv(), "site-b": healthyEnv()})
+	failures, warnings := Evaluate(cur, base, true, DefaultTolerance)
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Fatalf("clean run: failures=%v warnings=%v", failures, warnings)
+	}
+}
+
+// Tier 2: a deliberately slowed current run (simulating a perf
+// regression, or equivalently a baseline recorded on a much faster
+// box) must fail the gate on throughput and latency.
+func TestEvaluateSlowedRunFails(t *testing.T) {
+	slow := healthyEnv()
+	slow.SpectraPerSec = 400 // < 0.5 × 1000
+	slow.ComputeP99 = 0.009  // > 2 × 0.004
+	cur := map[string]EnvResult{"site-a": slow}
+	base := baselineOf(map[string]EnvResult{"site-a": healthyEnv()})
+
+	failures, _ := Evaluate(cur, base, true, DefaultTolerance)
+	if len(failures) != 2 {
+		t.Fatalf("slowed run failures = %v, want throughput + compute p99", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "throughput") || !strings.Contains(joined, "compute p99") {
+		t.Fatalf("unexpected failure set:\n%s", joined)
+	}
+}
+
+// Tier 2 boundary: exactly half the throughput and exactly double the
+// latency still pass — the gate fires strictly beyond the ratios.
+func TestEvaluateBoundary(t *testing.T) {
+	edge := healthyEnv()
+	edge.SpectraPerSec = 500
+	edge.ComputeP50 = 0.002
+	edge.ComputeP99 = 0.008
+	edge.FuseP99 = 0.004
+	cur := map[string]EnvResult{"site-a": edge}
+	base := baselineOf(map[string]EnvResult{"site-a": healthyEnv()})
+
+	failures, _ := Evaluate(cur, base, true, DefaultTolerance)
+	if len(failures) != 0 {
+		t.Fatalf("boundary run should pass, got %v", failures)
+	}
+}
+
+// Tier 1: a parity/fix-count divergence fails on the recording arch
+// but only warns cross-arch.
+func TestEvaluateParity(t *testing.T) {
+	diverged := healthyEnv()
+	diverged.FixParity = "def456"
+	cur := map[string]EnvResult{"site-a": diverged}
+	base := baselineOf(map[string]EnvResult{"site-a": healthyEnv()})
+
+	failures, warnings := Evaluate(cur, base, true, DefaultTolerance)
+	if len(failures) != 1 || !strings.Contains(failures[0], "parity") {
+		t.Fatalf("same-arch parity divergence: failures=%v", failures)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("same-arch parity divergence: warnings=%v", warnings)
+	}
+
+	failures, warnings = Evaluate(cur, base, false, DefaultTolerance)
+	if len(failures) != 0 {
+		t.Fatalf("cross-arch parity divergence must not fail: %v", failures)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "cross-arch") {
+		t.Fatalf("cross-arch parity divergence: warnings=%v", warnings)
+	}
+}
+
+// A baseline env the current run never measured is a hard failure (a
+// silently dropped corpus env must not pass the gate); an extra
+// measured env only warns until the baseline is re-recorded.
+func TestEvaluateEnvDrift(t *testing.T) {
+	cur := map[string]EnvResult{"site-b": healthyEnv(), "site-c": healthyEnv()}
+	base := baselineOf(map[string]EnvResult{"site-a": healthyEnv(), "site-b": healthyEnv()})
+
+	failures, warnings := Evaluate(cur, base, true, DefaultTolerance)
+	if len(failures) != 1 || !strings.Contains(failures[0], "site-a") {
+		t.Fatalf("missing env: failures=%v", failures)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "site-c") {
+		t.Fatalf("extra env: warnings=%v", warnings)
+	}
+}
+
+// Faster-than-baseline runs never fail: the gate bounds regressions,
+// not improvements.
+func TestEvaluateImprovementPasses(t *testing.T) {
+	fast := healthyEnv()
+	fast.SpectraPerSec = 9000
+	fast.ComputeP50 = 0.0001
+	fast.ComputeP99 = 0.0002
+	fast.FuseP50 = 0.00005
+	fast.FuseP99 = 0.0001
+	cur := map[string]EnvResult{"site-a": fast}
+	base := baselineOf(map[string]EnvResult{"site-a": healthyEnv()})
+
+	failures, warnings := Evaluate(cur, base, true, DefaultTolerance)
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Fatalf("improved run: failures=%v warnings=%v", failures, warnings)
+	}
+}
+
+// bestOf folds per-metric: throughput keeps the max, latency and wall
+// the min, exactness fields ride along from the first repeat.
+func TestBestOf(t *testing.T) {
+	a := healthyEnv()
+	b := healthyEnv()
+	b.SpectraPerSec = 2000
+	b.ComputeP50 = 0.0005
+	b.WallSeconds = 0.25
+	a.FuseP99 = 0.001
+
+	got := bestOf(a, b)
+	if got.SpectraPerSec != 2000 || got.ComputeP50 != 0.0005 || got.WallSeconds != 0.25 || got.FuseP99 != 0.001 {
+		t.Fatalf("bestOf = %+v", got)
+	}
+	if got.FixParity != a.FixParity || got.Fixes != a.Fixes {
+		t.Fatalf("bestOf dropped exactness fields: %+v", got)
+	}
+}

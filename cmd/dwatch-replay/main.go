@@ -149,6 +149,7 @@ func main() {
 		tracer := tracing.New()
 		mon := health.New(reg, health.Options{})
 		obs.RegisterBuildInfo(reg)
+		obs.RegisterRuntime(reg)
 		popts = append(popts,
 			pipeline.WithObs(reg),
 			pipeline.WithTracer(tracer),

@@ -12,6 +12,7 @@ import (
 	"dwatch/internal/cluster"
 	"dwatch/internal/fleet"
 	"dwatch/internal/obs"
+	"dwatch/internal/profiling"
 	"dwatch/internal/serve"
 )
 
@@ -22,7 +23,7 @@ import (
 // (WAL replay included) and draining environments as slot assignments
 // move. -simulate starts traffic on each environment when this node
 // adopts it and stops when the environment drains away.
-func runFleetClustered(opts fleetRunOptions, reg *obs.Registry, hub *serve.Hub, f *fleet.Fleet) error {
+func runFleetClustered(opts fleetRunOptions, reg *obs.Registry, hub *serve.Hub, f *fleet.Fleet, ring *profiling.Ring) error {
 	if opts.httpAddr == "" {
 		return errors.New("-cluster requires -http: the gateway proxies environment requests to this node")
 	}
@@ -41,7 +42,7 @@ func runFleetClustered(opts fleetRunOptions, reg *obs.Registry, hub *serve.Hub, 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	plane := serve.New(
+	planeOpts := []serve.Option{
 		serve.WithRegistry(reg),
 		serve.WithHub(hub),
 		serve.WithEnvs(f.Infos),
@@ -56,7 +57,9 @@ func runFleetClustered(opts fleetRunOptions, reg *obs.Registry, hub *serve.Hub, 
 			return st
 		}),
 		serve.WithLogger(logger),
-	)
+	}
+	planeOpts = append(planeOpts, profileOptions(ring)...)
+	plane := serve.New(planeOpts...)
 	planeAddr, err := plane.Start(opts.httpAddr)
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 	"dwatch/internal/fleet"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
+	"dwatch/internal/profiling"
 	"dwatch/internal/serve"
 )
 
@@ -34,6 +35,8 @@ type fleetRunOptions struct {
 	simInterval time.Duration
 	httpAddr    string
 
+	profileDir string
+
 	clusterURL string // gateway base URL; non-empty switches to cluster mode
 	nodeID     string
 	advertise  string // base URL the gateway proxies to (default: the -http listener)
@@ -53,6 +56,20 @@ func runFleet(opts fleetRunOptions) error {
 	reg := obs.NewRegistry()
 	hub := serve.NewHub(serve.WithHubObs(reg))
 	obs.RegisterBuildInfo(reg)
+	obs.RegisterRuntime(reg)
+
+	var ring *profiling.Ring
+	if opts.profileDir != "" {
+		var err error
+		ring, err = profiling.Open(opts.profileDir, profiling.Options{Obs: reg, Logger: logger})
+		if err != nil {
+			return err
+		}
+		rctx, rcancel := context.WithCancel(context.Background())
+		defer rcancel()
+		go ring.Run(rctx)
+		logger.Info("continuous profiling up", "dir", opts.profileDir)
+	}
 
 	fopts := []fleet.Option{
 		fleet.WithObs(reg),
@@ -78,7 +95,7 @@ func runFleet(opts fleetRunOptions) error {
 	defer f.Close()
 
 	if opts.clusterURL != "" {
-		return runFleetClustered(opts, reg, hub, f)
+		return runFleetClustered(opts, reg, hub, f, ring)
 	}
 
 	ids, err := f.LoadDir(opts.envDir)
@@ -91,7 +108,7 @@ func runFleet(opts fleetRunOptions) error {
 
 	var plane *serve.Server
 	if opts.httpAddr != "" {
-		plane = serve.New(
+		planeOpts := []serve.Option{
 			serve.WithRegistry(reg),
 			serve.WithHub(hub),
 			serve.WithEnvs(f.Infos),
@@ -99,7 +116,9 @@ func runFleet(opts fleetRunOptions) error {
 			serve.WithReady(f.Ready),
 			serve.WithFleetStats(func() api.FleetStats { return fleetStats(f) }),
 			serve.WithLogger(logger),
-		)
+		}
+		planeOpts = append(planeOpts, profileOptions(ring)...)
+		plane = serve.New(planeOpts...)
 		planeAddr, err := plane.Start(opts.httpAddr)
 		if err != nil {
 			return err
@@ -185,4 +204,16 @@ func legacyFleetOptions(srv *server) []serve.Option {
 		serve.WithEnvs(f.Infos),
 		serve.WithEnvLookup(f.EnvHandle),
 	}
+}
+
+// profileOptions exposes a continuous-profiling ring on
+// /api/v1/profiles; a nil ring registers nothing (404).
+func profileOptions(ring *profiling.Ring) []serve.Option {
+	if ring == nil {
+		return nil
+	}
+	return []serve.Option{serve.WithProfiles(
+		func() []api.ProfileInfo { return adapt.Profiles(ring.List()) },
+		ring.Open,
+	)}
 }

@@ -78,6 +78,7 @@ import (
 	"dwatch/internal/llrp"
 	"dwatch/internal/obs"
 	"dwatch/internal/pipeline"
+	"dwatch/internal/profiling"
 	"dwatch/internal/reader"
 	"dwatch/internal/rf"
 	"dwatch/internal/serve"
@@ -102,6 +103,7 @@ func main() {
 	overload := flag.String("overload", "block", "full-queue policy: block or drop-oldest")
 	seqTTL := flag.Duration("seq-ttl", 30*time.Second, "evict incomplete acquisition sequences after this long")
 	httpAddr := flag.String("http", "", "serve the observability plane (metrics, health, positions, pprof) on this address; empty = disabled")
+	profileDir := flag.String("profile-dir", "", "continuous-profiling ring directory: periodic CPU+heap pprof captures, bounded on disk, listed on /api/v1/profiles")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -http (pprof is part of the observability plane)")
 	dial := flag.String("dial", "", "supervised mode: dial these reader endpoints (id=addr,id=addr) instead of listening")
 	chaos := flag.Bool("chaos", false, "supervised chaos demo: dial in-process simulated readers through a fault injector and flap one mid-run")
@@ -141,7 +143,7 @@ func main() {
 		}
 		if err := runFleet(fleetRunOptions{
 			envDir: *envDir, simulate: *simulate, rounds: *rounds,
-			simInterval: *simInterval, httpAddr: *httpAddr,
+			simInterval: *simInterval, httpAddr: *httpAddr, profileDir: *profileDir,
 			clusterURL: *clusterURL, nodeID: *nodeID, advertise: *advertise,
 			walDir: *walDir, walFsync: *walFsync,
 			walRetention: *walRetention, walSegBytes: *walSegBytes,
@@ -177,6 +179,18 @@ func main() {
 		srv.tracer = tracing.New()
 		srv.health = health.New(srv.obs, health.Options{})
 		obs.RegisterBuildInfo(srv.obs)
+		obs.RegisterRuntime(srv.obs)
+	}
+	if *profileDir != "" {
+		ring, err := profiling.Open(*profileDir, profiling.Options{Obs: srv.obs, Logger: logger})
+		if err != nil {
+			fatal("profiling ring open failed", "dir", *profileDir, "error", err)
+		}
+		srv.ring = ring
+		rctx, rcancel := context.WithCancel(context.Background())
+		defer rcancel()
+		go ring.Run(rctx)
+		logger.Info("continuous profiling up", "dir", *profileDir)
 	}
 	srv.statePath = *statePath
 	if *walDir != "" {
@@ -242,6 +256,7 @@ func main() {
 			planeOpts = append(planeOpts, serve.WithWALStatus(func() api.WALStatus { return adapt.WALStatus(srv.wal.Status()) }))
 		}
 		planeOpts = append(planeOpts, legacyFleetOptions(srv)...)
+		planeOpts = append(planeOpts, profileOptions(srv.ring)...)
 		plane = serve.New(planeOpts...)
 		planeAddr, err := plane.Start(*httpAddr)
 		if err != nil {
@@ -391,6 +406,10 @@ type server struct {
 	// liveReaders is set in supervised mode before start(): the
 	// assembler's oracle for quorum-degraded fusion when readers die.
 	liveReaders func() []string
+
+	// ring is the continuous-profiling ring (-profile-dir), nil when
+	// disabled; its captures are listed on /api/v1/profiles.
+	ring *profiling.Ring
 
 	// wal, when set, receives every accepted report before dispatch
 	// (the WAL serializes its own appends; no s.mu involvement), and

@@ -149,6 +149,7 @@ func runSupervised(srv *server, opts supervisedOptions) error {
 			planeOpts = append(planeOpts, serve.WithWALStatus(func() api.WALStatus { return adapt.WALStatus(srv.wal.Status()) }))
 		}
 		planeOpts = append(planeOpts, legacyFleetOptions(srv)...)
+		planeOpts = append(planeOpts, profileOptions(srv.ring)...)
 		plane = serve.New(planeOpts...)
 		planeAddr, err := plane.Start(opts.httpAddr)
 		if err != nil {

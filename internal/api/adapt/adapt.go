@@ -11,6 +11,7 @@ import (
 	"dwatch/internal/api"
 	"dwatch/internal/health"
 	"dwatch/internal/pipeline"
+	"dwatch/internal/profiling"
 	"dwatch/internal/stats"
 	"dwatch/internal/tracing"
 	"dwatch/internal/wal"
@@ -117,6 +118,15 @@ func TraceSummaries(ss []tracing.Summary) []api.TraceSummary {
 		out[i] = api.TraceSummary{ID: s.ID, Seq: s.Seq, Start: s.Start,
 			DurationNS: int64(s.Duration), Outcome: s.Outcome, Degraded: s.Degraded,
 			Pinned: s.Pinned, Spans: s.Spans, Events: s.Events}
+	}
+	return out
+}
+
+// Profiles mirrors a continuous-profiling ring listing.
+func Profiles(infos []profiling.Info) []api.ProfileInfo {
+	out := make([]api.ProfileInfo, len(infos))
+	for i, p := range infos {
+		out[i] = api.ProfileInfo{Name: p.Name, Kind: p.Kind, Time: p.Time, Bytes: p.Bytes}
 	}
 	return out
 }

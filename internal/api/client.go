@@ -246,6 +246,76 @@ func (c *Client) Leave(ctx context.Context, req LeaveRequest) (LeaveResponse, er
 	return out, err
 }
 
+// raw performs one GET and returns the body bytes verbatim — for
+// endpoints whose payload is not JSON (Prometheus pages, pprof
+// profiles). Non-2xx responses still decode the error envelope.
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env Error
+		if jerr := json.Unmarshal(data, &env); jerr == nil && env.Error.Code != "" {
+			return nil, &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return nil, &APIError{Status: resp.StatusCode, Code: "http_error",
+			Message: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
+// Metrics fetches the server's /metrics page (Prometheus text format;
+// on a gateway this is the federated, node-labeled union).
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/metrics")
+}
+
+// NodeMetrics fetches one node's raw /metrics page through a gateway.
+func (c *Client) NodeMetrics(ctx context.Context, node string) ([]byte, error) {
+	return c.raw(ctx, "/api/v1/nodes/"+url.PathEscape(node)+"/metrics")
+}
+
+// ClusterHealth fetches the gateway's cluster-wide health rollup.
+func (c *Client) ClusterHealth(ctx context.Context) (ClusterHealth, error) {
+	var out ClusterHealth
+	err := c.do(ctx, http.MethodGet, "/api/v1/cluster/health", nil, &out)
+	return out, err
+}
+
+// Profiles lists the server's continuous-profiling ring.
+func (c *Client) Profiles(ctx context.Context) (ProfilesResponse, error) {
+	var out ProfilesResponse
+	err := c.do(ctx, http.MethodGet, "/api/v1/profiles", nil, &out)
+	return out, err
+}
+
+// Profile fetches one stored profile's raw pprof bytes.
+func (c *Client) Profile(ctx context.Context, name string) ([]byte, error) {
+	return c.raw(ctx, "/api/v1/profiles/"+url.PathEscape(name))
+}
+
+// NodeProfiles lists one node's profiling ring through a gateway.
+func (c *Client) NodeProfiles(ctx context.Context, node string) (ProfilesResponse, error) {
+	var out ProfilesResponse
+	err := c.do(ctx, http.MethodGet, "/api/v1/nodes/"+url.PathEscape(node)+"/profiles", nil, &out)
+	return out, err
+}
+
+// NodeProfile fetches one node's stored profile through a gateway.
+func (c *Client) NodeProfile(ctx context.Context, node, name string) ([]byte, error) {
+	return c.raw(ctx, "/api/v1/nodes/"+url.PathEscape(node)+"/profiles/"+url.PathEscape(name))
+}
+
 // WatchPositions consumes the SSE position stream for env ("" = the
 // whole fleet), invoking fn for every "position" event with both the
 // raw frame payload (the bytes the server published — forward these

@@ -186,6 +186,37 @@ func TestGoldenCluster(t *testing.T) {
 	roundTrip(t, LeaveResponse{Epoch: 6}, `{"epoch":6}`)
 }
 
+func TestGoldenProfiles(t *testing.T) {
+	roundTrip(t, ProfilesResponse{Profiles: []ProfileInfo{{
+		Name: "cpu-1754650800000000000.pprof", Kind: "cpu", Time: goldenTime, Bytes: 2048,
+	}}},
+		`{"profiles":[{"name":"cpu-1754650800000000000.pprof","kind":"cpu",
+		  "time":"2026-08-08T12:00:00Z","bytes":2048}]}`)
+}
+
+func TestGoldenClusterHealth(t *testing.T) {
+	roundTrip(t, ClusterHealth{
+		Status: "degraded", Epoch: 9, Nodes: 2, ScrapedNodes: 2,
+		Envs: []EnvClusterHealth{{
+			Env: "site-a", Node: "node-1", Status: "degraded",
+			Reasons: []string{"2 drifting readers"}, HandoffInProgress: true,
+			DriftingReaders: 2, MaxCalibrationResidualRad: 0.12,
+			SLOFastBurn: 3.5, SLOSlowBurn: 0.5, Fixes: 40, DegradedFixes: 2,
+		}, {
+			Env: "site-b", Node: "node-2", Status: "ok",
+			DriftingReaders: 0, MaxCalibrationResidualRad: 0,
+		}},
+	},
+		`{"status":"degraded","epoch":9,"nodes":2,"scraped_nodes":2,
+		  "envs":[{"env":"site-a","node":"node-1","status":"degraded",
+		  "reasons":["2 drifting readers"],"handoff_in_progress":true,
+		  "drifting_readers":2,"max_calibration_residual_rad":0.12,
+		  "slo_fast_burn":3.5,"slo_slow_burn":0.5,"fixes":40,"degraded_fixes":2},
+		  {"env":"site-b","node":"node-2","status":"ok",
+		  "drifting_readers":0,"max_calibration_residual_rad":0,
+		  "slo_fast_burn":0,"slo_slow_burn":0,"fixes":0,"degraded_fixes":0}]}`)
+}
+
 // TestGoldenFleetStats pins the map-of-env shape fleet-mode /api/v1/stats serves.
 func TestGoldenFleetStats(t *testing.T) {
 	got, err := json.Marshal(FleetStats{"site-a": {Fixes: 3}})

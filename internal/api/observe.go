@@ -1,0 +1,78 @@
+package api
+
+import "time"
+
+// The federated observability surface. Every daemon serves its own
+// profile ring; the gateway federates node metrics pages and rolls the
+// fleet's health into one worst-of summary.
+//
+//	GET /metrics                              → Prometheus text (gateway: federated, node-labeled)
+//	GET /api/v1/profiles                      → ProfilesResponse
+//	GET /api/v1/profiles/{name}               → raw pprof bytes
+//	GET /api/v1/cluster/health                → ClusterHealth       (gateway)
+//	GET /api/v1/nodes/{node}/metrics          → raw node page       (gateway)
+//	GET /api/v1/nodes/{node}/profiles[/{name}] → proxied node ring  (gateway)
+
+// ProfileInfo is one stored profile in a daemon's continuous-profiling
+// ring.
+type ProfileInfo struct {
+	// Name is the fetch key for /api/v1/profiles/{name}.
+	Name string `json:"name"`
+	// Kind is "cpu" or "heap".
+	Kind  string    `json:"kind"`
+	Time  time.Time `json:"time"`
+	Bytes int64     `json:"bytes"`
+}
+
+// ProfilesResponse is the GET /api/v1/profiles body, newest first.
+type ProfilesResponse struct {
+	Profiles []ProfileInfo `json:"profiles"`
+}
+
+// Health status ladder used by the cluster rollup: the overall status
+// is the worst status of any environment.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthCritical = "critical"
+)
+
+// EnvClusterHealth is one environment's row in the cluster-wide
+// rollup: ownership, RF-plane state, and SLO burn, worst-of'd into
+// Status with human-readable Reasons.
+type EnvClusterHealth struct {
+	Env string `json:"env"`
+	// Node is the environment's current owner ("" when orphaned).
+	Node   string `json:"node,omitempty"`
+	Status string `json:"status"`
+	// Reasons explains any non-ok status, one clause per trigger.
+	Reasons []string `json:"reasons,omitempty"`
+	// HandoffInProgress is set while the directory's desired owner
+	// differs from the reporting owner.
+	HandoffInProgress bool `json:"handoff_in_progress,omitempty"`
+	// DriftingReaders counts readers with at least one drifting path.
+	DriftingReaders int `json:"drifting_readers"`
+	// MaxCalibrationResidualRad is the worst per-reader calibration
+	// residual (radians).
+	MaxCalibrationResidualRad float64 `json:"max_calibration_residual_rad"`
+	// SLOFastBurn / SLOSlowBurn are the env's burn rates as last
+	// federated from the owner's metrics page (0 when no SLO is
+	// configured).
+	SLOFastBurn float64 `json:"slo_fast_burn"`
+	SLOSlowBurn float64 `json:"slo_slow_burn"`
+	// Fixes / DegradedFixes are the owner's pipeline counters.
+	Fixes         uint64 `json:"fixes"`
+	DegradedFixes uint64 `json:"degraded_fixes"`
+}
+
+// ClusterHealth is the GET /api/v1/cluster/health body.
+type ClusterHealth struct {
+	// Status is the worst environment status (ok when no envs).
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	// Nodes is the live directory size; ScrapedNodes how many of them
+	// the federation scraper has fresh data for.
+	Nodes        int                `json:"nodes"`
+	ScrapedNodes int                `json:"scraped_nodes"`
+	Envs         []EnvClusterHealth `json:"envs"`
+}

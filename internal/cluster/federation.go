@@ -1,0 +1,371 @@
+package cluster
+
+// Federation: the gateway periodically pulls every live node's
+// /metrics page plus its per-env stats and RF-health snapshots, and
+// re-exposes the union on its own /metrics with a `node` label — one
+// scrape target for the whole fleet. The same cache feeds
+// /api/v1/cluster/health, a typed worst-of rollup across environments.
+//
+// Staleness rules: a node's cached pull is dropped the moment a scrape
+// of it fails (an unreachable node's last-good page is misleading, not
+// comforting), and at render time any cache entry whose node has left
+// the directory is skipped — so a SIGKILLed node's series vanish from
+// the federated page no later than its TTL expiry, and usually at the
+// next scrape tick.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"dwatch/internal/api"
+	"dwatch/internal/obs"
+)
+
+// nodeScrape is one node's last successful federation pull.
+type nodeScrape struct {
+	addr   string
+	at     time.Time
+	fams   []*obs.ParsedFamily
+	stats  api.FleetStats
+	health map[string]api.RFHealth // env → RF-health snapshot
+}
+
+// RunFederation scrapes immediately, then on every scrape-interval
+// tick, until ctx is cancelled. Run it in its own goroutine beside the
+// gateway's HTTP server.
+func (g *Gateway) RunFederation(ctx context.Context) {
+	g.ScrapeOnce(ctx)
+	tick := time.NewTicker(g.scrapeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			g.ScrapeOnce(ctx)
+		}
+	}
+}
+
+// ScrapeOnce pulls every live node once and installs the results,
+// evicting cache entries for nodes that left the directory and for
+// nodes whose scrape failed. Exported so tests (and one-shot tools)
+// can step the federation deterministically.
+func (g *Gateway) ScrapeOnce(ctx context.Context) {
+	st := g.dir.Status()
+	fresh := map[string]*nodeScrape{}
+	for _, n := range st.Nodes {
+		sc, err := g.scrapeNode(ctx, n)
+		if err != nil {
+			g.scrapes.With(n.ID, "error").Inc()
+			g.logger.Warn("federation scrape failed", "node", n.ID, "error", err)
+			continue
+		}
+		g.scrapes.With(n.ID, "ok").Inc()
+		fresh[n.ID] = sc
+	}
+	g.fedMu.Lock()
+	for id := range g.fed {
+		if fresh[id] == nil {
+			// Node left, expired, or stopped answering: drop its series
+			// and the gateway's own per-node scrape counters with it.
+			g.scrapes.Remove(id, "ok")
+			g.scrapes.Remove(id, "error")
+		}
+	}
+	g.fed = fresh
+	g.fedNodes.Set(float64(len(fresh)))
+	g.fedMu.Unlock()
+}
+
+// scrapeNode pulls one node: metrics page (parsed), fleet stats, and
+// an RF-health snapshot per owned environment. The metrics page is the
+// load-bearing pull — its failure fails the scrape — while stats and
+// health degrade to empty on error.
+func (g *Gateway) scrapeNode(ctx context.Context, n api.NodeInfo) (*nodeScrape, error) {
+	c := g.client(n.Addr)
+	page, err := c.Metrics(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	fams, err := obs.ParsePrometheus(bytes.NewReader(page))
+	if err != nil {
+		return nil, fmt.Errorf("parse metrics: %w", err)
+	}
+	sc := &nodeScrape{addr: n.Addr, at: time.Now(), fams: fams, health: map[string]api.RFHealth{}}
+	if stats, err := c.FleetStats(ctx); err == nil {
+		sc.stats = stats
+	} else {
+		g.logger.Debug("federation stats pull failed", "node", n.ID, "error", err)
+	}
+	for _, env := range n.Owned {
+		h, err := c.Health(ctx, env)
+		if err != nil {
+			g.logger.Debug("federation health pull failed", "node", n.ID, "env", env, "error", err)
+			continue
+		}
+		sc.health[env] = h
+	}
+	return sc, nil
+}
+
+// liveScrape pairs a node ID with its cached pull.
+type liveScrape struct {
+	id string
+	sc *nodeScrape
+}
+
+// liveScrapes snapshots the cache filtered against current directory
+// membership, in node-ID order. Render-time filtering is what makes a
+// dead node's series vanish even between scrape ticks.
+func (g *Gateway) liveScrapes() []liveScrape {
+	live := g.dir.Nodes()
+	g.fedMu.Lock()
+	defer g.fedMu.Unlock()
+	var out []liveScrape
+	for _, n := range live {
+		if sc := g.fed[n.ID]; sc != nil {
+			out = append(out, liveScrape{n.ID, sc})
+		}
+	}
+	return out
+}
+
+// handleMetrics serves the federated exposition: the gateway's own
+// registry under node="gateway", then every live node's cached page
+// under its node ID, families merged by name so each HELP/TYPE header
+// appears once.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var own []*obs.ParsedFamily
+	if g.reg != nil {
+		var buf bytes.Buffer
+		if err := g.reg.WritePrometheus(&buf); err == nil {
+			own, _ = obs.ParsePrometheus(&buf)
+		}
+	}
+	merged := map[string]*obs.ParsedFamily{}
+	var order []*obs.ParsedFamily
+	add := func(nodeID string, fams []*obs.ParsedFamily) {
+		for _, f := range fams {
+			m := merged[f.Name]
+			if m == nil {
+				m = &obs.ParsedFamily{Name: f.Name, Help: f.Help, HasHelp: f.HasHelp, Type: f.Type}
+				merged[f.Name] = m
+				order = append(order, m)
+			}
+			for _, s := range f.Samples {
+				m.Samples = append(m.Samples, s.WithLabel("node", nodeID))
+			}
+		}
+	}
+	add("gateway", own)
+	for _, p := range g.liveScrapes() {
+		add(p.id, p.sc.fams)
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := obs.WriteFamilies(w, order); err != nil {
+		g.logger.Debug("federated metrics write failed", "error", err)
+	}
+}
+
+// handleClusterHealth rolls the fleet into one typed summary: per
+// environment the worst of its ownership state, RF-plane drift, and
+// SLO burn, and overall the worst environment.
+func (g *Gateway) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/cluster/health", r.Method))
+		return
+	}
+	st := g.dir.Status()
+	scrapes := map[string]*nodeScrape{}
+	for _, p := range g.liveScrapes() {
+		scrapes[p.id] = p.sc
+	}
+	// Who reports each env actively owned right now?
+	reporting := map[string]string{}
+	for _, n := range st.Nodes {
+		for _, env := range n.Owned {
+			reporting[env] = n.ID
+		}
+	}
+	resp := api.ClusterHealth{
+		Status:       api.HealthOK,
+		Epoch:        st.Epoch,
+		Nodes:        len(st.Nodes),
+		ScrapedNodes: len(scrapes),
+	}
+	envs := make([]string, 0, len(st.Assignments))
+	for env := range st.Assignments {
+		envs = append(envs, env)
+	}
+	sort.Strings(envs)
+	for _, env := range envs {
+		eh := g.envHealth(env, st.Assignments[env], reporting[env], scrapes)
+		if healthRank(eh.Status) > healthRank(resp.Status) {
+			resp.Status = eh.Status
+		}
+		resp.Envs = append(resp.Envs, eh)
+	}
+	writeJSON(w, resp)
+}
+
+// envHealth builds one environment's rollup row.
+func (g *Gateway) envHealth(env, desired, owner string, scrapes map[string]*nodeScrape) api.EnvClusterHealth {
+	eh := api.EnvClusterHealth{Env: env, Node: owner, Status: api.HealthOK}
+	degrade := func(status, reason string) {
+		if healthRank(status) > healthRank(eh.Status) {
+			eh.Status = status
+		}
+		eh.Reasons = append(eh.Reasons, reason)
+	}
+	if owner != desired {
+		eh.HandoffInProgress = true
+		if owner == "" {
+			degrade(api.HealthDegraded, fmt.Sprintf("handoff in progress: no node serving yet (desired owner %s)", desired))
+		} else {
+			degrade(api.HealthDegraded, fmt.Sprintf("handoff in progress: %s draining toward %s", owner, desired))
+		}
+	}
+	sc := scrapes[owner]
+	if owner != "" && sc == nil {
+		degrade(api.HealthCritical, fmt.Sprintf("owner %s not scraped: metrics unreachable", owner))
+	}
+	if sc == nil {
+		return eh
+	}
+	if h, ok := sc.health[env]; ok {
+		for _, rd := range h.Readers {
+			if rd.Drifting > 0 {
+				eh.DriftingReaders++
+			}
+			if rd.CalibrationResidual > eh.MaxCalibrationResidualRad {
+				eh.MaxCalibrationResidualRad = rd.CalibrationResidual
+			}
+		}
+		if eh.DriftingReaders > 0 {
+			degrade(api.HealthDegraded, fmt.Sprintf("%d reader(s) drifting from calibration baseline", eh.DriftingReaders))
+		}
+	}
+	eh.SLOFastBurn = sloBurn(sc.fams, env, "fast")
+	eh.SLOSlowBurn = sloBurn(sc.fams, env, "slow")
+	switch {
+	case eh.SLOFastBurn >= 10:
+		degrade(api.HealthCritical, fmt.Sprintf("SLO fast burn %.1f×: error budget exhausting in hours", eh.SLOFastBurn))
+	case eh.SLOFastBurn > 1 || eh.SLOSlowBurn > 1:
+		degrade(api.HealthDegraded, fmt.Sprintf("SLO burn above budget (fast %.2f×, slow %.2f×)", eh.SLOFastBurn, eh.SLOSlowBurn))
+	}
+	if ps, ok := sc.stats[env]; ok {
+		eh.Fixes = ps.Fixes
+		eh.DegradedFixes = ps.DegradedFixes
+	}
+	return eh
+}
+
+// sloBurn extracts dwatch_slo_burn_rate{env=...,window=...} from a
+// parsed node page (0 when the env runs without an SLO).
+func sloBurn(fams []*obs.ParsedFamily, env, window string) float64 {
+	for _, f := range fams {
+		if f.Name != "dwatch_slo_burn_rate" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Label("env") == env && s.Label("window") == window {
+				v, err := s.Float()
+				if err != nil {
+					return 0
+				}
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+func healthRank(status string) int {
+	switch status {
+	case api.HealthCritical:
+		return 2
+	case api.HealthDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// nodeByID resolves a live node for the /api/v1/nodes/{node}/* proxies.
+func (g *Gateway) nodeByID(w http.ResponseWriter, r *http.Request) (api.NodeInfo, bool) {
+	id := r.PathValue("node")
+	for _, n := range g.dir.Nodes() {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	writeError(w, http.StatusNotFound, "node_not_found",
+		fmt.Sprintf("no live node %q in the cluster", id))
+	return api.NodeInfo{}, false
+}
+
+// handleNodeMetrics proxies one node's raw (un-federated) metrics page.
+func (g *Gateway) handleNodeMetrics(w http.ResponseWriter, r *http.Request) {
+	n, ok := g.nodeByID(w, r)
+	if !ok {
+		return
+	}
+	page, err := g.client(n.Addr).Metrics(r.Context())
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "bad_gateway",
+			fmt.Sprintf("node %s metrics: %v", n.ID, err))
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = w.Write(page)
+}
+
+// handleNodeProfiles proxies one node's profiling-ring listing.
+func (g *Gateway) handleNodeProfiles(w http.ResponseWriter, r *http.Request) {
+	n, ok := g.nodeByID(w, r)
+	if !ok {
+		return
+	}
+	resp, err := g.client(n.Addr).Profiles(r.Context())
+	if err != nil {
+		relayError(w, n.ID, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleNodeProfile proxies one stored pprof capture from a node.
+func (g *Gateway) handleNodeProfile(w http.ResponseWriter, r *http.Request) {
+	n, ok := g.nodeByID(w, r)
+	if !ok {
+		return
+	}
+	data, err := g.client(n.Addr).Profile(r.Context(), r.PathValue("name"))
+	if err != nil {
+		relayError(w, n.ID, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// relayError passes a node's typed API error through unchanged, or
+// wraps a transport failure as 502.
+func relayError(w http.ResponseWriter, nodeID string, err error) {
+	var apiErr *api.APIError
+	if errors.As(err, &apiErr) {
+		writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "bad_gateway",
+		fmt.Sprintf("node %s: %v", nodeID, err))
+}

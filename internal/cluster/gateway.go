@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dwatch/internal/api"
+	"dwatch/internal/obs"
 )
 
 // Gateway is the fan-in front of a dwatchd cluster: one address that
@@ -39,6 +40,15 @@ type Gateway struct {
 
 	mu      sync.Mutex
 	clients map[string]*api.Client // node addr → client
+
+	// Federation scraper state (federation.go): the gateway's own
+	// registry plus the last-good pull from each live node.
+	reg            *obs.Registry
+	scrapeInterval time.Duration
+	scrapes        *obs.CounterVec
+	fedNodes       *obs.Gauge
+	fedMu          sync.Mutex
+	fed            map[string]*nodeScrape // node ID → last scrape
 }
 
 // GatewayOption configures NewGateway.
@@ -53,13 +63,30 @@ func WithRetry(attempts int, delay time.Duration) GatewayOption {
 	return func(g *Gateway) { g.retries = attempts; g.retryDelay = delay }
 }
 
+// WithGatewayObs backs the gateway's own /metrics page (build info,
+// runtime collector, federation-scraper telemetry) with reg. Without
+// it the gateway still federates node pages but contributes no
+// node="gateway" series of its own.
+func WithGatewayObs(reg *obs.Registry) GatewayOption { return func(g *Gateway) { g.reg = reg } }
+
+// WithScrapeInterval sets the federation scrape cadence (default 5 s).
+func WithScrapeInterval(d time.Duration) GatewayOption {
+	return func(g *Gateway) {
+		if d > 0 {
+			g.scrapeInterval = d
+		}
+	}
+}
+
 // NewGateway builds a gateway around a directory.
 func NewGateway(dir *Directory, opts ...GatewayOption) *Gateway {
 	g := &Gateway{
-		dir:        dir,
-		retries:    5,
-		retryDelay: 100 * time.Millisecond,
-		clients:    map[string]*api.Client{},
+		dir:            dir,
+		retries:        5,
+		retryDelay:     100 * time.Millisecond,
+		clients:        map[string]*api.Client{},
+		scrapeInterval: 5 * time.Second,
+		fed:            map[string]*nodeScrape{},
 	}
 	for _, o := range opts {
 		o(g)
@@ -67,6 +94,13 @@ func NewGateway(dir *Directory, opts ...GatewayOption) *Gateway {
 	if g.logger == nil {
 		g.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	// The label is "target", not "node": every sample on the federated
+	// page gets a node label spliced in, and the gateway's own series
+	// must not already carry one.
+	g.scrapes = g.reg.CounterVec("dwatch_federation_scrapes_total",
+		"Federation scrape attempts by target node and outcome.", "target", "outcome")
+	g.fedNodes = g.reg.Gauge("dwatch_federation_nodes",
+		"Live nodes the federation scraper holds fresh data for.")
 	return g
 }
 
@@ -85,9 +119,16 @@ func (g *Gateway) client(addr string) *api.Client {
 // Handler returns the gateway's HTTP surface.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/api/v1/cluster", g.handleCluster)
+	// The literal health route is more specific than the control-plane
+	// prefix below, so ServeMux ranks it first.
+	mux.HandleFunc("/api/v1/cluster/health", g.handleClusterHealth)
 	mux.HandleFunc("/api/v1/cluster/", g.handleClusterControl)
 	mux.HandleFunc("/api/v1/envs", g.handleEnvs)
+	mux.HandleFunc("/api/v1/nodes/{node}/metrics", g.handleNodeMetrics)
+	mux.HandleFunc("/api/v1/nodes/{node}/profiles", g.handleNodeProfiles)
+	mux.HandleFunc("/api/v1/nodes/{node}/profiles/{name}", g.handleNodeProfile)
 	mux.HandleFunc("/api/v1/", g.handleEnvRoutes)
 	return mux
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dwatch/internal/api"
+	"dwatch/internal/api/adapt"
 	"dwatch/internal/fleet"
 	"dwatch/internal/obs"
 	"dwatch/internal/serve"
@@ -47,6 +48,15 @@ func newTestNode(t *testing.T, id, gatewayURL, walRoot string, catalog map[strin
 		serve.WithEnvs(f.Infos),
 		serve.WithEnvLookup(f.EnvHandle),
 		serve.WithReady(f.Ready),
+		serve.WithFleetStats(func() api.FleetStats {
+			out := api.FleetStats{}
+			for _, id := range f.IDs() {
+				if e, ok := f.Env(id); ok && e.Pipeline() != nil {
+					out[id] = adapt.PipelineStats(e.Pipeline().Stats())
+				}
+			}
+			return out
+		}),
 	)
 	ts := httptest.NewServer(plane.Handler())
 	n := &testNode{

@@ -113,6 +113,9 @@ type Env struct {
 
 	fixes   atomic.Uint64
 	reports atomic.Uint64
+	// slo accounts ingest→fix latency against the deployment's declared
+	// objective (nil when the config has no "slo" block).
+	slo *obs.SLOTracker
 	// reportCtr is the env's dwatch_fleet_reports_total child, resolved
 	// once at Add time: resolving by label in Ingest would resurrect
 	// the series after Remove drops it.
@@ -198,6 +201,7 @@ func New(opts ...Option) *Fleet {
 var reservedEnvIDs = map[string]bool{
 	"envs": true, "positions": true, "stats": true,
 	"traces": true, "health": true, "wal": true,
+	"profiles": true, "cluster": true, "nodes": true,
 }
 
 // validateID enforces the env-ID grammar: URL-path-safe, one segment,
@@ -244,8 +248,14 @@ func (f *Fleet) Add(id string, cfg sim.Config, popts ...pipeline.Option) (*Env, 
 		id: id, scenario: sc, added: time.Now(),
 		slot: f.ring.Slot(id), stop: make(chan struct{}),
 	}
-	e.tracer = tracing.New()
+	e.tracer = tracing.New(tracing.WithObs(f.o.reg))
 	e.health = health.New(f.o.reg, health.Options{})
+	if cfg.SLO != nil {
+		e.slo = obs.NewSLOTracker(f.o.reg, id, obs.SLOOptions{
+			Target:    time.Duration(cfg.SLO.TargetMS * float64(time.Millisecond)),
+			Objective: cfg.SLO.Objective,
+		})
+	}
 	if f.o.walRoot != "" {
 		w, err := wal.Open(filepath.Join(f.o.walRoot, id),
 			append([]wal.Option{wal.WithLogger(f.o.logger), wal.WithObs(f.o.reg)}, f.o.walOpts...)...)
@@ -288,6 +298,13 @@ func (f *Fleet) Add(id string, cfg sim.Config, popts ...pipeline.Option) (*Env, 
 		}
 		e.fixes.Add(1)
 		fixCtr.Add(1)
+		if e.slo != nil && fix.TraceID != "" {
+			// The trace's start is the sequence's first ingest — the
+			// latency the deployment's SLO is declared over.
+			if d, ok := e.tracer.Get(fix.TraceID); ok {
+				e.slo.Observe(time.Since(d.Start))
+			}
+		}
 		hub.Publish(serve.Position{
 			Env: id, Seq: fix.Seq,
 			X: fix.Pos.X, Y: fix.Pos.Y,
@@ -456,6 +473,7 @@ func (f *Fleet) Remove(id string) error {
 		f.reportsVec.Remove(id)
 		f.queueVec.Remove(id)
 		f.pendingVec.Remove(id)
+		e.slo.Close()
 	}
 	f.mu.Unlock()
 	if !ok {
@@ -468,6 +486,7 @@ func (f *Fleet) Remove(id string) error {
 
 // teardownEnv stops the environment's machinery outside the fleet lock.
 func (f *Fleet) teardownEnv(e *Env) {
+	e.slo.Close() // idempotent; covers Add-failure paths that skip Remove
 	close(e.stop)
 	if !e.adopted {
 		if e.pipe != nil {

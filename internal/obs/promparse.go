@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a small parser
+// for the Prometheus text format (0.0.4) that the cluster gateway uses
+// to federate node /metrics pages. It deliberately does NOT model
+// samples numerically — label blocks and values are kept as the raw
+// bytes that arrived, so re-emitting a sample reproduces it
+// byte-identically (escaping quirks included) and the gateway never
+// corrupts a series it merely relays. The only rewrite the federation
+// layer performs is appending one extra label, which WithLabel does by
+// splicing escaped text into the preserved block.
+
+// ParsedSample is one sample line from an exposition page. Name is the
+// sample's own name (including any _bucket/_sum/_count suffix),
+// LabelBlock is the raw text between the braces ("" when the sample
+// had none), and Value is the raw value text exactly as written.
+type ParsedSample struct {
+	Name       string
+	LabelBlock string
+	Value      string
+}
+
+// Line renders the sample back into its exposition line (without the
+// trailing newline), byte-identical to the input line it was parsed
+// from.
+func (s ParsedSample) Line() string {
+	if s.LabelBlock == "" {
+		return s.Name + " " + s.Value
+	}
+	return s.Name + "{" + s.LabelBlock + "} " + s.Value
+}
+
+// WithLabel returns a copy of the sample with one more label appended
+// to its block. The existing block text is preserved verbatim; only
+// the new pair is escaped.
+func (s ParsedSample) WithLabel(name, value string) ParsedSample {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if s.LabelBlock == "" {
+		s.LabelBlock = pair
+	} else {
+		s.LabelBlock = s.LabelBlock + "," + pair
+	}
+	return s
+}
+
+// Labels decodes the sample's label block into (name, value) pairs,
+// unescaping values. Malformed blocks return an error — the parser
+// validated brace structure, not pair syntax, so this is where a
+// hand-crafted page can still fail.
+func (s ParsedSample) Labels() ([][2]string, error) {
+	var pairs [][2]string
+	rest := s.LabelBlock
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("obs: label block %q: missing '='", s.LabelBlock)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("obs: label block %q: value for %q not quoted", s.LabelBlock, name)
+		}
+		val, n, err := unquoteLabelValue(rest)
+		if err != nil {
+			return nil, fmt.Errorf("obs: label block %q: %w", s.LabelBlock, err)
+		}
+		pairs = append(pairs, [2]string{name, val})
+		rest = rest[n:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return pairs, nil
+}
+
+// Label returns the unescaped value of one label ("" when absent or
+// the block is malformed).
+func (s ParsedSample) Label(name string) string {
+	pairs, err := s.Labels()
+	if err != nil {
+		return ""
+	}
+	for _, p := range pairs {
+		if p[0] == name {
+			return p[1]
+		}
+	}
+	return ""
+}
+
+// Float parses the sample's value as a float64 (Prometheus values are
+// floats; counters are written as integers but parse fine).
+func (s ParsedSample) Float() (float64, error) {
+	// A value may carry an optional timestamp after a space; our
+	// writer never emits one but foreign pages can.
+	v := s.Value
+	if i := strings.IndexByte(v, ' '); i >= 0 {
+		v = v[:i]
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// unquoteLabelValue decodes a quoted label value starting at text[0]
+// == '"', returning the unescaped value and the number of input bytes
+// consumed (including both quotes).
+func unquoteLabelValue(text string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(text); i++ {
+		switch c := text[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(text) {
+				return "", 0, fmt.Errorf("trailing backslash")
+			}
+			switch text[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(text[i])
+			default:
+				// Prometheus treats unknown escapes literally.
+				b.WriteByte('\\')
+				b.WriteByte(text[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// ParsedFamily is one metric family from an exposition page: the HELP
+// and TYPE headers (raw, as written) and the samples attached to it.
+// Histogram _bucket/_sum/_count samples attach to their base family.
+type ParsedFamily struct {
+	Name    string
+	Help    string // raw escaped help text
+	HasHelp bool
+	Type    string // "" when no TYPE header was seen
+	Samples []ParsedSample
+}
+
+// ParsePrometheus reads a text exposition page into families, in
+// first-appearance order. Samples keep their raw label blocks and
+// value text so WriteFamilies reproduces them byte-identically.
+func ParsePrometheus(r io.Reader) ([]*ParsedFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var fams []*ParsedFamily
+	byName := map[string]*ParsedFamily{}
+	get := func(name string) *ParsedFamily {
+		f := byName[name]
+		if f == nil {
+			f = &ParsedFamily{Name: name}
+			byName[name] = f
+			fams = append(fams, f)
+		}
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+				name, help, _ := strings.Cut(rest, " ")
+				f := get(name)
+				f.Help, f.HasHelp = help, true
+			} else if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				name, typ, _ := strings.Cut(rest, " ")
+				get(name).Type = typ
+			}
+			// Other comments are dropped.
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		f := get(familyOf(s.Name, byName))
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its family: histogram suffixes
+// attach to an already-declared base family, anything else is its own.
+func familyOf(sample string, byName map[string]*ParsedFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suf); ok {
+			if f := byName[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// parseSampleLine splits one sample line into name, raw label block,
+// and raw value, respecting quoted (and escaped) label values.
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	end := strings.IndexAny(line, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:end]
+	if s.Name == "" {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	rest := line[end:]
+	if rest[0] == '{' {
+		close, err := labelBlockEnd(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.LabelBlock = rest[1:close]
+		rest = rest[close+1:]
+		if len(rest) == 0 || rest[0] != ' ' {
+			return s, fmt.Errorf("sample %q: missing value", line)
+		}
+	}
+	s.Value = strings.TrimSpace(rest)
+	if s.Value == "" {
+		return s, fmt.Errorf("sample %q: missing value", line)
+	}
+	return s, nil
+}
+
+// labelBlockEnd finds the index of the '}' closing the block opened at
+// text[0] == '{', skipping over quoted strings with backslash escapes.
+func labelBlockEnd(text string) (int, error) {
+	inQuote := false
+	for i := 1; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unterminated label block")
+}
+
+// WriteFamilies re-emits parsed families in order: HELP/TYPE headers
+// exactly as recorded, then each sample via Line. Parsing a
+// WritePrometheus page and writing it back through here is
+// byte-identical.
+func WriteFamilies(w io.Writer, fams []*ParsedFamily) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.HasHelp {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.Help)
+			bw.WriteByte('\n')
+		}
+		if f.Type != "" {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.Type)
+			bw.WriteByte('\n')
+		}
+		for _, s := range f.Samples {
+			bw.WriteString(s.Line())
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// EscapeLabelValue escapes a string for inclusion in a label value —
+// exported for federation code composing label pairs by hand.
+func EscapeLabelValue(s string) string { return escapeLabel(s) }

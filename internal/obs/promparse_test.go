@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromParseRoundTrip: WritePrometheus output — including label
+// values exercising every escape (backslash, quote, newline) and
+// histogram bucket expansion — must survive parse → re-emit
+// byte-identically. The gateway federates by re-emitting parsed
+// samples, so any corruption here corrupts every node's series.
+func TestPromParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "A plain counter.").Add(7)
+	v := r.CounterVec("escaped_total", `Help with \backslash and newline`+"\n end.", "env", "path")
+	v.With(`quo"te`, `back\slash`).Add(3)
+	v.With("multi\nline", "plain").Add(1)
+	r.GaugeVec("temp", "Gauge with labels.", "site").With("lab-3").Set(-2.25)
+	r.Histogram("lat_seconds", "A histogram.", []float64{0.001, 0.01, 0.1}).Observe(0.004)
+	r.GaugeVec("dwatch_slo_burn_rate", "Burn.", "env", "window").With("site-a", "fast").Set(1.5)
+
+	var orig bytes.Buffer
+	if err := r.WritePrometheus(&orig); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\npage:\n%s", err, orig.String())
+	}
+	var back bytes.Buffer
+	if err := WriteFamilies(&back, fams); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Fatalf("round trip not byte-identical\n--- original:\n%s--- re-emitted:\n%s", orig.String(), back.String())
+	}
+}
+
+// TestPromParseStructure: histogram samples attach to the base family,
+// label decoding unescapes, and values parse.
+func TestPromParseStructure(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "h", []float64{0.01}).Observe(0.004)
+	r.CounterVec("fixes_total", "c", "env").With(`we"ird`).Add(9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ParsedFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	h := byName["lat_seconds"]
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("lat_seconds family missing or untyped: %+v", h)
+	}
+	// 1 finite bucket + +Inf bucket + _sum + _count = 4 samples.
+	if len(h.Samples) != 4 {
+		t.Fatalf("histogram samples = %d, want 4: %+v", len(h.Samples), h.Samples)
+	}
+	c := byName["fixes_total"]
+	if c == nil || len(c.Samples) != 1 {
+		t.Fatalf("fixes_total family wrong: %+v", c)
+	}
+	if got := c.Samples[0].Label("env"); got != `we"ird` {
+		t.Fatalf("env label = %q, want %q", got, `we"ird`)
+	}
+	if v, err := c.Samples[0].Float(); err != nil || v != 9 {
+		t.Fatalf("value = %v, %v; want 9", v, err)
+	}
+}
+
+// TestPromParseWithLabel: appending a label preserves the original
+// block bytes and escapes the new value.
+func TestPromParseWithLabel(t *testing.T) {
+	s := ParsedSample{Name: "m", LabelBlock: `env="a\"b"`, Value: "1"}
+	out := s.WithLabel("node", `no"de`)
+	want := `m{env="a\"b",node="no\"de"} 1`
+	if out.Line() != want {
+		t.Fatalf("Line() = %q, want %q", out.Line(), want)
+	}
+	bare := ParsedSample{Name: "m", Value: "2"}
+	if got := bare.WithLabel("node", "n1").Line(); got != `m{node="n1"} 2` {
+		t.Fatalf("bare Line() = %q", got)
+	}
+}
+
+// TestPromParseMalformed: truncated blocks and empty samples error
+// rather than silently dropping series.
+func TestPromParseMalformed(t *testing.T) {
+	for _, page := range []string{
+		"m{env=\"a\" 1\n", // unterminated block
+		"m{env=\"a\"}\n",  // missing value
+		"{env=\"a\"} 1\n", // missing name
+		"m{env=\"a\\\n 1", // escape at end of quoted value
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(page)); err == nil {
+			t.Errorf("page %q parsed without error", page)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import "testing"
+
+// TestRegisterRuntime: the dwatch_go_* families collect live, nonzero
+// readings from runtime/metrics.
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	s := r.Snapshot()
+	if s["dwatch_go_goroutines"] < 1 {
+		t.Fatalf("goroutines = %v, want >= 1", s["dwatch_go_goroutines"])
+	}
+	if s["dwatch_go_heap_objects_bytes"] <= 0 {
+		t.Fatalf("heap bytes = %v, want > 0", s["dwatch_go_heap_objects_bytes"])
+	}
+	if s["dwatch_go_mem_total_bytes"] <= 0 {
+		t.Fatalf("total mem = %v, want > 0", s["dwatch_go_mem_total_bytes"])
+	}
+	// Quantile gauges must exist (possibly 0 before the first GC).
+	for _, id := range []string{
+		`dwatch_go_gc_pause_seconds{quantile="0.5"}`,
+		`dwatch_go_gc_pause_seconds{quantile="0.99"}`,
+		`dwatch_go_sched_latency_seconds{quantile="0.5"}`,
+		`dwatch_go_sched_latency_seconds{quantile="0.99"}`,
+	} {
+		if _, ok := s[id]; !ok {
+			t.Fatalf("missing %s in snapshot", id)
+		}
+	}
+	RegisterRuntime(nil) // nil-safe
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestSLOTrackerBurn: burn rate = windowed error ratio / error budget,
+// the fast window forgets old failures, the slow window remembers.
+func TestSLOTrackerBurn(t *testing.T) {
+	now := time.Unix(1000000, 0)
+	r := NewRegistry()
+	tr := NewSLOTracker(r, "site-a", SLOOptions{
+		Target:      100 * time.Millisecond,
+		Objective:   0.9, // error budget 0.1
+		BucketWidth: time.Minute,
+		FastWindow:  5 * time.Minute,
+		SlowWindow:  time.Hour,
+		Now:         func() time.Time { return now },
+	})
+	// 10 events, 5 breaches: ratio 0.5, burn 5.
+	for i := 0; i < 5; i++ {
+		tr.Observe(10 * time.Millisecond)
+		tr.Observe(500 * time.Millisecond)
+	}
+	if got := tr.FastBurn(); !near(got, 5) {
+		t.Fatalf("fast burn = %v, want 5", got)
+	}
+	if got := tr.SlowBurn(); !near(got, 5) {
+		t.Fatalf("slow burn = %v, want 5", got)
+	}
+	s := r.Snapshot()
+	if s[`dwatch_slo_events_total{env="site-a"}`] != 10 {
+		t.Fatalf("events_total = %v", s[`dwatch_slo_events_total{env="site-a"}`])
+	}
+	if s[`dwatch_slo_breaches_total{env="site-a"}`] != 5 {
+		t.Fatalf("breaches_total = %v", s[`dwatch_slo_breaches_total{env="site-a"}`])
+	}
+	if !near(s[`dwatch_slo_burn_rate{env="site-a",window="fast"}`], 5) {
+		t.Fatalf("burn gauge = %v", s[`dwatch_slo_burn_rate{env="site-a",window="fast"}`])
+	}
+
+	// 10 minutes later the fast window is clean but the slow window
+	// still carries the breaches; fresh good traffic dilutes it.
+	now = now.Add(10 * time.Minute)
+	for i := 0; i < 10; i++ {
+		tr.Observe(10 * time.Millisecond)
+	}
+	if got := tr.FastBurn(); got != 0 {
+		t.Fatalf("fast burn after quiet period = %v, want 0", got)
+	}
+	if got := tr.SlowBurn(); !near(got, 2.5) { // 5 bad / 20 total / 0.1
+		t.Fatalf("slow burn = %v, want 2.5", got)
+	}
+}
+
+// TestSLOTrackerClose: closing removes every dwatch_slo_* series for
+// the env — the handoff invariant — and further observes are dropped.
+func TestSLOTrackerClose(t *testing.T) {
+	r := NewRegistry()
+	tr := NewSLOTracker(r, "hall", SLOOptions{})
+	other := NewSLOTracker(r, "keep", SLOOptions{})
+	tr.Observe(time.Millisecond)
+	other.Observe(time.Millisecond)
+	tr.Close()
+	tr.Observe(time.Second) // must not resurrect series
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if strings.Contains(page, `env="hall"`) {
+		t.Fatalf("closed env's series survive:\n%s", page)
+	}
+	if !strings.Contains(page, `dwatch_slo_events_total{env="keep"} 1`) {
+		t.Fatalf("other env's series lost:\n%s", page)
+	}
+	tr.Close() // idempotent
+}
+
+// TestSLOTrackerNil: a nil tracker is a full no-op.
+func TestSLOTrackerNil(t *testing.T) {
+	var tr *SLOTracker
+	tr.Observe(time.Second)
+	if tr.FastBurn() != 0 || tr.SlowBurn() != 0 {
+		t.Fatal("nil tracker reports burn")
+	}
+	tr.Close()
+}
+
+// TestSLOTrackerDefaults: zero options get sane defaults and a nil
+// registry still accounts.
+func TestSLOTrackerDefaults(t *testing.T) {
+	tr := NewSLOTracker(nil, "x", SLOOptions{})
+	tr.Observe(time.Second) // > default 250ms target
+	tr.Observe(time.Millisecond)
+	if got := tr.FastBurn(); !near(got, 0.5/(1-0.99)) {
+		t.Fatalf("default burn = %v, want %v", got, 0.5/(1-0.99))
+	}
+}

@@ -1,0 +1,315 @@
+// Package profiling is the continuous-profiling ring: periodic CPU
+// and heap pprof captures written into a bounded on-disk directory,
+// oldest-first evicted, listable and fetchable over /api/v1/profiles.
+// The point is incident forensics at fleet scale — when the gateway's
+// federated metrics finger a hot node, the profile of the *moments
+// before* is already on that node's disk; nobody has to reproduce the
+// spike with a live profiler attached.
+//
+// Like the rest of the repo this is stdlib-only: runtime/pprof for
+// capture, plain files for storage. File names are
+// "<kind>-<unix-nanos>.pprof" so the ring orders lexically-ish by
+// capture time and List never needs an index file.
+package profiling
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dwatch/internal/obs"
+)
+
+// Info describes one stored profile.
+type Info struct {
+	Name  string    // file name, the fetch key
+	Kind  string    // "cpu" or "heap"
+	Time  time.Time // capture time
+	Bytes int64
+}
+
+// Options configures a Ring.
+type Options struct {
+	// Interval between capture rounds (default 60s). Each round
+	// writes one CPU and one heap profile.
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile samples (default 5s,
+	// clamped below Interval).
+	CPUDuration time.Duration
+	// MaxProfiles bounds the total files kept on disk (default 60;
+	// oldest evicted first).
+	MaxProfiles int
+	// Obs, when set, registers dwatch_profiling_* metrics.
+	Obs *obs.Registry
+	// Logger for capture errors (nil = slog.Default).
+	Logger *slog.Logger
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Ring is a bounded on-disk profile store with a background capture
+// loop. A nil *Ring is a no-op (List returns nil, Start returns).
+type Ring struct {
+	dir    string
+	opts   Options
+	logger *slog.Logger
+
+	captures *obs.CounterVec // {kind}
+	errors   *obs.Counter
+	files    *obs.Gauge
+	bytes    *obs.Gauge
+
+	mu    sync.Mutex
+	ring  []Info // oldest first
+	total int64  // bytes on disk
+}
+
+// Open creates (or reopens) a ring rooted at dir. Existing *.pprof
+// files are adopted into the ring so restarts keep history, and the
+// bound is enforced immediately.
+func Open(dir string, opts Options) (*Ring, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 60 * time.Second
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = 5 * time.Second
+	}
+	if opts.CPUDuration >= opts.Interval {
+		opts.CPUDuration = opts.Interval / 2
+	}
+	if opts.MaxProfiles <= 0 {
+		opts.MaxProfiles = 60
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	r := &Ring{dir: dir, opts: opts, logger: opts.Logger.With("component", "profiling")}
+	if reg := opts.Obs; reg != nil {
+		r.captures = reg.CounterVec("dwatch_profiling_captures_total",
+			"Profiles captured into the on-disk ring.", "kind")
+		r.errors = reg.Counter("dwatch_profiling_capture_errors_total",
+			"Profile captures that failed.")
+		r.files = reg.Gauge("dwatch_profiling_ring_files",
+			"Profiles currently retained on disk.")
+		r.bytes = reg.Gauge("dwatch_profiling_ring_bytes",
+			"Bytes of profile data currently retained on disk.")
+	}
+	if err := r.adopt(); err != nil {
+		return nil, err
+	}
+	r.evictLocked()
+	r.publishLocked()
+	return r, nil
+}
+
+// adopt scans dir for profiles left by a previous process.
+func (r *Ring) adopt() error {
+	ents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		info, ok := parseName(e.Name())
+		if !ok {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		info.Bytes = fi.Size()
+		r.ring = append(r.ring, info)
+		r.total += info.Bytes
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].Time.Before(r.ring[j].Time) })
+	return nil
+}
+
+// parseName decodes "<kind>-<unix-nanos>.pprof".
+func parseName(name string) (Info, bool) {
+	base, ok := strings.CutSuffix(name, ".pprof")
+	if !ok {
+		return Info{}, false
+	}
+	kind, ts, ok := strings.Cut(base, "-")
+	if !ok || (kind != "cpu" && kind != "heap") {
+		return Info{}, false
+	}
+	ns, err := strconv.ParseInt(ts, 10, 64)
+	if err != nil {
+		return Info{}, false
+	}
+	return Info{Name: name, Kind: kind, Time: time.Unix(0, ns)}, true
+}
+
+// Run captures on the configured interval until ctx is cancelled.
+func (r *Ring) Run(ctx context.Context) {
+	if r == nil {
+		return
+	}
+	t := time.NewTicker(r.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := r.CaptureOnce(ctx); err != nil && ctx.Err() == nil {
+				r.logger.Warn("profile capture failed", "err", err)
+			}
+		}
+	}
+}
+
+// CaptureOnce takes one CPU profile (sampling for CPUDuration) and one
+// heap profile, then enforces the ring bound. It is the loop body and
+// the test seam.
+func (r *Ring) CaptureOnce(ctx context.Context) error {
+	if r == nil {
+		return nil
+	}
+	now := r.opts.Now()
+	var firstErr error
+	if err := r.captureCPU(ctx, now); err != nil {
+		firstErr = err
+		r.errors.Inc()
+	} else {
+		r.captures.With("cpu").Inc()
+	}
+	if err := r.captureHeap(now); err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+		r.errors.Inc()
+	} else {
+		r.captures.With("heap").Inc()
+	}
+	r.mu.Lock()
+	r.evictLocked()
+	r.publishLocked()
+	r.mu.Unlock()
+	return firstErr
+}
+
+func (r *Ring) captureCPU(ctx context.Context, now time.Time) error {
+	name := fmt.Sprintf("cpu-%d.pprof", now.UnixNano())
+	f, err := os.Create(filepath.Join(r.dir, name))
+	if err != nil {
+		return err
+	}
+	// StartCPUProfile fails if another CPU profile is running (e.g. a
+	// live /debug/pprof/profile pull); that round is just skipped.
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(r.opts.CPUDuration):
+	}
+	pprof.StopCPUProfile()
+	return r.finish(f, name, "cpu", now)
+}
+
+func (r *Ring) captureHeap(now time.Time) error {
+	name := fmt.Sprintf("heap-%d.pprof", now.UnixNano())
+	f, err := os.Create(filepath.Join(r.dir, name))
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	return r.finish(f, name, "heap", now)
+}
+
+// finish closes the profile file and admits it to the ring.
+func (r *Ring) finish(f *os.File, name, kind string, now time.Time) error {
+	fi, statErr := f.Stat()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if statErr != nil {
+		return statErr
+	}
+	r.mu.Lock()
+	r.ring = append(r.ring, Info{Name: name, Kind: kind, Time: now, Bytes: fi.Size()})
+	r.total += fi.Size()
+	r.mu.Unlock()
+	return nil
+}
+
+// evictLocked removes oldest profiles beyond the bound.
+func (r *Ring) evictLocked() {
+	for len(r.ring) > r.opts.MaxProfiles {
+		victim := r.ring[0]
+		r.ring = r.ring[1:]
+		r.total -= victim.Bytes
+		if err := os.Remove(filepath.Join(r.dir, victim.Name)); err != nil && !os.IsNotExist(err) {
+			r.logger.Warn("profile eviction failed", "name", victim.Name, "err", err)
+		}
+	}
+}
+
+func (r *Ring) publishLocked() {
+	r.files.Set(float64(len(r.ring)))
+	r.bytes.Set(float64(r.total))
+}
+
+// List returns the stored profiles, newest first.
+func (r *Ring) List() []Info {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, len(r.ring))
+	for i, p := range r.ring {
+		out[len(out)-1-i] = p
+	}
+	return out
+}
+
+// Open returns a reader over one stored profile by name. Names not
+// present in the ring are rejected, which doubles as path-traversal
+// protection — the name is never joined to the directory unless the
+// ring minted it.
+func (r *Ring) Open(name string) (io.ReadCloser, error) {
+	if r == nil {
+		return nil, os.ErrNotExist
+	}
+	r.mu.Lock()
+	found := false
+	for _, p := range r.ring {
+		if p.Name == name {
+			found = true
+			break
+		}
+	}
+	r.mu.Unlock()
+	if !found {
+		return nil, os.ErrNotExist
+	}
+	return os.Open(filepath.Join(r.dir, name))
+}

@@ -1,0 +1,135 @@
+package profiling
+
+import (
+	"context"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"dwatch/internal/obs"
+)
+
+func testRing(t *testing.T, max int) (*Ring, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	r, err := Open(t.TempDir(), Options{
+		Interval:    time.Second,
+		CPUDuration: 20 * time.Millisecond,
+		MaxProfiles: max,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, reg
+}
+
+// TestRingCapture: one round stores a CPU and a heap profile, both
+// listable newest-first and fetchable by name.
+func TestRingCapture(t *testing.T) {
+	r, reg := testRing(t, 10)
+	if err := r.CaptureOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	list := r.List()
+	if len(list) != 2 {
+		t.Fatalf("List() = %d profiles, want 2: %+v", len(list), list)
+	}
+	kinds := map[string]bool{}
+	for _, p := range list {
+		kinds[p.Kind] = true
+		if p.Bytes <= 0 {
+			t.Fatalf("profile %s has %d bytes", p.Name, p.Bytes)
+		}
+		rc, err := r.Open(p.Name)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", p.Name, err)
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil || int64(len(data)) != p.Bytes {
+			t.Fatalf("read %s: %d bytes, err %v, want %d", p.Name, len(data), err, p.Bytes)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("kinds = %v, want cpu and heap", kinds)
+	}
+	s := reg.Snapshot()
+	if s[`dwatch_profiling_captures_total{kind="cpu"}`] != 1 ||
+		s[`dwatch_profiling_captures_total{kind="heap"}`] != 1 {
+		t.Fatalf("capture counters wrong: %v", s)
+	}
+	if s["dwatch_profiling_ring_files"] != 2 {
+		t.Fatalf("ring_files = %v, want 2", s["dwatch_profiling_ring_files"])
+	}
+}
+
+// TestRingEviction: the bound holds and evicts oldest-first, on disk
+// as well as in the listing.
+func TestRingEviction(t *testing.T) {
+	r, reg := testRing(t, 3)
+	for i := 0; i < 3; i++ {
+		if err := r.CaptureOnce(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := r.List()
+	if len(list) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(list))
+	}
+	ents, err := os.ReadDir(r.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("disk holds %d files, want 3", len(ents))
+	}
+	// Newest-first listing: timestamps must be non-increasing.
+	for i := 1; i < len(list); i++ {
+		if list[i].Time.After(list[i-1].Time) {
+			t.Fatalf("listing not newest-first: %+v", list)
+		}
+	}
+	if reg.Snapshot()["dwatch_profiling_ring_files"] != 3 {
+		t.Fatal("ring_files gauge disagrees with bound")
+	}
+}
+
+// TestRingAdopt: reopening a directory adopts the previous process's
+// profiles.
+func TestRingAdopt(t *testing.T) {
+	dir := t.TempDir()
+	r1, err := Open(dir, Options{CPUDuration: 20 * time.Millisecond, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.CaptureOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, Options{Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r2.List()); got != 2 {
+		t.Fatalf("adopted %d profiles, want 2", got)
+	}
+}
+
+// TestRingOpenRejectsForeignNames: only ring-minted names resolve; a
+// traversal attempt is not joined to the directory.
+func TestRingOpenRejectsForeignNames(t *testing.T) {
+	r, _ := testRing(t, 10)
+	for _, name := range []string{"../../../etc/passwd", "cpu-1.pprof", "nope"} {
+		if _, err := r.Open(name); err == nil {
+			t.Fatalf("Open(%q) succeeded", name)
+		}
+	}
+	var nilRing *Ring
+	if nilRing.List() != nil {
+		t.Fatal("nil ring lists profiles")
+	}
+	if err := nilRing.CaptureOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

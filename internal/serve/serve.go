@@ -25,6 +25,8 @@
 //	                   bytes truncated, damage location)
 //	/api/v1/cluster    cluster view (api.ClusterStatus) when this node
 //	                   runs in cluster mode
+//	/api/v1/profiles   continuous-profiling ring listing (newest first),
+//	                   /api/v1/profiles/{name} fetches one raw pprof
 //	/debug/pprof/*     net/http/pprof, absorbed from the old -pprof flag
 //
 // Every JSON body is a type from internal/api — the versioned wire
@@ -42,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -96,6 +99,11 @@ type Options struct {
 	// Cluster supplies the /api/v1/cluster payload when the daemon runs
 	// as a cluster node (or gateway); absent = 404.
 	Cluster func() api.ClusterStatus
+	// Profiles lists the continuous-profiling ring for /api/v1/profiles;
+	// ProfileOpen resolves one stored profile's raw bytes. Both absent =
+	// 404 (daemon started without -profile-dir).
+	Profiles    func() []api.ProfileInfo
+	ProfileOpen func(name string) (io.ReadCloser, error)
 	// SSEKeepalive is the idle interval after which a position stream
 	// emits a ": keepalive" comment frame so proxies and clients keep
 	// quiet connections open. 0 = 15 s.
@@ -143,6 +151,12 @@ func WithCluster(fn func() api.ClusterStatus) Option {
 	return func(o *Options) { o.Cluster = fn }
 }
 
+// WithProfiles feeds /api/v1/profiles from a continuous-profiling ring:
+// list enumerates stored profiles, open resolves one by name.
+func WithProfiles(list func() []api.ProfileInfo, open func(name string) (io.ReadCloser, error)) Option {
+	return func(o *Options) { o.Profiles, o.ProfileOpen = list, open }
+}
+
 // WithSSEKeepalive sets the idle keepalive interval for position
 // streams (0 = 15 s).
 func WithSSEKeepalive(d time.Duration) Option { return func(o *Options) { o.SSEKeepalive = d } }
@@ -183,6 +197,8 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/api/v1/health", s.handleRFHealth)
 	s.mux.HandleFunc("/api/v1/wal", s.handleWAL)
 	s.mux.HandleFunc("/api/v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("/api/v1/profiles", s.handleProfiles)
+	s.mux.HandleFunc("/api/v1/profiles/{name}", s.handleProfile)
 	// Multi-tenant routes. One catch-all wildcard dispatches the
 	// env-scoped endpoints (ServeMux cannot rank /api/v1/{env}/stats
 	// against /api/v1/traces/{id}, but every literal pattern above
@@ -216,10 +232,12 @@ func endpointLabel(path string) string {
 		path == "/api/v1/stats", path == "/api/v1/positions",
 		path == "/api/v1/traces", path == "/api/v1/health",
 		path == "/api/v1/wal", path == "/api/v1/envs",
-		path == "/api/v1/cluster":
+		path == "/api/v1/cluster", path == "/api/v1/profiles":
 		return path
 	case strings.HasPrefix(path, "/api/v1/traces/"):
 		return "/api/v1/traces/{id}"
+	case strings.HasPrefix(path, "/api/v1/profiles/"):
+		return "/api/v1/profiles/{name}"
 	case strings.HasPrefix(path, "/api/v1/cluster/"):
 		return "/api/v1/cluster/"
 	case strings.HasPrefix(path, "/debug/pprof/"):
@@ -446,6 +464,47 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.opts.Cluster())
+}
+
+// handleProfiles lists the continuous-profiling ring, newest first.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/profiles", r.Method))
+		return
+	}
+	if s.opts.Profiles == nil {
+		writeError(w, http.StatusNotFound, "profiles_unavailable",
+			"no profiling ring configured on this deployment (start dwatchd with -profile-dir)")
+		return
+	}
+	writeJSON(w, api.ProfilesResponse{Profiles: s.opts.Profiles()})
+}
+
+// handleProfile streams one stored pprof capture's raw bytes.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s not allowed on /api/v1/profiles/{name}", r.Method))
+		return
+	}
+	if s.opts.ProfileOpen == nil {
+		writeError(w, http.StatusNotFound, "profiles_unavailable",
+			"no profiling ring configured on this deployment (start dwatchd with -profile-dir)")
+		return
+	}
+	name := r.PathValue("name")
+	rc, err := s.opts.ProfileOpen(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "profile_not_found",
+			fmt.Sprintf("profile %q is not in the ring (evicted, or never existed)", name))
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := io.Copy(w, rc); err != nil {
+		s.logf("profiles: %v", err)
+	}
 }
 
 func wantsEventStream(r *http.Request) bool {

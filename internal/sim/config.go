@@ -44,10 +44,11 @@ type jsonConfig struct {
 	Cell            float64
 	Seed            int64
 	Reflectors      []jsonReflector
-	PerimeterCoeff  float64 `json:"perimeter_coeff"`
-	SecondOrder     bool    `json:"second_order"`
-	FrequencyHz     float64 `json:"frequency_hz"`
-	MinTagArrayDist float64 `json:"min_tag_array_dist"`
+	PerimeterCoeff  float64    `json:"perimeter_coeff"`
+	SecondOrder     bool       `json:"second_order"`
+	FrequencyHz     float64    `json:"frequency_hz"`
+	MinTagArrayDist float64    `json:"min_tag_array_dist"`
+	SLO             *SLOConfig `json:"slo,omitempty"`
 }
 
 // SaveConfig writes a Config back out as deployment JSON (the inverse
@@ -68,6 +69,7 @@ func SaveConfig(w io.Writer, cfg Config) error {
 		SecondOrder:     cfg.SecondOrder,
 		FrequencyHz:     cfg.FrequencyHz,
 		MinTagArrayDist: cfg.MinTagArrayDist,
+		SLO:             cfg.SLO,
 	}
 	for _, r := range cfg.Reflectors {
 		jc.Reflectors = append(jc.Reflectors, jsonReflector{
@@ -106,6 +108,7 @@ func LoadConfig(r io.Reader) (Config, error) {
 		SecondOrder:     jc.SecondOrder,
 		FrequencyHz:     jc.FrequencyHz,
 		MinTagArrayDist: jc.MinTagArrayDist,
+		SLO:             jc.SLO,
 	}
 	if cfg.Name == "" {
 		cfg.Name = "custom"

@@ -52,6 +52,21 @@ type Config struct {
 	// Wi-Fi AP array (λ/2 spacing scales automatically, shrinking the
 	// aperture ~5.6× and pushing the near-field boundary inward).
 	FrequencyHz float64
+	// SLO, when set, declares the deployment's ingest→fix latency
+	// objective; the fleet registers a dwatch_slo_* tracker for the
+	// env. Nil disables SLO accounting.
+	SLO *SLOConfig
+}
+
+// SLOConfig is a deployment's latency objective as declared in its
+// JSON config ("slo" block).
+type SLOConfig struct {
+	// TargetMS is the per-fix ingest→fix latency target in
+	// milliseconds (0 = 250ms default).
+	TargetMS float64 `json:"target_ms"`
+	// Objective is the fraction of fixes that must meet the target
+	// (0 = 0.99 default).
+	Objective float64 `json:"objective"`
 }
 
 // Scenario is a fully instantiated simulation world.

@@ -1,0 +1,55 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+
+	"dwatch/internal/obs"
+)
+
+// TestTracerSelfTelemetry: the active gauge tracks begin/finish, the
+// finished counter labels by outcome, and the abandonment backstop
+// increments its own counter.
+func TestTracerSelfTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(WithObs(reg), WithIDSeed(1), WithCapacity(8), WithMaxActive(2))
+	now := time.Now()
+
+	tr.Begin(1, now)
+	tr.Begin(2, now)
+	if got := reg.Snapshot()["dwatch_tracing_active"]; got != 2 {
+		t.Fatalf("active = %v, want 2", got)
+	}
+	tr.Finish(1, OutcomeFix, now.Add(time.Millisecond))
+	tr.Finish(2, OutcomeMiss, now.Add(time.Millisecond))
+	s := reg.Snapshot()
+	if got := s["dwatch_tracing_active"]; got != 0 {
+		t.Fatalf("active after finish = %v, want 0", got)
+	}
+	if s[`dwatch_tracing_finished_total{outcome="fix"}`] != 1 ||
+		s[`dwatch_tracing_finished_total{outcome="miss"}`] != 1 {
+		t.Fatalf("finished counters wrong: %v", s)
+	}
+
+	// Blow the active cap: the oldest trace is abandoned.
+	tr.Begin(10, now)
+	tr.Begin(11, now)
+	tr.Begin(12, now)
+	s = reg.Snapshot()
+	if s["dwatch_tracing_abandoned_total"] != 1 {
+		t.Fatalf("abandoned = %v, want 1", s["dwatch_tracing_abandoned_total"])
+	}
+	if s[`dwatch_tracing_finished_total{outcome="abandoned"}`] != 1 {
+		t.Fatalf("finished{abandoned} = %v, want 1", s[`dwatch_tracing_finished_total{outcome="abandoned"}`])
+	}
+	if s["dwatch_tracing_active"] != 2 {
+		t.Fatalf("active after cap = %v, want 2", s["dwatch_tracing_active"])
+	}
+
+	// Two tracers sharing one registry aggregate instead of clobbering.
+	tr2 := New(WithObs(reg), WithIDSeed(2))
+	tr2.Begin(1, now)
+	if got := reg.Snapshot()["dwatch_tracing_active"]; got != 3 {
+		t.Fatalf("aggregated active = %v, want 3", got)
+	}
+}

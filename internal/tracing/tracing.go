@@ -15,9 +15,13 @@
 // (the /api/v1/traces endpoints) and as Chrome trace_event files
 // loadable in chrome://tracing or Perfetto.
 //
-// Like internal/obs, the package is dependency-free and nil-safe: a
-// nil *Tracer hands out nil *Trace handles and every method on both is
-// a no-op, so pipeline code records unconditionally.
+// The package is nil-safe like internal/obs (its only dependency,
+// kept for the self-telemetry below): a nil *Tracer hands out nil
+// *Trace handles and every method on both is a no-op, so pipeline
+// code records unconditionally. With WithObs, a tracer exports its
+// own pressure — dwatch_tracing_active, finished-by-outcome, and the
+// abandonment counter — so the active-cap backstop is visible on
+// /metrics before it starts force-finishing traces.
 package tracing
 
 import (
@@ -27,6 +31,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dwatch/internal/obs"
 )
 
 // Canonical stage names, matching the obs span-stage labels.
@@ -218,6 +224,7 @@ type config struct {
 	maxActive int
 	seed      uint64
 	seedSet   bool
+	reg       *obs.Registry
 }
 
 // Option configures a Tracer.
@@ -241,9 +248,26 @@ func WithIDSeed(seed uint64) Option {
 	return func(c *config) { c.seed = seed; c.seedSet = true }
 }
 
+// WithObs registers the tracer's self-telemetry on reg:
+// dwatch_tracing_active (in-flight traces),
+// dwatch_tracing_finished_total{outcome}, and
+// dwatch_tracing_abandoned_total (the active-cap backstop firing —
+// nonzero means sequences are entering the pipeline and never reaching
+// a finishing stage). Multiple tracers on one registry aggregate: the
+// gauge sums and the counters accumulate across all of them.
+func WithObs(reg *obs.Registry) Option {
+	return func(c *config) { c.reg = reg }
+}
+
 // Tracer mints, indexes, and retains per-sequence traces.
 type Tracer struct {
 	cfg config
+
+	// Self-telemetry (nil without WithObs; every obs method is
+	// nil-safe so increment sites stay branch-free).
+	obsActive    *obs.Gauge
+	obsFinished  *obs.CounterVec
+	obsAbandoned *obs.Counter
 
 	mu     sync.Mutex
 	n      uint64
@@ -285,11 +309,20 @@ func New(opts ...Option) *Tracer {
 			cfg.seed = binary.LittleEndian.Uint64(b[:])
 		}
 	}
-	return &Tracer{
+	tr := &Tracer{
 		cfg:    cfg,
 		active: map[uint32]*Trace{},
 		byID:   map[string]*traceRef{},
 	}
+	if reg := cfg.reg; reg != nil {
+		tr.obsActive = reg.Gauge("dwatch_tracing_active",
+			"Traces currently in flight across every tracer on this registry.")
+		tr.obsFinished = reg.CounterVec("dwatch_tracing_finished_total",
+			"Traces sealed, by outcome.", "outcome")
+		tr.obsAbandoned = reg.Counter("dwatch_tracing_abandoned_total",
+			"Traces force-finished by the max-active backstop.")
+	}
+	return tr
 }
 
 // mintID derives the next trace ID from the seed and a counter. The
@@ -314,6 +347,7 @@ func (tr *Tracer) Begin(seq uint32, now time.Time) *Trace {
 		tr.active[seq] = t
 		tr.activeOrder = append(tr.activeOrder, seq)
 		tr.byID[t.id] = &traceRef{t: t, inActive: true}
+		tr.obsActive.Add(1)
 		tr.capActiveLocked(now)
 	}
 	tr.mu.Unlock()
@@ -351,6 +385,11 @@ func (tr *Tracer) finishLocked(seq uint32, outcome string, now time.Time) {
 	}
 	delete(tr.active, seq)
 	t.finish(outcome, now)
+	tr.obsActive.Add(-1)
+	tr.obsFinished.With(outcome).Inc()
+	if outcome == OutcomeAbandoned {
+		tr.obsAbandoned.Inc()
+	}
 	ref := tr.byID[t.id]
 	ref.inActive = false
 	ref.inRing = true
